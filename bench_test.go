@@ -1,0 +1,363 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section, plus the design-choice ablations from
+// DESIGN.md and microbenchmarks of the simulation substrate.
+//
+// Figure benches run the corresponding experiment at reduced-but-
+// representative scale per iteration and report the headline statistics
+// through b.ReportMetric, so `go test -bench=.` prints the reproduced
+// numbers next to the timing. For full paper-scale rows use cmd/benchall
+// -scale paper.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/log4j"
+	"repro/internal/share"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// BenchmarkFig4Overall reproduces Fig 4: overall scheduling delays over
+// the TPC-H trace (job/total/am/in/out CDFs, normalized, stddev).
+func BenchmarkFig4Overall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(300)
+		rep := res.Report
+		b.ReportMetric(rep.Total.P95()/1000, "total-p95-s")
+		b.ReportMetric(rep.In.P95()/1000, "in-p95-s")
+		b.ReportMetric(rep.Out.P95()/1000, "out-p95-s")
+		b.ReportMetric(rep.AM.P95()/1000, "am-p95-s")
+		b.ReportMetric(rep.TotalOverJob.Median(), "total/job-p50")
+		b.ReportMetric(rep.InOverTotal.Median(), "in/total-p50")
+	}
+}
+
+// BenchmarkFig5InputSize reproduces Fig 5: total scheduling delay vs
+// TPC-H input size (20 MB .. 200 GB).
+func BenchmarkFig5InputSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig5(120)
+		first, last := rows[0], rows[len(rows)-1]
+		b.ReportMetric(last.TotalP95Sec/first.TotalP95Sec, "total-deterioration-x")
+		b.ReportMetric(last.InP95Sec/first.InP95Sec, "in-deterioration-x")
+		b.ReportMetric(first.NormTotalP95, "20MB-norm-p95")
+		b.ReportMetric(last.NormTotalP50, "200GB-norm-p50")
+	}
+}
+
+// BenchmarkFig6Executors reproduces Fig 6: delay vs executor count and
+// the Cl-Cf container-launch spread.
+func BenchmarkFig6Executors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(120)
+		b.ReportMetric(rows[len(rows)-1].TotalP95Sec, "16exec-total-p95-s")
+		b.ReportMetric(rows[1].TotalP95Sec, "4exec-total-p95-s")
+		b.ReportMetric(rows[len(rows)-1].ClMinusCf.P95/1000, "16exec-ClCf-p95-s")
+	}
+}
+
+// BenchmarkFig7Schedulers reproduces Fig 7: centralized vs distributed
+// allocation delay, NM queueing under overload, acquisition vs load.
+func BenchmarkFig7Schedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(120)
+		b.ReportMetric(res.CentralAlloc.P50/nz(res.DistributedAlloc.P50), "alloc-speedup-x")
+		b.ReportMetric(res.CentralAlloc.P95, "ce-alloc-p95-ms")
+		b.ReportMetric(res.DistributedAlloc.P95, "de-alloc-p95-ms")
+		b.ReportMetric(res.DistQueueing.P95/1000, "de-queueing-p95-s")
+	}
+}
+
+// BenchmarkTableIIThroughput reproduces Table II: container allocation
+// throughput at 10/40/70/100% cluster load.
+func BenchmarkTableIIThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableII()
+		b.ReportMetric(rows[0].Throughput, "load10-alloc-per-s")
+		b.ReportMetric(rows[3].Throughput, "load100-alloc-per-s")
+	}
+}
+
+// BenchmarkFig8Localization reproduces Fig 8: localization delay vs
+// localized file size (default package .. 8 GB --files).
+func BenchmarkFig8Localization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8(100)
+		b.ReportMetric(rows[0].Localization.P50, "default-local-p50-ms")
+		b.ReportMetric(rows[len(rows)-1].Localization.P50/1000, "8GB-local-p50-s")
+		b.ReportMetric(rows[len(rows)-1].DriverLocalizationP50, "8GB-driver-local-p50-ms")
+	}
+}
+
+// BenchmarkFig9Launching reproduces Fig 9: launching delay by instance
+// type and by container runtime (default vs Docker).
+func BenchmarkFig9Launching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(120)
+		if spe, ok := res.ByInstance[core.InstSparkExecutor]; ok {
+			b.ReportMetric(spe.P50, "spe-launch-p50-ms")
+		}
+		if mrm, ok := res.ByInstance[core.InstMRMaster]; ok {
+			b.ReportMetric(mrm.P50, "mrm-launch-p50-ms")
+		}
+		b.ReportMetric(res.DockerLaunch.P50-res.DefaultLaunch.P50, "docker-overhead-p50-ms")
+		b.ReportMetric(res.DockerLaunch.P95-res.DefaultLaunch.P95, "docker-overhead-p95-ms")
+	}
+}
+
+// BenchmarkFig11InApp reproduces Fig 11: driver/executor delay for
+// wordcount vs Spark-SQL, and the opened-files / parallel-init sweep.
+func BenchmarkFig11InApp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(100)
+		b.ReportMetric(res.SQLDriver.P50/1000, "driver-p50-s")
+		b.ReportMetric(res.WordcountExecutor.P95/1000, "wc-exec-p95-s")
+		b.ReportMetric(res.SQLExecutor.P95/1000, "sql-exec-p95-s")
+		opt, x1 := res.ExecutorByVariant["opt"], res.ExecutorByVariant["x1"]
+		b.ReportMetric((x1.P95-opt.P95)/1000, "opt-tail-saving-s")
+	}
+}
+
+// BenchmarkFig12IOInterference reproduces Fig 12: delays under dfsIO
+// write interference.
+func BenchmarkFig12IOInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(100)
+		base, heavy := rows[0], rows[len(rows)-1]
+		b.ReportMetric(heavy.TotalP95Sec/nz(base.TotalP95Sec), "total-slowdown-x")
+		b.ReportMetric(heavy.Localization.P50/nz(base.Localization.P50), "local-p50-slowdown-x")
+		b.ReportMetric(heavy.Executor.P95/nz(base.Executor.P95), "exec-p95-slowdown-x")
+		b.ReportMetric(heavy.AM.P95/nz(base.AM.P95), "am-p95-slowdown-x")
+	}
+}
+
+// BenchmarkFig13CPUInterference reproduces Fig 13: delays under Kmeans
+// CPU interference.
+func BenchmarkFig13CPUInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13(100)
+		base, heavy := rows[0], rows[len(rows)-1]
+		b.ReportMetric(heavy.TotalP95Sec/nz(base.TotalP95Sec), "total-slowdown-x")
+		b.ReportMetric(heavy.Driver.P95/nz(base.Driver.P95), "driver-p95-slowdown-x")
+		b.ReportMetric(heavy.Executor.P95/nz(base.Executor.P95), "exec-p95-slowdown-x")
+		b.ReportMetric(heavy.Localization.P50/nz(base.Localization.P50), "local-p50-slowdown-x")
+	}
+}
+
+// BenchmarkTableIIISummary reproduces Table III: each component's
+// contribution to the total scheduling delay.
+func BenchmarkTableIIISummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableIII(experiments.Fig4(200))
+		for _, r := range rows {
+			switch r.Source {
+			case "1.alloc-delays":
+				b.ReportMetric(r.Contribution, "alloc-share")
+			case "5.driver-delay":
+				b.ReportMetric(r.Contribution, "driver-share")
+			case "6.executor-delay":
+				b.ReportMetric(r.Contribution, "executor-share")
+			}
+		}
+	}
+}
+
+// BenchmarkBugDetection reproduces §V-A: SDchecker finding the Spark
+// over-allocation bug (SPARK-21562) in opportunistic mode.
+func BenchmarkBugDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.BugHunt(60)
+		b.ReportMetric(res.UnusedPerApp, "unused-containers-per-app")
+		b.ReportMetric(float64(len(res.Findings)), "findings")
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationHeartbeat sweeps the AM heartbeat interval
+// (Table III row 2 trade-off).
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationHeartbeat()
+		b.ReportMetric(rows[0].Acquisition.P95, "250ms-hb-acq-p95-ms")
+		b.ReportMetric(rows[2].Acquisition.P95, "1000ms-hb-acq-p95-ms")
+		b.ReportMetric(rows[len(rows)-1].Acquisition.P95, "3000ms-hb-acq-p95-ms")
+	}
+}
+
+// BenchmarkAblationGate sweeps spark.scheduler.minRegisteredResourcesRatio.
+func BenchmarkAblationGate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationGate(80)
+		b.ReportMetric(rows[0].Executor.P95/1000, "gate0.5-exec-p95-s")
+		b.ReportMetric(rows[len(rows)-1].Executor.P95/1000, "gate1.0-exec-p95-s")
+	}
+}
+
+// BenchmarkAblationJVMReuse measures the paper's proposed JVM-reuse
+// optimization (Table III rows 5-6).
+func BenchmarkAblationJVMReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationJVMReuse(80)
+		if r := res.Comparison.Row("launching"); r != nil {
+			b.ReportMetric(r.SpeedupP50, "launch-speedup-x")
+		}
+		if r := res.Comparison.Row("total"); r != nil {
+			b.ReportMetric(r.SpeedupP50, "total-speedup-x")
+		}
+	}
+}
+
+// BenchmarkAblationDedicatedDisk measures the §V-B dedicated
+// localization storage class under dfsIO interference.
+func BenchmarkAblationDedicatedDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationDedicatedDisk(80)
+		if r := res.Comparison.Row("localization"); r != nil {
+			b.ReportMetric(r.SpeedupP50, "local-speedup-x")
+		}
+		if r := res.Comparison.Row("total"); r != nil {
+			b.ReportMetric(r.SpeedupP95, "total-speedup-x")
+		}
+	}
+}
+
+// BenchmarkAblationOrdering compares FIFO vs Fair request ordering with a
+// large job in front of small queries.
+func BenchmarkAblationOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationOrdering(60)
+		if r := res.Comparison.Row("alloc"); r != nil {
+			b.ReportMetric(r.SpeedupP95, "alloc-speedup-x")
+		}
+	}
+}
+
+// BenchmarkExtensionSampling measures the power-of-k-choices extension
+// to the distributed scheduler (taming Fig 7b's queueing tail).
+func BenchmarkExtensionSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.ExtensionSampling(120)
+		b.ReportMetric(rows[0].Queueing.P95/1000, "random-queueing-p95-s")
+		b.ReportMetric(rows[len(rows)-1].Queueing.P95/1000, "sample4-queueing-p95-s")
+	}
+}
+
+// BenchmarkExtensionCacheService measures the full §V-B caching-service
+// proposal under dfsIO interference.
+func BenchmarkExtensionCacheService(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.ExtensionCacheService(60)
+		if r := res.Comparison.Row("localization"); r != nil {
+			b.ReportMetric(r.SpeedupP50, "local-speedup-x")
+		}
+		b.ReportMetric(res.HitRate, "cache-hit-rate")
+	}
+}
+
+// BenchmarkMultiTenantIsolation measures queue ceilings protecting a
+// low-latency tenant from a batch flood (the paper's multi-tenant
+// motivation, quantified).
+func BenchmarkMultiTenantIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.MultiTenant(60)
+		b.ReportMetric(res.ProdAllocShared.P95, "shared-alloc-p95-ms")
+		b.ReportMetric(res.ProdAllocIsolated.P95, "isolated-alloc-p95-ms")
+	}
+}
+
+// --- Substrate microbenchmarks ---
+
+// BenchmarkEngineEvents measures raw discrete-event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			eng.After(1, step)
+		}
+	}
+	b.ResetTimer()
+	eng.After(1, step)
+	eng.Run()
+}
+
+// BenchmarkShareChurn measures processor-sharing recomputation with many
+// concurrent jobs.
+func BenchmarkShareChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	r := share.NewResource(eng, "disk", 1000)
+	for i := 0; i < 64; i++ {
+		r.Start(1e12, 50, func(sim.Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := r.Start(1, 50, func(sim.Time) {})
+		r.Cancel(j)
+	}
+}
+
+// BenchmarkLogParse measures SDchecker's line-mining throughput.
+func BenchmarkLogParse(b *testing.B) {
+	lines := make([]string, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		lines = append(lines, log4j.Line{
+			TimeMS:  1499000000000 + int64(i),
+			Level:   log4j.Info,
+			Class:   "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl",
+			Message: "container_1499000000000_0001_01_000002 Container Transitioned from NEW to ALLOCATED",
+		}.Format())
+	}
+	blob := strings.Join(lines, "\n")
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewParser()
+		if err := p.ParseReader("hadoop/rm.log", strings.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+		if len(p.Events()) != 1000 {
+			b.Fatal("wrong event count")
+		}
+	}
+}
+
+// BenchmarkEndToEndQuery measures one full simulated query + SDchecker
+// pass — the unit of work every figure bench is built from.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := experiments.DefaultTraceRun(1)
+		tr.Seed = uint64(i) + 1
+		_, rep := tr.Run()
+		if len(rep.Apps) != 1 {
+			b.Fatal("query did not run")
+		}
+	}
+}
+
+// BenchmarkCDFAggregation measures report statistics over a large sample.
+func BenchmarkCDFAggregation(b *testing.B) {
+	s := stats.NewSample(100_000)
+	for i := 0; i < 100_000; i++ {
+		s.Add(float64(i * 7 % 100_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.CDF(100)
+		_ = s.P95()
+	}
+}
+
+func nz(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+)
+
+// followDir is the live mode: it scans the log tree once, then polls for
+// appended bytes and newly created files, feeding every new line into a
+// core.Stream and reprinting the summary whenever the picture changed.
+// It runs until the process is interrupted.
+func followDir(dir string) error {
+	st := core.NewStream()
+	offsets := map[string]int64{}
+
+	scan := func() (changed bool, err error) {
+		werr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, rerr := filepath.Rel(dir, path)
+			if rerr != nil {
+				rel = path
+			}
+			rel = filepath.ToSlash(rel)
+			grew, ferr := drainFile(st, path, rel, offsets)
+			if ferr != nil {
+				return ferr
+			}
+			if grew {
+				changed = true
+			}
+			return nil
+		})
+		return changed, werr
+	}
+
+	fmt.Printf("sdchecker: following %s (interrupt to stop)\n", dir)
+	for {
+		changed, err := scan()
+		if err != nil {
+			return err
+		}
+		if changed {
+			rep := st.Report()
+			fmt.Printf("\n--- %s ---\n%s", time.Now().Format("15:04:05"), rep.Format())
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+// drainFile feeds any bytes appended since the recorded offset. It
+// returns whether new scheduling events were produced.
+func drainFile(st *core.Stream, path, rel string, offsets map[string]int64) (bool, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return false, err
+	}
+	off := offsets[rel]
+	if info.Size() <= off {
+		return false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	changed := false
+	read := off
+	for sc.Scan() {
+		line := sc.Text()
+		read += int64(len(line)) + 1
+		if st.Feed(rel, line) {
+			changed = true
+		}
+	}
+	offsets[rel] = read
+	return changed, sc.Err()
+}

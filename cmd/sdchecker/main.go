@@ -1,0 +1,154 @@
+// Command sdchecker is the paper's tool: an offline log miner that
+// decomposes the job scheduling delay of data analytics applications.
+//
+// Point it at a directory of YARN and Spark logs (as written by
+// cmd/simcluster, or a real cluster's collected logs in the same log4j
+// format):
+//
+//	sdchecker -dir ./logs                 # aggregate decomposition report
+//	sdchecker -dir ./logs -graph 1        # scheduling graph of app seq 1
+//	sdchecker -dir ./logs -dot 1          # same graph in Graphviz DOT
+//	sdchecker -dir ./logs -bugs           # allocated-but-unused containers
+//	sdchecker -dir ./logs -per-app        # one decomposition line per app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "log directory tree to analyze (required)")
+		graph    = flag.Int("graph", 0, "print the scheduling graph (ASCII) for the app with this sequence number")
+		path     = flag.Int("path", 0, "print the scheduling critical path for the app with this sequence number")
+		dot      = flag.Int("dot", 0, "print the scheduling graph (Graphviz DOT) for the app with this sequence number")
+		bugs     = flag.Bool("bugs", false, "print only the bug-detection report")
+		perApp   = flag.Bool("per-app", false, "print one decomposition line per application")
+		csv      = flag.Bool("csv", false, "emit per-application decompositions as CSV")
+		jsonOut  = flag.Bool("json", false, "emit per-application traces, decompositions and critical paths as JSON")
+		cdfCSV   = flag.Bool("cdf-csv", false, "emit the Fig-4a CDF series as CSV")
+		compCSV  = flag.String("component-csv", "", "emit one per-container component as CSV (acquisition|localization|launching|queueing)")
+		validate = flag.Bool("validate", false, "check traces for temporal consistency (clock skew, missing files)")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML report (SVG CDFs + per-app Gantt timelines) to this file")
+		follow   = flag.Bool("follow", false, "keep watching the directory for appended lines and new files, reprinting the summary on change")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "sdchecker: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *follow {
+		if err := followDir(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	checker := core.New()
+	if err := checker.AddDir(*dir); err != nil {
+		fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+		os.Exit(1)
+	}
+	rep := checker.Analyze()
+
+	if *htmlOut != "" {
+		html := rep.HTMLReport("SDchecker report: "+*dir, 8)
+		if err := os.WriteFile(*htmlOut, []byte(html), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote HTML report to %s\n", *htmlOut)
+		return
+	}
+
+	switch {
+	case *path > 0:
+		for _, a := range rep.Apps {
+			if a.ID.Seq != *path {
+				continue
+			}
+			fmt.Print(core.FormatCriticalPath(core.CriticalPath(a)))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sdchecker: no application with sequence %d\n", *path)
+		os.Exit(1)
+	case *jsonOut:
+		out, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	case *csv:
+		fmt.Print(rep.CSV())
+	case *cdfCSV:
+		fmt.Print(rep.CDFCSV(100))
+	case *compCSV != "":
+		out, err := rep.ComponentCSV(*compCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+	case *validate:
+		problems := rep.ValidateAll()
+		if len(problems) == 0 {
+			fmt.Printf("all %d application traces are temporally consistent\n", len(rep.Apps))
+			return
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		os.Exit(1)
+	case *graph > 0 || *dot > 0:
+		seq := *graph
+		ascii := true
+		if *dot > 0 {
+			seq = *dot
+			ascii = false
+		}
+		for _, a := range rep.Apps {
+			if a.ID.Seq != seq {
+				continue
+			}
+			g := core.BuildGraph(a)
+			if ascii {
+				fmt.Print(g.ASCII())
+			} else {
+				fmt.Print(g.DOT())
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sdchecker: no application with sequence %d\n", seq)
+		os.Exit(1)
+	case *bugs:
+		if len(rep.Bugs) == 0 {
+			fmt.Println("no allocated-but-unused containers found")
+			return
+		}
+		fmt.Printf("%d allocated-but-unused containers (cf. SPARK-21562):\n", len(rep.Bugs))
+		for _, f := range rep.Bugs {
+			fmt.Printf("  %s\n", f)
+		}
+	case *perApp:
+		fmt.Printf("%-42s %8s %8s %8s %8s %8s %8s %8s\n",
+			"application", "total", "am", "in", "out", "driver", "exec", "job")
+		for _, a := range rep.Apps {
+			d := a.Decomp
+			if d == nil {
+				continue
+			}
+			fmt.Printf("%-42s %8d %8d %8d %8d %8d %8d %8d\n",
+				a.ID, d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.JobRuntime)
+		}
+	default:
+		fmt.Print(rep.Format())
+	}
+}

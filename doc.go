@@ -1,0 +1,11 @@
+// Package repro is a from-scratch reproduction of "Characterizing
+// Scheduling Delay for Low-latency Data Analytics Workloads" (Chen, Pi,
+// Wang, Zhou — IPDPS 2018): the SDchecker log-mining tool, a
+// discrete-event simulation of the paper's entire Spark-on-YARN testbed
+// that emits the log4j logs SDchecker mines, and a harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// The root package holds only the repository-level benchmark suite
+// (bench_test.go); the implementation lives under internal/ — see
+// DESIGN.md for the system inventory and README.md for usage.
+package repro

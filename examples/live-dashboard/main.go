@@ -1,0 +1,80 @@
+// Live dashboard: the streaming variant of SDchecker. A simulated
+// cluster runs in time slices; after each slice, every newly produced log
+// line is fed into a core.Stream (exactly what `sdchecker -follow` does
+// against files on disk) and the current picture is printed — completed
+// applications get their final decomposition, in-flight ones show what is
+// known so far.
+//
+//	go run ./examples/live-dashboard
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+func main() {
+	s := experiments.NewScenario(experiments.DefaultOptions())
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	for i := 0; i < 6; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i+1, 2048, tables))
+		at := sim.Time(int64(i)*4000 + 1000)
+		s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, cfg) })
+	}
+
+	stream := core.NewStream()
+	offsets := map[string]int{} // lines already fed, per file
+
+	feedNew := func() int {
+		fed := 0
+		for _, f := range s.Sink.Files() {
+			lines := s.Sink.Lines(f)
+			for _, l := range lines[offsets[f]:] {
+				if stream.Feed(f, l) {
+					fed++
+				}
+			}
+			offsets[f] = len(lines)
+		}
+		return fed
+	}
+
+	for slice := 1; slice <= 6; slice++ {
+		s.Eng.RunUntil(sim.Time(int64(slice) * 10_000))
+		events := feedNew()
+		fmt.Printf("=== t=%2ds  (+%d scheduling events) ===\n", slice*10, events)
+		for _, a := range stream.Apps() {
+			status := "in-flight"
+			detail := ""
+			if stream.Complete(a.ID) {
+				status = "scheduled"
+				d := a.Decomp
+				detail = fmt.Sprintf("total=%5.1fs am=%4.1fs in=%5.1fs out=%4.1fs",
+					float64(d.Total)/1000, float64(d.AM)/1000, float64(d.In)/1000, float64(d.Out)/1000)
+			} else {
+				switch {
+				case a.Registered != 0:
+					detail = "driver registered, executors starting"
+				case a.Submitted != 0:
+					detail = "submitted, AppMaster starting"
+				default:
+					detail = "accepted"
+				}
+			}
+			fmt.Printf("  %s  %-9s %s\n", a.ID, status, detail)
+		}
+	}
+
+	// Drain and print the final aggregate — identical to an offline pass.
+	s.Run(sim.Time(3600 * sim.Second))
+	feedNew()
+	fmt.Println("\nfinal aggregate from the stream:")
+	rep := stream.Report()
+	fmt.Printf("  %d apps, total p50=%.1fs p95=%.1fs, in/total=%.2f\n",
+		len(rep.Apps), rep.Total.Median()/1000, rep.Total.P95()/1000, rep.InOverTotal.Median())
+}

@@ -1,0 +1,44 @@
+// Quickstart: simulate a handful of Spark-SQL (TPC-H) queries on the
+// 26-node YARN testbed, run SDchecker over the logs the daemons emitted,
+// and print the delay decomposition plus one application's scheduling
+// graph (the paper's Fig 3).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Build the simulated testbed (cluster + HDFS + RM + 25 NMs).
+	s := experiments.NewScenario(experiments.DefaultOptions())
+
+	// 2. Populate TPC-H (as Hive would) and submit ten queries, four
+	//    executors each, two seconds apart.
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	for i := 0; i < 10; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i+1, 2048, tables))
+		at := sim.Time(int64(i) * 2000)
+		s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, cfg) })
+	}
+
+	// 3. Run the discrete-event simulation to completion.
+	end := s.Run(sim.Time(3600 * sim.Second))
+	fmt.Printf("simulation finished at virtual t=%.1fs; %d log lines produced\n\n",
+		float64(end)/1000, s.Sink.TotalLines())
+
+	// 4. SDchecker: mine the logs, decompose the scheduling delay.
+	rep := s.Check()
+	fmt.Print(rep.Format())
+
+	// 5. The scheduling graph of the first application (paper Fig 3).
+	fmt.Println()
+	fmt.Print(core.BuildGraph(rep.Apps[0]).ASCII())
+}

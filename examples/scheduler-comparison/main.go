@@ -1,0 +1,34 @@
+// Scheduler comparison: the paper's Fig 7 trade-off between the
+// centralized Capacity Scheduler and the distributed opportunistic
+// scheduler — the distributed one allocates ~80x faster, but random
+// placement queues tasks for tens of seconds on an overloaded cluster.
+//
+//	go run ./examples/scheduler-comparison
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+func main() {
+	run := func(name string, opportunistic bool) {
+		tr := experiments.DefaultTraceRun(80)
+		tr.Seed = 5
+		if opportunistic {
+			tr.Opts.Yarn.Scheduler = yarn.SchedOpportunistic
+			tr.MutateSpark = func(i int, cfg *spark.Config) { cfg.Opportunistic = true }
+		}
+		_, rep := tr.Run()
+		fmt.Printf("%-12s alloc delay p50=%6.0fms p95=%6.0fms | total p95=%.1fs | NM queueing p95=%6.0fms\n",
+			name, rep.Alloc.Median(), rep.Alloc.P95(), rep.Total.P95()/1000, rep.Queueing.P95())
+	}
+	fmt.Println("80 TPC-H queries, 2GB dataset, 4 executors each:")
+	run("centralized", false)
+	run("distributed", true)
+	fmt.Println("\n(paper Fig 7a: distributed ~80x faster median allocation;")
+	fmt.Println(" under overload its random placement queues tasks at NodeManagers — Fig 7b)")
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mini(workers int) (*sim.Engine, *Cluster) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	cfg.Node.DiskSeekPenalty = 0 // most tests want linear sharing
+	return eng, New(eng, cfg)
+}
+
+func TestDefaultConfigMirrorsPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Workers != 25 {
+		t.Fatalf("workers=%d, want 25 (the paper's working nodes)", cfg.Workers)
+	}
+	if cfg.Node.VCores != 32 || cfg.Node.MemoryMB != 132*1024 {
+		t.Fatalf("node shape %d vcores / %d MB", cfg.Node.VCores, cfg.Node.MemoryMB)
+	}
+}
+
+func TestNodeNaming(t *testing.T) {
+	_, cl := mini(3)
+	if cl.Node(0).Name != "node01" || cl.Node(2).Name != "node03" {
+		t.Fatalf("names %s..%s", cl.Node(0).Name, cl.Node(2).Name)
+	}
+	if cl.ByName("node02") != cl.Node(1) {
+		t.Fatal("ByName lookup broken")
+	}
+	if cl.ByName("nope") != nil {
+		t.Fatal("ByName for unknown should be nil")
+	}
+}
+
+func TestNodeIndexPanics(t *testing.T) {
+	_, cl := mini(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad index did not panic")
+		}
+	}()
+	cl.Node(5)
+}
+
+func TestComputeDuration(t *testing.T) {
+	eng, cl := mini(1)
+	var done sim.Time
+	// 4 vcore-seconds at 2 vcores on an idle node: 2 seconds.
+	cl.Node(0).Compute(4, 2, func(at sim.Time) { done = at })
+	eng.Run()
+	if done != 2000 {
+		t.Fatalf("compute finished at %dms, want 2000", done)
+	}
+}
+
+func TestComputeContention(t *testing.T) {
+	eng, cl := mini(1)
+	n := cl.Node(0)
+	var done sim.Time
+	// Saturate the 32-core node with background demand 64.
+	n.Compute(1e9, 64, func(sim.Time) {})
+	n.Compute(4, 2, func(at sim.Time) { done = at })
+	eng.RunUntil(1_000_000)
+	// Foreground gets 2 * 32/66 of a core-equivalent ≈ 0.97 vcores:
+	// roughly 4.1 s instead of 2 s.
+	if done < 3000 || done > 6000 {
+		t.Fatalf("contended compute finished at %dms, want 3-6 s", done)
+	}
+}
+
+func TestTransferWaitsForSlowestLeg(t *testing.T) {
+	eng, cl := mini(2)
+	var done sim.Time
+	legs := []Leg{
+		{Res: cl.Node(0).Disk, Work: 80, Demand: 800},   // 100 ms
+		{Res: cl.Node(1).Net, Work: 1250, Demand: 1250}, // 1000 ms
+	}
+	StartTransfer(eng, legs, func(at sim.Time) { done = at })
+	eng.Run()
+	if done != 1000 {
+		t.Fatalf("transfer finished at %dms, want 1000 (slowest leg)", done)
+	}
+}
+
+func TestTransferSkipsZeroWorkLegs(t *testing.T) {
+	eng, cl := mini(1)
+	var done bool
+	StartTransfer(eng, []Leg{{Res: cl.Node(0).Disk, Work: 0, Demand: 10}}, func(sim.Time) { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("empty transfer never completed")
+	}
+}
+
+func TestTransferCompletionIsAsync(t *testing.T) {
+	eng, cl := mini(1)
+	sync := true
+	StartTransfer(eng, nil, func(sim.Time) { sync = false })
+	if !sync {
+		t.Fatal("transfer completed synchronously inside StartTransfer")
+	}
+	_ = cl
+	eng.Run()
+	if sync {
+		t.Fatal("transfer never completed")
+	}
+}
+
+func TestTransferCancel(t *testing.T) {
+	eng, cl := mini(1)
+	fired := false
+	tr := StartTransfer(eng, []Leg{{Res: cl.Node(0).Disk, Work: 1e6, Demand: 100}}, func(sim.Time) { fired = true })
+	eng.At(10, func() { tr.Cancel() })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled transfer completed")
+	}
+	if cl.Node(0).Disk.Active() != 0 {
+		t.Fatal("cancelled transfer left the disk busy")
+	}
+	tr.Cancel() // idempotent
+}
+
+func TestSeekDegradationWiredToDisk(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Node.DiskSeekPenalty = 1.0
+	cfg.Node.DiskSeekFloor = 0.5
+	cl := New(eng, cfg)
+	d := cl.Node(0).Disk
+	var t1 sim.Time
+	d.Start(80, 10000, func(at sim.Time) { t1 = at })
+	d.Start(80, 10000, func(sim.Time) {})
+	eng.Run()
+	// Two streams degrade aggregate to 50%: 400 MB/s total, 200 each:
+	// 80 MB -> 400 ms (vs 100 ms two-way-split undegraded would be 200).
+	if t1 < 390 || t1 > 410 {
+		t.Fatalf("degraded read finished at %dms, want ~400", t1)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	_, c1 := mini(2)
+	_, c2 := mini(2)
+	if c1.Node(0).Rng.Uint64() != c2.Node(0).Rng.Uint64() {
+		t.Fatal("same cluster seed produced different node rng streams")
+	}
+}
+
+func TestZeroWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero workers did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{})
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// BugFinding is one suspicious container found by the detector.
+type BugFinding struct {
+	App       ids.AppID
+	Container ids.ContainerID
+	Reason    string
+}
+
+// String formats the finding.
+func (b BugFinding) String() string {
+	return fmt.Sprintf("%s: %s — %s", b.App, b.Container, b.Reason)
+}
+
+// DetectBugs reproduces the discovery of §V-A (reported upstream as
+// SPARK-21562): containers whose RM-side states exist (allocated and
+// acquired) but that never produced any NodeManager or executor activity
+// were requested beyond the application's actual demand and never used.
+//
+// The detection rule is the paper's: "many containers only log states
+// related to NodeManager and ResourceManager but miss states logged by
+// executor" — here tightened to containers with no NM launch and no
+// first-log at all, excluding the AM container.
+func DetectBugs(apps []*AppTrace) []BugFinding {
+	var out []BugFinding
+	for _, a := range apps {
+		for _, c := range a.Containers {
+			if c.IsAM() {
+				continue
+			}
+			if c.Acquired == 0 {
+				continue // never handed to the application
+			}
+			if c.Localizing != 0 || c.Running != 0 || c.FirstLog != 0 {
+				continue // the container did real work
+			}
+			reason := "allocated and acquired but never used (no NM or executor log states)"
+			if c.Released != 0 {
+				reason += "; released at application end"
+			}
+			out = append(out, BugFinding{App: a.ID, Container: c.ID, Reason: reason})
+		}
+	}
+	return out
+}

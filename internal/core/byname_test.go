@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestAppSummaryMined(t *testing.T) {
+	cs := buildSparkCorpus()
+	app := "application_1499000000000_0001"
+	cs.add("hadoop/yarn-resourcemanager.log",
+		line(85, "x.RMAppImpl", "Application "+app+" submitted: name=tpch-q5 type=SPARK queue=default"))
+	rep := analyze(t, cs)
+	a := rep.Apps[0]
+	if a.Name != "tpch-q5" || a.AppType != "SPARK" || a.Queue != "default" {
+		t.Fatalf("summary not mined: %q %q %q", a.Name, a.AppType, a.Queue)
+	}
+	byName := rep.ByName()
+	if s := byName["tpch-q5"]; s == nil || s.Len() != 1 {
+		t.Fatalf("ByName grouping: %v", byName)
+	}
+	byQueue := rep.ByQueue()
+	if s := byQueue["default"]; s == nil || s.Len() != 1 {
+		t.Fatalf("ByQueue grouping: %v", byQueue)
+	}
+}
+
+func TestGroupTotalsSkipsUnnamed(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus()) // no summary line
+	if got := rep.ByName(); len(got) != 0 {
+		t.Fatalf("unnamed apps grouped: %v", got)
+	}
+}
+
+func TestMergeReports(t *testing.T) {
+	a := analyze(t, buildSparkCorpus())
+	b := analyze(t, buildSparkCorpus())
+	m := Merge(a, b, nil)
+	if len(m.Apps) != 2 {
+		t.Fatalf("merged apps=%d, want 2", len(m.Apps))
+	}
+	if m.Total.Len() != 2 {
+		t.Fatalf("merged total sample n=%d", m.Total.Len())
+	}
+	if m.Total.Median() != a.Total.Median() {
+		t.Fatalf("merged median %v != per-run %v", m.Total.Median(), a.Total.Median())
+	}
+	if m.FilesParsed != a.FilesParsed+b.FilesParsed {
+		t.Fatal("file accounting lost in merge")
+	}
+}

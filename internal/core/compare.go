@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Comparison is an A/B view of two reports — the tool the ablation
+// benches use to quantify a configuration change (JVM reuse on/off,
+// dedicated localization disk, heartbeat interval, ...).
+type Comparison struct {
+	NameA, NameB string
+	Rows         []ComparisonRow
+}
+
+// ComparisonRow compares one delay component.
+type ComparisonRow struct {
+	Component  string
+	P50A, P50B float64
+	P95A, P95B float64
+	// SpeedupP50/P95 = A/B: >1 means B is faster.
+	SpeedupP50, SpeedupP95 float64
+}
+
+// Compare builds the component-by-component comparison of two reports.
+func Compare(nameA string, a *Report, nameB string, b *Report) *Comparison {
+	cmp := &Comparison{NameA: nameA, NameB: nameB}
+	pairs := []struct {
+		name string
+		sa   *stats.Sample
+		sb   *stats.Sample
+	}{
+		{"total", a.Total, b.Total},
+		{"am", a.AM, b.AM},
+		{"in", a.In, b.In},
+		{"out", a.Out, b.Out},
+		{"driver", a.Driver, b.Driver},
+		{"executor", a.Executor, b.Executor},
+		{"alloc", a.Alloc, b.Alloc},
+		{"acquisition", a.Acquisition, b.Acquisition},
+		{"localization", a.Localization, b.Localization},
+		{"launching", a.Launching, b.Launching},
+		{"queueing", a.Queueing, b.Queueing},
+		{"job", a.Job, b.Job},
+	}
+	div := func(x, y float64) float64 {
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	}
+	for _, p := range pairs {
+		if p.sa.Len() == 0 && p.sb.Len() == 0 {
+			continue
+		}
+		row := ComparisonRow{
+			Component: p.name,
+			P50A:      p.sa.Median(), P50B: p.sb.Median(),
+			P95A: p.sa.P95(), P95B: p.sb.P95(),
+		}
+		row.SpeedupP50 = div(row.P50A, row.P50B)
+		row.SpeedupP95 = div(row.P95A, row.P95B)
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	return cmp
+}
+
+// Row returns the comparison row for a component, or nil.
+func (c *Comparison) Row(component string) *ComparisonRow {
+	for i := range c.Rows {
+		if c.Rows[i].Component == component {
+			return &c.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Format renders the comparison as an aligned table.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comparison: A=%s vs B=%s (speedup = A/B, >1 means B faster)\n", c.NameA, c.NameB)
+	fmt.Fprintf(&b, "  %-14s %10s %10s %8s %10s %10s %8s\n",
+		"component", "A p50", "B p50", "x p50", "A p95", "B p95", "x p95")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  %-14s %10.0f %10.0f %8.2f %10.0f %10.0f %8.2f\n",
+			r.Component, r.P50A, r.P50B, r.SpeedupP50, r.P95A, r.P95B, r.SpeedupP95)
+	}
+	return b.String()
+}
+
+// CSV renders the report's per-application decompositions as CSV for
+// external plotting — one row per application, milliseconds.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString("app,submitted_ms,total,am,in,out,driver,executor,alloc,cf,cl,job\n")
+	for _, a := range r.Apps {
+		d := a.Decomp
+		if d == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			a.ID, a.Submitted, d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.Alloc, d.Cf, d.Cl, d.JobRuntime)
+	}
+	return b.String()
+}
+
+// ComponentCSV renders one per-container component (acquisition,
+// localization, launching, queueing) as CSV rows of
+// app,container,instance,ms.
+func (r *Report) ComponentCSV(component string) (string, error) {
+	var b strings.Builder
+	b.WriteString("app,container,instance,ms\n")
+	for _, a := range r.Apps {
+		d := a.Decomp
+		if d == nil {
+			continue
+		}
+		var rows []ContainerDelay
+		switch component {
+		case "acquisition":
+			rows = d.Acquisitions
+		case "localization":
+			rows = d.Localizations
+		case "launching":
+			rows = d.Launchings
+		case "queueing":
+			rows = d.Queueings
+		default:
+			return "", fmt.Errorf("core: unknown component %q", component)
+		}
+		for _, cd := range rows {
+			fmt.Fprintf(&b, "%s,%s,%s,%d\n", a.ID, cd.Container, cd.Instance, cd.MS)
+		}
+	}
+	return b.String(), nil
+}
+
+// CDFCSV renders the CDFs of the headline delays (Fig 4a style) as CSV:
+// series,value_ms,fraction.
+func (r *Report) CDFCSV(points int) string {
+	var b strings.Builder
+	b.WriteString("series,value_ms,fraction\n")
+	series := []struct {
+		name string
+		s    *stats.Sample
+	}{
+		{"job", r.Job}, {"total", r.Total}, {"am", r.AM}, {"in", r.In}, {"out", r.Out},
+	}
+	for _, sr := range series {
+		for _, p := range sr.s.CDF(points) {
+			fmt.Fprintf(&b, "%s,%.0f,%.4f\n", sr.name, p.Value, p.Fraction)
+		}
+	}
+	return b.String()
+}
+
+// InstanceLaunchCSV renders Fig 9a's data: instance,ms rows sorted by
+// instance label.
+func (r *Report) InstanceLaunchCSV() string {
+	var b strings.Builder
+	b.WriteString("instance,ms\n")
+	insts := make([]string, 0, len(r.LaunchingByInstance))
+	for k := range r.LaunchingByInstance {
+		insts = append(insts, string(k))
+	}
+	sort.Strings(insts)
+	for _, k := range insts {
+		for _, v := range r.LaunchingByInstance[InstanceType(k)].Values() {
+			fmt.Fprintf(&b, "%s,%.0f\n", k, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareSpeedups(t *testing.T) {
+	a := analyze(t, buildSparkCorpus())
+	// Build a "faster" variant by shifting the first task earlier.
+	cs := buildSparkCorpus()
+	app := "application_1499000000000_0001"
+	e1 := "container_1499000000000_0001_01_000002"
+	f := "userlogs/" + app + "/" + e1 + "/stderr"
+	// Replace the executor log with an earlier first task.
+	cs[f] = []string{
+		line(7100, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"),
+		line(9000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"),
+	}
+	b := analyze(t, cs)
+
+	cmp := Compare("slow", a, "fast", b)
+	row := cmp.Row("total")
+	if row == nil {
+		t.Fatal("no total row")
+	}
+	if row.SpeedupP50 <= 1 {
+		t.Fatalf("expected B faster on total, speedup=%v", row.SpeedupP50)
+	}
+	if cmp.Row("nope") != nil {
+		t.Fatal("phantom row")
+	}
+	out := cmp.Format()
+	if !strings.Contains(out, "slow") || !strings.Contains(out, "total") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 { // header + one app
+		t.Fatalf("CSV rows=%d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "app,submitted_ms,total") {
+		t.Fatalf("CSV header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "application_1499000000000_0001") {
+		t.Fatalf("CSV body: %q", lines[1])
+	}
+
+	comp, err := rep.ComponentCSV("localization")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(comp), "\n")); got != 4 { // header + 3 containers
+		t.Fatalf("localization CSV rows=%d", got)
+	}
+	if _, err := rep.ComponentCSV("bogus"); err == nil {
+		t.Fatal("bogus component accepted")
+	}
+
+	cdf := rep.CDFCSV(10)
+	if !strings.Contains(cdf, "series,value_ms,fraction") || !strings.Contains(cdf, "total,") {
+		t.Fatalf("CDF CSV incomplete:\n%s", cdf)
+	}
+
+	inst := rep.InstanceLaunchCSV()
+	if !strings.Contains(inst, "spe,") || !strings.Contains(inst, "spm,") {
+		t.Fatalf("instance CSV incomplete:\n%s", inst)
+	}
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/log4j"
+)
+
+// corpus builds a synthetic but fully consistent log tree for one Spark
+// application with two executors, with every delay chosen by hand so the
+// decomposition can be asserted exactly. All times are offsets (ms) from
+// base.
+const base = int64(1499000000000)
+
+func line(off int64, class, msg string) string {
+	return log4j.Line{TimeMS: base + off, Level: log4j.Info, Class: class, Message: msg}.Format()
+}
+
+type corpus map[string][]string
+
+func (c corpus) add(file, l string) { c[file] = append(c[file], l) }
+
+func buildSparkCorpus() corpus {
+	cs := corpus{}
+	app := "application_1499000000000_0001"
+	am := "container_1499000000000_0001_01_000001"
+	e1 := "container_1499000000000_0001_01_000002"
+	e2 := "container_1499000000000_0001_01_000003"
+
+	rm := "hadoop/yarn-resourcemanager.log"
+	cs.add(rm, line(90, "x.RMAppImpl", app+" State change from NEW to NEW_SAVING on event = START"))
+	cs.add(rm, line(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
+	cs.add(rm, line(110, "x.RMAppImpl", app+" State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"))
+	cs.add(rm, line(200, "x.RMContainerImpl", am+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(260, "x.RMContainerImpl", am+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(5100, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"))
+	// Executor containers allocated at 5400/5600, acquired at 5800.
+	cs.add(rm, line(5400, "x.RMContainerImpl", e1+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(5600, "x.RMContainerImpl", e2+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(5800, "x.RMContainerImpl", e1+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(5800, "x.RMContainerImpl", e2+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(30000, "x.RMAppImpl", app+" State change from RUNNING to FINAL_SAVING on event = ATTEMPT_UNREGISTERED"))
+	cs.add(rm, line(30100, "x.RMAppImpl", app+" State change from FINAL_SAVING to FINISHED on event = APP_UPDATE_SAVED"))
+
+	nm := "hadoop/yarn-nodemanager-node01.log"
+	cs.add(nm, line(300, "y.ContainerImpl", "Container "+am+" transitioned from NEW to LOCALIZING"))
+	cs.add(nm, line(800, "y.ContainerImpl", "Container "+am+" transitioned from LOCALIZING to SCHEDULED"))
+	cs.add(nm, line(805, "y.ContainerLaunch", "Invoking launch script for container "+am))
+	cs.add(nm, line(1500, "y.ContainerImpl", "Container "+am+" transitioned from SCHEDULED to RUNNING"))
+	for i, e := range []string{e1, e2} {
+		off := int64(i) * 100
+		cs.add(nm, line(5900+off, "y.ContainerImpl", "Container "+e+" transitioned from NEW to LOCALIZING"))
+		cs.add(nm, line(6400+off, "y.ContainerImpl", "Container "+e+" transitioned from LOCALIZING to SCHEDULED"))
+		cs.add(nm, line(6420+off, "y.ContainerLaunch", "Invoking launch script for container "+e))
+		cs.add(nm, line(7100+off, "y.ContainerImpl", "Container "+e+" transitioned from SCHEDULED to RUNNING"))
+	}
+
+	amLog := "userlogs/" + app + "/" + am + "/stderr"
+	cs.add(amLog, line(1500, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources"))
+	cs.add(amLog, line(5100, "org.apache.spark.deploy.yarn.ApplicationMaster", "Registered with ResourceManager as appattempt_1499000000000_0001_000001"))
+	cs.add(amLog, line(5100, "org.apache.spark.deploy.yarn.YarnAllocator", "SDCHECKER START_ALLO Requesting 2 executor containers"))
+	cs.add(amLog, line(5900, "org.apache.spark.deploy.yarn.YarnAllocator", "SDCHECKER END_ALLO All 2 requested containers allocated"))
+
+	for i, e := range []string{e1, e2} {
+		off := int64(i) * 100
+		f := "userlogs/" + app + "/" + e + "/stderr"
+		cs.add(f, line(7100+off, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon with process name: 2000@node01"))
+		cs.add(f, line(7200+off, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Successfully registered with driver"))
+		cs.add(f, line(12000+off, "org.apache.spark.executor.CoarseGrainedExecutorBackend", fmt.Sprintf("Got assigned task %d", i)))
+		cs.add(f, line(12500+off, "org.apache.spark.executor.CoarseGrainedExecutorBackend", fmt.Sprintf("Got assigned task %d", i+2)))
+	}
+	return cs
+}
+
+func analyze(t *testing.T, cs corpus) *Report {
+	t.Helper()
+	c := New()
+	for f, lines := range cs {
+		if err := c.AddReader(f, strings.NewReader(strings.Join(lines, "\n"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c.Analyze()
+}
+
+func TestDecompositionExactValues(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	if len(rep.Apps) != 1 {
+		t.Fatalf("apps=%d", len(rep.Apps))
+	}
+	d := rep.Apps[0].Decomp
+	// Submitted at +100, first task at +12000.
+	checks := map[string][2]int64{
+		"total":    {d.Total, 11900},
+		"am":       {d.AM, 5000},          // 100 -> 5100
+		"driver":   {d.Driver, 3600},      // 1500 -> 5100
+		"executor": {d.Executor, 4900},    // 7100 -> 12000
+		"in":       {d.In, 8500},          // driver + executor
+		"out":      {d.Out, 3400},         // total - in
+		"alloc":    {d.Alloc, 800},        // 5100 -> 5900
+		"job":      {d.JobRuntime, 30000}, // 100 -> 30100
+		"Cf":       {d.Cf, 7000},          // first executor RUNNING 7100
+		"Cl":       {d.Cl, 7100},          // last executor RUNNING 7200
+		"Cl-Cf":    {d.ClMinusCf, 100},
+	}
+	for name, pair := range checks {
+		if pair[0] != pair[1] {
+			t.Errorf("%s = %d, want %d", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestPerContainerComponents(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	d := rep.Apps[0].Decomp
+	if len(d.Acquisitions) != 3 || len(d.Localizations) != 3 || len(d.Launchings) != 3 {
+		t.Fatalf("per-container counts acq=%d local=%d launch=%d, want 3 each",
+			len(d.Acquisitions), len(d.Localizations), len(d.Launchings))
+	}
+	// AM: acquired 260-200=60; localization 800-300=500; launching 1500-800=700.
+	if d.Acquisitions[0].MS != 60 || d.Localizations[0].MS != 500 || d.Launchings[0].MS != 700 {
+		t.Fatalf("AM components: %+v %+v %+v", d.Acquisitions[0], d.Localizations[0], d.Launchings[0])
+	}
+	// Executor e1: acquisition 5800-5400=400.
+	if d.Acquisitions[1].MS != 400 {
+		t.Fatalf("e1 acquisition %d, want 400", d.Acquisitions[1].MS)
+	}
+	// Queueing: launch invoked 5ms (AM) / 20ms (executors) after SCHEDULED.
+	if len(d.Queueings) != 3 || d.Queueings[0].MS != 5 || d.Queueings[1].MS != 20 {
+		t.Fatalf("queueings: %+v", d.Queueings)
+	}
+}
+
+func TestInstanceClassification(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	a := rep.Apps[0]
+	if am := a.AMContainer(); am == nil || am.Instance != InstSparkDriver {
+		t.Fatalf("AM instance: %+v", a.AMContainer())
+	}
+	execs := a.Executors()
+	if len(execs) != 2 {
+		t.Fatalf("executors=%d", len(execs))
+	}
+	for _, e := range execs {
+		if e.Instance != InstSparkExecutor {
+			t.Fatalf("executor classified as %q", e.Instance)
+		}
+	}
+}
+
+func TestFirstTaskUsesFirstOccurrence(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	e1 := rep.Apps[0].Containers[1]
+	if e1.FirstTask != base+12000 {
+		t.Fatalf("first task at %d, want %d (not the second 'Got assigned task')", e1.FirstTask, base+12000)
+	}
+}
+
+func TestLaunchingByInstanceAggregation(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	spm := rep.LaunchingByInstance[InstSparkDriver]
+	spe := rep.LaunchingByInstance[InstSparkExecutor]
+	if spm == nil || spe == nil {
+		t.Fatal("per-instance launching samples missing")
+	}
+	if spm.Len() != 1 || spe.Len() != 2 {
+		t.Fatalf("spm=%d spe=%d samples", spm.Len(), spe.Len())
+	}
+	if spm.Median() != 700 {
+		t.Fatalf("spm launching %v, want 700", spm.Median())
+	}
+}
+
+func TestBugDetectorFindsUnusedContainer(t *testing.T) {
+	cs := buildSparkCorpus()
+	app := "application_1499000000000_0001"
+	ghost := "container_1499000000000_0001_01_000004"
+	rm := "hadoop/yarn-resourcemanager.log"
+	cs.add(rm, line(5650, "x.RMContainerImpl", ghost+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(5800, "x.RMContainerImpl", ghost+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(29000, "x.RMContainerImpl", ghost+" Container Transitioned from ACQUIRED to RELEASED"))
+	rep := analyze(t, cs)
+	if len(rep.Bugs) != 1 {
+		t.Fatalf("bugs=%d, want 1", len(rep.Bugs))
+	}
+	if rep.Bugs[0].Container.String() != ghost || rep.Bugs[0].App.String() != app {
+		t.Fatalf("wrong finding: %+v", rep.Bugs[0])
+	}
+	// The used containers must not be flagged.
+	for _, b := range rep.Bugs {
+		if b.Container.Num <= 3 {
+			t.Fatalf("live container flagged: %+v", b)
+		}
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	g := BuildGraph(rep.Apps[0])
+	if len(g.Nodes) == 0 || len(g.Edges) == 0 {
+		t.Fatal("empty graph")
+	}
+	// Every edge must be non-negative in time.
+	for _, e := range g.Edges {
+		if e.DelayMS < 0 {
+			t.Fatalf("negative edge: %+v", e)
+		}
+	}
+	// Table I message numbers present: 1..14 except none missing.
+	seen := map[int]bool{}
+	for _, n := range g.Nodes {
+		seen[n.Msg] = true
+	}
+	for msg := 1; msg <= 14; msg++ {
+		if !seen[msg] {
+			t.Errorf("graph missing Table I message %d", msg)
+		}
+	}
+	dot := g.DOT()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "shape=box") || !strings.Contains(dot, "shape=ellipse") {
+		t.Fatal("DOT output missing Fig 3 shapes")
+	}
+	ascii := g.ASCII()
+	if !strings.Contains(ascii, "SUBMITTED") || !strings.Contains(ascii, "FIRST_TASK") {
+		t.Fatalf("ASCII graph incomplete:\n%s", ascii)
+	}
+}
+
+func TestReportFormatMentionsComponents(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	out := rep.Format()
+	for _, want := range []string{"total", "driver", "executor", "localization", "launching"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFilterDropsApps(t *testing.T) {
+	cs := buildSparkCorpus()
+	// Second app with only app-level events.
+	rm := "hadoop/yarn-resourcemanager.log"
+	app2 := "application_1499000000000_0002"
+	cs.add(rm, line(400, "x.RMAppImpl", app2+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
+	rep := analyze(t, cs)
+	if len(rep.Apps) != 2 {
+		t.Fatalf("apps=%d", len(rep.Apps))
+	}
+	f := rep.Filter(func(a *AppTrace) bool { return a.ID.Seq == 1 })
+	if len(f.Apps) != 1 || f.Apps[0].ID.Seq != 1 {
+		t.Fatalf("filter kept %d apps", len(f.Apps))
+	}
+}
+
+func TestAllocationThroughput(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	// 3 allocations between +200 and +5600: 3 / 5.4s.
+	got := rep.AllocationThroughput()
+	if got < 0.5 || got > 0.6 {
+		t.Fatalf("throughput %.3f, want ~0.556", got)
+	}
+}
+
+func TestUnparseableLinesSkipped(t *testing.T) {
+	cs := buildSparkCorpus()
+	cs.add("hadoop/yarn-resourcemanager.log", "java.lang.NullPointerException")
+	cs.add("hadoop/yarn-resourcemanager.log", "\tat Foo.bar(Foo.java:1)")
+	rep := analyze(t, cs)
+	if len(rep.Apps) != 1 {
+		t.Fatal("stack trace corrupted parsing")
+	}
+}
+
+func TestEmptyContainerLogWarns(t *testing.T) {
+	c := New()
+	err := c.AddReader("userlogs/application_1_0001/container_1_0001_01_000002/stderr", strings.NewReader("not a log line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Analyze()
+	if len(rep.Warnings) == 0 {
+		t.Fatal("expected a warning for a container log with no parseable lines")
+	}
+}
+
+func TestMissingComponentsAreMarked(t *testing.T) {
+	cs := corpus{}
+	app := "application_1499000000000_0003"
+	cs.add("hadoop/yarn-resourcemanager.log",
+		line(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
+	rep := analyze(t, cs)
+	d := rep.Apps[0].Decomp
+	if d.Total != Missing || d.AM != Missing || d.In != Missing {
+		t.Fatalf("incomplete app not marked missing: %+v", d)
+	}
+}
+
+func TestKindTableNumbers(t *testing.T) {
+	if AppSubmitted.TableINumber() != 1 || FirstTask.TableINumber() != 14 {
+		t.Fatal("Table I numbering broken")
+	}
+	if LaunchInvoked.TableINumber() != 0 {
+		t.Fatal("extension kinds must have no Table I number")
+	}
+	if !strings.Contains(AppSubmitted.String(), "SUBMITTED") {
+		t.Fatal("kind name broken")
+	}
+}
+
+func TestAMRetryClassifiedByLogContent(t *testing.T) {
+	// The AM's first container (Num 1) fails at launch; the RM retries in
+	// container 4, which hosts the actual driver. The decomposition must
+	// follow the driver's logs, not YARN's number-1 convention.
+	cs := corpus{}
+	app := "application_1499000000000_0001"
+	failed := "container_1499000000000_0001_01_000001"
+	retry := "container_1499000000000_0001_01_000002"
+	exec := "container_1499000000000_0001_01_000003"
+
+	rm := "hadoop/yarn-resourcemanager.log"
+	cs.add(rm, line(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
+	cs.add(rm, line(200, "x.RMContainerImpl", failed+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(260, "x.RMContainerImpl", failed+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(900, "x.RMContainerImpl", retry+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(950, "x.RMContainerImpl", retry+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	cs.add(rm, line(5000, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"))
+
+	nm := "hadoop/yarn-nodemanager-node01.log"
+	cs.add(nm, line(300, "y.ContainerImpl", "Container "+failed+" transitioned from NEW to LOCALIZING"))
+	cs.add(nm, line(700, "y.ContainerImpl", "Container "+failed+" transitioned from LOCALIZING to SCHEDULED"))
+	cs.add(nm, line(800, "y.ContainerImpl", "Container "+failed+" transitioned from SCHEDULED to EXITED_WITH_FAILURE"))
+	cs.add(nm, line(1000, "y.ContainerImpl", "Container "+retry+" transitioned from NEW to LOCALIZING"))
+	cs.add(nm, line(1400, "y.ContainerImpl", "Container "+retry+" transitioned from LOCALIZING to SCHEDULED"))
+	cs.add(nm, line(2000, "y.ContainerImpl", "Container "+retry+" transitioned from SCHEDULED to RUNNING"))
+
+	retryLog := "userlogs/" + app + "/" + retry + "/stderr"
+	cs.add(retryLog, line(2000, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources"))
+	cs.add(retryLog, line(5000, "org.apache.spark.deploy.yarn.ApplicationMaster", "Registered with ResourceManager as x"))
+
+	execLog := "userlogs/" + app + "/" + exec + "/stderr"
+	cs.add(execLog, line(7000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"))
+	cs.add(execLog, line(9000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"))
+
+	rep := analyze(t, cs)
+	a := rep.Apps[0]
+	am := a.AMContainer()
+	if am == nil || am.ID.Num != 2 {
+		t.Fatalf("AM container misidentified: %+v", am)
+	}
+	d := a.Decomp
+	if d.Driver != 3000 {
+		t.Fatalf("driver delay %d, want 3000 (from the retry container's logs)", d.Driver)
+	}
+	// The retry must not appear among the workers (would corrupt Cf/Cl).
+	for _, w := range a.WorkerContainers() {
+		if w.ID.Num == 2 {
+			t.Fatal("AM retry counted as a worker container")
+		}
+	}
+	if d.Cf != 6900 { // executor FIRST... RUNNING is absent; Cf uses RUNNING only
+		// executor has no RUNNING line in this corpus; Cf should be Missing
+		if d.Cf != Missing {
+			t.Fatalf("Cf = %d, want Missing (no worker RUNNING logged)", d.Cf)
+		}
+	}
+}

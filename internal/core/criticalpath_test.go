@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCriticalPathCoversTotal(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	a := rep.Apps[0]
+	segs := CriticalPath(a)
+	if len(segs) == 0 {
+		t.Fatal("no critical path")
+	}
+	// Contiguous from submission to first task.
+	if segs[0].FromMS != a.Submitted {
+		t.Fatalf("path starts at %d, want submission %d", segs[0].FromMS, a.Submitted)
+	}
+	if segs[len(segs)-1].ToMS != a.Submitted+a.Decomp.Total {
+		t.Fatalf("path ends at %d, want first task", segs[len(segs)-1].ToMS)
+	}
+	var sum int64
+	for i, s := range segs {
+		if s.Duration() <= 0 {
+			t.Fatalf("segment %d non-positive: %+v", i, s)
+		}
+		if i > 0 && s.FromMS != segs[i-1].ToMS {
+			t.Fatalf("gap between segments %d and %d", i-1, i)
+		}
+		sum += s.Duration()
+	}
+	if sum != a.Decomp.Total {
+		t.Fatalf("segments sum to %d, total is %d", sum, a.Decomp.Total)
+	}
+}
+
+func TestCriticalPathLabels(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	segs := CriticalPath(rep.Apps[0])
+	want := map[string]int64{
+		"am-localize":   540,  // ACQUIRED 260 -> SCHEDULED 800 (includes the NM handoff)
+		"am-launch":     700,  // 800 -> 1500
+		"driver-init":   3600, // 1500 -> 5100
+		"executor-wait": 4900, // 7100 -> 12000
+	}
+	got := map[string]int64{}
+	for _, s := range segs {
+		got[s.Label] = s.Duration()
+	}
+	for label, ms := range want {
+		if got[label] != ms {
+			t.Errorf("%s = %dms, want %d (segments: %+v)", label, got[label], ms, segs)
+		}
+	}
+	out := FormatCriticalPath(segs)
+	if !strings.Contains(out, "driver-init") || !strings.Contains(out, "%") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}
+
+func TestCriticalPathIncomplete(t *testing.T) {
+	cs := corpus{}
+	cs.add("hadoop/yarn-resourcemanager.log",
+		line(100, "x.RMAppImpl", "application_1499000000000_0001 State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
+	rep := analyze(t, cs)
+	if got := CriticalPath(rep.Apps[0]); got != nil {
+		t.Fatalf("incomplete trace produced a path: %v", got)
+	}
+	if !strings.Contains(FormatCriticalPath(nil), "unavailable") {
+		t.Fatal("nil path formatting")
+	}
+}
+
+func TestCriticalPathShares(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	shares := rep.CriticalPathShares()
+	if shares == nil {
+		t.Fatal("no shares")
+	}
+	var sum float64
+	for _, v := range shares {
+		if v < 0 {
+			t.Fatal("negative share")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %.4f, want 1", sum)
+	}
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/log4j"
+)
+
+// ExampleChecker mines a minimal log set and prints one decomposition —
+// SDchecker's whole pipeline in a dozen lines.
+func ExampleChecker() {
+	l := func(off int64, class, msg string) string {
+		return log4j.Line{TimeMS: 1499000000000 + off, Level: log4j.Info, Class: class, Message: msg}.Format()
+	}
+	app := "application_1499000000000_0001"
+	am := "container_1499000000000_0001_01_000001"
+	ex := "container_1499000000000_0001_01_000002"
+
+	rmLog := strings.Join([]string{
+		l(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+		l(5000, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+	}, "\n")
+	driverLog := strings.Join([]string{
+		l(1500, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources"),
+		l(5000, "org.apache.spark.deploy.yarn.ApplicationMaster", "Registered with ResourceManager as a"),
+	}, "\n")
+	execLog := strings.Join([]string{
+		l(7000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"),
+		l(12000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"),
+	}, "\n")
+
+	c := core.New()
+	c.AddReader("hadoop/yarn-resourcemanager.log", strings.NewReader(rmLog))
+	c.AddReader("userlogs/"+app+"/"+am+"/stderr", strings.NewReader(driverLog))
+	c.AddReader("userlogs/"+app+"/"+ex+"/stderr", strings.NewReader(execLog))
+
+	d := c.Analyze().Apps[0].Decomp
+	fmt.Printf("total=%dms am=%dms driver=%dms executor=%dms in=%dms out=%dms\n",
+		d.Total, d.AM, d.Driver, d.Executor, d.In, d.Out)
+	// Output: total=11900ms am=4900ms driver=3500ms executor=5000ms in=8500ms out=3400ms
+}
+
+// ExampleKind_TableINumber shows the Table I mapping.
+func ExampleKind_TableINumber() {
+	fmt.Println(core.AppSubmitted.TableINumber(), core.ContLocalizing.TableINumber(), core.FirstTask.TableINumber())
+	// Output: 1 6 14
+}

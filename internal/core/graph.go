@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph is the scheduling graph of one application (paper Fig 3): the
+// time-ordered state chain of the application, its AppMaster container,
+// and each worker container, with edges weighted by elapsed time. Nodes
+// carry the Table I message number where one applies; YarnSide marks the
+// rectangles of Fig 3 (YARN-caused) vs. the circles (Spark-caused).
+type Graph struct {
+	App   *AppTrace
+	Nodes []GraphNode
+	Edges []GraphEdge
+}
+
+// GraphNode is one observed state.
+type GraphNode struct {
+	Label    string
+	TimeMS   int64
+	Msg      int // Table I message number, 0 for extensions
+	YarnSide bool
+	Lane     string // "app", "am", or the worker container ID
+}
+
+// GraphEdge connects consecutive states; DelayMS is the elapsed time.
+type GraphEdge struct {
+	From, To int
+	DelayMS  int64
+}
+
+// BuildGraph assembles the scheduling graph for one application.
+func BuildGraph(a *AppTrace) *Graph {
+	g := &Graph{App: a}
+
+	add := func(lane, label string, t int64, msg int, yarn bool) int {
+		if t == 0 {
+			return -1
+		}
+		g.Nodes = append(g.Nodes, GraphNode{Label: label, TimeMS: t, Msg: msg, YarnSide: yarn, Lane: lane})
+		return len(g.Nodes) - 1
+	}
+	link := func(from, to int) {
+		if from < 0 || to < 0 {
+			return
+		}
+		g.Edges = append(g.Edges, GraphEdge{From: from, To: to, DelayMS: g.Nodes[to].TimeMS - g.Nodes[from].TimeMS})
+	}
+	chain := func(idx ...int) int {
+		prev := -1
+		for _, i := range idx {
+			if i < 0 {
+				continue
+			}
+			if prev >= 0 {
+				link(prev, i)
+			}
+			prev = i
+		}
+		return prev
+	}
+
+	// Application lane (RMAppImpl).
+	sub := add("app", "SUBMITTED", a.Submitted, 1, true)
+	acc := add("app", "ACCEPTED", a.Accepted, 2, true)
+	reg := add("app", "APT_REGISTERED", a.Registered, 3, true)
+	chain(sub, acc, reg)
+
+	containerChain := func(lane string, c *ContainerTrace) (head, tail int) {
+		al := add(lane, "ALLOCATED", c.Allocated, 4, true)
+		aq := add(lane, "ACQUIRED", c.Acquired, 5, true)
+		lo := add(lane, "LOCALIZING", c.Localizing, 6, true)
+		sc := add(lane, "SCHEDULED", c.Scheduled, 7, true)
+		ru := add(lane, "RUNNING", c.Running, 8, true)
+		tail = chain(al, aq, lo, sc, ru)
+		head = al
+		if head < 0 {
+			head = aq
+		}
+		return head, tail
+	}
+
+	// AppMaster container lane.
+	if am := a.AMContainer(); am != nil {
+		head, tail := containerChain("am", am)
+		link(acc, head)
+		fl := add("am", "FIRST_LOG", am.FirstLog, 9, false)
+		dr := add("am", "REGISTER", a.DriverRegister, 10, false)
+		sa := add("am", "START_ALLO", a.StartAllo, 11, false)
+		ea := add("am", "END_ALLO", a.EndAllo, 12, false)
+		chain(tail, fl, dr, sa, ea)
+		if dr >= 0 && reg >= 0 {
+			link(dr, reg)
+		}
+	}
+
+	// Worker container lanes.
+	var saIdx = -1
+	for i, n := range g.Nodes {
+		if n.Msg == 11 {
+			saIdx = i
+		}
+	}
+	for _, c := range a.WorkerContainers() {
+		lane := c.ID.String()
+		head, tail := containerChain(lane, c)
+		if saIdx >= 0 {
+			link(saIdx, head)
+		}
+		fl := add(lane, "FIRST_LOG", c.FirstLog, 13, false)
+		ft := add(lane, "FIRST_TASK", c.FirstTask, 14, false)
+		chain(tail, fl, ft)
+	}
+	return g
+}
+
+// DOT renders the graph in Graphviz format: rectangles for YARN-caused
+// states, circles for Spark-caused states, matching Fig 3's legend.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.App.ID.String())
+	for i, n := range g.Nodes {
+		shape := "ellipse"
+		if n.YarnSide {
+			shape = "box"
+		}
+		label := n.Label
+		if n.Msg > 0 {
+			label = fmt.Sprintf("%d. %s", n.Msg, n.Label)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", i, fmt.Sprintf("%s\\n%s", label, n.Lane), shape)
+	}
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dms\"];\n", e.From, e.To, e.DelayMS)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ASCII renders the graph as per-lane timelines, relative to submission.
+func (g *Graph) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduling graph for %s\n", g.App.ID)
+	base := g.App.Submitted
+	lanes := []string{}
+	byLane := map[string][]GraphNode{}
+	for _, n := range g.Nodes {
+		if _, ok := byLane[n.Lane]; !ok {
+			lanes = append(lanes, n.Lane)
+		}
+		byLane[n.Lane] = append(byLane[n.Lane], n)
+	}
+	for _, lane := range lanes {
+		fmt.Fprintf(&b, "  %-42s", lane)
+		for i, n := range byLane[lane] {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			rel := n.TimeMS - base
+			mark := "(" // Spark-side circle
+			end := ")"
+			if n.YarnSide {
+				mark, end = "[", "]"
+			}
+			fmt.Fprintf(&b, "%s%s +%dms%s", mark, n.Label, rel, end)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

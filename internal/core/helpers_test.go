@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/log4j"
+)
+
+// corpusLines builds a minimal consistent one-executor application log
+// set with the given absolute-offset milestones (offsets from epoch base
+// 1499000000000).
+func corpusLines(sub, amFirstLog, reg, exFirstLog, task, fin int64) map[string]io.Reader {
+	const base = int64(1499000000000)
+	l := func(off int64, class, msg string) string {
+		return log4j.Line{TimeMS: base + off, Level: log4j.Info, Class: class, Message: msg}.Format()
+	}
+	app := "application_1499000000000_0001"
+	am := "container_1499000000000_0001_01_000001"
+	ex := "container_1499000000000_0001_01_000002"
+
+	rmLines := []string{
+		l(sub, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"),
+		l(sub+1, "x.RMAppImpl", app+" State change from SUBMITTED to ACCEPTED on event = APP_ACCEPTED"),
+		l(reg, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"),
+		l(fin, "x.RMAppImpl", app+" State change from FINAL_SAVING to FINISHED on event = APP_UPDATE_SAVED"),
+	}
+	amLines := []string{
+		l(amFirstLog, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources"),
+		l(reg, "org.apache.spark.deploy.yarn.ApplicationMaster", "Registered with ResourceManager as x"),
+	}
+	exLines := []string{
+		l(exFirstLog, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"),
+		l(task, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"),
+	}
+	return map[string]io.Reader{
+		"hadoop/yarn-resourcemanager.log":        strings.NewReader(strings.Join(rmLines, "\n")),
+		"userlogs/" + app + "/" + am + "/stderr": strings.NewReader(strings.Join(amLines, "\n")),
+		"userlogs/" + app + "/" + ex + "/stderr": strings.NewReader(strings.Join(exLines, "\n")),
+	}
+}

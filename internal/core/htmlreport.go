@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// HTMLReport renders a self-contained HTML page (inline SVG, no external
+// assets): the component summary table, the Fig-4a-style CDF chart, the
+// Fig-9a per-instance launching chart, and Gantt timelines of the first
+// maxGantt applications showing each container's scheduling phases.
+func (r *Report) HTMLReport(title string, maxGantt int) string {
+	if maxGantt <= 0 {
+		maxGantt = 5
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", template.HTMLEscapeString(title))
+	b.WriteString(`<style>
+body{font-family:ui-monospace,monospace;margin:24px;color:#222}
+h1{font-size:20px} h2{font-size:16px;margin-top:28px}
+table{border-collapse:collapse;font-size:12px}
+td,th{border:1px solid #bbb;padding:3px 8px;text-align:right}
+th{background:#eee} td:first-child,th:first-child{text-align:left}
+.legend span{display:inline-block;margin-right:14px;font-size:12px}
+.lane{font-size:10px}
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", template.HTMLEscapeString(title))
+	fmt.Fprintf(&b, "<p>%d applications, %d log files, %d lines parsed.</p>\n",
+		len(r.Apps), r.FilesParsed, r.LinesParsed)
+
+	r.htmlSummaryTable(&b)
+	r.htmlCDFChart(&b)
+	r.htmlInstanceChart(&b)
+	r.htmlGantts(&b, maxGantt)
+
+	if len(r.Bugs) > 0 {
+		fmt.Fprintf(&b, "<h2>Bug findings (%d)</h2>\n<ul>\n", len(r.Bugs))
+		max := len(r.Bugs)
+		if max > 20 {
+			max = 20
+		}
+		for _, f := range r.Bugs[:max] {
+			fmt.Fprintf(&b, "<li>%s</li>\n", template.HTMLEscapeString(f.String()))
+		}
+		b.WriteString("</ul>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func (r *Report) htmlSummaryTable(b *strings.Builder) {
+	b.WriteString("<h2>Scheduling delay components (ms)</h2>\n<table>\n")
+	b.WriteString("<tr><th>component</th><th>n</th><th>mean</th><th>sd</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n")
+	for _, sm := range r.Summaries() {
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td></tr>\n",
+			template.HTMLEscapeString(sm.Name), sm.Count, sm.Mean, sm.StdDev, sm.P50, sm.P95, sm.P99, sm.Max)
+	}
+	b.WriteString("</table>\n")
+}
+
+// cdfColors are the series colors of the Fig-4a-style chart.
+var cdfColors = map[string]string{
+	"job": "#888888", "total": "#d62728", "am": "#2ca02c", "in": "#1f77b4", "out": "#ff7f0e",
+}
+
+func (r *Report) htmlCDFChart(b *strings.Builder) {
+	series := []struct {
+		name string
+		s    *stats.Sample
+	}{
+		{"job", r.Job}, {"total", r.Total}, {"am", r.AM}, {"in", r.In}, {"out", r.Out},
+	}
+	var maxV float64
+	for _, sr := range series {
+		if m := sr.s.Max(); m > maxV {
+			maxV = m
+		}
+	}
+	if maxV == 0 {
+		return
+	}
+	const w, h, pad = 640, 280, 40
+	b.WriteString("<h2>Delay CDFs (Fig 4a)</h2>\n<div class=\"legend\">")
+	for _, sr := range series {
+		fmt.Fprintf(b, "<span style=\"color:%s\">&#9632; %s</span>", cdfColors[sr.name], sr.name)
+	}
+	b.WriteString("</div>\n")
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" xmlns=\"http://www.w3.org/2000/svg\">\n", w, h)
+	fmt.Fprintf(b, "<rect x=\"%d\" y=\"10\" width=\"%d\" height=\"%d\" fill=\"none\" stroke=\"#999\"/>\n", pad, w-pad-10, h-pad-10)
+	// Axis labels: 0 .. maxV ms.
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" font-size=\"10\">0</text>\n", pad, h-pad+12)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" font-size=\"10\" text-anchor=\"end\">%.1fs</text>\n", w-10, h-pad+12, maxV/1000)
+	fmt.Fprintf(b, "<text x=\"8\" y=\"%d\" font-size=\"10\">1.0</text>\n<text x=\"8\" y=\"%d\" font-size=\"10\">0.0</text>\n", 18, h-pad)
+	plotW, plotH := float64(w-pad-10), float64(h-pad-20)
+	for _, sr := range series {
+		pts := sr.s.CDF(60)
+		if len(pts) == 0 {
+			continue
+		}
+		var poly []string
+		for _, p := range pts {
+			x := float64(pad) + p.Value/maxV*plotW
+			y := 10 + (1-p.Fraction)*plotH
+			poly = append(poly, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(b, "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" points=\"%s\"/>\n",
+			cdfColors[sr.name], strings.Join(poly, " "))
+	}
+	b.WriteString("</svg>\n")
+}
+
+func (r *Report) htmlInstanceChart(b *strings.Builder) {
+	if len(r.LaunchingByInstance) == 0 {
+		return
+	}
+	insts := make([]string, 0, len(r.LaunchingByInstance))
+	var maxV float64
+	for k, s := range r.LaunchingByInstance {
+		insts = append(insts, string(k))
+		if v := s.P95(); v > maxV {
+			maxV = v
+		}
+	}
+	sort.Strings(insts)
+	const barW, gap, h, pad = 70, 24, 200, 30
+	w := pad*2 + len(insts)*(barW+gap)
+	b.WriteString("<h2>Launching delay by instance type (Fig 9a; bar = p50, whisker = p95)</h2>\n")
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" xmlns=\"http://www.w3.org/2000/svg\">\n", w, h+pad)
+	for i, name := range insts {
+		s := r.LaunchingByInstance[InstanceType(name)]
+		x := pad + i*(barW+gap)
+		p50h := s.Median() / maxV * float64(h-20)
+		p95h := s.P95() / maxV * float64(h-20)
+		fmt.Fprintf(b, "<rect x=\"%d\" y=\"%.1f\" width=\"%d\" height=\"%.1f\" fill=\"#4c78a8\"/>\n",
+			x, float64(h)-p50h, barW, p50h)
+		fmt.Fprintf(b, "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#d62728\" stroke-width=\"2\"/>\n",
+			x, float64(h)-p95h, x+barW, float64(h)-p95h)
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n",
+			x+barW/2, h+14, template.HTMLEscapeString(name))
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.1f\" font-size=\"9\" text-anchor=\"middle\">%.0f</text>\n",
+			x+barW/2, float64(h)-p50h-3, s.Median())
+	}
+	b.WriteString("</svg>\n")
+}
+
+// ganttPhases maps each container phase to a color.
+var ganttPhases = []struct {
+	name  string
+	color string
+}{
+	{"acquire", "#c7c7c7"},
+	{"localize", "#ff7f0e"},
+	{"launch", "#2ca02c"},
+	{"idle-to-task", "#1f77b4"},
+}
+
+func (r *Report) htmlGantts(b *strings.Builder, maxGantt int) {
+	n := len(r.Apps)
+	if n > maxGantt {
+		n = maxGantt
+	}
+	if n == 0 {
+		return
+	}
+	b.WriteString("<h2>Per-application scheduling timelines (Fig 3 as a Gantt)</h2>\n<div class=\"legend\">")
+	for _, p := range ganttPhases {
+		fmt.Fprintf(b, "<span style=\"color:%s\">&#9632; %s</span>", p.color, p.name)
+	}
+	b.WriteString("</div>\n")
+	for _, a := range r.Apps[:n] {
+		r.htmlGanttOne(b, a)
+	}
+}
+
+func (r *Report) htmlGanttOne(b *strings.Builder, a *AppTrace) {
+	if a.Submitted == 0 {
+		return
+	}
+	// Horizon: last observable scheduling event.
+	var horizon int64
+	for _, c := range a.Containers {
+		for _, t := range []int64{c.Running, c.FirstTask, c.FirstLog} {
+			if t > horizon {
+				horizon = t
+			}
+		}
+	}
+	if horizon <= a.Submitted {
+		return
+	}
+	span := float64(horizon - a.Submitted)
+	const rowH, w, pad = 16, 760, 250
+	hgt := (len(a.Containers)+1)*rowH + 30
+	fmt.Fprintf(b, "<h3 style=\"font-size:13px\">%s (total %.1fs)</h3>\n",
+		template.HTMLEscapeString(a.ID.String()), span/1000)
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" xmlns=\"http://www.w3.org/2000/svg\">\n", w+pad, hgt)
+	x := func(t int64) float64 {
+		return float64(pad) + float64(t-a.Submitted)/span*float64(w-20)
+	}
+	row := 0
+	seg := func(y int, from, to int64, color string) {
+		if from == 0 || to == 0 || to < from {
+			return
+		}
+		fmt.Fprintf(b, "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\"/>\n",
+			x(from), y*rowH+4, maxF(x(to)-x(from), 1), rowH-6, color)
+	}
+	for _, c := range a.Containers {
+		label := c.ID.String()
+		if c.Instance != InstUnknown {
+			label += " (" + string(c.Instance) + ")"
+		}
+		fmt.Fprintf(b, "<text x=\"4\" y=\"%d\" font-size=\"10\" class=\"lane\">%s</text>\n",
+			row*rowH+rowH-4, template.HTMLEscapeString(label))
+		seg(row, c.Allocated, c.Acquired, ganttPhases[0].color)
+		seg(row, c.Localizing, c.Scheduled, ganttPhases[1].color)
+		seg(row, c.Scheduled, c.Running, ganttPhases[2].color)
+		end := c.FirstTask
+		if end == 0 {
+			end = horizon
+		}
+		seg(row, firstNonZero(c.FirstLog, c.Running), end, ganttPhases[3].color)
+		row++
+	}
+	// App-level milestone markers.
+	mark := func(t int64, label, color string) {
+		if t == 0 {
+			return
+		}
+		fmt.Fprintf(b, "<line x1=\"%.1f\" y1=\"0\" x2=\"%.1f\" y2=\"%d\" stroke=\"%s\" stroke-dasharray=\"3,2\"/>\n",
+			x(t), x(t), row*rowH, color)
+		fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\" font-size=\"9\" fill=\"%s\">%s</text>\n",
+			x(t), row*rowH+12, color, template.HTMLEscapeString(label))
+	}
+	mark(a.Registered, "APT_REGISTERED", "#2ca02c")
+	mark(a.StartAllo, "START_ALLO", "#9467bd")
+	mark(a.EndAllo, "END_ALLO", "#9467bd")
+	b.WriteString("</svg>\n")
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func firstNonZero(vals ...int64) int64 {
+	for _, v := range vals {
+		if v != 0 {
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReportRendersAllSections(t *testing.T) {
+	cs := buildSparkCorpus()
+	// Add an unused container so the bug section renders too.
+	rm := "hadoop/yarn-resourcemanager.log"
+	ghost := "container_1499000000000_0001_01_000004"
+	cs.add(rm, line(5650, "x.RMContainerImpl", ghost+" Container Transitioned from NEW to ALLOCATED"))
+	cs.add(rm, line(5800, "x.RMContainerImpl", ghost+" Container Transitioned from ALLOCATED to ACQUIRED"))
+	rep := analyze(t, cs)
+
+	html := rep.HTMLReport("test report", 3)
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"test report",
+		"Scheduling delay components",
+		"Delay CDFs",
+		"<polyline",
+		"Launching delay by instance type",
+		"Per-application scheduling timelines",
+		"APT_REGISTERED",
+		"Bug findings (1)",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+	// Self-contained: no external references.
+	for _, banned := range []string{"http://", "https://", "<script src"} {
+		if strings.Contains(html, banned) && banned != "http://" {
+			t.Errorf("HTML report references external resource %q", banned)
+		}
+	}
+	// The SVG namespace is the only allowed absolute URL.
+	stripped := strings.ReplaceAll(html, "http://www.w3.org/2000/svg", "")
+	if strings.Contains(stripped, "http") {
+		t.Error("unexpected external URL in report")
+	}
+}
+
+func TestHTMLReportEmpty(t *testing.T) {
+	rep := ReportFrom(nil, nil)
+	html := rep.HTMLReport("empty", 5)
+	if !strings.Contains(html, "0 applications") {
+		t.Fatal("empty report should still render")
+	}
+}
+
+func TestHTMLEscapesTitle(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	html := rep.HTMLReport("<script>alert(1)</script>", 1)
+	if strings.Contains(html, "<script>alert(1)</script>") {
+		t.Fatal("title not escaped")
+	}
+}

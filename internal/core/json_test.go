@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONExportRoundTrips(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("apps=%d", len(decoded))
+	}
+	app := decoded[0]
+	if app["app"] != "application_1499000000000_0001" {
+		t.Fatalf("app id: %v", app["app"])
+	}
+	dec := app["decomposition"].(map[string]any)
+	if dec["total_ms"].(float64) != 11900 {
+		t.Fatalf("total: %v", dec["total_ms"])
+	}
+	if _, ok := app["critical_path"]; !ok {
+		t.Fatal("critical path missing from export")
+	}
+	conts := app["containers"].([]any)
+	if len(conts) != 3 {
+		t.Fatalf("containers=%d", len(conts))
+	}
+	if !strings.Contains(out, "\"instance\": \"spe\"") {
+		t.Fatal("instance labels missing")
+	}
+}
+
+func TestJSONExportEmpty(t *testing.T) {
+	out, err := ReportFrom(nil, nil).JSON()
+	if err != nil || out != "[]" {
+		t.Fatalf("empty export: %q %v", out, err)
+	}
+}

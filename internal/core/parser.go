@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/ids"
+	"repro/internal/log4j"
+)
+
+// Parser mines scheduling-related events from log files. Feed it any
+// number of files (daemon logs and per-container stderr files) in any
+// order, then hand Events() to the Correlator.
+type Parser struct {
+	events   []Event
+	warnings []string
+	files    int
+	lines    int
+}
+
+// The extraction regexes (§III-A: "parse the logs to extract scheduling
+// related messages using regular expression").
+var (
+	reAppState = regexp.MustCompile(`(application_\d+_\d+) State change from (\w+) to (\w+) on event = (\w+)`)
+	reRMCont   = regexp.MustCompile(`(container_\d+_\d+_\d+_\d+) Container Transitioned from (\w+) to (\w+)`)
+	reNMCont   = regexp.MustCompile(`Container (container_\d+_\d+_\d+_\d+) transitioned from (\w+) to (\w+)`)
+	reInvoke   = regexp.MustCompile(`Invoking launch script for container (container_\d+_\d+_\d+_\d+)`)
+	reOppQueue = regexp.MustCompile(`Opportunistic container (container_\d+_\d+_\d+_\d+) queued`)
+
+	reRegister  = regexp.MustCompile(`Registered with (the )?ResourceManager`)
+	reStartAllo = regexp.MustCompile(`SDCHECKER START_ALLO`)
+	reEndAllo   = regexp.MustCompile(`SDCHECKER END_ALLO`)
+	reFirstTask = regexp.MustCompile(`Got assigned task (\d+)`)
+
+	reContainerInPath = regexp.MustCompile(`container_\d+_\d+_\d+_\d+`)
+
+	reAppSummary = regexp.MustCompile(`Application (application_\d+_\d+) submitted: name=(\S+) type=(\S+) queue=(\S+)`)
+)
+
+// NewParser returns an empty parser.
+func NewParser() *Parser {
+	return &Parser{}
+}
+
+// Warnings returns non-fatal anomalies found while parsing.
+func (p *Parser) Warnings() []string { return p.warnings }
+
+// Stats returns (files, lines) consumed so far.
+func (p *Parser) Stats() (files, lines int) { return p.files, p.lines }
+
+// Events returns all mined events (unsorted; the Correlator orders them).
+func (p *Parser) Events() []Event { return p.events }
+
+func (p *Parser) warnf(format string, args ...any) {
+	p.warnings = append(p.warnings, fmt.Sprintf(format, args...))
+}
+
+// ParseReader consumes one log file. name should be the file's path: when
+// it contains a container ID (userlogs/<app>/<container>/stderr), the file
+// is treated as a container log and its first parseable line becomes the
+// FIRST_LOG event of Table I.
+func (p *Parser) ParseReader(name string, r io.Reader) error {
+	p.files++
+	if cidStr := reContainerInPath.FindString(name); cidStr != "" {
+		cid, err := ids.ParseContainerID(cidStr)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", name, err)
+		}
+		return p.parseContainerLog(name, cid, r)
+	}
+	return p.parseDaemonLog(name, r)
+}
+
+// ParseSink consumes every file of an in-memory sink.
+func (p *Parser) ParseSink(s *log4j.Sink) error {
+	for _, f := range s.Files() {
+		if err := p.ParseReader(f, s.Reader(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseDir walks a log directory tree (as written by Sink.WriteDir or
+// collected from a real cluster) and consumes every regular file.
+func (p *Parser) ParseDir(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			rel = path
+		}
+		return p.ParseReader(filepath.ToSlash(rel), f)
+	})
+}
+
+// parseDaemonLog mines RM/NM logs: app state changes, container
+// transitions on both sides, launch invocations, opportunistic queueing.
+func (p *Parser) parseDaemonLog(name string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		p.lines++
+		raw := sc.Text()
+		line, err := log4j.ParseLine(raw)
+		if err != nil {
+			continue // stack traces / malformed lines are skipped
+		}
+		p.mineDaemonLine(name, line)
+	}
+	return sc.Err()
+}
+
+func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
+	msg := line.Message
+	if m := reAppSummary.FindStringSubmatch(msg); m != nil {
+		app, err := ids.ParseAppID(m[1])
+		if err != nil {
+			p.warnf("%s: %v", name, err)
+			return
+		}
+		p.emit(Event{Kind: AppSubmitted0, TimeMS: line.TimeMS, App: app, Source: name, Class: line.Class,
+			Raw: msg, Name: m[2], AppType: m[3], Queue: m[4]})
+		return
+	}
+	if m := reAppState.FindStringSubmatch(msg); m != nil {
+		app, err := ids.ParseAppID(m[1])
+		if err != nil {
+			p.warnf("%s: %v", name, err)
+			return
+		}
+		var kind Kind
+		switch {
+		case m[4] == "ATTEMPT_REGISTERED":
+			kind = AttemptRegistered
+		case m[3] == "SUBMITTED":
+			kind = AppSubmitted
+		case m[3] == "ACCEPTED":
+			kind = AppAccepted
+		case m[3] == "FINISHED":
+			kind = AppFinished
+		default:
+			return // other transitions are not scheduling-relevant
+		}
+		p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: app, Source: name, Class: line.Class, Raw: msg})
+		return
+	}
+	if m := reRMCont.FindStringSubmatch(msg); m != nil {
+		cid, err := ids.ParseContainerID(m[1])
+		if err != nil {
+			p.warnf("%s: %v", name, err)
+			return
+		}
+		var kind Kind
+		switch m[3] {
+		case "ALLOCATED":
+			kind = ContAllocated
+		case "ACQUIRED":
+			kind = ContAcquired
+		case "RELEASED":
+			kind = ContReleased
+		default:
+			return
+		}
+		p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		return
+	}
+	if m := reNMCont.FindStringSubmatch(msg); m != nil {
+		cid, err := ids.ParseContainerID(m[1])
+		if err != nil {
+			p.warnf("%s: %v", name, err)
+			return
+		}
+		var kind Kind
+		switch m[3] {
+		case "LOCALIZING":
+			kind = ContLocalizing
+		case "SCHEDULED":
+			kind = ContScheduled
+		case "RUNNING":
+			kind = ContRunning
+		case "EXITED_WITH_SUCCESS":
+			kind = ContExited
+		default:
+			return
+		}
+		p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		return
+	}
+	if m := reInvoke.FindStringSubmatch(msg); m != nil {
+		if cid, err := ids.ParseContainerID(m[1]); err == nil {
+			p.emit(Event{Kind: LaunchInvoked, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		}
+		return
+	}
+	if m := reOppQueue.FindStringSubmatch(msg); m != nil {
+		if cid, err := ids.ParseContainerID(m[1]); err == nil {
+			p.emit(Event{Kind: OppQueued, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		}
+	}
+}
+
+// parseContainerLog mines one container's stderr: the first parseable
+// line is FIRST_LOG; Spark driver/executor markers and the instance type
+// come from the body.
+func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var (
+		firstLine   *log4j.Line
+		instance    = InstUnknown
+		bodyEvents  []Event
+		sawFirstTsk bool
+	)
+	for sc.Scan() {
+		p.lines++
+		raw := sc.Text()
+		line, err := log4j.ParseLine(raw)
+		if err != nil {
+			continue
+		}
+		if firstLine == nil {
+			l := line
+			firstLine = &l
+		}
+		// Instance classification from logging classes and message shape.
+		switch {
+		case strings.Contains(line.Class, "CoarseGrainedExecutorBackend"):
+			instance = InstSparkExecutor
+		case strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
+			if instance == InstUnknown {
+				instance = InstSparkDriver
+			}
+		case strings.Contains(line.Class, "MRAppMaster"):
+			instance = InstMRMaster
+		case strings.Contains(line.Class, "YarnChild"):
+			if strings.Contains(line.Message, "Starting MAP") {
+				instance = InstMRMap
+			} else if strings.Contains(line.Message, "Starting REDUCE") {
+				instance = InstMRReduce
+			}
+		}
+		switch {
+		case reRegister.MatchString(line.Message) && strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
+			bodyEvents = append(bodyEvents, Event{Kind: DriverRegister, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+		case reStartAllo.MatchString(line.Message):
+			bodyEvents = append(bodyEvents, Event{Kind: StartAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+		case reEndAllo.MatchString(line.Message):
+			bodyEvents = append(bodyEvents, Event{Kind: EndAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+		case !sawFirstTsk && reFirstTask.MatchString(line.Message):
+			sawFirstTsk = true
+			bodyEvents = append(bodyEvents, Event{Kind: FirstTask, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if firstLine == nil {
+		p.warnf("%s: container log has no parseable lines", name)
+		return nil
+	}
+	flKind := TaskFirstLog
+	switch instance {
+	case InstSparkDriver:
+		flKind = DriverFirstLog
+	case InstSparkExecutor:
+		flKind = ExecutorFirstLog
+	}
+	p.emit(Event{Kind: flKind, TimeMS: firstLine.TimeMS, App: cid.App, Container: cid, Source: name, Class: firstLine.Class, Raw: firstLine.Message, Instance: instance})
+	p.events = append(p.events, bodyEvents...)
+	return nil
+}
+
+func (p *Parser) emit(e Event) {
+	p.events = append(p.events, e)
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/testkit"
+)
+
+// TestDiskRoundTrip runs a real simulated application, writes the log
+// tree to disk (as cmd/simcluster does), re-parses it from the files (as
+// cmd/sdchecker does), and checks the two analyses agree byte-for-byte on
+// the decomposition — SDchecker's offline contract.
+func TestDiskRoundTrip(t *testing.T) {
+	b := testkit.New(testkit.Options{Workers: 4})
+	b.Prewarm(map[string]float64{spark.BasePackagePath: spark.BasePackageMB})
+	b.FS.Create("/tpch/t0", 256, nil)
+	profile := spark.AppProfile{
+		Name:               "rt",
+		SessionSetupCPUSec: 0.5,
+		InitBaseCPUSec:     0.2,
+		PerTableCPUSec:     0.3,
+		TableFooterMB:      4,
+		Tables:             []spark.TableRef{{Path: "/tpch/t0", SizeMB: 256}},
+		Stages:             []spark.StageProfile{{Name: "s", Tasks: 4, TaskCPUSec: 0.3}},
+	}
+	app := spark.Submit(b.RM, b.FS, spark.DefaultConfig(profile))
+	b.Run(3600)
+	if !app.Finished() {
+		t.Fatal("app did not finish")
+	}
+
+	mem := core.New()
+	if err := mem.AddSink(b.Sink); err != nil {
+		t.Fatal(err)
+	}
+	inMem := mem.Analyze()
+
+	dir := t.TempDir()
+	if err := b.Sink.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	disk := core.New()
+	if err := disk.AddDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fromDisk := disk.Analyze()
+
+	if len(inMem.Apps) != 1 || len(fromDisk.Apps) != 1 {
+		t.Fatalf("apps: mem=%d disk=%d", len(inMem.Apps), len(fromDisk.Apps))
+	}
+	a, b2 := inMem.Apps[0].Decomp, fromDisk.Apps[0].Decomp
+	if *aHeader(a) != *aHeader(b2) {
+		t.Fatalf("decompositions differ:\nmem : %+v\ndisk: %+v", aHeader(a), aHeader(b2))
+	}
+	if len(a.Localizations) != len(b2.Localizations) {
+		t.Fatal("per-container components differ across media")
+	}
+}
+
+// aHeader projects the scalar fields for comparison.
+func aHeader(d *core.Decomposition) *struct {
+	Total, AM, In, Out, Driver, Executor, Alloc, Job int64
+} {
+	return &struct {
+		Total, AM, In, Out, Driver, Executor, Alloc, Job int64
+	}{d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.Alloc, d.JobRuntime}
+}
+
+// TestDeterministicReruns verifies the whole pipeline (simulation + log
+// mining) is reproducible: identical seeds produce identical reports.
+func TestDeterministicReruns(t *testing.T) {
+	run := func() string {
+		b := testkit.New(testkit.Options{Workers: 4, Seed: 77})
+		b.Prewarm(map[string]float64{spark.BasePackagePath: spark.BasePackageMB})
+		b.FS.Create("/tpch/t0", 256, nil)
+		p := spark.AppProfile{
+			Name:   "det",
+			Tables: []spark.TableRef{{Path: "/tpch/t0", SizeMB: 256}},
+			Stages: []spark.StageProfile{{Name: "s", Tasks: 4, TaskCPUSec: 0.3}},
+		}
+		spark.Submit(b.RM, b.FS, spark.DefaultConfig(p))
+		b.Run(3600)
+		c := core.New()
+		if err := c.AddSink(b.Sink); err != nil {
+			t.Fatal(err)
+		}
+		return c.Analyze().Format()
+	}
+	if run() != run() {
+		t.Fatal("identical seeds produced different reports")
+	}
+}
+
+// Property: for randomly shaped (but temporally consistent) timelines,
+// the decomposition invariants hold: Total = Driver-chain consistent,
+// In = Driver+Executor, Out = Total-In >= 0, Cl >= Cf.
+func TestPropertyDecompositionInvariants(t *testing.T) {
+	f := func(d1, d2, d3, d4, d5 uint16) bool {
+		// Build strictly increasing offsets from the random gaps.
+		sub := int64(100)
+		reg := sub + int64(d1)%5000 + 1  // ATTEMPT_REGISTERED
+		amFL := sub + int64(d2)%2000 + 1 // driver first log (before reg)
+		if amFL >= reg {
+			amFL = reg - 1
+		}
+		exFL := reg + int64(d3)%4000 + 1 // executor first log
+		task := exFL + int64(d4)%6000 + 1
+		fin := task + int64(d5)%9000 + 1
+
+		cs := corpusLines(sub, amFL, reg, exFL, task, fin)
+		c := core.New()
+		for f, content := range cs {
+			if err := c.AddReader(f, content); err != nil {
+				return false
+			}
+		}
+		rep := c.Analyze()
+		if len(rep.Apps) != 1 {
+			return false
+		}
+		d := rep.Apps[0].Decomp
+		if d.Total != task-sub || d.AM != reg-sub || d.Driver != reg-amFL {
+			return false
+		}
+		if d.Executor != task-exFL || d.In != d.Driver+d.Executor {
+			return false
+		}
+		if d.Out < 0 || d.Out != max64(0, d.Total-d.In) {
+			return false
+		}
+		return d.JobRuntime == fin-sub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/ids"
+)
+
+// singleLine wraps one raw line as a reader for the offline parser.
+func singleLine(s string) io.Reader { return strings.NewReader(s) }
+
+// Stream is the incremental variant of the checker: feed it log lines as
+// they are produced (a live cluster's `tail -f`, or a simulation pumping
+// events) and read current decompositions at any point. Unlike Checker,
+// which parses whole files, Stream accepts interleaved lines from many
+// sources and keeps per-application state up to date after every line.
+//
+// Lines from container stderr files must be attributed to their
+// container; pass the file path (containing the container ID) as source,
+// exactly as the offline parser derives it.
+type Stream struct {
+	apps map[ids.AppID]*AppTrace
+	// firstLogSeen tracks containers whose FIRST_LOG was already taken,
+	// since a stream cannot re-read "the first line of the file".
+	firstLogSeen map[ids.ContainerID]bool
+	// eventsByApp buckets events so a feed only rebuilds its own app.
+	eventsByApp map[ids.AppID][]Event
+	total       int
+}
+
+// NewStream returns an empty incremental checker.
+func NewStream() *Stream {
+	return &Stream{
+		apps:         make(map[ids.AppID]*AppTrace),
+		firstLogSeen: make(map[ids.ContainerID]bool),
+		eventsByApp:  make(map[ids.AppID][]Event),
+	}
+}
+
+// Feed consumes one raw log line from the given source path. Unparseable
+// lines are ignored, like the offline parser does. It returns true when
+// the line produced at least one scheduling event.
+func (s *Stream) Feed(source, rawLine string) bool {
+	p := NewParser()
+	if cidStr := reContainerInPath.FindString(source); cidStr != "" {
+		cid, err := ids.ParseContainerID(cidStr)
+		if err != nil {
+			return false
+		}
+		return s.feedContainerLine(p, source, cid, rawLine)
+	}
+	if err := p.ParseReader(source, singleLine(rawLine)); err != nil {
+		return false
+	}
+	return s.absorb(p.Events())
+}
+
+// feedContainerLine handles container stderr lines: the first parseable
+// line per container becomes its FIRST_LOG event.
+func (s *Stream) feedContainerLine(p *Parser, source string, cid ids.ContainerID, rawLine string) bool {
+	if err := p.parseContainerLog(source, cid, singleLine(rawLine)); err != nil {
+		return false
+	}
+	evs := p.Events()
+	if len(evs) == 0 {
+		return false
+	}
+	out := evs[:0]
+	for _, e := range evs {
+		switch e.Kind {
+		case DriverFirstLog, ExecutorFirstLog, TaskFirstLog:
+			if s.firstLogSeen[cid] {
+				continue // only the true first line counts
+			}
+			s.firstLogSeen[cid] = true
+		case FirstTask:
+			// The offline parser dedups FIRST_TASK per file; do the same
+			// against current state.
+			if a := s.apps[cid.App]; a != nil {
+				if c := a.Container(cid); c != nil && c.FirstTask != 0 {
+					continue
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return s.absorb(out)
+}
+
+func (s *Stream) absorb(evs []Event) bool {
+	if len(evs) == 0 {
+		return false
+	}
+	dirty := make(map[ids.AppID]bool, 2)
+	for _, e := range evs {
+		s.eventsByApp[e.App] = append(s.eventsByApp[e.App], e)
+		dirty[e.App] = true
+		s.total++
+	}
+	// Rebuild only the touched applications from their own buckets —
+	// feeds stay O(events of one app), independent of stream length.
+	for id := range dirty {
+		for _, a := range Correlate(s.eventsByApp[id]) {
+			Decompose(a)
+			s.apps[a.ID] = a
+		}
+	}
+	return true
+}
+
+// EventCount returns the number of scheduling events absorbed so far.
+func (s *Stream) EventCount() int { return s.total }
+
+// App returns the live trace for one application, or nil.
+func (s *Stream) App(id ids.AppID) *AppTrace { return s.apps[id] }
+
+// Apps returns the live traces ordered by submission sequence.
+func (s *Stream) Apps() []*AppTrace {
+	out := make([]*AppTrace, 0, len(s.apps))
+	for _, a := range s.apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Seq < out[j].ID.Seq })
+	return out
+}
+
+// Report snapshots the current state into a full report (aggregates +
+// bug detection), like Checker.Analyze but reusable mid-stream.
+func (s *Stream) Report() *Report {
+	all := make([]Event, 0, s.total)
+	for _, evs := range s.eventsByApp {
+		all = append(all, evs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TimeMS < all[j].TimeMS })
+	return ReportFrom(s.Apps(), all)
+}
+
+// Complete reports whether an application's headline decomposition is
+// fully observable (total, am, driver, executor all present) — the
+// signal a live dashboard uses to mark a row final.
+func (s *Stream) Complete(id ids.AppID) bool {
+	a := s.apps[id]
+	if a == nil || a.Decomp == nil {
+		return false
+	}
+	d := a.Decomp
+	return d.Total >= 0 && d.AM >= 0 && d.Driver >= 0 && d.Executor >= 0
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/log4j"
+)
+
+// streamFeedCorpus pumps the synthetic corpus line by line, in global
+// timestamp order (as a live collector would see it).
+func streamFeedCorpus(t *testing.T, cs corpus) *Stream {
+	t.Helper()
+	type stamped struct {
+		src  string
+		line string
+		ms   int64
+	}
+	var all []stamped
+	for src, lines := range cs {
+		for _, l := range lines {
+			parsed, err := log4j.ParseLine(l)
+			if err != nil {
+				t.Fatalf("corpus line unparseable: %v", err)
+			}
+			all = append(all, stamped{src, l, parsed.TimeMS})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].ms < all[j].ms })
+	s := NewStream()
+	for _, e := range all {
+		s.Feed(e.src, e.line)
+	}
+	return s
+}
+
+func TestStreamMatchesOfflineAnalysis(t *testing.T) {
+	cs := buildSparkCorpus()
+	offline := analyze(t, cs)
+	s := streamFeedCorpus(t, cs)
+
+	if len(s.Apps()) != len(offline.Apps) {
+		t.Fatalf("stream apps=%d offline=%d", len(s.Apps()), len(offline.Apps))
+	}
+	so, od := s.Apps()[0].Decomp, offline.Apps[0].Decomp
+	pairs := [][2]int64{
+		{so.Total, od.Total}, {so.AM, od.AM}, {so.Driver, od.Driver},
+		{so.Executor, od.Executor}, {so.In, od.In}, {so.Out, od.Out},
+		{so.Alloc, od.Alloc}, {so.JobRuntime, od.JobRuntime},
+	}
+	for i, p := range pairs {
+		if p[0] != p[1] {
+			t.Errorf("component %d: stream %d != offline %d", i, p[0], p[1])
+		}
+	}
+}
+
+func TestStreamIncrementalCompleteness(t *testing.T) {
+	cs := buildSparkCorpus()
+	s := NewStream()
+	app := mustAppID(t, "application_1499000000000_0001")
+
+	// Feed only the RM log: decomposition incomplete.
+	for _, l := range cs["hadoop/yarn-resourcemanager.log"] {
+		s.Feed("hadoop/yarn-resourcemanager.log", l)
+	}
+	if s.Complete(app) {
+		t.Fatal("complete without any container logs")
+	}
+	// Add the remaining files: now complete.
+	for src, lines := range cs {
+		if src == "hadoop/yarn-resourcemanager.log" {
+			continue
+		}
+		for _, l := range lines {
+			s.Feed(src, l)
+		}
+	}
+	if !s.Complete(app) {
+		t.Fatalf("still incomplete after all logs: %+v", s.App(app).Decomp)
+	}
+}
+
+func TestStreamFirstLogIsFirstLineOnly(t *testing.T) {
+	s := NewStream()
+	src := "userlogs/application_1499000000000_0001/container_1499000000000_0001_01_000002/stderr"
+	s.Feed(src, line(7000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"))
+	s.Feed(src, line(7500, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "some later line"))
+	app := mustAppID(t, "application_1499000000000_0001")
+	c := s.App(app).Containers[0]
+	if c.FirstLog != 1499000000000+7000 {
+		t.Fatalf("first log %d moved by a later line", c.FirstLog)
+	}
+}
+
+func TestStreamIgnoresJunk(t *testing.T) {
+	s := NewStream()
+	if s.Feed("hadoop/rm.log", "java.lang.NullPointerException") {
+		t.Fatal("junk counted as an event")
+	}
+	if s.EventCount() != 0 {
+		t.Fatal("junk absorbed")
+	}
+}
+
+func TestStreamReportAggregates(t *testing.T) {
+	s := streamFeedCorpus(t, buildSparkCorpus())
+	rep := s.Report()
+	if rep.Total.Len() != 1 || rep.Total.Median() != 11900 {
+		t.Fatalf("stream report total: n=%d p50=%v", rep.Total.Len(), rep.Total.Median())
+	}
+	if got := rep.AllocationThroughput(); got <= 0 {
+		t.Fatalf("throughput %v", got)
+	}
+}
+
+func mustAppID(t *testing.T, s string) ids.AppID {
+	t.Helper()
+	parsed, err := ids.ParseAppID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsed
+}

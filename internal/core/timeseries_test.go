@@ -1,0 +1,17 @@
+package core
+
+import "testing"
+
+func TestTotalTimeSeries(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	pts := rep.TotalTimeSeries(60_000)
+	if len(pts) != 1 {
+		t.Fatalf("points=%d, want 1 (single app)", len(pts))
+	}
+	if pts[0].Count != 1 || pts[0].P50 != 11900 {
+		t.Fatalf("point=%+v", pts[0])
+	}
+	if rep.Filter(func(*AppTrace) bool { return false }).TotalTimeSeries(0) != nil {
+		t.Fatal("empty report should yield nil series")
+	}
+}

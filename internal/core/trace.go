@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// ContainerTrace is the time-ordered scheduling history of one container,
+// assembled from events that arrived in RM, NM, and container logs. All
+// timestamps are epoch milliseconds; 0 means the event was not observed.
+type ContainerTrace struct {
+	ID       ids.ContainerID
+	Instance InstanceType
+
+	Allocated     int64 // RMContainerImpl -> ALLOCATED  (msg 4)
+	Acquired      int64 // RMContainerImpl -> ACQUIRED   (msg 5)
+	Localizing    int64 // ContainerImpl   -> LOCALIZING (msg 6)
+	Scheduled     int64 // ContainerImpl   -> SCHEDULED  (msg 7)
+	LaunchInvoked int64 // launch script invocation (extension)
+	Running       int64 // ContainerImpl   -> RUNNING    (msg 8)
+	FirstLog      int64 // first stderr line (msgs 9/13)
+	FirstTask     int64 // first task assignment (msg 14)
+	Exited        int64
+	Released      int64
+	OppQueuedAt   int64 // opportunistic queueing observed
+
+	Events []Event
+}
+
+// IsAM reports whether this container hosted the ApplicationMaster.
+// Container number 1 is YARN's convention, but when an AM container fails
+// and the RM retries in a fresh container, the retry carries a higher
+// number — so the instance classification mined from the container's own
+// log takes precedence.
+func (c *ContainerTrace) IsAM() bool {
+	switch c.Instance {
+	case InstSparkDriver, InstMRMaster:
+		return true
+	case InstSparkExecutor, InstMRMap, InstMRReduce:
+		return false
+	}
+	return c.ID.IsAM()
+}
+
+// AppTrace is one application's assembled scheduling history.
+type AppTrace struct {
+	ID ids.AppID
+	// Name, AppType and Queue come from the RM's submission summary line
+	// (empty when that line was not collected).
+	Name, AppType, Queue string
+
+	Submitted      int64 // RMAppImpl -> SUBMITTED (msg 1)
+	Accepted       int64 // RMAppImpl -> ACCEPTED  (msg 2)
+	Registered     int64 // ATTEMPT_REGISTERED     (msg 3)
+	Finished       int64 // RMAppImpl -> FINISHED  (extension)
+	DriverRegister int64 // Spark driver REGISTER  (msg 10)
+	StartAllo      int64 // msg 11
+	EndAllo        int64 // msg 12
+
+	Containers []*ContainerTrace // ordered by container number
+	Events     []Event           // every event of the app, time-ordered
+
+	Decomp *Decomposition // filled by Decompose
+
+	byCID map[ids.ContainerID]*ContainerTrace
+}
+
+// Container returns the trace for cid, or nil.
+func (a *AppTrace) Container(cid ids.ContainerID) *ContainerTrace {
+	return a.byCID[cid]
+}
+
+// AMContainer returns the ApplicationMaster container trace, or nil.
+// When an AM retry produced several AM-classified containers, the one
+// that actually came up (has a first log) wins.
+func (a *AppTrace) AMContainer() *ContainerTrace {
+	var fallback *ContainerTrace
+	for _, c := range a.Containers {
+		if !c.IsAM() {
+			continue
+		}
+		if c.FirstLog != 0 {
+			return c
+		}
+		if fallback == nil {
+			fallback = c
+		}
+	}
+	return fallback
+}
+
+// Executors returns the Spark executor container traces.
+func (a *AppTrace) Executors() []*ContainerTrace {
+	var out []*ContainerTrace
+	for _, c := range a.Containers {
+		if c.Instance == InstSparkExecutor {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// WorkerContainers returns every non-AM container (executors, MR tasks,
+// and containers that never launched anything).
+func (a *AppTrace) WorkerContainers() []*ContainerTrace {
+	var out []*ContainerTrace
+	for _, c := range a.Containers {
+		if !c.IsAM() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Correlate groups mined events by application and container ID, orders
+// them by timestamp, and returns one AppTrace per application sorted by
+// submission sequence (§III-C: "binds each log event with its
+// corresponding global ID ... aggregates and groups state transformations
+// based on the IDs").
+func Correlate(events []Event) []*AppTrace {
+	apps := make(map[ids.AppID]*AppTrace)
+	get := func(id ids.AppID) *AppTrace {
+		a := apps[id]
+		if a == nil {
+			a = &AppTrace{ID: id, byCID: make(map[ids.ContainerID]*ContainerTrace)}
+			apps[id] = a
+		}
+		return a
+	}
+	getC := func(a *AppTrace, cid ids.ContainerID) *ContainerTrace {
+		c := a.byCID[cid]
+		if c == nil {
+			c = &ContainerTrace{ID: cid}
+			a.byCID[cid] = c
+			a.Containers = append(a.Containers, c)
+		}
+		return c
+	}
+
+	// Events can arrive in any order across files; sort first so "first
+	// occurrence wins" rules below are well-defined.
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TimeMS < sorted[j].TimeMS })
+
+	setOnce := func(dst *int64, v int64) {
+		if *dst == 0 {
+			*dst = v
+		}
+	}
+
+	for _, e := range sorted {
+		a := get(e.App)
+		a.Events = append(a.Events, e)
+		if e.Container.IsZero() {
+			switch e.Kind {
+			case AppSubmitted0:
+				if a.Name == "" {
+					a.Name, a.AppType, a.Queue = e.Name, e.AppType, e.Queue
+				}
+			case AppSubmitted:
+				setOnce(&a.Submitted, e.TimeMS)
+			case AppAccepted:
+				setOnce(&a.Accepted, e.TimeMS)
+			case AttemptRegistered:
+				setOnce(&a.Registered, e.TimeMS)
+			case AppFinished:
+				setOnce(&a.Finished, e.TimeMS)
+			}
+			continue
+		}
+		c := getC(a, e.Container)
+		c.Events = append(c.Events, e)
+		switch e.Kind {
+		case ContAllocated:
+			setOnce(&c.Allocated, e.TimeMS)
+		case ContAcquired:
+			setOnce(&c.Acquired, e.TimeMS)
+		case ContLocalizing:
+			setOnce(&c.Localizing, e.TimeMS)
+		case ContScheduled:
+			setOnce(&c.Scheduled, e.TimeMS)
+		case LaunchInvoked:
+			setOnce(&c.LaunchInvoked, e.TimeMS)
+		case ContRunning:
+			setOnce(&c.Running, e.TimeMS)
+		case DriverFirstLog, ExecutorFirstLog, TaskFirstLog:
+			setOnce(&c.FirstLog, e.TimeMS)
+			if c.Instance == InstUnknown {
+				c.Instance = e.Instance
+			}
+		case FirstTask:
+			setOnce(&c.FirstTask, e.TimeMS)
+		case ContExited:
+			setOnce(&c.Exited, e.TimeMS)
+		case ContReleased:
+			setOnce(&c.Released, e.TimeMS)
+		case OppQueued:
+			setOnce(&c.OppQueuedAt, e.TimeMS)
+		case DriverRegister:
+			setOnce(&a.DriverRegister, e.TimeMS)
+		case StartAllo:
+			setOnce(&a.StartAllo, e.TimeMS)
+		case EndAllo:
+			setOnce(&a.EndAllo, e.TimeMS)
+		}
+	}
+
+	out := make([]*AppTrace, 0, len(apps))
+	for _, a := range apps {
+		sort.Slice(a.Containers, func(i, j int) bool { return a.Containers[i].ID.Num < a.Containers[j].ID.Num })
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Seq < out[j].ID.Seq })
+	return out
+}

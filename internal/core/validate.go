@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// ValidateTrace checks one application's assembled trace for temporal
+// consistency: every state machine must advance monotonically
+// (ALLOCATED <= ACQUIRED, LOCALIZING <= SCHEDULED <= RUNNING, driver
+// first-log <= REGISTER, ...). Real-cluster log collections violate
+// these when node clocks drift (the paper's testbed dedicates an NTP
+// server exactly to avoid that); SDchecker surfaces rather than silently
+// mis-decomposes such traces.
+func ValidateTrace(a *AppTrace) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	ordered := func(scope, from, to string, t1, t2 int64) {
+		if t1 != 0 && t2 != 0 && t2 < t1 {
+			bad("%s: %s (%d) after %s (%d)", scope, from, t1, to, t2)
+		}
+	}
+
+	ordered(a.ID.String(), "SUBMITTED", "ACCEPTED", a.Submitted, a.Accepted)
+	ordered(a.ID.String(), "ACCEPTED", "APT_REGISTERED", a.Accepted, a.Registered)
+	ordered(a.ID.String(), "APT_REGISTERED", "FINISHED", a.Registered, a.Finished)
+	ordered(a.ID.String(), "START_ALLO", "END_ALLO", a.StartAllo, a.EndAllo)
+	if a.DriverRegister != 0 && a.Registered != 0 {
+		// The driver's own REGISTER line and the RM's ATTEMPT_REGISTERED
+		// describe the same RPC; more than a heartbeat apart is suspect.
+		diff := a.Registered - a.DriverRegister
+		if diff < -1000 || diff > 1000 {
+			bad("%s: driver REGISTER and RM ATTEMPT_REGISTERED disagree by %dms (clock skew?)", a.ID, diff)
+		}
+	}
+
+	for _, c := range a.Containers {
+		id := c.ID.String()
+		ordered(id, "ALLOCATED", "ACQUIRED", c.Allocated, c.Acquired)
+		ordered(id, "ACQUIRED", "LOCALIZING", c.Acquired, c.Localizing)
+		ordered(id, "LOCALIZING", "SCHEDULED", c.Localizing, c.Scheduled)
+		ordered(id, "SCHEDULED", "RUNNING", c.Scheduled, c.Running)
+		ordered(id, "SCHEDULED", "LAUNCH_INVOKED", c.Scheduled, c.LaunchInvoked)
+		ordered(id, "RUNNING", "FIRST_TASK", c.Running, c.FirstTask)
+		ordered(id, "FIRST_LOG", "FIRST_TASK", c.FirstLog, c.FirstTask)
+		ordered(id, "RUNNING", "EXITED", c.Running, c.Exited)
+		if c.FirstLog != 0 && a.Submitted != 0 && c.FirstLog < a.Submitted {
+			bad("%s: container first log before application submission", id)
+		}
+		if c.Localizing != 0 && c.Allocated == 0 {
+			bad("%s: NM states present but RM never logged ALLOCATED (missing RM log file?)", id)
+		}
+	}
+	return problems
+}
+
+// ValidateAll runs ValidateTrace over every application of a report.
+func (r *Report) ValidateAll() []string {
+	var out []string
+	for _, a := range r.Apps {
+		out = append(out, ValidateTrace(a)...)
+	}
+	return out
+}

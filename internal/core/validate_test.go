@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateCleanTrace(t *testing.T) {
+	rep := analyze(t, buildSparkCorpus())
+	if problems := rep.ValidateAll(); len(problems) != 0 {
+		t.Fatalf("clean trace reported problems: %v", problems)
+	}
+}
+
+func TestValidateDetectsClockSkew(t *testing.T) {
+	cs := buildSparkCorpus()
+	// A container whose RUNNING precedes SCHEDULED — classic clock skew
+	// between the NM writing both... or corrupted collection.
+	nm := "hadoop/yarn-nodemanager-node01.log"
+	ghost := "container_1499000000000_0001_01_000005"
+	cs.add(nm, line(9000, "y.ContainerImpl", "Container "+ghost+" transitioned from NEW to LOCALIZING"))
+	cs.add(nm, line(9500, "y.ContainerImpl", "Container "+ghost+" transitioned from LOCALIZING to SCHEDULED"))
+	cs.add(nm, line(9200, "y.ContainerImpl", "Container "+ghost+" transitioned from SCHEDULED to RUNNING"))
+	rep := analyze(t, cs)
+	problems := rep.ValidateAll()
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, ghost) && strings.Contains(p, "SCHEDULED") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("skewed container not flagged: %v", problems)
+	}
+}
+
+func TestValidateDetectsMissingRMLog(t *testing.T) {
+	cs := corpus{}
+	// NM states only — as if the RM log was not collected.
+	nm := "hadoop/yarn-nodemanager-node01.log"
+	c := "container_1499000000000_0009_01_000002"
+	cs.add(nm, line(100, "y.ContainerImpl", "Container "+c+" transitioned from NEW to LOCALIZING"))
+	cs.add(nm, line(200, "y.ContainerImpl", "Container "+c+" transitioned from LOCALIZING to SCHEDULED"))
+	rep := analyze(t, cs)
+	problems := rep.ValidateAll()
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "missing RM log") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing RM coverage not flagged: %v", problems)
+	}
+}
+
+func TestValidateDetectsRegisterDisagreement(t *testing.T) {
+	cs := buildSparkCorpus()
+	app := "application_1499000000000_0001"
+	am := "container_1499000000000_0001_01_000001"
+	f := "userlogs/" + app + "/" + am + "/stderr"
+	// Shift the driver's REGISTER line far from the RM's record.
+	cs[f] = []string{
+		line(1500, "org.apache.spark.deploy.yarn.ApplicationMaster", "Preparing Local resources"),
+		line(9000, "org.apache.spark.deploy.yarn.ApplicationMaster", "Registered with ResourceManager as x"),
+		line(9000, "org.apache.spark.deploy.yarn.YarnAllocator", "SDCHECKER START_ALLO Requesting 2 executor containers"),
+		line(9100, "org.apache.spark.deploy.yarn.YarnAllocator", "SDCHECKER END_ALLO All 2 requested containers allocated"),
+	}
+	rep := analyze(t, cs)
+	problems := rep.ValidateAll()
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "clock skew") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("REGISTER disagreement not flagged: %v", problems)
+	}
+}

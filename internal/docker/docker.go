@@ -1,0 +1,80 @@
+// Package docker models the container-runtime launch overhead the paper
+// measures in Fig 9b: running a YARN container inside Docker adds image
+// load and mount work before the launch script executes. The paper
+// measured a 350 ms median / 658 ms 95th-percentile overhead with a
+// 2.65 GB image, with a long tail it attributes to the extra IO of image
+// loading — so part of the overhead here is a read on the node's disk
+// share, which also makes Docker launches IO-interference sensitive.
+package docker
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Runtime selects how a container process is started.
+type Runtime int
+
+// Available container runtimes.
+const (
+	// RuntimeDefault is the stock YARN DefaultContainerExecutor
+	// (bare process).
+	RuntimeDefault Runtime = iota
+	// RuntimeDocker launches the process inside a Docker container.
+	RuntimeDocker
+)
+
+// String names the runtime for logs and reports.
+func (r Runtime) String() string {
+	if r == RuntimeDocker {
+		return "docker"
+	}
+	return "default"
+}
+
+// Overhead parameterizes the Docker start path.
+type Overhead struct {
+	// SetupMedianMs / SetupSigma: daemon round-trip, namespace and cgroup
+	// setup, mount of the (locally cached) image. Log-normal.
+	SetupMedianMs float64
+	SetupSigma    float64
+	// ImageReadMB is the slice of image layer data actually touched at
+	// start (metadata + hot files; the 2.65 GB image is lazily loaded).
+	ImageReadMB float64
+	// ImageReadDemandMBps caps the image read rate on the disk share.
+	ImageReadDemandMBps float64
+}
+
+// DefaultOverhead is calibrated against Fig 9b (350 ms median extra,
+// ~658 ms at the 95th percentile, long tail).
+func DefaultOverhead() Overhead {
+	return Overhead{
+		SetupMedianMs:       230,
+		SetupSigma:          0.58,
+		ImageReadMB:         110,
+		ImageReadDemandMBps: 900,
+	}
+}
+
+// Apply runs the runtime start path on node and invokes done when the
+// process can exec. For RuntimeDefault it only costs the fork/exec floor.
+func Apply(eng *sim.Engine, node *cluster.Node, r *rng.Source, rt Runtime, ov Overhead, done func()) {
+	forkMs := int64(r.LogNormalMedian(25, 0.3))
+	if forkMs < 1 {
+		forkMs = 1
+	}
+	if rt == RuntimeDefault {
+		eng.After(forkMs, func() { done() })
+		return
+	}
+	setup := int64(r.LogNormalMedian(ov.SetupMedianMs, ov.SetupSigma))
+	if setup < 1 {
+		setup = 1
+	}
+	eng.After(forkMs+setup, func() {
+		cluster.StartTransfer(eng, []cluster.Leg{
+			{Res: node.Disk, Work: ov.ImageReadMB, Demand: ov.ImageReadDemandMBps},
+		}, func(sim.Time) { done() })
+	})
+}

@@ -1,0 +1,89 @@
+package docker
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func bed() (*sim.Engine, *cluster.Node) {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 1
+	cl := cluster.New(eng, cfg)
+	return eng, cl.Node(0)
+}
+
+func sample(rt Runtime, n int) []float64 {
+	eng, node := bed()
+	r := rng.New(9)
+	out := make([]float64, 0, n)
+	var run func(i int)
+	run = func(i int) {
+		if i >= n {
+			return
+		}
+		start := eng.Now()
+		Apply(eng, node, r, rt, DefaultOverhead(), func() {
+			out = append(out, float64(eng.Now()-start))
+			run(i + 1)
+		})
+	}
+	run(0)
+	eng.Run()
+	sort.Float64s(out)
+	return out
+}
+
+func median(v []float64) float64 { return v[len(v)/2] }
+
+func TestDefaultIsFast(t *testing.T) {
+	v := sample(RuntimeDefault, 50)
+	if m := median(v); m < 5 || m > 120 {
+		t.Fatalf("default runtime median %vms, want a few tens of ms", m)
+	}
+}
+
+func TestDockerOverheadCalibration(t *testing.T) {
+	def := sample(RuntimeDefault, 80)
+	dock := sample(RuntimeDocker, 80)
+	extra := median(dock) - median(def)
+	// Paper Fig 9b: ~350 ms median overhead.
+	if extra < 200 || extra > 600 {
+		t.Fatalf("docker median overhead %vms, want ~350", extra)
+	}
+	p95 := dock[int(float64(len(dock))*0.95)] - def[int(float64(len(def))*0.95)]
+	if p95 < extra {
+		t.Fatalf("docker tail overhead %vms should exceed the median %vms (long tail)", p95, extra)
+	}
+}
+
+func TestDockerSensitiveToDiskLoad(t *testing.T) {
+	measure := func(load bool) float64 {
+		eng, node := bed()
+		if load {
+			for i := 0; i < 20; i++ {
+				node.Disk.Start(1e9, 800, func(sim.Time) {})
+			}
+		}
+		var d float64
+		Apply(eng, node, rng.New(3), RuntimeDocker, DefaultOverhead(), func() {
+			d = float64(eng.Now())
+		})
+		eng.RunUntil(10_000_000)
+		return d
+	}
+	idle, busy := measure(false), measure(true)
+	if busy <= idle {
+		t.Fatalf("docker start under disk load %vms vs idle %vms — image load should slow", busy, idle)
+	}
+}
+
+func TestRuntimeString(t *testing.T) {
+	if RuntimeDefault.String() != "default" || RuntimeDocker.String() != "docker" {
+		t.Fatal("runtime names wrong")
+	}
+}

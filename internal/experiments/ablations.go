@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/spark"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: each
+// isolates one design choice or proposed optimization from the paper's
+// discussion section (Table III's "Optimization" column) and measures its
+// effect with SDchecker.
+
+// HeartbeatAblationRow relates the MR AM heartbeat interval to the
+// container acquisition delay (Table III row 2: "Trade-off, increasing
+// heartbeat frequency").
+type HeartbeatAblationRow struct {
+	IntervalMs  int64
+	Acquisition stats.Summary
+	// HeartbeatsPerSec approximates the control-plane load the trade-off
+	// costs: total pulls per second per application.
+	HeartbeatsPerSec float64
+}
+
+// AblationHeartbeat sweeps the AM heartbeat interval.
+func AblationHeartbeat() []HeartbeatAblationRow {
+	rows := make([]HeartbeatAblationRow, 0, 5)
+	for _, interval := range []int64{250, 500, 1000, 2000, 3000} {
+		opts := DefaultOptions()
+		opts.Yarn.AMHeartbeatMs = interval
+		opts.Seed = 42 + uint64(interval)
+		s := NewScenario(opts)
+		s.PrewarmCaches("/mr/job-hb.jar")
+		cfg := workload.MRWordcount("hb", 600)
+		cfg.Name = "hb"
+		cfg.MaxConcurrentMaps = 150
+		mapreduce.Submit(s.RM, s.FS, cfg)
+		s.Run(3600 * 1000)
+		rep := s.Check()
+		rows = append(rows, HeartbeatAblationRow{
+			IntervalMs:       interval,
+			Acquisition:      rep.Acquisition.Summarize(fmt.Sprintf("acq@%dms", interval)),
+			HeartbeatsPerSec: 1000.0 / float64(interval),
+		})
+	}
+	return rows
+}
+
+// FormatAblationHeartbeat renders the trade-off.
+func FormatAblationHeartbeat(rows []HeartbeatAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — AM heartbeat interval vs acquisition delay (Table III row 2):\n")
+	fmt.Fprintf(&b, "  %-12s %14s %14s %16s\n", "interval", "acq p50(ms)", "acq p95(ms)", "heartbeats/s/app")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %14.0f %14.0f %16.1f\n",
+			fmt.Sprintf("%dms", r.IntervalMs), r.Acquisition.P50, r.Acquisition.P95, r.HeartbeatsPerSec)
+	}
+	b.WriteString("  (faster heartbeats cut acquisition delay but multiply cluster RPC load)\n")
+	return b.String()
+}
+
+// GateAblationRow relates Spark's minRegisteredResourcesRatio to the
+// executor delay and total scheduling delay.
+type GateAblationRow struct {
+	Ratio    float64
+	Total    stats.Summary
+	Executor stats.Summary
+}
+
+// AblationGate sweeps the registration gate.
+func AblationGate(queries int) []GateAblationRow {
+	if queries <= 0 {
+		queries = 80
+	}
+	rows := make([]GateAblationRow, 0, 3)
+	for _, ratio := range []float64{0.5, 0.8, 1.0} {
+		tr := DefaultTraceRun(queries)
+		tr.Seed = 91 + uint64(ratio*10)
+		r := ratio
+		tr.MutateSpark = func(i int, cfg *spark.Config) {
+			// 16 executors so the gate actually binds: with the default 4,
+			// the driver's init outlasts all registrations anyway.
+			cfg.Executors = 16
+			cfg.MinRegisteredRatio = r
+		}
+		_, rep := tr.Run()
+		rows = append(rows, GateAblationRow{
+			Ratio:    ratio,
+			Total:    rep.Total.Summarize(fmt.Sprintf("total@%.1f", ratio)),
+			Executor: rep.Executor.Summarize(fmt.Sprintf("exec@%.1f", ratio)),
+		})
+	}
+	return rows
+}
+
+// FormatAblationGate renders the sweep.
+func FormatAblationGate(rows []GateAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation — minRegisteredResourcesRatio vs scheduling delay:\n")
+	fmt.Fprintf(&b, "  %-8s %14s %14s\n", "ratio", "total p95(s)", "exec p95(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8.1f %14.1f %14.1f\n", r.Ratio, msToSec(r.Total.P95), msToSec(r.Executor.P95))
+	}
+	b.WriteString("  (a lower gate starts tasks on fewer executors: less waiting, less parallelism)\n")
+	return b.String()
+}
+
+// JVMReuseAblation compares default cold JVMs against the paper's
+// proposed JVM-reuse optimization (Table III rows 5-6).
+type JVMReuseAblation struct {
+	Cold, Reuse *core.Report
+	Comparison  *core.Comparison
+}
+
+// AblationJVMReuse runs the comparison.
+func AblationJVMReuse(queries int) *JVMReuseAblation {
+	if queries <= 0 {
+		queries = 80
+	}
+	run := func(reuse bool) *core.Report {
+		tr := DefaultTraceRun(queries)
+		tr.Seed = 101
+		tr.Opts.Yarn.JVMReuse = reuse
+		_, rep := tr.Run()
+		return rep
+	}
+	cold := run(false)
+	reuse := run(true)
+	return &JVMReuseAblation{
+		Cold:       cold,
+		Reuse:      reuse,
+		Comparison: core.Compare("cold-jvm", cold, "jvm-reuse", reuse),
+	}
+}
+
+// DedicatedDiskAblation compares localization under dfsIO interference
+// with and without the §V-B dedicated localization storage class.
+type DedicatedDiskAblation struct {
+	Shared, Dedicated *core.Report
+	Comparison        *core.Comparison
+}
+
+// AblationDedicatedDisk runs the comparison under 100-map dfsIO pressure.
+func AblationDedicatedDisk(queries int) *DedicatedDiskAblation {
+	if queries <= 0 {
+		queries = 80
+	}
+	run := func(dedicatedMBps float64) *core.Report {
+		tr := DefaultTraceRun(queries)
+		tr.Seed = 111
+		tr.Opts.Yarn.DedicatedLocalDiskMBps = dedicatedMBps
+		var ifID string
+		tr.Background = func(s *Scenario) {
+			cfg := workload.DfsIO(100, 20)
+			s.PrewarmCaches("/mr/job-" + cfg.Name + ".jar")
+			app := mapreduce.Submit(s.RM, s.FS, cfg)
+			ifID = app.ID.String()
+		}
+		_, rep := tr.Run()
+		return rep.Filter(func(a *core.AppTrace) bool { return a.ID.String() != ifID })
+	}
+	shared := run(0)
+	dedicated := run(1500)
+	return &DedicatedDiskAblation{
+		Shared:     shared,
+		Dedicated:  dedicated,
+		Comparison: core.Compare("shared-disk", shared, "dedicated-ssd", dedicated),
+	}
+}
+
+// OrderingAblation compares FIFO and Fair request ordering under a mixed
+// workload of small queries and one large MR job.
+type OrderingAblation struct {
+	FIFO, Fair *core.Report
+	Comparison *core.Comparison
+}
+
+// AblationOrdering runs the comparison: a 2000-map MR job is submitted
+// just before a stream of small queries; fair ordering lets the small
+// applications' requests bypass the giant's backlog.
+func AblationOrdering(queries int) *OrderingAblation {
+	if queries <= 0 {
+		queries = 60
+	}
+	run := func(policy yarn.OrderingPolicy) *core.Report {
+		tr := DefaultTraceRun(queries)
+		tr.Seed = 121
+		tr.Opts.Yarn.Ordering = policy
+		var ifID string
+		tr.Background = func(s *Scenario) {
+			s.PrewarmCaches("/mr/job-big.jar")
+			cfg := workload.MRWordcount("big", 2000)
+			cfg.Name = "big"
+			cfg.MapCPUSec = 2.0
+			app := mapreduce.Submit(s.RM, s.FS, cfg)
+			ifID = app.ID.String()
+		}
+		_, rep := tr.Run()
+		return rep.Filter(func(a *core.AppTrace) bool { return a.ID.String() != ifID })
+	}
+	fifo := run(yarn.OrderFIFO)
+	fair := run(yarn.OrderFair)
+	return &OrderingAblation{
+		FIFO:       fifo,
+		Fair:       fair,
+		Comparison: core.Compare("fifo", fifo, "fair", fair),
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import "testing"
+
+func TestAblationHeartbeat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run")
+	}
+	rows := AblationHeartbeat()
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Acquisition.P95 <= rows[i-1].Acquisition.P95 {
+			t.Errorf("acquisition p95 not monotone in heartbeat interval: %+v vs %+v",
+				rows[i].Acquisition, rows[i-1].Acquisition)
+		}
+	}
+	// The delay is capped by the interval itself.
+	for _, r := range rows {
+		if r.Acquisition.Max > float64(r.IntervalMs)+150 {
+			t.Errorf("acquisition max %.0fms exceeds the %dms heartbeat cap", r.Acquisition.Max, r.IntervalMs)
+		}
+	}
+	_ = FormatAblationHeartbeat(rows)
+}
+
+func TestAblationGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	rows := AblationGate(60)
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// A stricter gate cannot make the executor delay smaller.
+	if rows[2].Executor.P95 < rows[0].Executor.P95-300 {
+		t.Errorf("gate 1.0 exec p95 %.0f below gate 0.5's %.0f", rows[2].Executor.P95, rows[0].Executor.P95)
+	}
+	_ = FormatAblationGate(rows)
+}
+
+func TestAblationJVMReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	res := AblationJVMReuse(60)
+	launch := res.Comparison.Row("launching")
+	if launch == nil || launch.SpeedupP50 < 1.5 {
+		t.Errorf("JVM reuse launching speedup %+v, want >=1.5x", launch)
+	}
+	driver := res.Comparison.Row("driver")
+	if driver == nil || driver.SpeedupP50 <= 1.0 {
+		t.Errorf("JVM reuse driver speedup %+v, want >1x (warm-up skipped)", driver)
+	}
+	total := res.Comparison.Row("total")
+	if total == nil || total.SpeedupP50 <= 1.0 {
+		t.Errorf("JVM reuse total speedup %+v, want >1x", total)
+	}
+}
+
+func TestAblationDedicatedDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interference run")
+	}
+	res := AblationDedicatedDisk(60)
+	local := res.Comparison.Row("localization")
+	if local == nil || local.SpeedupP50 < 1.5 {
+		t.Errorf("dedicated localization disk speedup %+v, want >=1.5x under dfsIO (paper §V-B)", local)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed workload run")
+	}
+	res := AblationOrdering(50)
+	alloc := res.Comparison.Row("alloc")
+	if alloc == nil || alloc.SpeedupP95 <= 1.0 {
+		t.Errorf("fair ordering alloc speedup %+v, want >1x behind a large job", alloc)
+	}
+}

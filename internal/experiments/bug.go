@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+// BugResult reproduces §V-A: SDchecker's discovery of the Spark
+// over-allocation bug (SPARK-21562) when using opportunistic containers.
+type BugResult struct {
+	Report        *core.Report
+	Findings      []core.BugFinding
+	UnusedPerApp  float64
+	TotalAcquired int
+}
+
+// BugHunt runs a distributed-scheduler trace where Spark's allocator
+// over-requests containers; SDchecker flags the ones that never produced
+// NM or executor log states.
+func BugHunt(queries int) *BugResult {
+	if queries <= 0 {
+		queries = 100
+	}
+	tr := DefaultTraceRun(queries)
+	tr.Seed = 81
+	tr.Opts.Yarn.Scheduler = yarn.SchedOpportunistic
+	tr.MutateSpark = func(q int, cfg *spark.Config) {
+		cfg.Opportunistic = true
+		cfg.OverRequestFactor = 1.5 // the buggy demand estimation
+	}
+	_, rep := tr.Run()
+
+	acquired := 0
+	for _, e := range rep.Events {
+		if e.Kind == core.ContAcquired {
+			acquired++
+		}
+	}
+	return &BugResult{
+		Report:        rep,
+		Findings:      rep.Bugs,
+		UnusedPerApp:  float64(len(rep.Bugs)) / float64(maxInt(1, len(rep.Apps))),
+		TotalAcquired: acquired,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Format renders the finding.
+func (r *BugResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§V-A — over-allocation bug detection (SPARK-21562):\n")
+	fmt.Fprintf(&b, "  apps=%d acquired containers=%d allocated-but-never-used=%d (%.1f per app)\n",
+		len(r.Report.Apps), r.TotalAcquired, len(r.Findings), r.UnusedPerApp)
+	for i, f := range r.Findings {
+		if i >= 3 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(r.Findings)-3)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// These tests assert the qualitative claims of each paper figure at
+// reduced scale — who wins, what grows, where the caps sit. Absolute
+// paper-scale numbers are recorded by cmd/benchall / EXPERIMENTS.md.
+
+func TestFig4Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	res := Fig4(200)
+	rep := res.Report
+
+	if got := rep.InOverTotal.Median(); got < 0.6 {
+		t.Errorf("in/total median %.2f, paper says Spark causes >70%%", got)
+	}
+	if got := rep.OutOverTotal.Median(); got > 0.4 {
+		t.Errorf("out/total median %.2f, paper says YARN causes <30%%", got)
+	}
+	if got := rep.TotalOverJob.Median(); got < 0.25 || got > 0.7 {
+		t.Errorf("total/job median %.2f, paper: ~40%% (60%% worst)", got)
+	}
+	if got := rep.TotalOverJob.P95(); got > 0.85 {
+		t.Errorf("total/job p95 %.2f too extreme", got)
+	}
+	if got := rep.AMOverTotal.Median(); got < 0.15 || got > 0.55 {
+		t.Errorf("am/total median %.2f, paper: ~35%%", got)
+	}
+	// Fig 4c: the in-application delay varies more than the out one.
+	if rep.In.StdDev() <= rep.Out.StdDev()*0.8 {
+		t.Errorf("stddev in=%.0f out=%.0f — paper: in varies most", rep.In.StdDev(), rep.Out.StdDev())
+	}
+	// Component medians near the paper's defaults.
+	if m := rep.Localization.Median(); m < 250 || m > 1000 {
+		t.Errorf("localization median %.0fms, paper ~500ms", m)
+	}
+	if m := rep.Launching.Median(); m < 450 || m > 1000 {
+		t.Errorf("launching median %.0fms, paper ~700ms", m)
+	}
+	if m := rep.Driver.Median(); m < 2000 || m > 4500 {
+		t.Errorf("driver delay median %.0fms, paper ~3s", m)
+	}
+	// Every app must decompose fully.
+	for _, a := range rep.Apps {
+		if a.Decomp == nil || a.Decomp.Total < 0 {
+			t.Fatalf("app %s failed to decompose", a.ID)
+		}
+	}
+	if out := res.Format(); len(out) == 0 {
+		t.Error("empty format output")
+	}
+}
+
+func TestFig6MoreExecutorsMoreDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	rows := Fig6(80)
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.TotalP95Sec <= first.TotalP95Sec {
+		t.Errorf("16 executors (%.1fs) not slower than 2 (%.1fs)", last.TotalP95Sec, first.TotalP95Sec)
+	}
+	if last.ClMinusCf.P95 <= first.ClMinusCf.P95 {
+		t.Errorf("Cl-Cf p95 did not grow with executors: %v vs %v", last.ClMinusCf.P95, first.ClMinusCf.P95)
+	}
+	_ = FormatFig6(rows)
+}
+
+func TestFig7SchedulerTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trace run")
+	}
+	res := Fig7(80)
+	// (a) distributed allocates at least 10x faster at the median.
+	if res.DistributedAlloc.P50*10 > res.CentralAlloc.P50 {
+		t.Errorf("distributed alloc p50 %.0fms vs centralized %.0fms — want >=10x gap (paper: 80x)",
+			res.DistributedAlloc.P50, res.CentralAlloc.P50)
+	}
+	// (b) distributed queueing is tens of seconds; centralized is tiny.
+	if res.DistQueueing.P95 < 5000 {
+		t.Errorf("distributed queueing p95 %.0fms, paper sees up to ~53s", res.DistQueueing.P95)
+	}
+	if res.CentralQueueing.P95 > 500 {
+		t.Errorf("centralized queueing p95 %.0fms, paper ~100ms", res.CentralQueueing.P95)
+	}
+	// (c) acquisition delay capped by the 1s MR heartbeat at every load.
+	for load, sm := range res.AcquisitionByLoad {
+		if sm.Max > 1100 {
+			t.Errorf("acquisition max %.0fms at %d%% load breaks the 1s heartbeat cap", sm.Max, load)
+		}
+		if sm.P95 < 500 {
+			t.Errorf("acquisition p95 %.0fms at %d%% load suspiciously small", sm.P95, load)
+		}
+	}
+	_ = res.Format()
+}
+
+func TestTableIIThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweep")
+	}
+	rows := TableII()
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Throughput <= rows[i-1].Throughput {
+			t.Errorf("throughput not scaling: %+v", rows)
+		}
+	}
+	// The paper's point: the allocator is NOT the bottleneck — full-load
+	// throughput stays far above per-app demand.
+	if rows[3].Throughput < 300 {
+		t.Errorf("full-load throughput %.0f/s too low", rows[3].Throughput)
+	}
+	_ = FormatTableII(rows)
+}
+
+func TestFig8LocalizationGrowsWithFileSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace sweep")
+	}
+	rows := Fig8(60)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Localization.P50 <= rows[i-1].Localization.P50 {
+			t.Errorf("localization p50 not monotone at row %d: %v <= %v",
+				i, rows[i].Localization.P50, rows[i-1].Localization.P50)
+		}
+	}
+	// Default package localizes in ~0.5s.
+	if d := rows[0].Localization.P50; d < 250 || d > 900 {
+		t.Errorf("default localization p50 %.0fms, paper ~500ms", d)
+	}
+	// 8 GB extra files: tens of seconds.
+	last := rows[len(rows)-1]
+	if last.Localization.P50 < 8000 {
+		t.Errorf("8GB localization p50 %.0fms, paper ~23s", last.Localization.P50)
+	}
+	// Driver containers stay sub-second even at 8 GB (they skip --files).
+	if last.DriverLocalizationP50 >= 1000 {
+		t.Errorf("driver localization p50 %.0fms at 8GB, paper observes <1s points", last.DriverLocalizationP50)
+	}
+	_ = FormatFig8(rows)
+}
+
+func TestFig9LaunchingDelays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed trace")
+	}
+	res := Fig9(60)
+	spe, ok1 := res.ByInstance[instSpe()]
+	mrm, ok2 := res.ByInstance[instMrm()]
+	if !ok1 || !ok2 {
+		t.Fatalf("instance types missing: %v", res.ByInstance)
+	}
+	if spe.P50 < 450 || spe.P50 > 1000 {
+		t.Errorf("spe launch p50 %.0fms, paper ~700ms", spe.P50)
+	}
+	if mrm.P50 <= spe.P50 {
+		t.Errorf("MR master launch (%.0f) should exceed Spark's (%.0f)", mrm.P50, spe.P50)
+	}
+	over := res.DockerLaunch.P50 - res.DefaultLaunch.P50
+	if over < 200 || over > 700 {
+		t.Errorf("docker overhead %.0fms median, paper ~350ms", over)
+	}
+	tail := res.DockerLaunch.P95 - res.DefaultLaunch.P95
+	if tail < over {
+		t.Errorf("docker tail overhead %.0f < median %.0f — paper observes a long tail", tail, over)
+	}
+	_ = res.Format()
+}
+
+func TestFig11InApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace sweep")
+	}
+	res := Fig11(60)
+	// Driver delays nearly identical between the two apps (~3s).
+	if diff := res.SQLDriver.P50 - res.WordcountDriver.P50; diff > 600 || diff < -600 {
+		t.Errorf("driver delays differ by %.0fms, paper: almost identical", diff)
+	}
+	// SQL executor delay clearly exceeds wordcount's (8 tables vs 1).
+	if res.SQLExecutor.P95 <= res.WordcountExecutor.P95+1000 {
+		t.Errorf("sql exec p95 %.0f vs wordcount %.0f — want a clear gap", res.SQLExecutor.P95, res.WordcountExecutor.P95)
+	}
+	// Executor delay grows with opened files; opt beats x1.
+	x1, x4 := res.ExecutorByVariant["x1"], res.ExecutorByVariant["x4"]
+	opt := res.ExecutorByVariant["opt"]
+	if x4.P50 <= x1.P50 {
+		t.Errorf("x4 (%.0f) not slower than x1 (%.0f)", x4.P50, x1.P50)
+	}
+	saving := x1.P95 - opt.P95
+	if saving < 1000 {
+		t.Errorf("opt saves only %.0fms at the tail, paper ~2s", saving)
+	}
+	_ = res.Format()
+}
+
+func TestFig12IOInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interference sweep")
+	}
+	rows := Fig12(60)
+	base, heavy := rows[0], rows[len(rows)-1]
+	if slow := heavy.Localization.P50 / nonzero(base.Localization.P50); slow < 3 {
+		t.Errorf("localization median slowdown %.1fx, paper 9.4x", slow)
+	}
+	if heavy.TotalP95Sec <= base.TotalP95Sec {
+		t.Errorf("total did not degrade under dfsIO")
+	}
+	if heavy.AM.P95 <= base.AM.P95 {
+		t.Errorf("AM delay did not degrade (paper: up to 8x via driver localization)")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Localization.P50 < rows[i-1].Localization.P50 {
+			t.Errorf("localization not monotone in interference level")
+		}
+	}
+	_ = FormatFig12(rows)
+}
+
+func TestFig13CPUInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interference sweep")
+	}
+	rows := Fig13(60)
+	base, heavy := rows[0], rows[len(rows)-1]
+	if slow := heavy.Driver.P95 / nonzero(base.Driver.P95); slow < 1.3 {
+		t.Errorf("driver slowdown %.1fx, paper 2.9x", slow)
+	}
+	// The paper's headline: in-application is vulnerable to CPU
+	// interference, out-application is not.
+	outSlow := heavy.OutP95Sec / nonzero(base.OutP95Sec)
+	inSlow := heavy.InP95Sec / nonzero(base.InP95Sec)
+	if outSlow > 1.4 {
+		t.Errorf("out-application slowed %.1fx under CPU interference; should be insensitive", outSlow)
+	}
+	if inSlow <= outSlow {
+		t.Errorf("in (%.1fx) not more vulnerable than out (%.1fx)", inSlow, outSlow)
+	}
+	if slow := heavy.Localization.P50 / nonzero(base.Localization.P50); slow > 1.6 {
+		t.Errorf("localization slowed %.1fx under CPU interference, paper: only ~1.4x", slow)
+	}
+	_ = FormatFig13(rows)
+}
+
+func TestBugHuntFindsOverAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	res := BugHunt(40)
+	if len(res.Findings) == 0 {
+		t.Fatal("SDchecker found no over-allocated containers")
+	}
+	// OverRequestFactor 1.5 on 4 executors -> 2 unused per app.
+	if res.UnusedPerApp < 1.5 || res.UnusedPerApp > 2.5 {
+		t.Errorf("unused per app %.1f, want ~2", res.UnusedPerApp)
+	}
+	for _, f := range res.Findings {
+		if f.Container.IsAM() {
+			t.Errorf("AM container flagged as unused: %v", f)
+		}
+	}
+	_ = res.Format()
+}
+
+func TestTableIIIShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace run")
+	}
+	rows := TableIII(Fig4(150))
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Source] = r.Contribution
+		if r.Contribution < 0 {
+			t.Errorf("negative contribution: %+v", r)
+		}
+	}
+	if byName["6.executor-delay"] <= byName["5.driver-delay"] {
+		t.Errorf("executor delay (%.2f) should dominate driver (%.2f) — paper: 41%% vs ~29%%",
+			byName["6.executor-delay"], byName["5.driver-delay"])
+	}
+	if byName["2.acqui-delays"] > 0.1 {
+		t.Errorf("acquisition contribution %.2f too large, paper <1%%", byName["2.acqui-delays"])
+	}
+	_ = FormatTableIII(rows)
+}

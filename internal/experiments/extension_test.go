@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+func TestExtensionSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("burst runs")
+	}
+	rows := ExtensionSampling(120)
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Power-of-two is the sweet spot; very high k herds onto the same
+	// momentarily-idle nodes (Sparrow's known staleness pathology), so we
+	// assert the k=2 row.
+	random, best := rows[0], rows[1]
+	if best.Queueing.P95 >= random.Queueing.P95 {
+		t.Errorf("power-of-%d queueing p95 %.0fms not below random's %.0fms",
+			best.Choices, best.Queueing.P95, random.Queueing.P95)
+	}
+	// Sampling must not give up the distributed scheduler's fast grants.
+	if best.Alloc.P95 > random.Alloc.P95*3+100 {
+		t.Errorf("sampling alloc p95 %.0fms lost the latency advantage (random %.0fms)",
+			best.Alloc.P95, random.Alloc.P95)
+	}
+	_ = FormatExtensionSampling(rows)
+}
+
+func TestExtensionCacheService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interference runs")
+	}
+	res := ExtensionCacheService(50)
+	local := res.Comparison.Row("localization")
+	if local == nil || local.SpeedupP50 < 1.5 {
+		t.Errorf("caching service localization speedup %+v, want >=1.5x", local)
+	}
+	if res.HitRate < 0.5 {
+		t.Errorf("cache hit rate %.2f suspiciously low for a steady-state cluster", res.HitRate)
+	}
+}
+
+func TestExtensionPreemption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flooded runs")
+	}
+	res := ExtensionPreemption(25)
+	total := res.Comparison.Row("total")
+	if total == nil {
+		t.Fatal("no total row")
+	}
+	// Preemption must help (or at worst not hurt, beyond noise) the
+	// guaranteed queries under the opportunistic flood. The effect is
+	// modest in this scenario because YARN's memory-only allocation never
+	// blocks the guaranteed containers — preemption only relieves the CPU
+	// oversubscription.
+	if total.SpeedupP95 < 0.95 {
+		t.Errorf("preemption made guaranteed queries clearly slower: %+v", total)
+	}
+	job := res.Comparison.Row("job")
+	if job != nil && job.SpeedupP50 < 0.95 {
+		t.Errorf("preemption slowed guaranteed job runtimes: %+v", job)
+	}
+	t.Logf("preemption: total p95 speedup %.2fx, job p50 speedup %.2fx", total.SpeedupP95, job.SpeedupP50)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// TestSparkSurvivesLaunchFailures injects a 25% container launch failure
+// rate and checks every query still completes (the driver re-requests
+// replacements) and SDchecker still decomposes cleanly.
+func TestSparkSurvivesLaunchFailures(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Yarn.LaunchFailureProb = 0.25
+	opts.Seed = 201
+	s := NewScenario(opts)
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	apps := make([]*spark.App, 0, 10)
+	for i := 0; i < 10; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i+1, 2048, tables))
+		at := sim.Time(int64(i)*3000 + 2000)
+		idx := i
+		s.Eng.At(at, func() { apps = append(apps, spark.Submit(s.RM, s.FS, cfg)); _ = idx })
+	}
+	s.Run(sim.Time(3600 * sim.Second))
+	for i, app := range apps {
+		if !app.Finished() {
+			t.Fatalf("app %d did not survive launch failures", i)
+		}
+	}
+	rep := s.Check()
+	// Failures are visible in the logs...
+	var nmAll strings.Builder
+	for _, f := range s.Sink.Files() {
+		if strings.Contains(f, "nodemanager") {
+			nmAll.WriteString(strings.Join(s.Sink.Lines(f), "\n"))
+		}
+	}
+	if !strings.Contains(nmAll.String(), "EXITED_WITH_FAILURE") {
+		t.Fatal("no injected failures at a 25% rate — injection broken?")
+	}
+	// ...but must not confuse the bug detector (they have NM states).
+	for _, b := range rep.Bugs {
+		t.Errorf("failed container misflagged as over-allocation bug: %v", b)
+	}
+	// And every app still decomposes fully.
+	for _, a := range rep.Apps {
+		if a.Decomp == nil || a.Decomp.Total < 0 || a.Decomp.Executor < 0 {
+			t.Fatalf("app %s decomposition incomplete under failures: %+v", a.ID, a.Decomp)
+		}
+	}
+	// No capacity leak: everything released at the end.
+	if u := s.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+		t.Fatalf("queue usage %.4f after drain, want 0 (capacity leak)", u)
+	}
+}
+
+// TestMRSurvivesLaunchFailures does the same for a MapReduce job,
+// including failed AM containers (retried by the RM itself).
+func TestMRSurvivesLaunchFailures(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Yarn.LaunchFailureProb = 0.3
+	opts.Yarn.LocalityDelayMaxBeats = 0
+	opts.Seed = 202
+	s := NewScenario(opts)
+	s.PrewarmCaches("/mr/job-fwc.jar")
+	cfg := mapreduce.DefaultConfig("fwc", 20, 3)
+	cfg.Name = "fwc"
+	cfg.MapInputMB = 16
+	cfg.ReduceShuffleMB = 8
+	app := mapreduce.Submit(s.RM, s.FS, cfg)
+	s.Run(sim.Time(3600 * sim.Second))
+	if !app.Finished() {
+		t.Fatal("MR job did not survive launch failures")
+	}
+	if u := s.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+		t.Fatalf("queue usage %.4f after drain (capacity leak)", u)
+	}
+}
+
+// TestFailureFreeRunsUnchanged guards the zero-probability path: failure
+// injection off must not alter behavior at all.
+func TestFailureFreeRunsUnchanged(t *testing.T) {
+	run := func(prob float64) string {
+		opts := DefaultOptions()
+		opts.Yarn.LaunchFailureProb = prob
+		opts.Seed = 203
+		s := NewScenario(opts)
+		tables := workload.CreateTPCHTables(s.FS, 2048)
+		cfg := spark.DefaultConfig(workload.TPCHQuery(3, 2048, tables))
+		spark.Submit(s.RM, s.FS, cfg)
+		s.Run(sim.Time(1800 * sim.Second))
+		return s.Check().Format()
+	}
+	if run(0) != run(0) {
+		t.Fatal("zero-probability runs are not deterministic")
+	}
+}
+
+// TestValidatorAcceptsFailureTraces ensures failure logs do not trip the
+// temporal-consistency validator.
+func TestValidatorAcceptsFailureTraces(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Yarn.LaunchFailureProb = 0.25
+	opts.Seed = 204
+	s := NewScenario(opts)
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	spark.Submit(s.RM, s.FS, spark.DefaultConfig(workload.TPCHQuery(7, 2048, tables)))
+	s.Run(sim.Time(1800 * sim.Second))
+	rep := s.Check()
+	if problems := rep.ValidateAll(); len(problems) != 0 {
+		t.Fatalf("validator flagged failure traces: %v", problems)
+	}
+	_ = core.Missing
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Fig5Sizes are the paper's input-size sweep points (§IV-B: "ranging from
+// 20MB to 200GB").
+var Fig5Sizes = []float64{20, 2 * 1024, 20 * 1024, 200 * 1024}
+
+// Fig5Row is one input size's result.
+type Fig5Row struct {
+	DatasetMB float64
+	Report    *core.Report
+
+	TotalCDF     []stats.CDFPoint
+	TotalP95Sec  float64
+	NormTotalP50 float64
+	NormTotalP95 float64
+	InP95Sec     float64
+	OutP95Sec    float64
+}
+
+// Fig5 sweeps the TPC-H dataset size under the same submission cadence
+// for every size, as the paper's trace replay does. Bigger inputs make
+// jobs run longer, so more of them overlap — the "intensive cluster-wide
+// IO interference" the paper blames for the deteriorated 200 GB delays
+// emerges from that overlap. queriesPerSize <= 0 uses the short trace
+// size (200).
+func Fig5(queriesPerSize int) []Fig5Row {
+	if queriesPerSize <= 0 {
+		queriesPerSize = 200
+	}
+	rows := make([]Fig5Row, 0, len(Fig5Sizes))
+	for _, size := range Fig5Sizes {
+		tr := DefaultTraceRun(queriesPerSize)
+		tr.DatasetMB = size
+		tr.Seed = 7 + uint64(size)
+		// Leave room for the long-running bodies to drain.
+		bodySec := estimateBodySec(size)
+		tr.DeadlineSec = int64(float64(queriesPerSize)*tr.MeanGapMs/1000 + 4*bodySec + 600)
+		_, rep := tr.Run()
+		rows = append(rows, Fig5Row{
+			DatasetMB:    size,
+			Report:       rep,
+			TotalCDF:     rep.Total.CDF(50),
+			TotalP95Sec:  msToSec(rep.Total.P95()),
+			NormTotalP50: rep.TotalOverJob.Median(),
+			NormTotalP95: rep.TotalOverJob.P95(),
+			InP95Sec:     msToSec(rep.In.P95()),
+			OutP95Sec:    msToSec(rep.Out.P95()),
+		})
+	}
+	return rows
+}
+
+// estimateBodySec approximates a query's post-scheduling runtime for
+// pacing purposes only (scan waves dominate).
+func estimateBodySec(datasetMB float64) float64 {
+	tasks := datasetMB * 0.8 / 128
+	waves := tasks / 32 // 4 executors x 8 cores
+	if waves < 1 {
+		waves = 1
+	}
+	return waves*11 + 8
+}
+
+// FormatFig5 renders the sweep as the paper's two panels.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 5 — total scheduling delay vs input size:\n")
+	fmt.Fprintf(&b, "  %-10s %12s %12s %12s %10s %10s\n",
+		"input", "total p95(s)", "norm p50", "norm p95", "in p95(s)", "out p95(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %12.1f %12.2f %12.2f %10.1f %10.1f\n",
+			sizeLabel(r.DatasetMB), r.TotalP95Sec, r.NormTotalP50, r.NormTotalP95, r.InP95Sec, r.OutP95Sec)
+	}
+	if len(rows) >= 2 {
+		first, last := rows[0], rows[len(rows)-1]
+		fmt.Fprintf(&b, "  largest/smallest: total %.1fx, in %.1fx, out %.1fx (paper: 4x, 5.7x, 1.5x)\n",
+			last.TotalP95Sec/first.TotalP95Sec, last.InP95Sec/first.InP95Sec, last.OutP95Sec/first.OutP95Sec)
+	}
+	return b.String()
+}
+
+func sizeLabel(mb float64) string {
+	if mb >= 1024 {
+		return fmt.Sprintf("%.0fGB", mb/1024)
+	}
+	return fmt.Sprintf("%.0fMB", mb)
+}

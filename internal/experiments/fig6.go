@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/spark"
+	"repro/internal/stats"
+)
+
+// Fig6Executors is the executor-count sweep (§IV-B, Fig 6).
+var Fig6Executors = []int{2, 4, 8, 16}
+
+// Fig6Row is one executor count's result.
+type Fig6Row struct {
+	Executors int
+	Report    *core.Report
+
+	TotalP95Sec float64
+	TotalCDF    []stats.CDFPoint
+	ClMinusCf   stats.Summary // seconds would lose precision; kept in ms
+}
+
+// Fig6 sweeps the number of executors per query. More executors mean more
+// containers to allocate, localize and launch, and a stricter 80%
+// registration gate — the trade-off between parallelism and scheduling
+// delay the paper highlights.
+func Fig6(queriesPerPoint int) []Fig6Row {
+	if queriesPerPoint <= 0 {
+		queriesPerPoint = 200
+	}
+	rows := make([]Fig6Row, 0, len(Fig6Executors))
+	for _, n := range Fig6Executors {
+		tr := DefaultTraceRun(queriesPerPoint)
+		tr.Seed = 11 + uint64(n)
+		execs := n
+		tr.MutateSpark = func(q int, cfg *spark.Config) {
+			cfg.Executors = execs
+		}
+		_, rep := tr.Run()
+		rows = append(rows, Fig6Row{
+			Executors:   n,
+			Report:      rep,
+			TotalP95Sec: msToSec(rep.Total.P95()),
+			TotalCDF:    rep.Total.CDF(50),
+			ClMinusCf:   rep.ClMinusCf.Summarize(fmt.Sprintf("Cl-Cf@%d", n)),
+		})
+	}
+	return rows
+}
+
+// FormatFig6 renders the sweep.
+func FormatFig6(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Fig 6 — scheduling delay vs number of executors:\n")
+	fmt.Fprintf(&b, "  %-10s %13s %16s %16s %16s\n",
+		"executors", "total p95(s)", "Cl-Cf p50(ms)", "Cl-Cf p95(ms)", "Cl-Cf sd(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10d %13.1f %16.0f %16.0f %16.0f\n",
+			r.Executors, r.TotalP95Sec, r.ClMinusCf.P50, r.ClMinusCf.P95, r.ClMinusCf.StdDev)
+	}
+	return b.String()
+}

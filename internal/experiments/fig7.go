@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// Fig7Result reproduces Fig 7: the scheduler comparison.
+type Fig7Result struct {
+	// (a) Aggregated container allocation delay (START_ALLO -> END_ALLO).
+	CentralAlloc     stats.Summary
+	DistributedAlloc stats.Summary
+	CentralAllocCDF  []stats.CDFPoint
+	DistAllocCDF     []stats.CDFPoint
+	allocPlot        string
+
+	// (b) Task queueing delay on an overloaded cluster.
+	CentralQueueing stats.Summary
+	DistQueueing    stats.Summary
+
+	// (c) Container acquisition delay vs cluster load (MapReduce).
+	// (allocPlot already captured above)
+	AcquisitionByLoad map[int]stats.Summary
+}
+
+// Fig7 runs all three panels. queries <= 0 uses the short trace (200).
+func Fig7(queries int) *Fig7Result {
+	if queries <= 0 {
+		queries = 200
+	}
+	res := &Fig7Result{AcquisitionByLoad: make(map[int]stats.Summary)}
+
+	// (a) Allocation delay under the short trace, centralized vs
+	// distributed.
+	runAlloc := func(opportunistic bool) *core.Report {
+		tr := DefaultTraceRun(queries)
+		tr.Seed = 21
+		if opportunistic {
+			tr.Opts.Yarn.Scheduler = yarn.SchedOpportunistic
+			tr.MutateSpark = func(q int, cfg *spark.Config) { cfg.Opportunistic = true }
+		}
+		_, rep := tr.Run()
+		return rep
+	}
+	ce := runAlloc(false)
+	de := runAlloc(true)
+	res.CentralAlloc = ce.Alloc.Summarize("ce-alloc")
+	res.DistributedAlloc = de.Alloc.Summarize("de-alloc")
+	res.CentralAllocCDF = ce.Alloc.CDF(50)
+	res.DistAllocCDF = de.Alloc.CDF(50)
+	res.allocPlot = stats.ASCIICDF("Fig 7(a) — allocation delay CDFs", 64, 12,
+		stats.PlotSeries{Name: "centralized", Sample: ce.Alloc},
+		stats.PlotSeries{Name: "distributed", Sample: de.Alloc})
+
+	// (b) Queueing delay on a highly loaded cluster: a burst of queries
+	// whose aggregate demand exceeds capacity. The distributed scheduler
+	// places randomly and queues at hot NodeManagers; the centralized one
+	// holds requests at the RM instead, so NM-side queueing stays small.
+	runBurst := func(opportunistic bool) *core.Report {
+		opts := DefaultOptions()
+		if opportunistic {
+			opts.Yarn.Scheduler = yarn.SchedOpportunistic
+		}
+		s := NewScenario(opts)
+		tables := workload.CreateTPCHTables(s.FS, 2048)
+		n := queries
+		for i := 0; i < n; i++ {
+			q := i%22 + 1
+			cfg := spark.DefaultConfig(workload.TPCHQuery(q, 2048, tables))
+			cfg.Opportunistic = opportunistic
+			at := sim.Time(2*sim.Second) + sim.Time(i)*200 // ~5 submissions/s
+			s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, cfg) })
+		}
+		s.Run(sim.Time(3600 * sim.Second))
+		return s.Check()
+	}
+	ceq := runBurst(false)
+	deq := runBurst(true)
+	res.CentralQueueing = ceq.Queueing.Summarize("ce-queueing")
+	res.DistQueueing = deq.Queueing.Summarize("de-queueing")
+
+	// (c) Acquisition delay vs cluster load, MapReduce wordcount. The MR
+	// AM pulls on a fixed 1 s heartbeat, which caps the delay.
+	for _, load := range []int{10, 40, 70, 100} {
+		opts := DefaultOptions()
+		opts.Seed = 42 + uint64(load)
+		s := NewScenario(opts)
+		s.PrewarmCaches("/mr/job-acq.jar")
+		window := workload.ClusterLoadMaps(s.Cl, float64(load)/100)
+		cfg := workload.MRWordcount("acq", window*4)
+		cfg.Name = "acq"
+		cfg.MaxConcurrentMaps = window
+		mapreduce.Submit(s.RM, s.FS, cfg)
+		s.Run(sim.Time(3600 * sim.Second))
+		rep := s.Check()
+		res.AcquisitionByLoad[load] = rep.Acquisition.Summarize(fmt.Sprintf("acq@%d%%", load))
+	}
+	return res
+}
+
+// Format renders the three panels.
+func (r *Fig7Result) Format() string {
+	var b strings.Builder
+	b.WriteString(r.allocPlot)
+	b.WriteString("Fig 7(a) — container allocation delay (ms):\n")
+	fmt.Fprintf(&b, "  %-14s p50=%7.0f p95=%7.0f\n", "centralized", r.CentralAlloc.P50, r.CentralAlloc.P95)
+	fmt.Fprintf(&b, "  %-14s p50=%7.0f p95=%7.0f\n", "distributed", r.DistributedAlloc.P50, r.DistributedAlloc.P95)
+	if r.DistributedAlloc.P50 > 0 {
+		fmt.Fprintf(&b, "  median speedup: %.0fx (paper: ~80x)\n", r.CentralAlloc.P50/r.DistributedAlloc.P50)
+	}
+	b.WriteString("Fig 7(b) — queueing delay on an overloaded cluster (ms):\n")
+	fmt.Fprintf(&b, "  %-14s p50=%7.0f p95=%7.0f max=%7.0f\n", "centralized", r.CentralQueueing.P50, r.CentralQueueing.P95, r.CentralQueueing.Max)
+	fmt.Fprintf(&b, "  %-14s p50=%7.0f p95=%7.0f max=%7.0f\n", "distributed", r.DistQueueing.P50, r.DistQueueing.P95, r.DistQueueing.Max)
+	b.WriteString("Fig 7(c) — acquisition delay vs cluster load (ms):\n")
+	for _, load := range []int{10, 40, 70, 100} {
+		sm := r.AcquisitionByLoad[load]
+		fmt.Fprintf(&b, "  load %3d%%: p50=%5.0f p95=%5.0f max=%5.0f (cap: 1000 ms AM heartbeat)\n",
+			load, sm.P50, sm.P95, sm.Max)
+	}
+	return b.String()
+}

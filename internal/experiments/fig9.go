@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/docker"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig9Result reproduces Fig 9: launching delay by instance type and by
+// container runtime.
+type Fig9Result struct {
+	// (a) Launching delay per instance type (spm, spe, mrm, mrsm, mrsr).
+	ByInstance map[core.InstanceType]stats.Summary
+
+	// (b) Default vs Docker container runtime (Spark instances).
+	DefaultLaunch stats.Summary
+	DockerLaunch  stats.Summary
+	DefaultCDF    []stats.CDFPoint
+	DockerCDF     []stats.CDFPoint
+}
+
+// Fig9 runs a mixed Spark + MapReduce trace for the per-instance panel,
+// then a Docker-runtime trace for the container-type panel.
+func Fig9(appsPerKind int) *Fig9Result {
+	if appsPerKind <= 0 {
+		appsPerKind = 120
+	}
+	res := &Fig9Result{ByInstance: make(map[core.InstanceType]stats.Summary)}
+
+	// (a) Mixed workload: alternate TPC-H queries and MR wordcount jobs.
+	s := NewScenario(DefaultOptions())
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	s.PrewarmCaches("/mr/job-wc.jar")
+	arrivals := trace.Arrivals(trace.Config{N: appsPerKind * 2, MeanGapMs: 2800, BurstProb: 0.2, BurstGapMs: 350, Seed: 41}, sim.Time(2*sim.Second))
+	for i, at := range arrivals {
+		i := i
+		if i%2 == 0 {
+			cfg := spark.DefaultConfig(workload.TPCHQuery(i%22+1, 2048, tables))
+			s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, cfg) })
+		} else {
+			cfg := mapreduce.DefaultConfig("wc", 12, 4)
+			cfg.Name = "wc"
+			cfg.MapInputMB = 64
+			cfg.ReduceShuffleMB = 32
+			s.Eng.At(at, func() { mapreduce.Submit(s.RM, s.FS, cfg) })
+		}
+	}
+	s.Run(sim.Time(4 * 3600 * sim.Second))
+	rep := s.Check()
+	for inst, sample := range rep.LaunchingByInstance {
+		res.ByInstance[inst] = sample.Summarize(string(inst))
+	}
+
+	// (b) Same TPC-H trace with the default and the Docker runtime.
+	runRT := func(rt docker.Runtime) *core.Report {
+		tr := DefaultTraceRun(appsPerKind)
+		tr.Seed = 43
+		tr.MutateSpark = func(q int, cfg *spark.Config) { cfg.Runtime = rt }
+		_, r := tr.Run()
+		return r
+	}
+	def := runRT(docker.RuntimeDefault)
+	dock := runRT(docker.RuntimeDocker)
+	res.DefaultLaunch = def.Launching.Summarize("default")
+	res.DockerLaunch = dock.Launching.Summarize("docker")
+	res.DefaultCDF = def.Launching.CDF(50)
+	res.DockerCDF = dock.Launching.CDF(50)
+	return res
+}
+
+// Format renders both panels.
+func (r *Fig9Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 9(a) — launching delay by instance type (ms):\n")
+	for _, inst := range []core.InstanceType{core.InstSparkDriver, core.InstSparkExecutor, core.InstMRMaster, core.InstMRMap, core.InstMRReduce} {
+		sm, ok := r.ByInstance[inst]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-5s n=%-5d p50=%6.0f p95=%6.0f\n", inst, sm.Count, sm.P50, sm.P95)
+	}
+	b.WriteString("Fig 9(b) — launching delay by container runtime (ms):\n")
+	fmt.Fprintf(&b, "  %-8s p50=%6.0f p95=%6.0f\n", "default", r.DefaultLaunch.P50, r.DefaultLaunch.P95)
+	fmt.Fprintf(&b, "  %-8s p50=%6.0f p95=%6.0f\n", "docker", r.DockerLaunch.P50, r.DockerLaunch.P95)
+	fmt.Fprintf(&b, "  docker overhead: +%.0fms median, +%.0fms p95 (paper: +350ms, +658ms)\n",
+		r.DockerLaunch.P50-r.DefaultLaunch.P50, r.DockerLaunch.P95-r.DefaultLaunch.P95)
+	return b.String()
+}

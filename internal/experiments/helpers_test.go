@@ -1,0 +1,91 @@
+package experiments
+
+import "testing"
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[float64]string{
+		20:         "20MB",
+		1024:       "1GB",
+		2048:       "2GB",
+		200 * 1024: "200GB",
+	}
+	for mb, want := range cases {
+		if got := sizeLabel(mb); got != want {
+			t.Errorf("sizeLabel(%v)=%q, want %q", mb, got, want)
+		}
+	}
+}
+
+func TestEstimateBodySec(t *testing.T) {
+	small := estimateBodySec(20)
+	big := estimateBodySec(200 * 1024)
+	if small >= big {
+		t.Fatalf("body estimate not monotone: %v vs %v", small, big)
+	}
+	if small < 5 {
+		t.Fatalf("tiny input body %vs unreasonably small", small)
+	}
+}
+
+func TestMsToSec(t *testing.T) {
+	if msToSec(1500) != 1.5 {
+		t.Fatal("msToSec broken")
+	}
+}
+
+func TestNonzero(t *testing.T) {
+	if nonzero(0) != 1 || nonzero(5) != 5 {
+		t.Fatal("nonzero broken")
+	}
+}
+
+func TestDefaultOptionsShape(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Cluster.Workers != 25 {
+		t.Fatalf("workers=%d, want the paper's 25", opts.Cluster.Workers)
+	}
+	if opts.ClusterTS != DefaultClusterTS {
+		t.Fatal("cluster timestamp default")
+	}
+	s := NewScenario(opts)
+	if len(s.RM.NodeManagers()) != 25 {
+		t.Fatalf("NMs=%d", len(s.RM.NodeManagers()))
+	}
+	// Framework packages pre-created and pre-warmed.
+	if s.FS.Lookup("/spark/spark-archive.zip") == nil {
+		t.Fatal("spark package not registered in HDFS")
+	}
+}
+
+func TestTraceRunDeterministicAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two runs")
+	}
+	run := func() string {
+		tr := DefaultTraceRun(8)
+		tr.Seed = 99
+		_, rep := tr.Run()
+		return rep.Format()
+	}
+	if run() != run() {
+		t.Fatal("identical TraceRun configs diverged")
+	}
+}
+
+func TestReplicateMergesSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed runs")
+	}
+	tr := DefaultTraceRun(5)
+	rep := Replicate(tr, 1, 2, 3)
+	if len(rep.Apps) != 15 {
+		t.Fatalf("merged apps=%d, want 15", len(rep.Apps))
+	}
+	if rep.Total.Len() != 15 {
+		t.Fatalf("total sample n=%d", rep.Total.Len())
+	}
+	// Seeds must actually differ.
+	if rep.Total.Min() == rep.Total.Max() {
+		t.Fatal("all seeds produced identical delays")
+	}
+}

@@ -1,0 +1,7 @@
+package experiments
+
+import "repro/internal/core"
+
+// Tiny indirections so the assertion tests read naturally.
+func instSpe() core.InstanceType { return core.InstSparkExecutor }
+func instMrm() core.InstanceType { return core.InstMRMaster }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// MultiTenantResult measures what the paper's multi-tenant motivation
+// implies but does not evaluate: how Capacity Scheduler queue ceilings
+// protect a latency-sensitive tenant's scheduling delay from a batch
+// tenant. Low-latency TPC-H queries run in a "prod" queue while a large
+// MapReduce job floods an "adhoc" queue; with one shared queue the batch
+// job's thousands of requests sit in front of the queries' asks.
+type MultiTenantResult struct {
+	Shared, Isolated *core.Report
+	Comparison       *core.Comparison
+	// BatchSlowdown is the batch job's completion-time cost of isolation
+	// (the other side of the trade).
+	BatchSharedSec, BatchIsolatedSec float64
+	// ProdAlloc summarizes the queries' allocation delay per setup.
+	ProdAllocShared, ProdAllocIsolated stats.Summary
+}
+
+// MultiTenant runs both deployments.
+func MultiTenant(queries int) *MultiTenantResult {
+	if queries <= 0 {
+		queries = 60
+	}
+	run := func(isolated bool) (*core.Report, float64, stats.Summary) {
+		opts := DefaultOptions()
+		opts.Seed = 211
+		if isolated {
+			opts.Yarn.Queues = []yarn.QueueConfig{
+				{Name: "prod", Capacity: 0.6, MaxCapacity: 1.0},
+				{Name: "adhoc", Capacity: 0.4, MaxCapacity: 0.5},
+			}
+		}
+		s := NewScenario(opts)
+		tables := workload.CreateTPCHTables(s.FS, 2048)
+		s.PrewarmCaches("/mr/job-batch.jar")
+
+		batchQueue := ""
+		prodQueue := ""
+		if isolated {
+			batchQueue, prodQueue = "adhoc", "prod"
+		}
+		var batchDone sim.Time
+		cfg := workload.MRWordcount("batch", 4000)
+		cfg.Name = "batch"
+		cfg.MapCPUSec = 1.2
+		batch := mapreduce.SubmitToQueue(s.RM, s.FS, cfg, batchQueue)
+		batch.OnFinished = func(at sim.Time) { batchDone = at }
+
+		var batchID = batch.ID.String()
+		arrivals := trace.Arrivals(trace.Config{N: queries, MeanGapMs: 2600, BurstProb: 0.25, BurstGapMs: 325, Seed: 212}, sim.Time(5*sim.Second))
+		for i, at := range arrivals {
+			qcfg := spark.DefaultConfig(workload.TPCHQuery(i%22+1, 2048, tables))
+			qcfg.Queue = prodQueue
+			s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, qcfg) })
+		}
+		s.Run(sim.Time(4 * 3600 * sim.Second))
+		rep := s.Check().Filter(func(a *core.AppTrace) bool { return a.ID.String() != batchID })
+		return rep, float64(batchDone) / 1000, rep.Alloc.Summarize("prod-alloc")
+	}
+	sharedRep, sharedBatch, sharedAlloc := run(false)
+	isoRep, isoBatch, isoAlloc := run(true)
+	return &MultiTenantResult{
+		Shared:            sharedRep,
+		Isolated:          isoRep,
+		Comparison:        core.Compare("shared-queue", sharedRep, "isolated-queues", isoRep),
+		BatchSharedSec:    sharedBatch,
+		BatchIsolatedSec:  isoBatch,
+		ProdAllocShared:   sharedAlloc,
+		ProdAllocIsolated: isoAlloc,
+	}
+}
+
+// Format renders the study.
+func (r *MultiTenantResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Multi-tenant isolation — queue ceilings protecting low-latency queries from a batch tenant:\n")
+	fmt.Fprintf(&b, "  %-18s %14s %14s %14s\n", "deployment", "alloc p50(ms)", "alloc p95(ms)", "total p95(s)")
+	fmt.Fprintf(&b, "  %-18s %14.0f %14.0f %14.1f\n", "shared queue",
+		r.ProdAllocShared.P50, r.ProdAllocShared.P95, r.Shared.Total.P95()/1000)
+	fmt.Fprintf(&b, "  %-18s %14.0f %14.0f %14.1f\n", "isolated queues",
+		r.ProdAllocIsolated.P50, r.ProdAllocIsolated.P95, r.Isolated.Total.P95()/1000)
+	fmt.Fprintf(&b, "  batch job completion: shared %.0fs vs isolated %.0fs (the price of the ceiling)\n",
+		r.BatchSharedSec, r.BatchIsolatedSec)
+	return b.String()
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestMultiTenantIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two scenario runs")
+	}
+	res := MultiTenant(40)
+	// Isolation must protect the queries' allocation delay against the
+	// batch flood.
+	if res.ProdAllocIsolated.P95 >= res.ProdAllocShared.P95 {
+		t.Errorf("isolated alloc p95 %.0fms not better than shared %.0fms",
+			res.ProdAllocIsolated.P95, res.ProdAllocShared.P95)
+	}
+	// And it costs the batch tenant something (ceiling < whole cluster).
+	if res.BatchIsolatedSec <= res.BatchSharedSec {
+		t.Errorf("batch finished faster under a ceiling (%.0fs vs %.0fs)?",
+			res.BatchIsolatedSec, res.BatchSharedSec)
+	}
+	_ = res.Format()
+}

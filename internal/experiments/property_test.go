@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+// TestPropertyEndToEndInvariants runs small randomized scenarios through
+// the whole pipeline (simulate → log → mine → decompose) and checks the
+// decomposition invariants hold no matter the configuration:
+//
+//   - every finished app has a complete, non-negative decomposition
+//   - in = driver + executor, out = total − in >= 0
+//   - Cl >= Cf; job runtime >= total
+//   - per-container components are non-negative
+func TestPropertyEndToEndInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized scenario runs")
+	}
+	f := func(seed uint16, nq, ex, sched, fail uint8) bool {
+		queries := int(nq%4) + 2
+		executors := int(ex%6) + 1
+		tr := DefaultTraceRun(queries)
+		tr.Seed = uint64(seed) + 1
+		tr.MeanGapMs = 1500
+		opportunistic := sched%2 == 1
+		if opportunistic {
+			tr.Opts.Yarn.Scheduler = yarn.SchedOpportunistic
+		}
+		if fail%4 == 0 {
+			tr.Opts.Yarn.LaunchFailureProb = 0.15
+		}
+		tr.MutateSpark = func(i int, cfg *spark.Config) {
+			cfg.Executors = executors
+			cfg.Opportunistic = opportunistic
+		}
+		_, rep := tr.Run()
+		if len(rep.Apps) != queries {
+			return false
+		}
+		for _, a := range rep.Apps {
+			d := a.Decomp
+			if d == nil || d.Total < 0 || d.AM < 0 || d.Driver < 0 || d.Executor < 0 {
+				return false
+			}
+			if d.In != d.Driver+d.Executor || d.Out < 0 {
+				return false
+			}
+			if d.Cl < d.Cf {
+				return false
+			}
+			if d.JobRuntime < d.Total {
+				return false
+			}
+			for _, cd := range d.Acquisitions {
+				if cd.MS < 0 {
+					return false
+				}
+			}
+			for _, cd := range d.Localizations {
+				if cd.MS < 0 {
+					return false
+				}
+			}
+			for _, cd := range d.Launchings {
+				if cd.MS < 0 {
+					return false
+				}
+			}
+		}
+		// The logs themselves must be temporally consistent.
+		return len(rep.ValidateAll()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

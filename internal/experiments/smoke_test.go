@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+// TestSmokeSingleQuery runs one TPC-H query end to end and checks that
+// SDchecker reconstructs a complete decomposition from the logs alone.
+func TestSmokeSingleQuery(t *testing.T) {
+	s := NewScenario(DefaultOptions())
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	cfg := spark.DefaultConfig(workload.TPCHQuery(5, 2048, tables))
+	app := spark.Submit(s.RM, s.FS, cfg)
+	end := s.Run(sim.Time(30 * 60 * sim.Second))
+	if !app.Finished() {
+		t.Fatalf("app did not finish by t=%d", end)
+	}
+	rep := s.Check()
+	if len(rep.Apps) != 1 {
+		t.Fatalf("expected 1 app, got %d", len(rep.Apps))
+	}
+	d := rep.Apps[0].Decomp
+	t.Logf("end=%ds total=%dms am=%dms in=%dms out=%dms driver=%dms executor=%dms alloc=%dms job=%dms",
+		int64(end)/1000, d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.Alloc, d.JobRuntime)
+	t.Logf("\n%s", rep.Format())
+	for name, v := range map[string]int64{
+		"total": d.Total, "am": d.AM, "in": d.In, "out": d.Out,
+		"driver": d.Driver, "executor": d.Executor, "alloc": d.Alloc, "job": d.JobRuntime,
+	} {
+		if v < 0 {
+			t.Errorf("component %s missing", name)
+		}
+	}
+	if d.Total > d.JobRuntime {
+		t.Errorf("total %d > job runtime %d", d.Total, d.JobRuntime)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/docker"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// Spec is a declarative scenario description, loadable from JSON, that
+// covers the whole experiment space: workload shape, deployment knobs,
+// interference, and an optional real submission trace. cmd/simcluster
+// accepts one via -config.
+type Spec struct {
+	// Workload.
+	Queries    int     `json:"queries"`
+	DatasetMB  float64 `json:"dataset_mb"`
+	Executors  int     `json:"executors"`
+	MeanGapMs  float64 `json:"mean_gap_ms"`
+	Seed       uint64  `json:"seed"`
+	ArrivalCSV string  `json:"arrival_csv"` // optional path: replay real submission times
+
+	// Deployment.
+	Workers                int     `json:"workers"`
+	Scheduler              string  `json:"scheduler"` // "ce" (default) or "de"
+	Ordering               string  `json:"ordering"`  // "fifo" (default) or "fair"
+	Docker                 bool    `json:"docker"`
+	JVMReuse               bool    `json:"jvm_reuse"`
+	AMHeartbeatMs          int64   `json:"am_heartbeat_ms"`
+	DedicatedLocalDiskMBps float64 `json:"dedicated_local_disk_mbps"`
+	OppPowerOfChoices      int     `json:"opp_power_of_choices"`
+	ExtraFileMB            float64 `json:"extra_file_mb"` // spark-submit --files size per query
+
+	// Interference.
+	DfsIOMaps    int     `json:"dfsio_maps"`
+	DfsIOWriteGB float64 `json:"dfsio_write_gb"`
+	KmeansApps   int     `json:"kmeans_apps"`
+
+	DeadlineSec int64 `json:"deadline_sec"`
+}
+
+// LoadSpec decodes a JSON spec, rejecting unknown fields so typos in
+// config files fail loudly.
+func LoadSpec(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	return sp, sp.Validate()
+}
+
+// LoadSpecFile reads a spec from a file path.
+func LoadSpecFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return LoadSpec(f)
+}
+
+// Validate checks field values.
+func (sp Spec) Validate() error {
+	switch sp.Scheduler {
+	case "", "ce", "de":
+	default:
+		return fmt.Errorf("spec: scheduler must be \"ce\" or \"de\", got %q", sp.Scheduler)
+	}
+	switch sp.Ordering {
+	case "", "fifo", "fair":
+	default:
+		return fmt.Errorf("spec: ordering must be \"fifo\" or \"fair\", got %q", sp.Ordering)
+	}
+	if sp.Queries < 0 || sp.DatasetMB < 0 || sp.Executors < 0 {
+		return fmt.Errorf("spec: negative workload sizes")
+	}
+	return nil
+}
+
+// ToTraceRun materializes the spec into a runnable TraceRun.
+func (sp Spec) ToTraceRun() (TraceRun, error) {
+	if err := sp.Validate(); err != nil {
+		return TraceRun{}, err
+	}
+	queries := sp.Queries
+	if queries == 0 {
+		queries = 200
+	}
+	tr := DefaultTraceRun(queries)
+	if sp.DatasetMB > 0 {
+		tr.DatasetMB = sp.DatasetMB
+	}
+	if sp.MeanGapMs > 0 {
+		tr.MeanGapMs = sp.MeanGapMs
+	}
+	if sp.Seed != 0 {
+		tr.Seed = sp.Seed
+	}
+	if sp.Workers > 0 {
+		tr.Opts.Cluster.Workers = sp.Workers
+	}
+	if sp.Scheduler == "de" {
+		tr.Opts.Yarn.Scheduler = yarn.SchedOpportunistic
+	}
+	if sp.Ordering == "fair" {
+		tr.Opts.Yarn.Ordering = yarn.OrderFair
+	}
+	if sp.AMHeartbeatMs > 0 {
+		tr.Opts.Yarn.AMHeartbeatMs = sp.AMHeartbeatMs
+	}
+	if sp.DedicatedLocalDiskMBps > 0 {
+		tr.Opts.Yarn.DedicatedLocalDiskMBps = sp.DedicatedLocalDiskMBps
+	}
+	if sp.OppPowerOfChoices > 1 {
+		tr.Opts.Yarn.OppPowerOfChoices = sp.OppPowerOfChoices
+	}
+	tr.Opts.Yarn.JVMReuse = sp.JVMReuse
+	tr.DeadlineSec = sp.DeadlineSec
+
+	if sp.ArrivalCSV != "" {
+		f, err := os.Open(sp.ArrivalCSV)
+		if err != nil {
+			return TraceRun{}, err
+		}
+		arr, err := trace.FromCSV(f, sim.Time(2*sim.Second))
+		f.Close()
+		if err != nil {
+			return TraceRun{}, err
+		}
+		tr.Arrivals = arr
+		tr.Queries = len(arr)
+	}
+
+	opportunistic := sp.Scheduler == "de"
+	tr.MutateSpark = func(i int, cfg *spark.Config) {
+		if sp.Executors > 0 {
+			cfg.Executors = sp.Executors
+		}
+		cfg.Opportunistic = opportunistic
+		if sp.Docker {
+			cfg.Runtime = docker.RuntimeDocker
+		}
+		if sp.ExtraFileMB > 0 {
+			cfg.ExtraFiles = []yarn.LocalResource{{
+				Path:   fmt.Sprintf("/user/.sparkStaging/app-%04d/extra", i),
+				SizeMB: sp.ExtraFileMB,
+				Public: false,
+			}}
+		}
+	}
+
+	if sp.DfsIOMaps > 0 || sp.KmeansApps > 0 {
+		maps, writeGB, kmeans := sp.DfsIOMaps, sp.DfsIOWriteGB, sp.KmeansApps
+		if writeGB == 0 {
+			writeGB = 20
+		}
+		tr.Background = func(s *Scenario) {
+			if maps > 0 {
+				cfg := workload.DfsIO(maps, writeGB)
+				s.PrewarmCaches("/mr/job-" + cfg.Name + ".jar")
+				mapreduce.Submit(s.RM, s.FS, cfg)
+			}
+			for k := 0; k < kmeans; k++ {
+				spark.Submit(s.RM, s.FS, workload.KmeansConfig(400))
+			}
+		}
+		if kmeans > 0 && tr.DeadlineSec == 0 {
+			tr.DeadlineSec = int64(float64(queries)*tr.MeanGapMs/1000) + 900
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/yarn"
+)
+
+func TestLoadSpecDefaults(t *testing.T) {
+	sp, err := LoadSpec(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sp.ToTraceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Queries != 200 || tr.DatasetMB != 2048 {
+		t.Fatalf("defaults: queries=%d dataset=%v", tr.Queries, tr.DatasetMB)
+	}
+}
+
+func TestLoadSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader(`{"quieres": 10}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestLoadSpecRejectsBadEnums(t *testing.T) {
+	if _, err := LoadSpec(strings.NewReader(`{"scheduler": "mesos"}`)); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+	if _, err := LoadSpec(strings.NewReader(`{"ordering": "lifo"}`)); err == nil {
+		t.Fatal("bad ordering accepted")
+	}
+}
+
+func TestSpecMapsDeploymentKnobs(t *testing.T) {
+	sp, err := LoadSpec(strings.NewReader(`{
+		"queries": 3, "executors": 2, "scheduler": "de", "ordering": "fair",
+		"jvm_reuse": true, "am_heartbeat_ms": 500, "workers": 6,
+		"dedicated_local_disk_mbps": 1500, "opp_power_of_choices": 2,
+		"docker": true, "extra_file_mb": 256, "seed": 5
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sp.ToTraceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Opts.Yarn.Scheduler != yarn.SchedOpportunistic {
+		t.Error("scheduler not mapped")
+	}
+	if tr.Opts.Yarn.Ordering != yarn.OrderFair {
+		t.Error("ordering not mapped")
+	}
+	if !tr.Opts.Yarn.JVMReuse || tr.Opts.Yarn.AMHeartbeatMs != 500 {
+		t.Error("jvm/heartbeat not mapped")
+	}
+	if tr.Opts.Cluster.Workers != 6 {
+		t.Error("workers not mapped")
+	}
+	if tr.Opts.Yarn.OppPowerOfChoices != 2 {
+		t.Error("sampling not mapped")
+	}
+}
+
+func TestSpecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run")
+	}
+	sp, err := LoadSpec(strings.NewReader(`{"queries": 4, "executors": 2, "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sp.ToTraceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := tr.Run()
+	if len(rep.Apps) != 4 {
+		t.Fatalf("apps=%d", len(rep.Apps))
+	}
+	for _, a := range rep.Apps {
+		if a.Decomp.Total < 0 {
+			t.Fatalf("app %s incomplete", a.ID)
+		}
+	}
+}
+
+func TestSpecArrivalCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "trace.csv")
+	if err := os.WriteFile(csv, []byte("1000\n2000\n9000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := LoadSpec(strings.NewReader(`{"arrival_csv": "` + strings.ReplaceAll(csv, `\`, `\\`) + `"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sp.ToTraceRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals) != 3 || tr.Queries != 3 {
+		t.Fatalf("arrivals=%v queries=%d", tr.Arrivals, tr.Queries)
+	}
+	if tr.Arrivals[2]-tr.Arrivals[0] != 8000 {
+		t.Fatalf("spacing not preserved: %v", tr.Arrivals)
+	}
+}
+
+func TestSpecFileMissing(t *testing.T) {
+	if _, err := LoadSpecFile("/nonexistent/spec.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

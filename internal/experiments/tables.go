@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TableIIRow is one cluster-load level's container throughput.
+type TableIIRow struct {
+	LoadPercent int
+	Throughput  float64 // containers allocated per second
+	Allocated   int
+}
+
+// TableII reproduces the container-throughput study: MapReduce wordcount
+// pinned at 10/40/70/100% cluster load. Two deployment knobs differ from
+// the latency experiments, as they would on a throughput-tuned cluster:
+// batch per-heartbeat assignment is enabled and delay scheduling is off
+// (wordcount input is everywhere, so every node is local).
+func TableII() []TableIIRow {
+	rows := make([]TableIIRow, 0, 4)
+	for _, load := range []int{10, 40, 70, 100} {
+		opts := DefaultOptions()
+		opts.Yarn.MaxAssignPerHeartbeat = 0 // batch assignment
+		opts.Yarn.LocalityDelayMaxBeats = 0
+		s := NewScenario(opts)
+		s.PrewarmCaches("/mr/job-tput.jar")
+		window := workload.ClusterLoadMaps(s.Cl, float64(load)/100)
+		cfg := workload.MRWordcount("tput", window*5)
+		cfg.Name = "tput"
+		cfg.MaxConcurrentMaps = window
+		mapreduce.Submit(s.RM, s.FS, cfg)
+		s.Run(sim.Time(3600 * sim.Second))
+		rep := s.Check()
+		rows = append(rows, TableIIRow{
+			LoadPercent: load,
+			Throughput:  rep.AllocationThroughput(),
+			Allocated:   s.RM.AllocatedTotal,
+		})
+	}
+	return rows
+}
+
+// FormatTableII renders the table in the paper's layout.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table II — cluster container throughput under various workloads:\n")
+	b.WriteString("  cluster load     ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d%%", r.LoadPercent)
+	}
+	b.WriteString("\n  throughput (1/s) ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.0f", r.Throughput)
+	}
+	b.WriteString("\n  (paper:          272     1056     1607     2831)\n")
+	return b.String()
+}
+
+// TableIIIRow is one delay source's summary (paper Table III).
+type TableIIIRow struct {
+	Source       string
+	Cause        string
+	Contribution float64 // fraction of the mean total scheduling delay
+	Optimization string
+}
+
+// TableIII derives the component-contribution summary from a Fig 4 run.
+func TableIII(fig4 *Fig4Result) []TableIIIRow {
+	shares := fig4.Report.ComponentShare()
+	rows := []TableIIIRow{
+		{"1.alloc-delays", "Time of resource allocation decisions at ResourceManager",
+			shares["alloc-delays"], "Trade-off, using distributed scheduler"},
+		{"2.acqui-delays", "Time of waiting allocated containers to be acquired by AppMaster",
+			shares["acqui-delays"], "Trade-off, increasing heartbeat frequency"},
+		{"3.local-delays", "Time of downloading localization files from HDFS",
+			shares["local-delays"], "User&Design, dedicated storage&caching service"},
+		{"4.laun-delays", "Time of launching AppMaster/executor (e.g., JVM starts)",
+			shares["laun-delays"], "User, avoiding OS-container"},
+		{"5.driver-delay", "Time of Spark driver initialization",
+			shares["driver-delay"], "Trade-off, JVM reuse"},
+		{"6.executor-delay", "Time of Spark executor initialization and Spark task scheduling",
+			shares["executor-delay"], "Trade-off&User, JVM reuse&user application optimizations"},
+	}
+	return rows
+}
+
+// FormatTableIII renders the summary table.
+func FormatTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	b.WriteString("Table III — summary of the scheduling delays:\n")
+	fmt.Fprintf(&b, "  %-18s %-14s %s\n", "source", "contribution", "optimization")
+	sorted := append([]TableIIIRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Source < sorted[j].Source })
+	for _, r := range sorted {
+		contrib := fmt.Sprintf("%.0f%%", r.Contribution*100)
+		if r.Contribution < 0.01 {
+			contrib = "<1%"
+		}
+		fmt.Fprintf(&b, "  %-18s %-14s %s\n", r.Source, contrib, r.Optimization)
+	}
+	return b.String()
+}

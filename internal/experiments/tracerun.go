@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TraceRun configures a TPC-H-over-trace experiment, the common harness
+// behind Figs 4, 5, 6, 12, and 13.
+type TraceRun struct {
+	Opts      Options
+	Queries   int
+	DatasetMB float64
+	MeanGapMs float64
+	Seed      uint64
+	// MutateSpark edits each query's spark.Config before submission
+	// (executor count, docker, extra files, opportunistic mode, ...).
+	// i is the submission index within the trace.
+	MutateSpark func(i int, cfg *spark.Config)
+	// Background starts interference workloads before the trace begins.
+	Background func(s *Scenario)
+	// Arrivals, when non-nil, replaces the synthetic submission process
+	// with explicit instants (e.g. a replayed real trace).
+	Arrivals []sim.Time
+	// DeadlineSec bounds the simulation (0 = generous default).
+	DeadlineSec int64
+}
+
+// DefaultTraceRun is the paper's default setting: TPC-H on a 2 GB
+// dataset, four executors per query.
+func DefaultTraceRun(queries int) TraceRun {
+	return TraceRun{
+		Opts:      DefaultOptions(),
+		Queries:   queries,
+		DatasetMB: 2048,
+		MeanGapMs: 2600,
+		Seed:      7,
+	}
+}
+
+// Run executes the trace and returns the scenario plus SDchecker's report.
+func (tr TraceRun) Run() (*Scenario, *core.Report) {
+	s := NewScenario(tr.Opts)
+	tables := workload.CreateTPCHTables(s.FS, tr.DatasetMB)
+
+	if tr.Background != nil {
+		tr.Background(s)
+	}
+
+	arrivals := tr.Arrivals
+	if arrivals == nil {
+		arrivals = trace.Arrivals(trace.Config{
+			N:          tr.Queries,
+			MeanGapMs:  tr.MeanGapMs,
+			BurstProb:  0.25,
+			BurstGapMs: tr.MeanGapMs / 8,
+			Seed:       tr.Seed,
+		}, sim.Time(2*sim.Second))
+	}
+
+	for i, at := range arrivals {
+		q := i%22 + 1
+		cfg := spark.DefaultConfig(workload.TPCHQuery(q, tr.DatasetMB, tables))
+		if tr.MutateSpark != nil {
+			tr.MutateSpark(i, &cfg)
+		}
+		s.Eng.At(at, func() { spark.Submit(s.RM, s.FS, cfg) })
+	}
+
+	deadline := tr.DeadlineSec
+	if deadline == 0 {
+		// Generous: the whole trace plus ten minutes of drain.
+		deadline = int64(arrivals[len(arrivals)-1])/1000 + 600
+	}
+	s.Run(sim.Time(deadline * sim.Second))
+	return s, s.Check()
+}
+
+// Replicate runs the same trace configuration under several seeds and
+// merges the SDchecker reports — repeated-measures aggregation for
+// tighter percentiles (core.Merge keeps every application distinct).
+func Replicate(tr TraceRun, seeds ...uint64) *core.Report {
+	reports := make([]*core.Report, 0, len(seeds))
+	for _, seed := range seeds {
+		run := tr
+		run.Seed = seed
+		_, rep := run.Run()
+		reports = append(reports, rep)
+	}
+	return core.Merge(reports...)
+}

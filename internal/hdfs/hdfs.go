@@ -1,0 +1,251 @@
+// Package hdfs simulates the Hadoop distributed file system the paper's
+// testbed runs (replication factor 3, 128 MB blocks). Only the properties
+// the paper's experiments exercise are modeled:
+//
+//   - NameNode lookups cost client-side CPU (the paper attributes the mild
+//     CPU-interference sensitivity of localization to the HDFS client,
+//     §IV-E), plus a small RPC latency.
+//   - Reads stream from a replica — the local disk when a replica is
+//     co-located, otherwise a remote datanode's disk across the fabric and
+//     the client NIC. Every leg contends with other traffic, which is how
+//     dfsIO interference inflates localization delay in Fig 12.
+//   - Writes push one local replica plus two remote replicas through the
+//     pipeline, loading local disk, local NIC, fabric, and remote disks —
+//     the mechanism dfsIO uses to overload the cluster.
+package hdfs
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ReplicationFactor is the configured HDFS replication (paper: 3).
+const ReplicationFactor = 3
+
+// BlockSizeMB is the configured HDFS block size (paper: 128 MB).
+const BlockSizeMB = 128
+
+// File is one stored file and its replica placement.
+type File struct {
+	Path     string
+	SizeMB   float64
+	Replicas []int // node indices holding a replica
+}
+
+// FS is the simulated filesystem.
+type FS struct {
+	eng   *sim.Engine
+	cl    *cluster.Cluster
+	rng   *rng.Source
+	files map[string]*File
+
+	// LookupCPUVcoreSec is the client CPU work to resolve block locations
+	// and open the stream. LookupRPCMs is the NameNode round-trip floor.
+	LookupCPUVcoreSec float64
+	LookupRPCMs       float64
+	// ChecksumCPUVcoreSecPerMB is client CPU spent verifying and copying
+	// each MB read (decompression + CRC).
+	ChecksumCPUVcoreSecPerMB float64
+	// StreamDemandMBps caps a single stream's rate on any leg.
+	StreamDemandMBps float64
+}
+
+// New creates an empty filesystem over the cluster.
+func New(eng *sim.Engine, cl *cluster.Cluster, seed uint64) *FS {
+	return &FS{
+		eng:   eng,
+		cl:    cl,
+		rng:   rng.New(seed),
+		files: make(map[string]*File),
+
+		LookupCPUVcoreSec:        0.015,
+		LookupRPCMs:              2,
+		ChecksumCPUVcoreSecPerMB: 0.0003,
+		StreamDemandMBps:         800,
+	}
+}
+
+// Create registers a file with replicas placed uniformly at random,
+// optionally pinning the first replica to preferred (HDFS places the first
+// replica on the writing node). No IO is simulated — use it to pre-populate
+// datasets and jars before the experiment clock starts.
+func (fs *FS) Create(path string, sizeMB float64, preferred *cluster.Node) *File {
+	if sizeMB < 0 {
+		panic(fmt.Sprintf("hdfs: negative size for %s", path))
+	}
+	f := &File{Path: path, SizeMB: sizeMB}
+	n := len(fs.cl.Nodes)
+	taken := make(map[int]bool)
+	if preferred != nil {
+		f.Replicas = append(f.Replicas, preferred.Index)
+		taken[preferred.Index] = true
+	}
+	for len(f.Replicas) < ReplicationFactor && len(f.Replicas) < n {
+		idx := fs.rng.Intn(n)
+		if taken[idx] {
+			continue
+		}
+		taken[idx] = true
+		f.Replicas = append(f.Replicas, idx)
+	}
+	fs.files[path] = f
+	return f
+}
+
+// Lookup returns the file metadata, or nil when absent.
+func (fs *FS) Lookup(path string) *File { return fs.files[path] }
+
+// hasReplica reports whether node idx holds a replica of f.
+func hasReplica(f *File, idx int) bool {
+	for _, r := range f.Replicas {
+		if r == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// Read streams the file to client and calls done when the stream (and the
+// client-side checksum work) completes. Missing paths panic: simulation
+// scenarios always create their inputs first.
+func (fs *FS) Read(client *cluster.Node, path string, done func(at sim.Time)) {
+	f := fs.files[path]
+	if f == nil {
+		panic(fmt.Sprintf("hdfs: read of missing path %s", path))
+	}
+	fs.ReadData(client, f, f.SizeMB, done)
+}
+
+// ReadData streams sizeMB from the file's replicas to client. A partial
+// read (sizeMB < f.SizeMB) models tasks reading one split of a table.
+func (fs *FS) ReadData(client *cluster.Node, f *File, sizeMB float64, done func(at sim.Time)) {
+	fs.lookupThenStream(client, f, sizeMB, done)
+}
+
+// ReadAnonymous streams sizeMB from a random remote datanode without a
+// registered file — convenient for synthetic shuffle/spill traffic.
+func (fs *FS) ReadAnonymous(client *cluster.Node, sizeMB float64, done func(at sim.Time)) {
+	remote := fs.pickRemote(client.Index)
+	fs.streamDemand(client, remote, sizeMB, fs.StreamDemandMBps, done)
+}
+
+// ReadPaced streams sizeMB at a bounded steady rate (a scan pipeline that
+// consumes input as it computes). f may be nil for anonymous remote data.
+// Paced streams hold their resource share for their whole duration, which
+// is how many concurrent scans saturate cluster disks.
+func (fs *FS) ReadPaced(client *cluster.Node, f *File, sizeMB, demandMBps float64, done func(at sim.Time)) {
+	if demandMBps <= 0 {
+		demandMBps = fs.StreamDemandMBps
+	}
+	fs.eng.After(int64(fs.LookupRPCMs), func() {
+		client.Compute(fs.LookupCPUVcoreSec, 1, func(sim.Time) {
+			src := fs.pickRemote(client.Index)
+			if f != nil {
+				src = fs.pickSource(client, f)
+			}
+			fs.streamDemand(client, src, sizeMB, demandMBps, done)
+		})
+	})
+}
+
+func (fs *FS) lookupThenStream(client *cluster.Node, f *File, sizeMB float64, done func(at sim.Time)) {
+	// NameNode RPC floor, then client CPU to open the stream.
+	fs.eng.After(int64(fs.LookupRPCMs), func() {
+		client.Compute(fs.LookupCPUVcoreSec, 1, func(sim.Time) {
+			fs.streamDemand(client, fs.pickSource(client, f), sizeMB, fs.StreamDemandMBps, done)
+		})
+	})
+}
+
+// pickSource chooses the datanode a read streams from. Small files live
+// on their three replica nodes; files larger than a few blocks have their
+// blocks spread across the whole cluster (each block is replicated
+// independently), so a read of one split can land on any node — without
+// this, concurrent scans of a big table would hotspot three disks, which
+// real HDFS does not do.
+func (fs *FS) pickSource(client *cluster.Node, f *File) int {
+	const spreadThresholdMB = 3 * BlockSizeMB
+	if f.SizeMB > spreadThresholdMB {
+		return fs.rng.Intn(len(fs.cl.Nodes))
+	}
+	if hasReplica(f, client.Index) {
+		return client.Index
+	}
+	if len(f.Replicas) > 0 {
+		return f.Replicas[fs.rng.Intn(len(f.Replicas))]
+	}
+	return fs.pickRemote(client.Index)
+}
+
+// streamDemand moves sizeMB from source node index (or the client itself
+// when src == client.Index; src < 0 picks a random remote) at the given
+// per-leg demand cap, then burns checksum CPU before invoking done.
+func (fs *FS) streamDemand(client *cluster.Node, src int, sizeMB, demand float64, done func(at sim.Time)) {
+	if src < 0 {
+		src = fs.pickRemote(client.Index)
+	}
+	finish := func(sim.Time) {
+		cpu := fs.ChecksumCPUVcoreSecPerMB * sizeMB
+		client.Compute(cpu, 1, func(at sim.Time) { done(at) })
+	}
+	var legs []cluster.Leg
+	if src == client.Index {
+		legs = []cluster.Leg{
+			{Res: client.Disk, Work: sizeMB, Demand: demand},
+		}
+	} else {
+		remote := fs.cl.Node(src)
+		legs = []cluster.Leg{
+			{Res: remote.Disk, Work: sizeMB, Demand: demand},
+			{Res: remote.Net, Work: sizeMB, Demand: demand},
+			{Res: fs.cl.Fabric, Work: sizeMB, Demand: demand},
+			{Res: client.Net, Work: sizeMB, Demand: demand},
+		}
+	}
+	cluster.StartTransfer(fs.eng, legs, finish)
+}
+
+// Write streams sizeMB from client into a new file at path: one replica on
+// the local disk, two pushed through the pipeline to remote disks. done
+// fires when the slowest replica leg drains. This is the dfsIO write path.
+func (fs *FS) Write(client *cluster.Node, path string, sizeMB float64, done func(at sim.Time)) {
+	f := fs.Create(path, sizeMB, client)
+	legs := []cluster.Leg{
+		{Res: client.Disk, Work: sizeMB, Demand: fs.StreamDemandMBps},
+	}
+	remoteCopies := 0
+	for _, r := range f.Replicas {
+		if r == client.Index {
+			continue
+		}
+		remote := fs.cl.Node(r)
+		legs = append(legs,
+			cluster.Leg{Res: remote.Disk, Work: sizeMB, Demand: fs.StreamDemandMBps},
+			cluster.Leg{Res: remote.Net, Work: sizeMB, Demand: fs.StreamDemandMBps},
+		)
+		remoteCopies++
+	}
+	if remoteCopies > 0 {
+		legs = append(legs,
+			cluster.Leg{Res: client.Net, Work: sizeMB * float64(remoteCopies), Demand: fs.StreamDemandMBps},
+			cluster.Leg{Res: fs.cl.Fabric, Work: sizeMB * float64(remoteCopies), Demand: fs.StreamDemandMBps},
+		)
+	}
+	cluster.StartTransfer(fs.eng, legs, func(at sim.Time) { done(at) })
+}
+
+func (fs *FS) pickRemote(not int) int {
+	n := len(fs.cl.Nodes)
+	if n == 1 {
+		return 0
+	}
+	for {
+		idx := fs.rng.Intn(n)
+		if idx != not {
+			return idx
+		}
+	}
+}

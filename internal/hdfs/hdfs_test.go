@@ -1,0 +1,206 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func bed(workers int) (*sim.Engine, *cluster.Cluster, *FS) {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Node.DiskSeekPenalty = 0
+	cl := cluster.New(eng, cfg)
+	return eng, cl, New(eng, cl, 5)
+}
+
+func TestCreatePlacesReplicas(t *testing.T) {
+	_, cl, fs := bed(6)
+	f := fs.Create("/data/a", 256, cl.Node(2))
+	if len(f.Replicas) != ReplicationFactor {
+		t.Fatalf("replicas=%d, want %d", len(f.Replicas), ReplicationFactor)
+	}
+	if f.Replicas[0] != 2 {
+		t.Fatal("preferred node not first replica")
+	}
+	seen := map[int]bool{}
+	for _, r := range f.Replicas {
+		if seen[r] {
+			t.Fatal("duplicate replica placement")
+		}
+		seen[r] = true
+	}
+}
+
+func TestCreateSmallCluster(t *testing.T) {
+	_, _, fs := bed(2)
+	f := fs.Create("/data/a", 10, nil)
+	if len(f.Replicas) != 2 {
+		t.Fatalf("2-node cluster placed %d replicas, want 2", len(f.Replicas))
+	}
+}
+
+func TestLookup(t *testing.T) {
+	_, _, fs := bed(3)
+	fs.Create("/x", 1, nil)
+	if fs.Lookup("/x") == nil {
+		t.Fatal("created file not found")
+	}
+	if fs.Lookup("/y") != nil {
+		t.Fatal("phantom file found")
+	}
+}
+
+func TestReadMissingPanics(t *testing.T) {
+	_, cl, fs := bed(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("read of missing path did not panic")
+		}
+	}()
+	fs.Read(cl.Node(0), "/missing", func(sim.Time) {})
+}
+
+func TestReadCompletesWithChecksumCost(t *testing.T) {
+	eng, cl, fs := bed(4)
+	fs.Create("/data/a", 80, cl.Node(0))
+	var done sim.Time
+	fs.Read(cl.Node(0), "/data/a", func(at sim.Time) { done = at })
+	eng.Run()
+	// Local read: lookup RPC (2ms) + lookup CPU (15ms) + 80MB at 800MB/s
+	// (100ms) + checksum CPU (80*0.0003=24ms) ≈ 140ms.
+	if done < 100 || done > 250 {
+		t.Fatalf("local read finished at %dms, want ~140", done)
+	}
+}
+
+func TestRemoteReadCrossesNetworkLegs(t *testing.T) {
+	eng, cl, fs := bed(4)
+	f := fs.Create("/data/a", 100, cl.Node(1))
+	// Force remote by reading from a node with no replica.
+	var reader *cluster.Node
+	for _, n := range cl.Nodes {
+		if !hasReplica(f, n.Index) {
+			reader = n
+			break
+		}
+	}
+	if reader == nil {
+		t.Skip("all nodes hold a replica")
+	}
+	var done sim.Time
+	fs.Read(reader, "/data/a", func(at sim.Time) { done = at })
+	// Saturate the reader's NIC to prove the read crosses it.
+	reader.Net.Start(1e7, 1250, func(sim.Time) {})
+	eng.RunUntil(1_000_000)
+	// NIC shared 50/50: 100MB at 625MB/s ≈ 160ms + overheads.
+	if done < 150 {
+		t.Fatalf("remote read too fast (%dms) — did it skip the NIC leg?", done)
+	}
+}
+
+func TestWriteLoadsLocalAndRemoteDisks(t *testing.T) {
+	eng, cl, fs := bed(4)
+	var done sim.Time
+	fs.Write(cl.Node(0), "/out/x", 400, func(at sim.Time) { done = at })
+	eng.Run()
+	if done < 400 {
+		t.Fatalf("400MB write finished at %dms — faster than one disk pass", done)
+	}
+	f := fs.Lookup("/out/x")
+	if f == nil || f.Replicas[0] != 0 {
+		t.Fatal("write did not register the file with a local first replica")
+	}
+}
+
+func TestPacedReadIsSlower(t *testing.T) {
+	eng, cl, fs := bed(4)
+	f := fs.Create("/data/a", 300, cl.Node(0))
+	var fast, slow sim.Time
+	fs.ReadData(cl.Node(0), f, 300, func(at sim.Time) { fast = at })
+	eng.Run()
+	fs.ReadPaced(cl.Node(0), f, 300, 30, func(at sim.Time) { slow = at })
+	eng.Run()
+	slowDur := slow - fast
+	// 300MB at 30MB/s = 10s.
+	if slowDur < 9_000 || slowDur > 12_000 {
+		t.Fatalf("paced read took %dms, want ~10000", slowDur)
+	}
+}
+
+func TestPacedReadNilFileUsesRemote(t *testing.T) {
+	eng, cl, fs := bed(4)
+	var done bool
+	fs.ReadPaced(cl.Node(0), nil, 10, 100, func(sim.Time) { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("anonymous paced read never completed")
+	}
+}
+
+func TestBlockSpreadSourceSelection(t *testing.T) {
+	_, cl, fs := bed(10)
+	big := fs.Create("/big", 10*1024, cl.Node(0)) // way over 3 blocks
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[fs.pickSource(cl.Node(0), big)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("big-file reads only hit %d nodes; blocks should spread cluster-wide", len(seen))
+	}
+	small := fs.Create("/small", 64, cl.Node(3))
+	for i := 0; i < 100; i++ {
+		src := fs.pickSource(cl.Node(9), small)
+		if !hasReplica(small, src) {
+			t.Fatalf("small-file read from non-replica node %d", src)
+		}
+	}
+}
+
+func TestSmallFileLocalPreference(t *testing.T) {
+	_, cl, fs := bed(8)
+	f := fs.Create("/small", 64, cl.Node(4))
+	for i := 0; i < 50; i++ {
+		if src := fs.pickSource(cl.Node(4), f); src != 4 {
+			t.Fatalf("local replica not preferred: src=%d", src)
+		}
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	_, _, fs := bed(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative size did not panic")
+		}
+	}()
+	fs.Create("/bad", -1, nil)
+}
+
+// Property: every read of a created file completes, for any size.
+func TestPropertyReadsComplete(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng, cl, fs := bed(4)
+		done := 0
+		for i, s := range sizes {
+			if i >= 10 {
+				break
+			}
+			path := string(rune('a'+i)) + "/f"
+			fs.Create(path, float64(s%2000)+1, nil)
+			fs.Read(cl.Node(i%4), path, func(sim.Time) { done++ })
+		}
+		eng.Run()
+		n := len(sizes)
+		if n > 10 {
+			n = 10
+		}
+		return done == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package jvm models Java virtual machine start-up and warm-up, the cost
+// the paper (citing Lion et al., OSDI'16) identifies as a major part of
+// the in-application delay. A launch has two phases:
+//
+//  1. Bootstrap — process fork/exec, JVM binary load, class-path scan.
+//     Mostly latency-bound; modeled as a log-normal floor. The instance's
+//     first log line appears at the end of bootstrap.
+//  2. Warm-up — class loading and JIT interpretation of framework code.
+//     CPU-bound, so it runs on the node's CPU share and stretches under
+//     CPU interference (Fig 13's driver/executor slowdowns).
+//
+// Reuse mode (the paper's proposed "JVM reuse" optimization, Table III)
+// skips bootstrap almost entirely and most of warm-up.
+package jvm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Model parameterizes one JVM class (driver JVMs are heavier than task
+// JVMs because they load more framework classes).
+type Model struct {
+	// BootstrapMedianMs and BootstrapSigma parameterize the log-normal
+	// bootstrap floor (fork/exec to first log line).
+	BootstrapMedianMs float64
+	BootstrapSigma    float64
+	// WarmupVcoreSec is CPU work spent on class loading + JIT after the
+	// first log line; WarmupVcores is its parallelism cap.
+	WarmupVcoreSec float64
+	WarmupVcores   float64
+	// WarmupDiskMB is read from the local disk during warm-up (class and
+	// jar loading). The paper attributes part of the executor-delay
+	// degradation under IO interference to exactly this (§IV-E: "heavy
+	// disk activities interfere with JVM warm-up when the JVM is loading
+	// classes from jar packages").
+	WarmupDiskMB         float64
+	WarmupDiskDemandMBps float64
+	// ReuseBootstrapMs and ReuseWarmupFraction describe the JVM-reuse
+	// optimization: a reused JVM attaches in ReuseBootstrapMs and repeats
+	// only ReuseWarmupFraction of the warm-up.
+	ReuseBootstrapMs    float64
+	ReuseWarmupFraction float64
+}
+
+// Spark returns the model calibrated for Spark driver/executor JVMs: a
+// ~700 ms median launch (Fig 9a) of which roughly 250 ms is bootstrap
+// floor and the rest CPU-bound warm-up.
+func Spark() Model {
+	return Model{
+		BootstrapMedianMs:    620,
+		BootstrapSigma:       0.18,
+		WarmupVcoreSec:       0.90,
+		WarmupVcores:         2,
+		WarmupDiskMB:         140,
+		WarmupDiskDemandMBps: 650,
+		ReuseBootstrapMs:     40,
+		ReuseWarmupFraction:  0.1,
+	}
+}
+
+// MapReduceMaster returns the model for the MapReduce ApplicationMaster
+// (mrm), slightly heavier than Spark's (Fig 9a).
+func MapReduceMaster() Model {
+	m := Spark()
+	m.BootstrapMedianMs = 850
+	m.WarmupVcoreSec = 1.2
+	return m
+}
+
+// MapReduceTask returns the model for MR map/reduce task JVMs (mrsm/mrsr).
+func MapReduceTask() Model {
+	m := Spark()
+	m.BootstrapMedianMs = 760
+	m.WarmupVcoreSec = 1.05
+	return m
+}
+
+// Boot runs the bootstrap phase on node and calls firstLog at its end (the
+// instant the process writes its first log line), then runs warm-up on the
+// node CPU and calls warm when the JVM is ready for framework work.
+func (m Model) Boot(eng *sim.Engine, node *cluster.Node, r *rng.Source, reuse bool, firstLog, warm func()) {
+	bootMs := m.BootstrapMedianMs
+	warmWork := m.WarmupVcoreSec
+	if reuse {
+		bootMs = m.ReuseBootstrapMs
+		warmWork *= m.ReuseWarmupFraction
+	}
+	diskMB := m.WarmupDiskMB
+	if reuse {
+		diskMB *= m.ReuseWarmupFraction
+	}
+	d := int64(r.LogNormalMedian(bootMs, m.BootstrapSigma))
+	if d < 1 {
+		d = 1
+	}
+	eng.After(d, func() {
+		firstLog()
+		// Class-loading disk reads and JIT CPU interleave; warm-up ends
+		// when both are done.
+		remaining := 1
+		join := func() {
+			remaining--
+			if remaining == 0 {
+				warm()
+			}
+		}
+		if diskMB > 0 {
+			remaining++
+			cluster.StartTransfer(eng, []cluster.Leg{
+				{Res: node.Disk, Work: diskMB, Demand: m.WarmupDiskDemandMBps},
+			}, func(sim.Time) { join() })
+		}
+		if warmWork <= 0 {
+			eng.After(0, join)
+			return
+		}
+		node.Compute(warmWork, m.WarmupVcores, func(sim.Time) { join() })
+	})
+}

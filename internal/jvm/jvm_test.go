@@ -1,0 +1,120 @@
+package jvm
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func bed() (*sim.Engine, *cluster.Node) {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Node.DiskSeekPenalty = 0
+	cl := cluster.New(eng, cfg)
+	return eng, cl.Node(0)
+}
+
+func TestBootOrdering(t *testing.T) {
+	eng, node := bed()
+	var firstLogAt, warmAt sim.Time
+	Spark().Boot(eng, node, rng.New(1), false,
+		func() { firstLogAt = eng.Now() },
+		func() { warmAt = eng.Now() })
+	eng.Run()
+	if firstLogAt <= 0 {
+		t.Fatal("firstLog never fired")
+	}
+	if warmAt <= firstLogAt {
+		t.Fatalf("warm at %d not after firstLog at %d", warmAt, firstLogAt)
+	}
+}
+
+func TestBootLatencyRoughlyCalibrated(t *testing.T) {
+	eng, node := bed()
+	r := rng.New(2)
+	var total sim.Time
+	n := 40
+	var runOne func(i int)
+	runOne = func(i int) {
+		if i >= n {
+			return
+		}
+		start := eng.Now()
+		Spark().Boot(eng, node, r, false, func() {}, func() {
+			total += eng.Now() - start
+			runOne(i + 1)
+		})
+	}
+	runOne(0)
+	eng.Run()
+	mean := float64(total) / float64(n)
+	// Bootstrap ~620ms + warmup ~450ms + disk ~200ms: around 1.0-1.5s.
+	if mean < 900 || mean > 1700 {
+		t.Fatalf("mean boot-to-warm %.0fms, want ~1000-1500", mean)
+	}
+}
+
+func TestReuseIsMuchFaster(t *testing.T) {
+	eng, node := bed()
+	r := rng.New(3)
+	var cold, warm sim.Time
+	start := eng.Now()
+	Spark().Boot(eng, node, r, false, func() {}, func() { cold = eng.Now() - start })
+	eng.Run()
+	start2 := eng.Now()
+	Spark().Boot(eng, node, r, true, func() {}, func() { warm = eng.Now() - start2 })
+	eng.Run()
+	if warm*4 > cold {
+		t.Fatalf("JVM reuse boot %dms not <4x faster than cold %dms", warm, cold)
+	}
+}
+
+func TestWarmupStretchesUnderCPULoad(t *testing.T) {
+	measure := func(load bool) sim.Time {
+		eng, node := bed()
+		if load {
+			node.Compute(1e9, 256, func(sim.Time) {})
+		}
+		var d sim.Time
+		start := eng.Now()
+		Spark().Boot(eng, node, rng.New(4), false, func() {}, func() { d = eng.Now() - start })
+		eng.RunUntil(1_000_000)
+		return d
+	}
+	idle, busy := measure(false), measure(true)
+	if busy <= idle+200 {
+		t.Fatalf("warm-up under CPU load %dms vs idle %dms — no contention effect", busy, idle)
+	}
+}
+
+func TestWarmupStretchesUnderDiskLoad(t *testing.T) {
+	measure := func(load bool) sim.Time {
+		eng, node := bed()
+		if load {
+			for i := 0; i < 12; i++ {
+				node.Disk.Start(1e9, 800, func(sim.Time) {})
+			}
+		}
+		var d sim.Time
+		start := eng.Now()
+		Spark().Boot(eng, node, rng.New(4), false, func() {}, func() { d = eng.Now() - start })
+		eng.RunUntil(10_000_000)
+		return d
+	}
+	idle, busy := measure(false), measure(true)
+	if busy <= idle+500 {
+		t.Fatalf("warm-up under disk load %dms vs idle %dms — class loading should slow (paper §IV-E)", busy, idle)
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	if jm, s := MapReduceMaster(), Spark(); jm.BootstrapMedianMs <= s.BootstrapMedianMs {
+		t.Fatal("MR master JVM should be heavier than Spark's (Fig 9a)")
+	}
+	if tk, s := MapReduceTask(), Spark(); tk.BootstrapMedianMs <= s.BootstrapMedianMs {
+		t.Fatal("MR task JVM should be heavier than Spark's (Fig 9a)")
+	}
+}

@@ -1,0 +1,353 @@
+// Package mapreduce models MapReduce-on-YARN applications. The paper uses
+// them in three roles: wordcount as the cluster-load generator for the
+// container-throughput study (Table II) and the acquisition-delay study
+// (Fig 7c), dfsIO as the HDFS write interference for Fig 12, and the MR
+// instance types (mrm/mrsm/mrsr) in the launch-delay breakdown of Fig 9a.
+//
+// Unlike Spark, the MR ApplicationMaster heartbeats the ResourceManager at
+// a fixed 1000 ms interval with no backoff — which is exactly why the
+// paper finds container acquisition delay "capped by one second, the
+// default heartbeat interval for MapReduce".
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/docker"
+	"repro/internal/hdfs"
+	"repro/internal/ids"
+	"repro/internal/jvm"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// Logging class names for MR container stderr files.
+const (
+	ClassMRAppMaster = "org.apache.hadoop.mapreduce.v2.app.MRAppMaster"
+	ClassYarnChild   = "org.apache.hadoop.mapred.YarnChild"
+	ClassRMComm      = "org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator"
+)
+
+// Config describes one MapReduce job.
+type Config struct {
+	Name    string
+	Maps    int
+	Reduces int
+
+	MapProfile    yarn.Profile
+	ReduceProfile yarn.Profile
+
+	// Map work: optional HDFS input read, CPU, optional HDFS write (the
+	// dfsIO interference pattern writes MapWriteMB and reads nothing).
+	MapInputMB float64
+	InputPath  string
+	MapCPUSec  float64
+	MapWriteMB float64
+
+	// Reduce work: shuffle read (remote) then CPU.
+	ReduceShuffleMB float64
+	ReduceCPUSec    float64
+
+	Runtime docker.Runtime
+	// JVMReuse launches task JVMs in reuse mode (uber/JVM-reuse configs),
+	// used by the throughput workload where tasks are tiny.
+	JVMReuse bool
+	// MaxConcurrentMaps caps in-flight map containers (the effect of the
+	// Capacity Scheduler's user limit); 0 = request everything at once.
+	// The Table II experiment uses it to pin cluster load at 10/40/70/100%.
+	MaxConcurrentMaps int
+
+	MasterJVM jvm.Model
+	TaskJVM   jvm.Model
+}
+
+// DefaultConfig returns a wordcount-shaped job.
+func DefaultConfig(name string, maps, reduces int) Config {
+	return Config{
+		Name:          name,
+		Maps:          maps,
+		Reduces:       reduces,
+		MapProfile:    yarn.Profile{VCores: 1, MemoryMB: 1024},
+		ReduceProfile: yarn.Profile{VCores: 1, MemoryMB: 2048},
+		MapInputMB:    64,
+		MapCPUSec:     0.6,
+		ReduceCPUSec:  1.2,
+		MasterJVM:     jvm.MapReduceMaster(),
+		TaskJVM:       jvm.MapReduceTask(),
+	}
+}
+
+// App is a submitted MapReduce job.
+type App struct {
+	ID  ids.AppID
+	rm  *yarn.RM
+	fs  *hdfs.FS
+	cfg Config
+
+	am *appMaster
+
+	// OnFinished fires when the job completes.
+	OnFinished func(at sim.Time)
+}
+
+// Submit submits the job to the default queue; YARN will allocate and
+// launch the MRAppMaster.
+func Submit(rm *yarn.RM, fs *hdfs.FS, cfg Config) *App {
+	return SubmitToQueue(rm, fs, cfg, "")
+}
+
+// SubmitToQueue submits the job to a named Capacity Scheduler queue.
+func SubmitToQueue(rm *yarn.RM, fs *hdfs.FS, cfg Config, queue string) *App {
+	if cfg.Maps <= 0 {
+		panic("mapreduce: need at least one map")
+	}
+	a := &App{rm: rm, fs: fs, cfg: cfg}
+	a.am = &appMaster{app: a}
+	a.ID = rm.Submit(yarn.AppSpec{
+		Name:  cfg.Name,
+		Type:  "MAPREDUCE",
+		Queue: queue,
+		AMLaunch: yarn.LaunchSpec{
+			Resources: []yarn.LocalResource{{Path: "/mr/hadoop-mapreduce.tar.gz", SizeMB: 280, Public: true}},
+			Instance:  yarn.InstMRMaster,
+			Runtime:   cfg.Runtime,
+			Process:   a.am,
+		},
+	})
+	return a
+}
+
+// Finished reports job completion.
+func (a *App) Finished() bool { return a.am.finished }
+
+// appMaster is the MRAppMaster process.
+type appMaster struct {
+	app *App
+	env *yarn.ProcessEnv
+
+	log      logf
+	allocLog logf
+
+	phase        int // 0 = maps, 1 = reduces, 2 = done
+	mapsAsked    int
+	mapsDone     int
+	reducesDone  int
+	launchedMaps int
+	launchedRed  int
+	finished     bool
+	hb           *sim.Ticker
+}
+
+type logf interface {
+	Infof(format string, args ...any)
+}
+
+// Launched boots the AM JVM, registers, and starts the fixed-interval
+// allocator heartbeat.
+func (m *appMaster) Launched(env *yarn.ProcessEnv) {
+	m.env = env
+	m.log = env.Logger(ClassMRAppMaster)
+	m.allocLog = env.Logger(ClassRMComm)
+	m.app.cfg.MasterJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
+		func() {
+			m.log.Infof("Created MRAppMaster for application %s", m.app.ID)
+			env.MarkFirstLog()
+		},
+		func() {
+			// Job init (split computation, output committer setup).
+			env.Node.Compute(0.5, 1, func(sim.Time) {
+				m.log.Infof("Registered with the ResourceManager")
+				m.app.rm.RegisterAttempt(m.app.ID)
+				m.app.rm.SetFailureHandler(m.app.ID, m.onContainerFailed)
+				m.askMaps()
+				m.hb = sim.NewTicker(env.Eng, m.app.rm.Cfg.AMHeartbeatMs, int64(env.Rng.Intn(200)), m.heartbeat)
+			})
+		})
+}
+
+// askMaps requests map containers, respecting the concurrency window.
+func (m *appMaster) askMaps() {
+	cfg := m.app.cfg
+	want := cfg.Maps - m.mapsAsked
+	if cfg.MaxConcurrentMaps > 0 {
+		inFlight := m.mapsAsked - m.mapsDone
+		if room := cfg.MaxConcurrentMaps - inFlight; room < want {
+			want = room
+		}
+	}
+	if want <= 0 {
+		return
+	}
+	m.allocLog.Infof("Requesting %d map containers", want)
+	m.app.rm.Ask(m.app.ID, want, cfg.MapProfile)
+	m.mapsAsked += want
+}
+
+// heartbeat pulls granted containers at the fixed MR cadence; the time a
+// container waits allocated-but-unpulled is Fig 7c's acquisition delay.
+func (m *appMaster) heartbeat() {
+	if m.finished {
+		return
+	}
+	for _, al := range m.app.rm.Pull(m.app.ID) {
+		m.startTask(al)
+	}
+	if m.phase == 0 {
+		m.askMaps()
+	}
+}
+
+func (m *appMaster) startTask(al *yarn.Allocation) {
+	var t *task
+	if m.phase == 0 {
+		m.launchedMaps++
+		t = &task{am: m, reduce: false, idx: m.launchedMaps}
+	} else {
+		m.launchedRed++
+		t = &task{am: m, reduce: true, idx: m.launchedRed}
+	}
+	inst := yarn.InstMRMap
+	if t.reduce {
+		inst = yarn.InstMRReduce
+	}
+	al.Node.StartContainer(al, yarn.LaunchSpec{
+		Resources: []yarn.LocalResource{{Path: "/mr/job-" + m.app.cfg.Name + ".jar", SizeMB: 12, Public: true}},
+		Instance:  inst,
+		Runtime:   m.app.cfg.Runtime,
+		Process:   t,
+	})
+}
+
+// onContainerFailed writes off a failed task container so the ask window
+// re-requests it (MR reschedules failed attempts).
+func (m *appMaster) onContainerFailed(al *yarn.Allocation) {
+	if m.finished {
+		return
+	}
+	m.allocLog.Infof("Container %s failed to launch; rescheduling the attempt", al.Container)
+	if al.Profile == m.app.cfg.ReduceProfile && m.phase == 1 {
+		m.launchedRed--
+		m.app.rm.Ask(m.app.ID, 1, m.app.cfg.ReduceProfile)
+		return
+	}
+	m.launchedMaps--
+	m.mapsAsked--
+	m.askMaps()
+}
+
+func (m *appMaster) taskFinished(t *task) {
+	if t.reduce {
+		m.reducesDone++
+		if m.reducesDone >= m.app.cfg.Reduces {
+			m.finishJob()
+		}
+		return
+	}
+	m.mapsDone++
+	if m.mapsDone < m.app.cfg.Maps {
+		return
+	}
+	if m.app.cfg.Reduces <= 0 {
+		m.finishJob()
+		return
+	}
+	m.phase = 1
+	m.allocLog.Infof("Requesting %d reduce containers", m.app.cfg.Reduces)
+	m.app.rm.Ask(m.app.ID, m.app.cfg.Reduces, m.app.cfg.ReduceProfile)
+}
+
+func (m *appMaster) finishJob() {
+	if m.finished {
+		return
+	}
+	m.finished = true
+	m.phase = 2
+	if m.hb != nil {
+		m.hb.Stop()
+	}
+	m.log.Infof("Job %s completed successfully: %d maps, %d reduces",
+		m.app.cfg.Name, m.mapsDone, m.reducesDone)
+	m.app.rm.FinishApp(m.app.ID)
+	if m.app.OnFinished != nil {
+		m.app.OnFinished(m.env.Eng.Now())
+	}
+	m.env.Exit()
+}
+
+// task is a YarnChild process running one map or reduce attempt.
+type task struct {
+	am     *appMaster
+	reduce bool
+	idx    int
+	env    *yarn.ProcessEnv
+	log    logf
+}
+
+// Launched boots the task JVM and runs the attempt.
+func (t *task) Launched(env *yarn.ProcessEnv) {
+	t.env = env
+	t.log = env.Logger(ClassYarnChild)
+	cfg := t.am.app.cfg
+	kind := "MAP"
+	if t.reduce {
+		kind = "REDUCE"
+	}
+	reuse := env.JVMReuse || cfg.JVMReuse
+	cfg.TaskJVM.Boot(env.Eng, env.Node, env.Rng, reuse,
+		func() {
+			t.log.Infof("Starting %s task attempt_%d_%04d_%06d_0",
+				kind, t.am.app.ID.ClusterTS, t.am.app.ID.Seq, t.idx)
+			env.MarkFirstLog()
+		},
+		t.run)
+}
+
+func (t *task) run() {
+	if t.reduce {
+		t.runReduce()
+		return
+	}
+	cfg := t.am.app.cfg
+	afterRead := func(sim.Time) {
+		t.env.Node.Compute(cfg.MapCPUSec, 1, func(sim.Time) {
+			if cfg.MapWriteMB > 0 {
+				out := fmt.Sprintf("/out/%s/map-%d-%d", cfg.Name, t.am.app.ID.Seq, t.idx)
+				t.am.app.fs.Write(t.env.Node, out, cfg.MapWriteMB, t.finish)
+				return
+			}
+			t.finish(t.env.Eng.Now())
+		})
+	}
+	switch {
+	case cfg.MapInputMB <= 0:
+		afterRead(t.env.Eng.Now())
+	case cfg.InputPath != "":
+		f := t.am.app.fs.Lookup(cfg.InputPath)
+		if f == nil {
+			f = t.am.app.fs.Create(cfg.InputPath, cfg.MapInputMB*float64(cfg.Maps), nil)
+		}
+		t.am.app.fs.ReadData(t.env.Node, f, cfg.MapInputMB, afterRead)
+	default:
+		t.am.app.fs.ReadAnonymous(t.env.Node, cfg.MapInputMB, afterRead)
+	}
+}
+
+func (t *task) runReduce() {
+	cfg := t.am.app.cfg
+	afterShuffle := func(sim.Time) {
+		t.env.Node.Compute(cfg.ReduceCPUSec, 1, func(sim.Time) {
+			t.finish(t.env.Eng.Now())
+		})
+	}
+	if cfg.ReduceShuffleMB > 0 {
+		t.am.app.fs.ReadAnonymous(t.env.Node, cfg.ReduceShuffleMB, afterShuffle)
+		return
+	}
+	afterShuffle(t.env.Eng.Now())
+}
+
+func (t *task) finish(sim.Time) {
+	t.log.Infof("Task done, committing output")
+	t.env.Exit()
+	t.am.taskFinished(t)
+}

@@ -1,0 +1,169 @@
+package mapreduce_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/sim"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+func bed(t *testing.T, mutate func(*yarn.Config)) *testkit.Bed {
+	t.Helper()
+	b := testkit.New(testkit.Options{Workers: 4, Yarn: mutate})
+	b.Prewarm(map[string]float64{
+		"/mr/hadoop-mapreduce.tar.gz": 280,
+		"/mr/job-wc.jar":              12,
+	})
+	return b
+}
+
+func runJob(t *testing.T, b *testkit.Bed, cfg mapreduce.Config, deadline int64) *mapreduce.App {
+	t.Helper()
+	app := mapreduce.Submit(b.RM, b.FS, cfg)
+	b.Run(deadline)
+	if !app.Finished() {
+		t.Fatal("MR job did not finish")
+	}
+	return app
+}
+
+func TestWordcountCompletes(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) { c.LocalityDelayMaxBeats = 0 })
+	cfg := mapreduce.DefaultConfig("wc", 8, 2)
+	cfg.Name = "wc"
+	cfg.MapInputMB = 32
+	cfg.ReduceShuffleMB = 16
+	runJob(t, b, cfg, 1800)
+
+	var nmAll string
+	for _, f := range b.Sink.Files() {
+		if strings.Contains(f, "nodemanager") {
+			nmAll += strings.Join(b.Lines(f), "\n")
+		}
+	}
+	// 1 AM + 8 maps + 2 reduces = 11 container lifecycles.
+	if got := strings.Count(nmAll, "from RUNNING to EXITED_WITH_SUCCESS"); got != 11 {
+		t.Fatalf("%d containers exited, want 11", got)
+	}
+}
+
+func TestReducesStartAfterAllMaps(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) { c.LocalityDelayMaxBeats = 0 })
+	cfg := mapreduce.DefaultConfig("wc", 4, 1)
+	cfg.Name = "wc"
+	runJob(t, b, cfg, 1800)
+
+	// Instance types come from the container stderr first lines.
+	chk := core.New()
+	if err := chk.AddSink(b.Sink); err != nil {
+		t.Fatal(err)
+	}
+	rep := chk.Analyze()
+	app := rep.Apps[0]
+	var lastMapExit, firstReduceLog int64
+	for _, c := range app.Containers {
+		switch c.Instance {
+		case core.InstMRMap:
+			if c.Exited > lastMapExit {
+				lastMapExit = c.Exited
+			}
+		case core.InstMRReduce:
+			if firstReduceLog == 0 || c.FirstLog < firstReduceLog {
+				firstReduceLog = c.FirstLog
+			}
+		}
+	}
+	if lastMapExit == 0 || firstReduceLog == 0 {
+		t.Fatal("map/reduce containers not classified from logs")
+	}
+	if firstReduceLog < lastMapExit {
+		t.Fatalf("reduce started at %d before last map exit %d", firstReduceLog, lastMapExit)
+	}
+}
+
+func TestConcurrencyWindowCapsInFlight(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) {
+		c.LocalityDelayMaxBeats = 0
+		c.MaxAssignPerHeartbeat = 0
+	})
+	cfg := mapreduce.DefaultConfig("wc", 24, 0)
+	cfg.Name = "wc"
+	cfg.MapCPUSec = 1.5
+	cfg.MaxConcurrentMaps = 4
+
+	app := mapreduce.Submit(b.RM, b.FS, cfg)
+	peak := 0
+	sim.NewTicker(b.Eng, 200, 100, func() {
+		running := 0
+		for _, nm := range b.NMs {
+			running += nm.RunningContainers()
+		}
+		if running > peak {
+			peak = running
+		}
+	})
+	b.Run(3600)
+	if !app.Finished() {
+		t.Fatal("job did not finish")
+	}
+	// Window 4 maps + 1 AM container; allow one in-flight transition.
+	if peak > 6 {
+		t.Fatalf("peak concurrent containers %d, want <= window+AM", peak)
+	}
+}
+
+func TestAcquisitionCappedByAMHeartbeat(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) {
+		c.LocalityDelayMaxBeats = 0
+		c.AMHeartbeatMs = 1000
+	})
+	cfg := mapreduce.DefaultConfig("wc", 12, 0)
+	cfg.Name = "wc"
+	runJob(t, b, cfg, 1800)
+
+	chk := core.New()
+	if err := chk.AddSink(b.Sink); err != nil {
+		t.Fatal(err)
+	}
+	rep := chk.Analyze()
+	d := rep.Apps[0].Decomp
+	if len(d.Acquisitions) == 0 {
+		t.Fatal("no acquisition delays mined")
+	}
+	for _, a := range d.Acquisitions {
+		if a.MS > 1100 {
+			t.Fatalf("acquisition %dms exceeds the 1s AM heartbeat cap (Fig 7c)", a.MS)
+		}
+	}
+}
+
+func TestDfsIOWritesLoadDisks(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) { c.LocalityDelayMaxBeats = 0 })
+	cfg := mapreduce.DefaultConfig("dfsio", 3, 0)
+	cfg.Name = "dfsio"
+	cfg.MapInputMB = 0
+	cfg.MapWriteMB = 2000
+	runJob(t, b, cfg, 3600)
+	var busy float64
+	for _, n := range b.Cl.Nodes {
+		busy += n.Disk.BusyUnitMillis()
+	}
+	// 3 maps x 2000 MB x 3 replicas = 18 GB of disk work minimum.
+	if busy < 17_000_000 {
+		t.Fatalf("disks moved %.0f unit-ms, want >= 18GB of replica writes", busy)
+	}
+}
+
+func TestZeroMapsPanics(t *testing.T) {
+	b := bed(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero maps did not panic")
+		}
+	}()
+	mapreduce.Submit(b.RM, b.FS, mapreduce.DefaultConfig("x", 0, 0))
+}

@@ -1,0 +1,183 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestForkIsStableAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(3)
+	c2 := parent.Fork(3)
+	if c1.Uint64() != c2.Uint64() {
+		t.Fatal("Fork with same id is not reproducible")
+	}
+	c3 := parent.Fork(4)
+	if c3.Uint64() == parent.Fork(3).Uint64() {
+		t.Fatal("Fork with different ids collided")
+	}
+	// Forking must not advance the parent.
+	p1, p2 := New(7), New(7)
+	p1.Fork(9)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Fork advanced the parent state")
+	}
+}
+
+func TestPropertyFloat64Range(t *testing.T) {
+	s := New(11)
+	f := func(uint8) bool {
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIntnRange(t *testing.T) {
+	s := New(12)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(5, 9)
+		if v < 5 || v >= 9 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(14)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(100)
+	}
+	mean := sum / n
+	if mean < 90 || mean > 110 {
+		t.Fatalf("Exp(100) sample mean %.1f, want ~100", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(15)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(50, 10)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-50) > 1 {
+		t.Fatalf("Normal mean %.2f, want ~50", mean)
+	}
+	if math.Abs(sd-10) > 1 {
+		t.Fatalf("Normal stddev %.2f, want ~10", sd)
+	}
+}
+
+func TestBoundedNormalClamps(t *testing.T) {
+	s := New(16)
+	for i := 0; i < 5000; i++ {
+		v := s.BoundedNormal(0, 100, -5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("BoundedNormal escaped bounds: %v", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	s := New(17)
+	const n = 20001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.LogNormalMedian(700, 0.3)
+	}
+	// Median of samples should be near the parameter.
+	count := 0
+	for _, v := range vals {
+		if v < 700 {
+			count++
+		}
+	}
+	frac := float64(count) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("LogNormalMedian: %.3f of samples below the median parameter, want ~0.5", frac)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(18)
+	for i := 0; i < 5000; i++ {
+		if v := s.Pareto(10, 2); v < 10 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+	}
+}
+
+func TestPropertyPermIsPermutation(t *testing.T) {
+	s := New(19)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

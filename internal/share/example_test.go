@@ -1,0 +1,35 @@
+package share_test
+
+import (
+	"fmt"
+
+	"repro/internal/share"
+	"repro/internal/sim"
+)
+
+// ExampleResource shows demand-proportional sharing: two equal streams on
+// one disk each get half the bandwidth.
+func ExampleResource() {
+	eng := sim.NewEngine()
+	disk := share.NewResource(eng, "disk", 100) // 100 MB/s
+	disk.Start(100, 1000, func(at sim.Time) { fmt.Println("stream A done at", at, "ms") })
+	disk.Start(100, 1000, func(at sim.Time) { fmt.Println("stream B done at", at, "ms") })
+	eng.Run()
+	// Output:
+	// stream A done at 2000 ms
+	// stream B done at 2000 ms
+}
+
+// ExampleNewSeekDegrade shows rotational-disk degradation: concurrent
+// streams cost aggregate bandwidth.
+func ExampleNewSeekDegrade() {
+	eng := sim.NewEngine()
+	disk := share.NewResource(eng, "hdd", 100)
+	disk.Degrade = share.NewSeekDegrade(1.0, 0.2) // halve aggregate at 2 streams
+	disk.Start(100, 1000, func(at sim.Time) { fmt.Println("done at", at, "ms") })
+	disk.Start(100, 1000, func(at sim.Time) { fmt.Println("done at", at, "ms") })
+	eng.Run()
+	// Output:
+	// done at 4000 ms
+	// done at 4000 ms
+}

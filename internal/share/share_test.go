@@ -1,0 +1,252 @@
+package share
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestSingleJobDuration(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100) // 100 units/s
+	var done sim.Time
+	r.Start(50, 1000, func(at sim.Time) { done = at }) // capped by capacity
+	eng.Run()
+	if done != 500 {
+		t.Fatalf("50 units at 100/s finished at %dms, want 500", done)
+	}
+}
+
+func TestDemandCapLimitsRate(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var done sim.Time
+	r.Start(50, 25, func(at sim.Time) { done = at }) // demand 25 < capacity
+	eng.Run()
+	if done != 2000 {
+		t.Fatalf("demand-capped job finished at %dms, want 2000", done)
+	}
+}
+
+func TestEqualSharing(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var d1, d2 sim.Time
+	r.Start(50, 1000, func(at sim.Time) { d1 = at })
+	r.Start(50, 1000, func(at sim.Time) { d2 = at })
+	eng.Run()
+	// Two equal jobs share 100/s: each runs at 50/s -> 1000 ms.
+	if d1 != 1000 || d2 != 1000 {
+		t.Fatalf("equal jobs finished at %d/%d ms, want 1000/1000", d1, d2)
+	}
+}
+
+func TestProportionalSharingByDemand(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var small, big sim.Time
+	// Demands 10 vs 1000 on capacity 100: shares split ~1:100.
+	r.Start(10, 10, func(at sim.Time) { small = at })
+	r.Start(90, 1000, func(at sim.Time) { big = at })
+	eng.Run()
+	// Big: 90 units at ~99/s -> ~909 ms. Small: ~0.9 units done by then,
+	// remaining 9.1 at its full demand 10/s -> ~1819 ms.
+	if big < 900 || big > 920 {
+		t.Fatalf("big job finished at %dms, want ~909", big)
+	}
+	if small < 1800 || small > 1840 {
+		t.Fatalf("small job finished at %dms, want ~1819", small)
+	}
+}
+
+func TestLateArrivalSlowsExisting(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var d1 sim.Time
+	r.Start(100, 1000, func(at sim.Time) { d1 = at })
+	eng.At(500, func() {
+		r.Start(1000, 1000, func(sim.Time) {})
+	})
+	eng.RunUntil(10_000)
+	// First job: 50 units in first 500ms, remaining 50 at 50/s -> 1000ms
+	// more: total 1500ms.
+	if d1 != 1500 {
+		t.Fatalf("preempted job finished at %dms, want 1500", d1)
+	}
+}
+
+func TestCancelStopsJob(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	fired := false
+	j := r.Start(1000, 100, func(sim.Time) { fired = true })
+	eng.At(100, func() { r.Cancel(j) })
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled job completed")
+	}
+	if r.Active() != 0 {
+		t.Fatalf("cancelled job still active")
+	}
+	r.Cancel(j) // idempotent
+	r.Cancel(nil)
+}
+
+func TestCancelFreesCapacityForOthers(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var d sim.Time
+	j := r.Start(1000, 1000, func(sim.Time) {})
+	r.Start(100, 1000, func(at sim.Time) { d = at })
+	eng.At(1000, func() { r.Cancel(j) })
+	eng.Run()
+	// Second job: 50 units in first 1000ms (sharing), then full rate:
+	// remaining 50 at 100/s -> +500ms = 1500ms.
+	if d != 1500 {
+		t.Fatalf("survivor finished at %dms, want 1500", d)
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	var done bool
+	r.Start(0, 10, func(sim.Time) { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("zero-work job never completed")
+	}
+}
+
+func TestInvalidJobPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive demand did not panic")
+		}
+	}()
+	r.Start(10, 0, nil)
+}
+
+func TestInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewResource(sim.NewEngine(), "x", 0)
+}
+
+func TestLoadAndDemandSum(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	r.Start(1e6, 80, func(sim.Time) {})
+	r.Start(1e6, 70, func(sim.Time) {})
+	if got := r.DemandSum(); got != 150 {
+		t.Fatalf("DemandSum=%v, want 150", got)
+	}
+	if got := r.Load(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Load=%v, want 1.5", got)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	r.Start(50, 1000, func(sim.Time) {})
+	eng.Run()
+	// 50 units of work moved: 50 unit-seconds = 50_000 unit-ms.
+	got := r.BusyUnitMillis()
+	if math.Abs(got-50_000) > 500 {
+		t.Fatalf("BusyUnitMillis=%v, want ~50000", got)
+	}
+}
+
+func TestSeekDegradeReducesAggregate(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewResource(eng, "disk", 100)
+	r.Degrade = NewSeekDegrade(0.5, 0.2)
+	var d1 sim.Time
+	r.Start(50, 1000, func(at sim.Time) { d1 = at })
+	r.Start(50, 1000, func(sim.Time) {})
+	eng.Run()
+	// Two streams: aggregate = 100/(1+0.5) = 66.7 -> each 33.3/s.
+	// 50 units -> 1500 ms.
+	if d1 < 1480 || d1 > 1520 {
+		t.Fatalf("degraded pair finished at %dms, want ~1500", d1)
+	}
+}
+
+func TestSeekDegradeFloor(t *testing.T) {
+	deg := NewSeekDegrade(1.0, 0.25)
+	if got := deg(1); got != 1 {
+		t.Fatalf("single stream degraded: %v", got)
+	}
+	if got := deg(100); got != 0.25 {
+		t.Fatalf("floor not applied: %v", got)
+	}
+}
+
+// Property: work is conserved — any mix of jobs completes, and the
+// completion time of the whole batch is at least total-work/capacity.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		eng := sim.NewEngine()
+		r := NewResource(eng, "res", 50)
+		var total float64
+		completed := 0
+		n := 0
+		for _, s := range sizes {
+			w := float64(s%100) + 1
+			total += w
+			n++
+			r.Start(w, float64(s%30)+1, func(sim.Time) { completed++ })
+		}
+		end := eng.Run()
+		if completed != n {
+			return false
+		}
+		minMs := total / 50 * 1000
+		return float64(end) >= minMs-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rates never exceed demand or capacity.
+func TestPropertyRatesBounded(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		eng := sim.NewEngine()
+		cap := 75.0
+		r := NewResource(eng, "res", cap)
+		jobs := make([]*Job, 0, len(sizes))
+		for _, s := range sizes {
+			d := float64(s%40) + 1
+			jobs = append(jobs, r.Start(float64(s)+1, d, func(sim.Time) {}))
+		}
+		ok := true
+		check := func() {
+			var sum float64
+			for _, j := range jobs {
+				if j.rate < 0 || j.rate > j.demand+1e-9 {
+					ok = false
+				}
+				sum += j.rate
+			}
+			if sum > cap+1e-6 {
+				ok = false
+			}
+		}
+		eng.At(0, check)
+		eng.At(1, check)
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

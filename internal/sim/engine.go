@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with millisecond-precision virtual time.
+//
+// All simulated components (YARN daemons, Spark drivers, HDFS, ...) run as
+// callbacks on a single Engine. Events scheduled for the same instant fire
+// in scheduling order, which makes every run byte-for-byte reproducible.
+// Virtual time is an int64 count of milliseconds since the simulation
+// epoch; one millisecond is also the timestamp precision of log4j, so the
+// engine's resolution matches the precision SDchecker can observe.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in milliseconds since the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in milliseconds.
+type Duration = int64
+
+// Millisecond, Second and Minute are convenience units for Duration values.
+const (
+	Millisecond Duration = 1
+	Second      Duration = 1000
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime Time = math.MaxInt64
+
+// Event is a scheduled callback. It is exposed so callers can cancel
+// pending events (e.g. heartbeat timers torn down on daemon shutdown).
+type Event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// Time returns the virtual time the event fires at.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether the event was cancelled or has already fired.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine positioned at virtual time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for run statistics).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it is always a simulation bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d milliseconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel defensively.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.pq, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the virtual time of the last event executed.
+func (e *Engine) Run() Time {
+	return e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the last executed event (or at deadline if an event beyond it
+// remains queued).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.pq)
+		next.index = -1
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		e.fired++
+		fn()
+	}
+	return e.now
+}
+
+// eventHeap orders events by (time, insertion sequence) so simultaneous
+// events fire in the order they were scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

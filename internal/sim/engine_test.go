@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 10, 5} {
+		at := at
+		eng.At(at, func() { got = append(got, at) })
+	}
+	eng.Run()
+	want := []Time{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantFiresInScheduleOrder(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(100, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order %v not FIFO", got)
+		}
+	}
+}
+
+func TestAfterAdvancesFromNow(t *testing.T) {
+	eng := NewEngine()
+	var at Time
+	eng.At(50, func() {
+		eng.After(25, func() { at = eng.Now() })
+	})
+	eng.Run()
+	if at != 75 {
+		t.Fatalf("After fired at %d, want 75", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.At(10, func() { fired = true })
+	eng.Cancel(ev)
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	eng.Cancel(ev) // double-cancel is a no-op
+	eng.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		i := i
+		evs = append(evs, eng.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	eng.Cancel(evs[2])
+	eng.Run()
+	want := []int{0, 1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.At(10, func() { fired++ })
+	eng.At(100, func() { fired++ })
+	end := eng.RunUntil(50)
+	if fired != 1 {
+		t.Fatalf("fired %d events before deadline, want 1", fired)
+	}
+	if end != 50 {
+		t.Fatalf("clock at %d, want deadline 50", end)
+	}
+	eng.Run()
+	if fired != 2 {
+		t.Fatalf("remaining event not fired on resume")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	eng.At(10, func() { fired++; eng.Stop() })
+	eng.At(20, func() { fired++ })
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("Stop did not halt: fired=%d", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(50, func() {})
+	})
+	eng.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	NewEngine().At(10, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 7; i++ {
+		eng.At(Time(i), func() {})
+	}
+	if eng.Pending() != 7 {
+		t.Fatalf("pending %d, want 7", eng.Pending())
+	}
+	eng.Run()
+	if eng.Fired() != 7 || eng.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d, want 7/0", eng.Fired(), eng.Pending())
+	}
+}
+
+// Property: for any set of timestamps, execution order is the sorted
+// order of the scheduled times.
+func TestPropertyTimeOrdering(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		eng := NewEngine()
+		var got []Time
+		for _, s := range stamps {
+			at := Time(s)
+			eng.At(at, func() { got = append(got, at) })
+		}
+		eng.Run()
+		want := make([]Time, 0, len(stamps))
+		for _, s := range stamps {
+			want = append(want, Time(s))
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards across any run.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		ok := true
+		last := Time(-1)
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if eng.Now() < last {
+				ok = false
+			}
+			last = eng.Now()
+			if depth <= 0 {
+				return
+			}
+			eng.After(Duration(r.Intn(50)), func() { spawn(depth - 1) })
+		}
+		for i := 0; i < int(n%20); i++ {
+			eng.At(Time(r.Intn(100)), func() { spawn(3) })
+		}
+		eng.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	eng := NewEngine()
+	var fires []Time
+	tk := NewTicker(eng, 10, 5, func() {
+		fires = append(fires, eng.Now())
+	})
+	eng.At(46, func() { tk.Stop() })
+	eng.Run()
+	want := []Time{5, 15, 25, 35, 45}
+	if len(fires) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	eng := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(eng, 10, 0, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times after in-callback stop, want 3", n)
+	}
+	tk.Stop() // idempotent
+}
+
+func TestTickerNegativeOffsetClamped(t *testing.T) {
+	eng := NewEngine()
+	first := Time(-1)
+	tk := NewTicker(eng, 10, -5, func() {
+		if first < 0 {
+			first = eng.Now()
+		}
+	})
+	eng.RunUntil(25)
+	tk.Stop()
+	if first != 0 {
+		t.Fatalf("first tick at %d, want 0", first)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, 0, func() {})
+}

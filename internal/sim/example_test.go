@@ -1,0 +1,39 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ExampleEngine shows the discrete-event basics: schedule, run, observe
+// virtual time.
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.At(100, func() {
+		fmt.Println("first event at", eng.Now())
+		eng.After(50, func() { fmt.Println("chained event at", eng.Now()) })
+	})
+	end := eng.Run()
+	fmt.Println("drained at", end)
+	// Output:
+	// first event at 100
+	// chained event at 150
+	// drained at 150
+}
+
+// ExampleNewTicker shows a heartbeat-style periodic callback.
+func ExampleNewTicker() {
+	eng := sim.NewEngine()
+	n := 0
+	var tk *sim.Ticker
+	tk = sim.NewTicker(eng, 1000, 0, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	fmt.Println(n, "heartbeats, clock at", eng.Now())
+	// Output: 3 heartbeats, clock at 2000
+}

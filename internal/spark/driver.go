@@ -1,0 +1,510 @@
+package spark
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/ids"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// App is a submitted Spark application.
+type App struct {
+	ID  ids.AppID
+	rm  *yarn.RM
+	fs  *hdfs.FS
+	cfg Config
+
+	driver *driver
+
+	// OnFinished, when set before completion, fires when the job body
+	// ends (before the RM unregistration round trips).
+	OnFinished func(at sim.Time)
+}
+
+// Submit submits the application to the ResourceManager and returns a
+// handle. The driver process will be launched in the AM container once
+// YARN allocates it.
+func Submit(rm *yarn.RM, fs *hdfs.FS, cfg Config) *App {
+	if cfg.Executors <= 0 {
+		panic("spark: need at least one executor")
+	}
+	a := &App{rm: rm, fs: fs, cfg: cfg}
+	a.driver = &driver{app: a}
+	spec := yarn.AppSpec{
+		Name:  cfg.App.Name,
+		Type:  "SPARK",
+		Queue: cfg.Queue,
+		AMLaunch: yarn.LaunchSpec{
+			Resources: cfg.driverResources(),
+			Instance:  yarn.InstSparkDriver,
+			Runtime:   cfg.Runtime,
+			Process:   a.driver,
+		},
+	}
+	a.ID = rm.Submit(spec)
+	return a
+}
+
+// Finished reports whether the job body has completed.
+func (a *App) Finished() bool { return a.driver.finished }
+
+// driver is the Spark ApplicationMaster process (cluster deploy mode).
+type driver struct {
+	app *App
+	env *yarn.ProcessEnv
+
+	amLog    logf
+	allocLog logf
+	ctxLog   logf
+
+	// Allocation state.
+	allocated   int
+	launched    int
+	extras      []*yarn.Allocation // acquired but never used (SPARK-21562)
+	endAlloLogd bool
+	pullEvery   int64
+
+	// Executor / gate state.
+	executors  []*executor
+	execByCID  map[string]*executor
+	registered int
+	gateOpen   bool
+	gateTimer  *sim.Event
+	pullActive bool
+
+	// User-init and job state.
+	initDone    bool
+	started     bool
+	finished    bool
+	stage       int
+	nextTask    int
+	outstanding int
+}
+
+// logf narrows log4j.Logger to the one method processes use.
+type logf interface {
+	Infof(format string, args ...any)
+}
+
+// Launched runs the driver JVM and then the ApplicationMaster sequence.
+func (d *driver) Launched(env *yarn.ProcessEnv) {
+	d.env = env
+	d.amLog = env.Logger(ClassAppMaster)
+	d.allocLog = env.Logger(ClassYarnAllocator)
+	d.ctxLog = env.Logger(ClassSparkContext)
+	cfg := d.app.cfg
+	cfg.DriverJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
+		func() {
+			// FIRST_LOG (Table I message 9).
+			d.amLog.Infof("Preparing Local resources")
+			env.MarkFirstLog()
+		},
+		d.contextInit)
+}
+
+// contextInit models SparkContext construction (driver-side CPU), after
+// which the AM registers with the RM — the end of the driver delay.
+func (d *driver) contextInit() {
+	work := (d.app.cfg.DriverJVM.WarmupVcoreSec*0.4 + 2.6) * d.env.Rng.Uniform(0.85, 1.35)
+	d.env.Node.Compute(work, 2, func(sim.Time) {
+		d.ctxLog.Infof("Running Spark version 2.2.0")
+		// REGISTER (Table I message 10).
+		d.amLog.Infof("Registered with ResourceManager as %s",
+			ids.AttemptID{App: d.app.ID, Attempt: 1})
+		d.app.rm.RegisterAttempt(d.app.ID)
+		d.startAllocation()
+		d.startUserInit()
+	})
+}
+
+// startAllocation emits START_ALLO and requests executor containers.
+func (d *driver) startAllocation() {
+	cfg := d.app.cfg
+	want := cfg.overRequestCount()
+	d.execByCID = make(map[string]*executor, want)
+	d.app.rm.SetFailureHandler(d.app.ID, d.onContainerFailed)
+	// START_ALLO (Table I message 11; manually added by the authors).
+	d.allocLog.Infof("SDCHECKER START_ALLO Requesting %d executor containers", want)
+	d.gateTimer = d.env.Eng.After(cfg.RegisteredWaitMaxMs, func() {
+		d.gateTimer = nil
+		d.maybeStart()
+	})
+	if cfg.Opportunistic {
+		d.app.rm.AskOpportunistic(d.app.ID, want, cfg.ExecutorProfile, func(allocs []*yarn.Allocation) {
+			for _, al := range allocs {
+				d.onGrant(al)
+			}
+		})
+		return
+	}
+	d.app.rm.Ask(d.app.ID, want, cfg.ExecutorProfile)
+	d.pullEvery = cfg.InitialAllocIntervalMs
+	d.pullActive = true
+	d.env.Eng.After(d.pullEvery, d.pull)
+}
+
+// onContainerFailed is the AM-side recovery path: the failed executor is
+// written off and a replacement container requested, as Spark's
+// YarnAllocator does for preempted or failed containers.
+func (d *driver) onContainerFailed(al *yarn.Allocation) {
+	if d.finished {
+		return
+	}
+	key := al.Container.String()
+	e := d.execByCID[key]
+	if e == nil {
+		return // an unused extra container failed; nothing to replace
+	}
+	delete(d.execByCID, key)
+	for i, x := range d.executors {
+		if x == e {
+			d.executors = append(d.executors[:i], d.executors[i+1:]...)
+			break
+		}
+	}
+	if e.registered() {
+		d.registered--
+	}
+	e.stopped = true
+	d.launched--
+	d.allocated--
+	d.allocLog.Infof("Container %s failed to launch; requesting a replacement executor", al.Container)
+	cfg := d.app.cfg
+	if cfg.Opportunistic {
+		d.app.rm.AskOpportunistic(d.app.ID, 1, cfg.ExecutorProfile, func(allocs []*yarn.Allocation) {
+			for _, a := range allocs {
+				d.onGrant(a)
+			}
+		})
+		return
+	}
+	d.app.rm.Ask(d.app.ID, 1, cfg.ExecutorProfile)
+	if !d.pullActive {
+		d.pullEvery = cfg.InitialAllocIntervalMs
+		d.pullActive = true
+		d.env.Eng.After(d.pullEvery, d.pull)
+	}
+}
+
+// pull is the YarnAllocator heartbeat with Spark's exponential backoff:
+// the interval starts at 200 ms and doubles (up to 3 s) while no new
+// containers arrive. This backoff is why the centralized allocation delay
+// for a multi-container batch lands in seconds (Fig 7a).
+func (d *driver) pull() {
+	if d.finished {
+		d.pullActive = false
+		return
+	}
+	grants := d.app.rm.Pull(d.app.ID)
+	for _, al := range grants {
+		d.onGrant(al)
+	}
+	if d.allocated >= d.app.cfg.overRequestCount() {
+		d.pullActive = false
+		return // everything granted; allocator goes quiet
+	}
+	if len(grants) > 0 {
+		d.pullEvery = d.app.cfg.InitialAllocIntervalMs
+	} else {
+		d.pullEvery *= 2
+		if d.pullEvery > d.app.cfg.MaxAllocIntervalMs {
+			d.pullEvery = d.app.cfg.MaxAllocIntervalMs
+		}
+	}
+	d.env.Eng.After(d.pullEvery, d.pull)
+}
+
+// onGrant starts an executor in the container, or — beyond the executor
+// target, which only happens when over-requesting — parks it unused.
+func (d *driver) onGrant(al *yarn.Allocation) {
+	d.allocated++
+	cfg := d.app.cfg
+	if d.allocated >= cfg.Executors && !d.endAlloLogd {
+		d.endAlloLogd = true
+		// END_ALLO (Table I message 12).
+		d.allocLog.Infof("SDCHECKER END_ALLO All %d requested containers allocated", cfg.Executors)
+	}
+	if d.launched >= cfg.Executors {
+		d.extras = append(d.extras, al) // the bug: allocated, never used
+		return
+	}
+	d.launched++
+	e := &executor{d: d, idx: d.launched, slots: cfg.ExecutorProfile.VCores}
+	d.executors = append(d.executors, e)
+	if d.execByCID != nil {
+		d.execByCID[al.Container.String()] = e
+	}
+	al.Node.StartContainer(al, yarn.LaunchSpec{
+		Resources: cfg.executorResources(),
+		Instance:  yarn.InstSparkExecutor,
+		Runtime:   cfg.Runtime,
+		Process:   e,
+	})
+}
+
+// startUserInit runs the rest of driver-side initialization after RM
+// registration: session construction, then the user application's init —
+// base planning CPU plus one HDFS read + broadcast creation per opened
+// table, serial by default and parallel in "opt" mode (Fig 11b).
+func (d *driver) startUserInit() {
+	app := d.app.cfg.App
+	session := app.SessionSetupCPUSec * d.env.Rng.Uniform(0.85, 1.3)
+	base := app.InitBaseCPUSec * d.env.Rng.Uniform(0.8, 1.3)
+	d.sessionPhase(session+base, app.SessionDiskMB, func() {
+		tables := app.Tables
+		if len(tables) == 0 {
+			d.userInitDone()
+			return
+		}
+		if d.app.cfg.ParallelInit {
+			// "opt" mode (Fig 11b): table reads run in parallel (Scala
+			// Futures), but broadcast creation still serializes on the
+			// SparkContext lock — which is why the paper measured only a
+			// ~2 s tail reduction, not an 8x one.
+			remaining := len(tables)
+			var cpuQueue []func()
+			var cpuBusy bool
+			var runNext func()
+			runNext = func() {
+				if len(cpuQueue) == 0 {
+					cpuBusy = false
+					return
+				}
+				cpuBusy = true
+				job := cpuQueue[0]
+				cpuQueue = cpuQueue[1:]
+				job()
+			}
+			for i := range tables {
+				t := tables[i]
+				d.readTable(t, func() {
+					// Deserialization/stats parallelize; the broadcast
+					// registration does not.
+					cpu := d.app.cfg.App.PerTableCPUSec * d.env.Rng.Uniform(0.7, 1.5)
+					d.env.Node.Compute(cpu*0.55, 1, func(sim.Time) {
+						cpuQueue = append(cpuQueue, func() {
+							d.env.Node.Compute(cpu*0.45, 1, func(sim.Time) {
+								d.ctxLog.Infof("Created broadcast for table %s", t.Path)
+								remaining--
+								if remaining == 0 {
+									d.userInitDone()
+								}
+								runNext()
+							})
+						})
+						if !cpuBusy {
+							runNext()
+						}
+					})
+				})
+			}
+			return
+		}
+		var next func(i int)
+		next = func(i int) {
+			if i >= len(tables) {
+				d.userInitDone()
+				return
+			}
+			d.initTable(tables[i], func() { next(i + 1) })
+		}
+		next(0)
+	})
+}
+
+// sessionPhase runs session-setup CPU and local-disk reads concurrently,
+// calling done when both finish.
+func (d *driver) sessionPhase(cpu, diskMB float64, done func()) {
+	remaining := 1
+	join := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	if diskMB > 0 {
+		remaining++
+		cluster.StartTransfer(d.env.Eng, []cluster.Leg{
+			{Res: d.env.Node.Disk, Work: diskMB, Demand: 600},
+		}, func(sim.Time) { join() })
+	}
+	d.env.Node.Compute(cpu, 1, func(sim.Time) { join() })
+}
+
+// initTable reads the table's footer/sample from HDFS and creates the
+// broadcast variable (CPU) — both on the scheduling critical path.
+func (d *driver) initTable(t TableRef, done func()) {
+	d.readTable(t, func() { d.broadcastTable(t, done) })
+}
+
+// readTable performs the driver-side footer + sample read for one table.
+func (d *driver) readTable(t TableRef, done func()) {
+	app := d.app.cfg.App
+	f := d.app.fs.Lookup(t.Path)
+	if f == nil {
+		f = d.app.fs.Create(t.Path, t.SizeMB, nil)
+	}
+	readMB := app.TableFooterMB + app.TableSampleFrac*t.SizeMB
+	if cap := app.TableFooterMB + app.TableSampleCapMB; app.TableSampleCapMB > 0 && readMB > cap {
+		readMB = cap
+	}
+	if readMB > t.SizeMB {
+		readMB = t.SizeMB
+	}
+	d.app.fs.ReadData(d.env.Node, f, readMB, func(sim.Time) { done() })
+}
+
+// broadcastTable creates the broadcast variable for one table (CPU).
+func (d *driver) broadcastTable(t TableRef, done func()) {
+	cpu := d.app.cfg.App.PerTableCPUSec * d.env.Rng.Uniform(0.7, 1.5)
+	d.env.Node.Compute(cpu, 1, func(sim.Time) {
+		d.ctxLog.Infof("Created broadcast for table %s", t.Path)
+		done()
+	})
+}
+
+func (d *driver) userInitDone() {
+	d.initDone = true
+	d.ctxLog.Infof("User application initialized: %s", d.app.cfg.App.Name)
+	d.maybeStart()
+}
+
+// executorRegistered is the executor's registration RPC.
+func (d *driver) executorRegistered(e *executor) {
+	if d.finished {
+		return
+	}
+	e.registeredAt = d.env.Eng.Now()
+	d.registered++
+	if d.started {
+		d.fillExecutor(e)
+		return
+	}
+	d.maybeStart()
+}
+
+// maybeStart opens the task-scheduling gate once user init is done and
+// enough executors registered (or the registration wait timed out).
+func (d *driver) maybeStart() {
+	if d.started || d.finished || !d.initDone || d.registered == 0 {
+		return
+	}
+	if d.registered < d.app.cfg.gateTarget() && d.gateTimer != nil {
+		return
+	}
+	d.started = true
+	if d.gateTimer != nil {
+		d.env.Eng.Cancel(d.gateTimer)
+		d.gateTimer = nil
+	}
+	// DAGScheduler job submission cost before the first tasks ship.
+	d.env.Node.Compute(0.08, 1, func(sim.Time) { d.startStage() })
+}
+
+func (d *driver) startStage() {
+	if d.finished {
+		return
+	}
+	app := d.app.cfg.App
+	if d.stage >= len(app.Stages) {
+		d.finishJob()
+		return
+	}
+	st := app.Stages[d.stage]
+	if st.Tasks <= 0 {
+		d.stage++
+		d.startStage()
+		return
+	}
+	d.nextTask = 0
+	d.outstanding = 0
+	// Distribute the first wave round-robin across registered executors,
+	// as Spark's TaskSchedulerImpl does, rather than filling one executor
+	// at a time.
+	assignedAny := true
+	for assignedAny {
+		assignedAny = false
+		for _, e := range d.executors {
+			if d.nextTask >= st.Tasks {
+				return
+			}
+			if !e.registered() || e.free() <= 0 {
+				continue
+			}
+			d.dispatchOne(e, &app.Stages[d.stage])
+			assignedAny = true
+		}
+	}
+}
+
+// dispatchOne sends the next task of the current stage to e.
+func (d *driver) dispatchOne(e *executor, st *StageProfile) {
+	tid := d.taskID(d.nextTask)
+	d.nextTask++
+	d.outstanding++
+	e.runTask(tid, st, func() { d.taskDone(e) })
+}
+
+// fillExecutor dispatches tasks onto the executor's free slots.
+func (d *driver) fillExecutor(e *executor) {
+	if !d.started || d.finished || d.stage >= len(d.app.cfg.App.Stages) {
+		return
+	}
+	st := &d.app.cfg.App.Stages[d.stage]
+	for e.free() > 0 && d.nextTask < st.Tasks {
+		d.dispatchOne(e, st)
+	}
+}
+
+func (d *driver) taskID(n int) int {
+	// Monotonic task IDs across stages, like Spark's TID counter.
+	base := 0
+	for i := 0; i < d.stage; i++ {
+		base += d.app.cfg.App.Stages[i].Tasks
+	}
+	return base + n
+}
+
+func (d *driver) taskDone(e *executor) {
+	d.outstanding--
+	st := &d.app.cfg.App.Stages[d.stage]
+	if d.nextTask < st.Tasks {
+		d.fillExecutor(e)
+		return
+	}
+	if d.outstanding == 0 {
+		d.stage++
+		d.startStage()
+	}
+}
+
+// finishJob stops executors, releases never-used containers, unregisters,
+// and exits the driver container.
+func (d *driver) finishJob() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	d.ctxLog.Infof("Job finished, stopping SparkContext")
+	for _, e := range d.executors {
+		e.stop()
+	}
+	if len(d.extras) > 0 {
+		d.allocLog.Infof("Releasing %d unused containers", len(d.extras))
+		d.app.rm.ReleaseGrants(d.app.ID, d.extras)
+		d.extras = nil
+	}
+	d.app.rm.FinishApp(d.app.ID)
+	if d.app.OnFinished != nil {
+		d.app.OnFinished(d.env.Eng.Now())
+	}
+	d.env.Exit()
+}
+
+// String aids debugging.
+func (d *driver) String() string {
+	return fmt.Sprintf("spark-driver(%s alloc=%d reg=%d stage=%d)", d.app.ID, d.allocated, d.registered, d.stage)
+}

@@ -1,0 +1,186 @@
+package spark
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// rpcDelay models a control-plane RPC between two nodes. Under normal
+// conditions it is the base latency; when either NIC is badly
+// oversubscribed, the RPC can hit a retransmission timeout — the paper's
+// observation that "heartbeats that executors used to register with the
+// driver and assign Spark tasks can be blocked under network
+// interference" (§IV-E).
+func rpcDelay(r *rng.Source, baseLo, baseHi float64, nodes ...*cluster.Node) int64 {
+	d := r.Uniform(baseLo, baseHi)
+	var worst float64
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if l := n.Net.Load(); l > worst {
+			worst = l
+		}
+	}
+	if worst > 1.5 {
+		p := 0.15 * (worst - 1.5)
+		if p > 0.5 {
+			p = 0.5
+		}
+		if r.Float64() < p {
+			d += r.Uniform(900, 3200) // TCP retransmission territory
+		}
+	}
+	return int64(d)
+}
+
+// executor is the CoarseGrainedExecutorBackend process running inside one
+// YARN container. After JVM boot and warm-up it registers with the driver
+// and then sits idle until tasks arrive — the idleness the paper's Fig 10
+// illustrates, charged to the executor delay.
+type executor struct {
+	d     *driver
+	env   *yarn.ProcessEnv
+	idx   int
+	slots int
+
+	log      logf
+	taskLog  logf
+	busy     int
+	stopped  bool
+	gotFirst bool
+
+	registeredAt sim.Time
+}
+
+func (e *executor) registered() bool { return e.registeredAt > 0 }
+
+func (e *executor) free() int { return e.slots - e.busy }
+
+// Launched boots the executor JVM, emits the FIRST_LOG line (Table I
+// message 13), warms up, and registers with the driver.
+func (e *executor) Launched(env *yarn.ProcessEnv) {
+	e.env = env
+	if e.stopped {
+		env.Exit() // the job finished while this container was starting
+		return
+	}
+	e.log = env.Logger(ClassExecBackend)
+	e.taskLog = env.Logger(ClassExecutor)
+	cfg := e.d.app.cfg
+	cfg.ExecutorJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
+		func() {
+			e.log.Infof("Started daemon with process name: %d@%s", 20000+e.idx, env.Node.Name)
+			env.MarkFirstLog()
+		},
+		func() {
+			if e.stopped {
+				return
+			}
+			e.log.Infof("Connecting to driver: spark://CoarseGrainedScheduler@%s", e.d.env.Node.Name)
+			rpc := rpcDelay(env.Rng, 6, 24, env.Node, e.d.env.Node)
+			env.Eng.After(rpc, func() {
+				if e.stopped {
+					return
+				}
+				e.log.Infof("Successfully registered with driver")
+				e.d.executorRegistered(e)
+			})
+		})
+}
+
+// runTask executes one task: optional HDFS input read, then CPU work.
+// The first assignment logs the FIRST_TASK event (Table I message 14).
+func (e *executor) runTask(tid int, st *StageProfile, done func()) {
+	if e.stopped {
+		return
+	}
+	e.busy++
+	if !e.gotFirst {
+		e.gotFirst = true
+		e.log.Infof("Got assigned task %d", tid)
+	}
+	vcores := st.TaskCPUVcores
+	if vcores <= 0 {
+		vcores = 1
+	}
+	finish := func(sim.Time) {
+		if e.stopped {
+			return
+		}
+		e.busy--
+		done()
+	}
+	compute := func(sim.Time) {
+		if e.stopped {
+			return
+		}
+		if st.TaskCPUSec <= 0 {
+			e.env.Eng.After(1, func() { finish(e.env.Eng.Now()) })
+			return
+		}
+		e.env.Node.Compute(st.TaskCPUSec, vcores, finish)
+	}
+	// Task dispatch RPC from the driver.
+	dispatch := rpcDelay(e.env.Rng, 2, 8, e.env.Node, e.d.env.Node)
+	e.env.Eng.After(dispatch, func() {
+		if e.stopped {
+			return
+		}
+		if st.TaskInputMB <= 0 {
+			compute(e.env.Eng.Now())
+			return
+		}
+		var f *hdfs.File
+		if st.InputPath != "" {
+			f = e.d.app.fs.Lookup(st.InputPath)
+			if f == nil {
+				f = e.d.app.fs.Create(st.InputPath, st.TaskInputMB*float64(st.Tasks), nil)
+			}
+		}
+		if st.TaskIODemandMBps > 0 {
+			// Streaming scan: the input read and the compute proceed
+			// concurrently; the task ends when both are done.
+			remaining := 2
+			join := func(sim.Time) {
+				remaining--
+				if remaining == 0 {
+					finish(e.env.Eng.Now())
+				}
+			}
+			e.d.app.fs.ReadPaced(e.env.Node, f, st.TaskInputMB, st.TaskIODemandMBps, join)
+			if st.TaskCPUSec <= 0 {
+				join(e.env.Eng.Now())
+			} else {
+				e.env.Node.Compute(st.TaskCPUSec, vcores, func(at sim.Time) {
+					if e.stopped {
+						return
+					}
+					join(at)
+				})
+			}
+			return
+		}
+		if f != nil {
+			e.d.app.fs.ReadData(e.env.Node, f, st.TaskInputMB, compute)
+		} else {
+			e.d.app.fs.ReadAnonymous(e.env.Node, st.TaskInputMB, compute)
+		}
+	})
+}
+
+// stop terminates the executor container.
+func (e *executor) stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	if e.env == nil {
+		return // container never launched (still localizing/queued)
+	}
+	e.log.Infof("Driver commanded a shutdown")
+	e.env.Exit()
+}

@@ -1,0 +1,194 @@
+// Package spark models Spark-on-YARN applications (cluster deploy mode)
+// at the granularity the paper measures: the driver is the
+// ApplicationMaster, executors are YARN containers, and every event the
+// paper mines from Spark logs — driver first log, registration with the
+// ResourceManager, the manually-added START_ALLO/END_ALLO allocation
+// markers, executor first log, and first task assignment — is emitted in
+// realistic log4j form.
+//
+// The latency structure follows §II and §IV of the paper:
+//
+//   - Driver delay: JVM warm-up plus SparkContext initialization between
+//     the driver's first log line and its RM registration (~3 s, Fig 11a).
+//   - Allocation delay: the YarnAllocator heartbeat starts at 200 ms and
+//     doubles up to 3 s while requests are pending (Spark's
+//     initial-allocation interval), which is why a centralized 4-container
+//     batch takes seconds while the distributed scheduler's direct RPC
+//     takes tens of milliseconds (Fig 7a).
+//   - Executor delay: executor registration, user application
+//     initialization (one RDD + broadcast per opened table, serial unless
+//     the "opt" parallel mode is on — Fig 11b), and the
+//     minRegisteredResourcesRatio=0.8 gate before task scheduling.
+//   - The over-allocation bug (SPARK-21562): in opportunistic mode the
+//     allocator requests more containers than it starts executors in.
+package spark
+
+import (
+	"math"
+
+	"repro/internal/docker"
+	"repro/internal/jvm"
+	"repro/internal/yarn"
+)
+
+// Spark logging class names used in container stderr files.
+const (
+	ClassAppMaster     = "org.apache.spark.deploy.yarn.ApplicationMaster"
+	ClassYarnAllocator = "org.apache.spark.deploy.yarn.YarnAllocator"
+	ClassSparkContext  = "org.apache.spark.SparkContext"
+	ClassExecBackend   = "org.apache.spark.executor.CoarseGrainedExecutorBackend"
+	ClassExecutor      = "org.apache.spark.executor.Executor"
+)
+
+// BasePackagePath is the HDFS path of the framework package every
+// container localizes (Spark jars + TPC-H jar + configs; ~500 MB, §IV-C).
+const BasePackagePath = "/spark/spark-archive.zip"
+
+// BasePackageMB is its size.
+const BasePackageMB = 500
+
+// TableRef is one input table the user code opens during initialization.
+type TableRef struct {
+	Path   string
+	SizeMB float64
+}
+
+// StageProfile describes one stage of the job body.
+type StageProfile struct {
+	Name          string
+	Tasks         int
+	TaskCPUSec    float64 // vcore-seconds of CPU per task
+	TaskInputMB   float64 // HDFS bytes read per task
+	InputPath     string  // table to read from ("" = remote anonymous read)
+	TaskCPUVcores float64 // CPU demand per task (default 1)
+	// TaskIODemandMBps > 0 makes the task stream its input concurrently
+	// with compute at this steady rate (a scan pipeline), instead of a
+	// burst read followed by CPU. Streaming tasks hold their disk/NIC
+	// share for their whole lifetime, which is what lets many concurrent
+	// scans saturate the cluster's disks (Fig 5's 200 GB case).
+	TaskIODemandMBps float64
+}
+
+// AppProfile is the user-code shape of an application. Builders for the
+// paper's workloads (TPC-H on Spark-SQL, Spark wordcount, Kmeans) live in
+// internal/workload.
+type AppProfile struct {
+	Name string
+	// Tables opened during user init: each costs a driver-side HDFS read
+	// (footer + sample) and a broadcast-variable creation (CPU), on the
+	// scheduling critical path (§IV-D).
+	Tables []TableRef
+	// SessionSetupCPUSec is the driver-side framework work that runs
+	// after RM registration but before user code (SparkSession and
+	// SQL/Hive session state construction, BlockManager, UI). It sits in
+	// the executor-delay window of Fig 10.
+	SessionSetupCPUSec float64
+	// SessionDiskMB is read from the driver's local disk during session
+	// setup (configs, jars, metastore) concurrently with the CPU work —
+	// an IO-interference-sensitive slice of the in-application delay.
+	SessionDiskMB float64
+	// InitBaseCPUSec is driver CPU for query planning / session setup.
+	InitBaseCPUSec float64
+	// PerTableCPUSec is the broadcast-creation CPU cost per table.
+	PerTableCPUSec float64
+	// TableFooterMB + TableSampleFrac*size is read per table at init,
+	// bounded by TableSampleCapMB (schema inference samples rows, it does
+	// not scan the table).
+	TableFooterMB    float64
+	TableSampleFrac  float64
+	TableSampleCapMB float64
+	// Stages of the job body, run with a barrier between stages.
+	Stages []StageProfile
+}
+
+// Config tunes one Spark submission.
+type Config struct {
+	Executors       int
+	ExecutorProfile yarn.Profile
+	// MinRegisteredRatio gates task scheduling on executor registration
+	// (spark.scheduler.minRegisteredResourcesRatio, default 0.8).
+	MinRegisteredRatio float64
+	// RegisteredWaitMaxMs is the gate's timeout fallback (default 30 s).
+	RegisteredWaitMaxMs int64
+	// InitialAllocIntervalMs / MaxAllocIntervalMs shape the YarnAllocator
+	// heartbeat backoff (defaults 200 ms -> 3000 ms).
+	InitialAllocIntervalMs int64
+	MaxAllocIntervalMs     int64
+	// Runtime selects the container runtime for driver and executors.
+	Runtime docker.Runtime
+	// ExtraFiles are user --files shipped to executors (private, cold).
+	ExtraFiles []yarn.LocalResource
+	// Opportunistic routes executor requests through the distributed
+	// scheduler.
+	Opportunistic bool
+	// OverRequestFactor > 1 reproduces SPARK-21562 in opportunistic mode:
+	// the allocator asks for ceil(factor*N) containers but only ever
+	// starts N executors.
+	OverRequestFactor float64
+	// ParallelInit enables the paper's "opt" optimization: table RDD and
+	// broadcast initialization with Scala Futures instead of serially.
+	ParallelInit bool
+	// Queue names the Capacity Scheduler leaf queue ("" = default).
+	Queue string
+	// DriverJVM / ExecutorJVM cost models.
+	DriverJVM   jvm.Model
+	ExecutorJVM jvm.Model
+
+	App AppProfile
+}
+
+// DefaultConfig mirrors the paper's Spark-SQL setup: four executors of
+// 8 vcores / 4 GB each.
+func DefaultConfig(app AppProfile) Config {
+	driver := jvm.Spark()
+	driver.WarmupVcoreSec = 2.1 // the driver JVM loads far more classes
+	return Config{
+		Executors:              4,
+		ExecutorProfile:        yarn.Profile{VCores: 8, MemoryMB: 4096},
+		MinRegisteredRatio:     0.8,
+		RegisteredWaitMaxMs:    30000,
+		InitialAllocIntervalMs: 200,
+		MaxAllocIntervalMs:     3000,
+		Runtime:                docker.RuntimeDefault,
+		OverRequestFactor:      1.0,
+		DriverJVM:              driver,
+		ExecutorJVM:            jvm.Spark(),
+		App:                    app,
+	}
+}
+
+// gateTarget returns the executor-registration count that opens the task
+// scheduling gate.
+func (c Config) gateTarget() int {
+	n := int(math.Ceil(c.MinRegisteredRatio * float64(c.Executors)))
+	if n < 1 {
+		n = 1
+	}
+	if n > c.Executors {
+		n = c.Executors
+	}
+	return n
+}
+
+// overRequestCount returns how many containers the allocator asks for.
+func (c Config) overRequestCount() int {
+	if !c.Opportunistic || c.OverRequestFactor <= 1 {
+		return c.Executors
+	}
+	return int(math.Ceil(c.OverRequestFactor * float64(c.Executors)))
+}
+
+// executorResources builds the executor container's localization list:
+// the public base package plus the user's private extra files.
+func (c Config) executorResources() []yarn.LocalResource {
+	res := []yarn.LocalResource{{Path: BasePackagePath, SizeMB: BasePackageMB, Public: true}}
+	res = append(res, c.ExtraFiles...)
+	return res
+}
+
+// driverResources builds the driver container's localization list: only
+// the base package — user --files are not localized for the AM, which is
+// why Fig 8 shows sub-second localization points even with 8 GB files.
+func (c Config) driverResources() []yarn.LocalResource {
+	return []yarn.LocalResource{{Path: BasePackagePath, SizeMB: BasePackageMB, Public: true}}
+}

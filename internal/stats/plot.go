@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlotSeries is one named sample for ASCIICDF.
+type PlotSeries struct {
+	Name   string
+	Sample *Sample
+	// Glyph marks this series' curve in the plot; assigned automatically
+	// when zero.
+	Glyph rune
+}
+
+var defaultGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%'}
+
+// ASCIICDF renders the empirical CDFs of several series in one text
+// chart, the way the paper's Fig 4a/5a/7a panels overlay their curves.
+// width and height are the plot area in characters.
+func ASCIICDF(title string, width, height int, series ...PlotSeries) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var maxV float64
+	live := make([]PlotSeries, 0, len(series))
+	for i, s := range series {
+		if s.Sample == nil || s.Sample.Len() == 0 {
+			continue
+		}
+		if s.Glyph == 0 {
+			s.Glyph = defaultGlyphs[i%len(defaultGlyphs)]
+		}
+		live = append(live, s)
+		if m := s.Sample.Max(); m > maxV {
+			maxV = m
+		}
+	}
+	if len(live) == 0 || maxV == 0 {
+		return title + ": no data\n"
+	}
+
+	grid := make([][]rune, height)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range live {
+		for _, p := range s.Sample.CDF(width * 2) {
+			x := int(p.Value / maxV * float64(width-1))
+			y := int((1 - p.Fraction) * float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = s.Glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for y, row := range grid {
+		label := "   "
+		if y == 0 {
+			label = "1.0"
+		} else if y == height-1 {
+			label = "0.0"
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "    0%s%.1fs\n", strings.Repeat(" ", width-6), maxV/1000)
+	b.WriteString("    ")
+	for _, s := range live {
+		fmt.Fprintf(&b, "%c=%s  ", s.Glyph, s.Name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

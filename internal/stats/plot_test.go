@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestASCIICDFRendersSeries(t *testing.T) {
+	a := FromValues([]float64{1000, 2000, 3000, 4000})
+	b := FromValues([]float64{5000, 6000, 7000, 8000})
+	out := ASCIICDF("test plot", 40, 10, PlotSeries{Name: "fast", Sample: a}, PlotSeries{Name: "slow", Sample: b})
+	if !strings.Contains(out, "test plot") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*=fast") || !strings.Contains(out, "o=slow") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "0.0") {
+		t.Fatal("y labels missing")
+	}
+	if !strings.Contains(out, "8.0s") {
+		t.Fatalf("x max missing:\n%s", out)
+	}
+	// The fast series must appear left of the slow one on the top row of
+	// occupied cells: find column of first '*' and first 'o' anywhere.
+	star := strings.IndexRune(out, '*')
+	oh := strings.IndexRune(strings.ReplaceAll(out, "o=slow", ""), 'o')
+	if star < 0 || oh < 0 {
+		t.Fatalf("curves not drawn:\n%s", out)
+	}
+}
+
+func TestASCIICDFEmpty(t *testing.T) {
+	out := ASCIICDF("empty", 40, 10, PlotSeries{Name: "x", Sample: NewSample(0)})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty handling:\n%s", out)
+	}
+}
+
+func TestASCIICDFMinimumDims(t *testing.T) {
+	s := FromValues([]float64{1, 2})
+	out := ASCIICDF("tiny", 1, 1, PlotSeries{Name: "s", Sample: s})
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Fatalf("dims not clamped:\n%s", out)
+	}
+}

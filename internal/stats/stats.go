@@ -1,0 +1,286 @@
+// Package stats provides the summary statistics SDchecker reports and the
+// paper plots: CDFs, percentiles, means, standard deviations, and
+// normalized-ratio summaries. Everything operates on float64 samples; the
+// callers convert delays (virtual milliseconds) before aggregating.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a mutable collection of observations.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample, optionally pre-sized.
+func NewSample(capacity int) *Sample {
+	return &Sample{vals: make([]float64, 0, capacity)}
+}
+
+// FromValues builds a sample from existing observations (copied).
+func FromValues(vs []float64) *Sample {
+	s := NewSample(len(vs))
+	s.vals = append(s.vals, vs...)
+	s.sorted = false
+	return s
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Values returns the raw observations (not a copy; do not mutate).
+func (s *Sample) Values() []float64 { return s.vals }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Min returns the smallest observation, or 0 on an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or 0 on an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[len(s.vals)-1]
+}
+
+// Mean returns the arithmetic mean, or 0 on an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than
+// two observations.
+func (s *Sample) StdDev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Empty samples yield 0.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// P95 returns the 95th percentile, the paper's headline tail metric.
+func (s *Sample) P95() float64 { return s.Percentile(95) }
+
+// P99 returns the 99th percentile.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64 // fraction of observations <= Value
+}
+
+// CDF returns up to points evenly spaced quantiles of the empirical CDF,
+// suitable for plotting. points < 2 is treated as 2.
+func (s *Sample) CDF(points int) []CDFPoint {
+	if points < 2 {
+		points = 2
+	}
+	n := len(s.vals)
+	if n == 0 {
+		return nil
+	}
+	s.ensureSorted()
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		idx := int(f * float64(n-1))
+		out = append(out, CDFPoint{Value: s.vals[idx], Fraction: float64(idx+1) / float64(n)})
+	}
+	return out
+}
+
+// Summary is the fixed set of aggregates reported for each delay component.
+type Summary struct {
+	Name   string
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary with the given name.
+func (s *Sample) Summarize(name string) Summary {
+	return Summary{
+		Name:   name,
+		Count:  s.Len(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		P50:    s.Median(),
+		P95:    s.P95(),
+		P99:    s.P99(),
+		Max:    s.Max(),
+	}
+}
+
+// String renders the summary in seconds with millisecond inputs assumed by
+// convention at the call sites that format reports.
+func (sm Summary) String() string {
+	return fmt.Sprintf("%-16s n=%-5d mean=%8.1f sd=%8.1f p50=%8.1f p95=%8.1f p99=%8.1f max=%8.1f",
+		sm.Name, sm.Count, sm.Mean, sm.StdDev, sm.P50, sm.P95, sm.P99, sm.Max)
+}
+
+// Ratio divides a by b elementwise (pairing by index) and returns the
+// resulting sample. Pairs where b == 0 are skipped. It is used for the
+// paper's normalized plots (total/job, in/total, ...). The shorter length
+// bounds the output.
+func Ratio(a, b *Sample) *Sample {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	out := NewSample(n)
+	for i := 0; i < n; i++ {
+		if b.vals[i] == 0 {
+			continue
+		}
+		out.Add(a.vals[i] / b.vals[i])
+	}
+	return out
+}
+
+// Histogram bins observations into fixed-width buckets.
+type Histogram struct {
+	BinWidth float64
+	Counts   map[int]int
+	N        int
+}
+
+// Histogram bins the sample with the given bin width (> 0).
+func (s *Sample) Histogram(binWidth float64) *Histogram {
+	if binWidth <= 0 {
+		binWidth = 1
+	}
+	h := &Histogram{BinWidth: binWidth, Counts: make(map[int]int)}
+	for _, v := range s.vals {
+		h.Counts[int(math.Floor(v/binWidth))]++
+		h.N++
+	}
+	return h
+}
+
+// Bins returns the bin indices in ascending order.
+func (h *Histogram) Bins() []int {
+	out := make([]int, 0, len(h.Counts))
+	for b := range h.Counts {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Format renders the histogram as text bars.
+func (h *Histogram) Format() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for _, bin := range h.Bins() {
+		c := h.Counts[bin]
+		bar := strings.Repeat("#", c*40/maxInt(maxC, 1))
+		fmt.Fprintf(&b, "%10.0f-%-10.0f %6d %s\n",
+			float64(bin)*h.BinWidth, float64(bin+1)*h.BinWidth, c, bar)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FormatTable renders rows of summaries as an aligned text table.
+func FormatTable(title string, sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-16s %6s %10s %10s %10s %10s %10s %10s\n",
+		"component", "n", "mean", "stddev", "p50", "p95", "p99", "max")
+	for _, sm := range sums {
+		fmt.Fprintf(&b, "%-16s %6d %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			sm.Name, sm.Count, sm.Mean, sm.StdDev, sm.P50, sm.P95, sm.P99, sm.Max)
+	}
+	return b.String()
+}

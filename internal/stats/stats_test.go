@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySampleIsSafe(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.Median() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestBasicMoments(t *testing.T) {
+	s := FromValues([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almost(s.Mean(), 5) {
+		t.Fatalf("mean=%v, want 5", s.Mean())
+	}
+	if !almost(s.StdDev(), 2) {
+		t.Fatalf("stddev=%v, want 2", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max=%v/%v", s.Min(), s.Max())
+	}
+	if !almost(s.Sum(), 40) {
+		t.Fatalf("sum=%v, want 40", s.Sum())
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := FromValues([]float64{10, 20, 30, 40})
+	if got := s.Percentile(0); got != 10 {
+		t.Fatalf("p0=%v", got)
+	}
+	if got := s.Percentile(100); got != 40 {
+		t.Fatalf("p100=%v", got)
+	}
+	if got := s.Median(); !almost(got, 25) {
+		t.Fatalf("median=%v, want 25", got)
+	}
+	// p25 of 4 values: rank 0.75 -> 10*(0.25) + 20*(0.75) = 17.5
+	if got := s.Percentile(25); !almost(got, 17.5) {
+		t.Fatalf("p25=%v, want 17.5", got)
+	}
+}
+
+func TestAddKeepsPercentilesCurrent(t *testing.T) {
+	s := NewSample(4)
+	s.Add(5)
+	if s.Median() != 5 {
+		t.Fatal("single-value median")
+	}
+	s.Add(1) // forces re-sort
+	if !almost(s.Median(), 3) {
+		t.Fatalf("median after add=%v, want 3", s.Median())
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := FromValues([]float64{5, 3, 8, 1, 9, 2, 7})
+	pts := s.CDF(10)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d: %+v", i, pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.Fraction != 1 || last.Value != 9 {
+		t.Fatalf("CDF does not end at (max, 1): %+v", last)
+	}
+}
+
+func TestRatioSkipsZeroDenominator(t *testing.T) {
+	a := FromValues([]float64{10, 20, 30})
+	b := FromValues([]float64{2, 0, 10})
+	r := Ratio(a, b)
+	if r.Len() != 2 {
+		t.Fatalf("ratio kept %d values, want 2", r.Len())
+	}
+	vals := r.Values()
+	if !almost(vals[0], 5) || !almost(vals[1], 3) {
+		t.Fatalf("ratio=%v", vals)
+	}
+}
+
+func TestRatioLengthMismatch(t *testing.T) {
+	a := FromValues([]float64{10, 20})
+	b := FromValues([]float64{2})
+	if got := Ratio(a, b).Len(); got != 1 {
+		t.Fatalf("ratio of mismatched lengths kept %d, want 1", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := FromValues([]float64{1, 2, 3})
+	sm := s.Summarize("x")
+	if sm.Name != "x" || sm.Count != 3 || !almost(sm.Mean, 2) || sm.Min != 1 || sm.Max != 3 {
+		t.Fatalf("bad summary: %+v", sm)
+	}
+	if !strings.Contains(sm.String(), "x") {
+		t.Fatal("summary string misses name")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable("title", []Summary{FromValues([]float64{1}).Summarize("row")})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "row") {
+		t.Fatalf("table output missing fields:\n%s", out)
+	}
+}
+
+// Property: percentiles are bounded by min/max and monotone in p.
+func TestPropertyPercentileBounds(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		s := FromValues(vals)
+		lo := float64(p1 % 101)
+		hi := float64(p2 % 101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := s.Percentile(lo), s.Percentile(hi)
+		sort.Float64s(vals)
+		return a >= vals[0]-1e-9 && b <= vals[len(vals)-1]+1e-9 && a <= b+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max] and stddev is non-negative.
+func TestPropertyMomentSanity(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := FromValues([]float64{1, 2, 3, 11, 12, 25})
+	h := s.Histogram(10)
+	if h.N != 6 {
+		t.Fatalf("N=%d", h.N)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0] != 0 || bins[2] != 2 {
+		t.Fatalf("bins=%v", bins)
+	}
+	out := h.Format()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestHistogramZeroWidth(t *testing.T) {
+	h := FromValues([]float64{0.5, 1.5}).Histogram(0)
+	if h.BinWidth != 1 {
+		t.Fatalf("zero width not defaulted: %v", h.BinWidth)
+	}
+}

@@ -1,0 +1,88 @@
+// Package testkit builds small simulated testbeds for unit and
+// integration tests: a cluster of a few nodes with a ResourceManager,
+// NodeManagers, HDFS, and an in-memory log sink.
+package testkit
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/ids"
+	"repro/internal/log4j"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// ClusterTS is the cluster timestamp used in test IDs and log stamps.
+const ClusterTS = 1499000000000
+
+// Bed is a wired mini-testbed.
+type Bed struct {
+	Eng  *sim.Engine
+	Cl   *cluster.Cluster
+	FS   *hdfs.FS
+	RM   *yarn.RM
+	NMs  []*yarn.NodeManager
+	Sink *log4j.Sink
+	IDs  *ids.Factory
+}
+
+// Options tweak the bed before the daemons start.
+type Options struct {
+	Workers int
+	Yarn    func(*yarn.Config)
+	Cluster func(*cluster.Config)
+	Seed    uint64
+}
+
+// New builds a bed with the given number of workers (default 4).
+func New(opts Options) *Bed {
+	if opts.Workers == 0 {
+		opts.Workers = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	ccfg := cluster.DefaultConfig()
+	ccfg.Workers = opts.Workers
+	ccfg.Seed = opts.Seed
+	if opts.Cluster != nil {
+		opts.Cluster(&ccfg)
+	}
+	ycfg := yarn.DefaultConfig()
+	if opts.Yarn != nil {
+		opts.Yarn(&ycfg)
+	}
+
+	eng := sim.NewEngine()
+	cl := cluster.New(eng, ccfg)
+	sink := log4j.NewSink(eng, log4j.Clock{EpochMS: ClusterTS})
+	fs := hdfs.New(eng, cl, opts.Seed^0xf5)
+	factory := ids.NewFactory(ClusterTS)
+	rm := yarn.NewRM(eng, ycfg, cl, sink, factory, opts.Seed^0x21)
+
+	b := &Bed{Eng: eng, Cl: cl, FS: fs, RM: rm, Sink: sink, IDs: factory}
+	for _, n := range cl.Nodes {
+		b.NMs = append(b.NMs, yarn.NewNodeManager(rm, n, fs, sink))
+	}
+	return b
+}
+
+// Prewarm marks paths cached on every NM and registers them in HDFS.
+func (b *Bed) Prewarm(paths map[string]float64) {
+	for p, size := range paths {
+		if b.FS.Lookup(p) == nil {
+			b.FS.Create(p, size, nil)
+		}
+		for _, nm := range b.NMs {
+			nm.PrewarmCache(p)
+		}
+	}
+}
+
+// Run drives the bed for the given number of virtual seconds.
+func (b *Bed) Run(seconds int64) sim.Time {
+	return b.Eng.RunUntil(b.Eng.Now() + sim.Time(seconds*1000))
+}
+
+// Lines returns all log lines of one file (helper for log assertions).
+func (b *Bed) Lines(file string) []string { return b.Sink.Lines(file) }

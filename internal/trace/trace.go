@@ -1,0 +1,115 @@
+// Package trace generates query submission timelines shaped like the
+// google-trace subsets the paper uses (§IV-A): a long trace of 2,000
+// queries for the overall-delay study and a short trace of 200 queries
+// for the per-component studies. Arrivals are bursty — most gaps are
+// exponential around the configured mean, with occasional tight bursts —
+// matching the heterogeneity/dynamicity Reiss et al. report for the
+// google trace.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// LongTraceQueries and ShortTraceQueries are the paper's trace sizes.
+const (
+	LongTraceQueries  = 2000
+	ShortTraceQueries = 200
+)
+
+// Config shapes an arrival process.
+type Config struct {
+	N          int     // number of submissions
+	MeanGapMs  float64 // mean inter-arrival gap
+	BurstProb  float64 // probability a gap belongs to a burst
+	BurstGapMs float64 // mean gap inside a burst
+	Seed       uint64
+}
+
+// Long returns the 2000-query trace configuration at the given mean gap.
+func Long(meanGapMs float64, seed uint64) Config {
+	return Config{N: LongTraceQueries, MeanGapMs: meanGapMs, BurstProb: 0.25, BurstGapMs: meanGapMs / 8, Seed: seed}
+}
+
+// Short returns the 200-query trace configuration.
+func Short(meanGapMs float64, seed uint64) Config {
+	return Config{N: ShortTraceQueries, MeanGapMs: meanGapMs, BurstProb: 0.25, BurstGapMs: meanGapMs / 8, Seed: seed}
+}
+
+// FromCSV reads real submission timestamps — one integer per line (or
+// the first comma-separated column), in milliseconds — normalizes them to
+// start at startMs, and returns them sorted. Lines starting with '#' and
+// blank lines are skipped. This is how an actual google-trace subset (as
+// the paper used) is replayed instead of the synthetic arrival process.
+func FromCSV(r io.Reader, startMs sim.Time) ([]sim.Time, error) {
+	sc := bufio.NewScanner(r)
+	var raw []int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if i := strings.IndexByte(text, ','); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		raw = append(raw, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("trace: no submission timestamps found")
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	base := raw[0]
+	out := make([]sim.Time, len(raw))
+	for i, v := range raw {
+		out[i] = startMs + sim.Time(v-base)
+	}
+	return out, nil
+}
+
+// Arrivals materializes the submission instants, sorted ascending,
+// starting at startMs.
+func Arrivals(cfg Config, startMs sim.Time) []sim.Time {
+	r := rng.New(cfg.Seed ^ 0x7ace)
+	out := make([]sim.Time, 0, cfg.N)
+	t := startMs
+	// Burst gaps steal probability mass, so stretch the non-burst mean to
+	// keep the configured overall rate.
+	normalMean := cfg.MeanGapMs
+	if cfg.BurstProb > 0 && cfg.BurstProb < 1 {
+		normalMean = (cfg.MeanGapMs - cfg.BurstProb*cfg.BurstGapMs) / (1 - cfg.BurstProb)
+		if normalMean < 1 {
+			normalMean = 1
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		out = append(out, t)
+		var gap float64
+		if r.Float64() < cfg.BurstProb {
+			gap = r.Exp(cfg.BurstGapMs)
+		} else {
+			gap = r.Exp(normalMean)
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		t += sim.Time(gap)
+	}
+	return out
+}

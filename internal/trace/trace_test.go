@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestArrivalsCountAndOrder(t *testing.T) {
+	cfg := Long(2600, 1)
+	if cfg.N != LongTraceQueries {
+		t.Fatalf("long trace size %d", cfg.N)
+	}
+	arr := Arrivals(cfg, 1000)
+	if len(arr) != 2000 {
+		t.Fatalf("arrivals=%d", len(arr))
+	}
+	if arr[0] != 1000 {
+		t.Fatalf("first arrival %d, want startMs", arr[0])
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] < arr[i-1] {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+func TestMeanGapRoughlyHonored(t *testing.T) {
+	arr := Arrivals(Config{N: 5000, MeanGapMs: 1000, BurstProb: 0.25, BurstGapMs: 125, Seed: 3}, 0)
+	span := float64(arr[len(arr)-1] - arr[0])
+	mean := span / float64(len(arr)-1)
+	if mean < 800 || mean > 1200 {
+		t.Fatalf("mean gap %.0fms, want ~1000", mean)
+	}
+}
+
+func TestBurstinessProducesTightGaps(t *testing.T) {
+	arr := Arrivals(Config{N: 2000, MeanGapMs: 1000, BurstProb: 0.3, BurstGapMs: 50, Seed: 4}, 0)
+	tight := 0
+	for i := 1; i < len(arr); i++ {
+		if arr[i]-arr[i-1] < 200 {
+			tight++
+		}
+	}
+	// Roughly the burst fraction of gaps should be tight.
+	if tight < 300 {
+		t.Fatalf("only %d tight gaps in a bursty trace", tight)
+	}
+}
+
+func TestShortTrace(t *testing.T) {
+	if Short(2600, 1).N != ShortTraceQueries {
+		t.Fatal("short trace size")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Arrivals(Long(2600, 9), 0)
+	b := Arrivals(Long(2600, 9), 0)
+	c := Arrivals(Long(2600, 10), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestPropertyArrivalsMonotone(t *testing.T) {
+	f := func(n uint8, gap uint16, seed uint32) bool {
+		cfg := Config{N: int(n%100) + 1, MeanGapMs: float64(gap%5000) + 1, BurstProb: 0.25, BurstGapMs: 10, Seed: uint64(seed)}
+		arr := Arrivals(cfg, sim.Time(5))
+		if len(arr) != cfg.N || arr[0] != 5 {
+			return false
+		}
+		for i := 1; i < len(arr); i++ {
+			if arr[i] <= arr[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCSV(t *testing.T) {
+	in := "# google-trace subset\n100000\n100500,queryA\n\n102000\n"
+	arr, err := FromCSV(strings.NewReader(in), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{2000, 2500, 4000}
+	if len(arr) != len(want) {
+		t.Fatalf("arrivals=%v", arr)
+	}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrivals=%v want %v", arr, want)
+		}
+	}
+}
+
+func TestFromCSVUnsorted(t *testing.T) {
+	arr, err := FromCSV(strings.NewReader("300\n100\n200\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr[0] != 0 || arr[1] != 100 || arr[2] != 200 {
+		t.Fatalf("arrivals=%v", arr)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	if _, err := FromCSV(strings.NewReader(""), 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FromCSV(strings.NewReader("abc\n"), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

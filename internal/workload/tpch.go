@@ -1,0 +1,52 @@
+package workload
+
+// QuerySpec captures the approximate execution shape of one TPC-H query
+// relative to the others: how much of the dataset its scans touch, how
+// CPU-heavy its operators are, and how many stages its plan runs. The
+// values encode the well-known relative complexity of the benchmark
+// (Q1/Q6 are single-table scans, Q9/Q21 are the heavy multi-join
+// outliers) while staying inside the cost envelope the simulator is
+// calibrated for (coverage 0.55-1.0, weight 0.8-2.2).
+type QuerySpec struct {
+	Num      int
+	Name     string
+	Coverage float64 // fraction of the dataset the scan stage reads
+	Weight   float64 // CPU heaviness multiplier of the operators
+	Stages   int     // total stages (scan + shuffles/joins + result)
+}
+
+// TPCHCatalog describes all 22 TPC-H queries.
+var TPCHCatalog = [22]QuerySpec{
+	{1, "pricing-summary", 0.95, 1.6, 2},             // full lineitem scan, heavy agg
+	{2, "min-cost-supplier", 0.55, 1.1, 4},           // small tables, deep join
+	{3, "shipping-priority", 0.85, 1.3, 3},           // lineitem+orders+customer
+	{4, "order-priority", 0.80, 0.9, 3},              // semi-join
+	{5, "local-supplier", 0.90, 1.7, 4},              // 6-way join
+	{6, "forecast-revenue", 0.75, 0.8, 2},            // single scan + filter
+	{7, "volume-shipping", 0.90, 1.8, 4},             // multi-join, two nations
+	{8, "market-share", 0.92, 1.9, 4},                // 8-way join
+	{9, "product-profit", 1.00, 2.2, 4},              // the heavyweight
+	{10, "returned-items", 0.85, 1.4, 3},             // join + top-k
+	{11, "important-stock", 0.60, 1.0, 3},            // partsupp-centric
+	{12, "shipping-modes", 0.80, 1.0, 3},             // lineitem+orders
+	{13, "customer-distribution", 0.70, 1.2, 3},      // outer join + count
+	{14, "promotion-effect", 0.78, 0.9, 2},           // scan + join part
+	{15, "top-supplier", 0.75, 1.1, 3},               // view + agg
+	{16, "parts-supplier", 0.58, 0.9, 3},             // distinct count
+	{17, "small-quantity", 0.82, 1.5, 3},             // correlated subquery
+	{18, "large-volume", 0.95, 1.8, 4},               // big agg + join
+	{19, "discounted-revenue", 0.80, 1.2, 2},         // disjunctive predicates
+	{20, "potential-promotion", 0.72, 1.3, 4},        // nested semi-joins
+	{21, "suppliers-who-kept-waiting", 0.98, 2.1, 4}, // the other heavyweight
+	{22, "global-sales-opportunity", 0.56, 0.9, 3},   // anti-join on customer
+}
+
+// QuerySpecFor returns the catalog entry for query q (1..22); other
+// values wrap around, so harnesses can cycle i%22+1 safely.
+func QuerySpecFor(q int) QuerySpec {
+	idx := (q - 1) % len(TPCHCatalog)
+	if idx < 0 {
+		idx += len(TPCHCatalog)
+	}
+	return TPCHCatalog[idx]
+}

@@ -1,0 +1,239 @@
+// Package workload builds the applications the paper evaluates with:
+// TPC-H queries on Spark-SQL (the low-latency analytics workload), Spark
+// wordcount (the in-application comparison of Fig 11a), Kmeans from
+// HiBench (the CPU interference generator of Fig 13), MapReduce wordcount
+// (the cluster-load generator for Table II and Fig 7c), and dfsIO (the IO
+// interference generator of Fig 12).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/mapreduce"
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+// TPCHTableShare gives each TPC-H table's approximate share of the total
+// dataset size (lineitem dominates).
+var TPCHTableShare = []struct {
+	Name  string
+	Share float64
+}{
+	{"lineitem", 0.740},
+	{"orders", 0.165},
+	{"partsupp", 0.055},
+	{"part", 0.017},
+	{"customer", 0.017},
+	{"supplier", 0.004},
+	{"nation", 0.001},
+	{"region", 0.001},
+}
+
+// CreateTPCHTables registers the eight TPC-H tables in HDFS (as Hive
+// would have populated them) and returns their references.
+func CreateTPCHTables(fs *hdfs.FS, datasetMB float64) []spark.TableRef {
+	refs := make([]spark.TableRef, 0, len(TPCHTableShare))
+	for _, t := range TPCHTableShare {
+		path := fmt.Sprintf("/tpch/%s-%.0fMB", t.Name, datasetMB)
+		size := datasetMB * t.Share
+		if fs.Lookup(path) == nil {
+			fs.Create(path, size, nil)
+		}
+		refs = append(refs, spark.TableRef{Path: path, SizeMB: size})
+	}
+	return refs
+}
+
+// TPCHQuery builds a Spark-SQL TPC-H query profile from the 22-entry
+// catalog (internal/workload/tpch.go): each query's scan coverage, CPU
+// weight and stage structure follow the benchmark's well-known relative
+// complexity, so job runtimes vary across queries the way Fig 4a shows.
+// tables must come from CreateTPCHTables for the same dataset size.
+func TPCHQuery(queryNum int, datasetMB float64, tables []spark.TableRef) spark.AppProfile {
+	spec := QuerySpecFor(queryNum)
+
+	scanMB := datasetMB * spec.Coverage
+	scanTasks := int(scanMB/hdfs.BlockSizeMB) + 1
+	lineitem := tables[0]
+
+	shuffleTasks := scanTasks / 2
+	if shuffleTasks < 4 {
+		shuffleTasks = 4
+	}
+	if shuffleTasks > 200 {
+		shuffleTasks = 200
+	}
+
+	stages := []spark.StageProfile{
+		{
+			Name:  "scan",
+			Tasks: scanTasks,
+			// CPU scales with the split actually processed.
+			TaskCPUSec:  7.5 * spec.Weight * splitScale(scanMB/float64(scanTasks)),
+			TaskInputMB: scanMB / float64(scanTasks),
+			InputPath:   lineitem.Path,
+			// Streaming scan: holds a steady disk/NIC share for the
+			// task's lifetime (the IO pressure behind Fig 5/Fig 12).
+			TaskIODemandMBps: 30,
+		},
+	}
+	// Middle join/shuffle stages: deeper plans split the same shuffle
+	// budget across more barriers.
+	mid := spec.Stages - 2
+	if mid < 1 {
+		mid = 1
+	}
+	for i := 0; i < mid; i++ {
+		stages = append(stages, spark.StageProfile{
+			Name:        fmt.Sprintf("shuffle-%d", i+1),
+			Tasks:       shuffleTasks,
+			TaskCPUSec:  2.4 * spec.Weight / float64(mid),
+			TaskInputMB: 8,
+		})
+	}
+	stages = append(stages, spark.StageProfile{
+		Name:       "result",
+		Tasks:      4,
+		TaskCPUSec: 0.5 * spec.Weight,
+	})
+
+	return spark.AppProfile{
+		Name:               fmt.Sprintf("tpch-q%d", spec.Num),
+		Tables:             tables,
+		SessionSetupCPUSec: 3.4,
+		SessionDiskMB:      120,
+		InitBaseCPUSec:     0.8,
+		PerTableCPUSec:     0.55,
+		// Driver-side table init reads the footer plus a sample whose size
+		// grows with the table — the reason in-application delay degrades
+		// 5.7x at 200 GB input (Fig 5).
+		TableFooterMB:    24,
+		TableSampleFrac:  0.002,
+		TableSampleCapMB: 96,
+		Stages:           stages,
+	}
+}
+
+// splitScale scales per-task CPU with the split size relative to a full
+// 128 MB block, floored so tiny queries still pay operator setup.
+func splitScale(splitMB float64) float64 {
+	f := splitMB / hdfs.BlockSizeMB
+	if f > 1 {
+		f = 1
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// SparkWordcount builds the Spark wordcount profile of Fig 11a: a single
+// input file opened at init (one RDD, one broadcast) and a map+reduce job
+// body.
+func SparkWordcount(fs *hdfs.FS, inputMB float64) spark.AppProfile {
+	path := fmt.Sprintf("/wordcount/input-%.0fMB", inputMB)
+	if fs.Lookup(path) == nil {
+		fs.Create(path, inputMB, nil)
+	}
+	tasks := int(inputMB/hdfs.BlockSizeMB) + 1
+	return spark.AppProfile{
+		Name:               "spark-wordcount",
+		Tables:             []spark.TableRef{{Path: path, SizeMB: inputMB}},
+		SessionSetupCPUSec: 3.4,
+		SessionDiskMB:      120,
+		InitBaseCPUSec:     2.0,
+		PerTableCPUSec:     0.55,
+		TableFooterMB:      24,
+		TableSampleFrac:    0.002,
+		TableSampleCapMB:   96,
+		Stages: []spark.StageProfile{
+			{Name: "map", Tasks: tasks, TaskCPUSec: 0.8, TaskInputMB: inputMB / float64(tasks), InputPath: path, TaskIODemandMBps: 30},
+			{Name: "reduce", Tasks: 8, TaskCPUSec: 0.5, TaskInputMB: 4},
+		},
+	}
+}
+
+// TPCHOpenFiles builds the Fig 11b variant: the default TPC-H init opens
+// the 8 tables once (x1); multiplier x2/x3/x4 doubles/triples/quadruples
+// the number of opened files, lengthening the executor delay.
+func TPCHOpenFiles(queryNum int, datasetMB float64, tables []spark.TableRef, multiplier int) spark.AppProfile {
+	p := TPCHQuery(queryNum, datasetMB, tables)
+	if multiplier <= 1 {
+		return p
+	}
+	base := p.Tables
+	for m := 1; m < multiplier; m++ {
+		p.Tables = append(p.Tables, base...)
+	}
+	p.Name = fmt.Sprintf("%s-x%d", p.Name, multiplier)
+	return p
+}
+
+// Kmeans builds the HiBench Kmeans profile used as CPU interference in
+// Fig 13: 4 executors x 16 vcores, iterating over an in-memory dataset
+// with almost pure CPU tasks.
+func Kmeans(iterations int) spark.AppProfile {
+	stages := make([]spark.StageProfile, 0, iterations)
+	for i := 0; i < iterations; i++ {
+		stages = append(stages, spark.StageProfile{
+			Name:       fmt.Sprintf("kmeans-iter-%d", i),
+			Tasks:      53,
+			TaskCPUSec: 12,
+		})
+	}
+	return spark.AppProfile{
+		Name:           "kmeans",
+		InitBaseCPUSec: 0.6,
+		Stages:         stages,
+	}
+}
+
+// KmeansConfig wraps the Kmeans profile in the paper's interference
+// configuration: 4 executors with 16 vcores each, fully CPU-loading their
+// nodes.
+func KmeansConfig(iterations int) spark.Config {
+	cfg := spark.DefaultConfig(Kmeans(iterations))
+	cfg.Executors = 4
+	cfg.ExecutorProfile = yarn.Profile{VCores: 16, MemoryMB: 4096}
+	return cfg
+}
+
+// MRWordcount builds the MapReduce wordcount job used to generate
+// controlled cluster load (Table II, Fig 7c). The task shape is tiny so a
+// loaded cluster churns containers at high rate; JVM reuse keeps the tasks
+// as light as the paper's.
+func MRWordcount(name string, maps int) mapreduce.Config {
+	cfg := mapreduce.DefaultConfig(name, maps, 0)
+	cfg.MapProfile = yarn.Profile{VCores: 1, MemoryMB: 1024}
+	cfg.MapInputMB = 0 // trivial maps: the throughput benchmark measures container churn
+	cfg.MapCPUSec = 0.02
+	cfg.JVMReuse = true
+	return cfg
+}
+
+// DfsIO builds the dfsIO interference job of Fig 12: maps parallel map
+// tasks, each writing writeGB gigabytes into HDFS, overloading disks and
+// the network cluster-wide.
+func DfsIO(maps int, writeGB float64) mapreduce.Config {
+	cfg := mapreduce.DefaultConfig(fmt.Sprintf("dfsio-%d", maps), maps, 0)
+	cfg.MapProfile = yarn.Profile{VCores: 1, MemoryMB: 1024}
+	cfg.MapInputMB = 0
+	cfg.MapCPUSec = 0.1
+	cfg.MapWriteMB = writeGB * 1024
+	return cfg
+}
+
+// ClusterLoadMaps translates a target cluster-load fraction into a map
+// count for MRWordcount, given the cluster's memory capacity.
+func ClusterLoadMaps(cl *cluster.Cluster, loadFrac float64) int {
+	perNode := cl.Config().Node.MemoryMB / 1024 // 1 GB map containers
+	total := float64(perNode * cl.Config().Workers)
+	n := int(loadFrac * total)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+)
+
+func fsBed() *hdfs.FS {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultConfig()
+	cfg.Workers = 4
+	cl := cluster.New(eng, cfg)
+	return hdfs.New(eng, cl, 3)
+}
+
+func TestTableSharesSumToOne(t *testing.T) {
+	var sum float64
+	for _, s := range TPCHTableShare {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Fatalf("TPC-H shares sum to %.3f, want ~1", sum)
+	}
+}
+
+func TestCreateTPCHTables(t *testing.T) {
+	fs := fsBed()
+	refs := CreateTPCHTables(fs, 2048)
+	if len(refs) != 8 {
+		t.Fatalf("tables=%d, want the 8 TPC-H tables", len(refs))
+	}
+	if refs[0].SizeMB < refs[1].SizeMB {
+		t.Fatal("lineitem must dominate")
+	}
+	for _, r := range refs {
+		if fs.Lookup(r.Path) == nil {
+			t.Fatalf("table %s not registered in HDFS", r.Path)
+		}
+	}
+	// Idempotent.
+	again := CreateTPCHTables(fs, 2048)
+	if again[0].Path != refs[0].Path {
+		t.Fatal("second creation changed paths")
+	}
+}
+
+func TestTPCHQueryDeterministicPerNumber(t *testing.T) {
+	fs := fsBed()
+	tables := CreateTPCHTables(fs, 2048)
+	a := TPCHQuery(5, 2048, tables)
+	b := TPCHQuery(5, 2048, tables)
+	if a.Stages[0].Tasks != b.Stages[0].Tasks || a.Stages[0].TaskCPUSec != b.Stages[0].TaskCPUSec {
+		t.Fatal("same query number produced different profiles")
+	}
+	c := TPCHQuery(6, 2048, tables)
+	if a.Stages[0].TaskCPUSec == c.Stages[0].TaskCPUSec {
+		t.Fatal("different query numbers should vary (Fig 4a job-runtime spread)")
+	}
+	// Catalog sanity: Q9 is the heavyweight, Q6 among the lightest.
+	if q9, q6 := QuerySpecFor(9), QuerySpecFor(6); q9.Weight <= q6.Weight {
+		t.Fatal("catalog relative complexity inverted")
+	}
+	// Wraparound for harnesses cycling i%22+1.
+	if QuerySpecFor(23).Num != QuerySpecFor(1).Num {
+		t.Fatal("catalog wraparound broken")
+	}
+}
+
+func TestPropertyTPCHProfileWellFormed(t *testing.T) {
+	fs := fsBed()
+	f := func(q uint8, size uint32) bool {
+		datasetMB := float64(size%200_000) + 20
+		tables := CreateTPCHTables(fs, datasetMB)
+		p := TPCHQuery(int(q%22)+1, datasetMB, tables)
+		if len(p.Tables) != 8 || len(p.Stages) < 3 || len(p.Stages) > 4 {
+			return false
+		}
+		for _, st := range p.Stages {
+			if st.Tasks <= 0 || st.TaskCPUSec <= 0 {
+				return false
+			}
+		}
+		scan := p.Stages[0]
+		return scan.TaskInputMB > 0 && scan.InputPath != "" && scan.TaskIODemandMBps > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanTasksScaleWithInput(t *testing.T) {
+	fs := fsBed()
+	small := TPCHQuery(3, 20, CreateTPCHTables(fs, 20))
+	big := TPCHQuery(3, 200*1024, CreateTPCHTables(fs, 200*1024))
+	if small.Stages[0].Tasks >= big.Stages[0].Tasks {
+		t.Fatal("scan task count must grow with dataset size")
+	}
+	if small.Stages[0].TaskCPUSec >= big.Stages[0].TaskCPUSec {
+		t.Fatal("tiny splits must cost less CPU per task")
+	}
+}
+
+func TestSplitScaleBounds(t *testing.T) {
+	if splitScale(128) != 1 || splitScale(1e6) != 1 {
+		t.Fatal("full blocks should scale 1.0")
+	}
+	if s := splitScale(0); s != 0.05 {
+		t.Fatalf("floor=%v", s)
+	}
+}
+
+func TestWordcountProfile(t *testing.T) {
+	fs := fsBed()
+	p := SparkWordcount(fs, 2048)
+	if len(p.Tables) != 1 {
+		t.Fatalf("wordcount opens %d files, want 1 (Fig 11a contrast)", len(p.Tables))
+	}
+	if fs.Lookup(p.Tables[0].Path) == nil {
+		t.Fatal("input not registered")
+	}
+}
+
+func TestOpenFilesMultiplier(t *testing.T) {
+	fs := fsBed()
+	tables := CreateTPCHTables(fs, 2048)
+	x1 := TPCHOpenFiles(4, 2048, tables, 1)
+	x3 := TPCHOpenFiles(4, 2048, tables, 3)
+	if len(x1.Tables) != 8 || len(x3.Tables) != 24 {
+		t.Fatalf("x1=%d x3=%d opened files", len(x1.Tables), len(x3.Tables))
+	}
+}
+
+func TestKmeansProfile(t *testing.T) {
+	p := Kmeans(5)
+	if len(p.Stages) != 5 {
+		t.Fatalf("iterations=%d", len(p.Stages))
+	}
+	for _, st := range p.Stages {
+		if st.TaskInputMB != 0 {
+			t.Fatal("kmeans must be pure CPU (the Fig 13 interference)")
+		}
+	}
+	cfg := KmeansConfig(3)
+	if cfg.ExecutorProfile.VCores != 16 || cfg.Executors != 4 {
+		t.Fatalf("kmeans config %+v, want the paper's 4x16 setup", cfg.ExecutorProfile)
+	}
+}
+
+func TestDfsIOConfig(t *testing.T) {
+	cfg := DfsIO(100, 20)
+	if cfg.Maps != 100 || cfg.MapWriteMB != 20*1024 {
+		t.Fatalf("dfsio %d maps x %vMB", cfg.Maps, cfg.MapWriteMB)
+	}
+	if cfg.MapInputMB != 0 || cfg.Reduces != 0 {
+		t.Fatal("dfsio is write-only maps")
+	}
+}
+
+func TestClusterLoadMaps(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := cluster.DefaultConfig()
+	cl := cluster.New(eng, cfg)
+	full := ClusterLoadMaps(cl, 1.0)
+	tenth := ClusterLoadMaps(cl, 0.1)
+	if full != 25*132 {
+		t.Fatalf("full load maps=%d, want %d (1GB containers per node memory)", full, 25*132)
+	}
+	if tenth < full/11 || tenth > full/9 {
+		t.Fatalf("10%% load maps=%d vs full %d", tenth, full)
+	}
+	if ClusterLoadMaps(cl, 0) != 1 {
+		t.Fatal("zero load should still submit one map")
+	}
+}

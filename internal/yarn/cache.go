@@ -1,0 +1,114 @@
+package yarn
+
+// localCache is the NodeManager's public-resource localization cache
+// (the "shared cache" of real YARN, and the substrate for the caching
+// service the paper proposes in §V-B). It is an LRU bounded by
+// capacityMB; capacity <= 0 means unbounded.
+type localCache struct {
+	capacityMB float64
+	usedMB     float64
+	entries    map[string]*cacheEntry
+	head, tail *cacheEntry // most-recent at head
+
+	hits, misses, evictions int
+}
+
+type cacheEntry struct {
+	path       string
+	sizeMB     float64
+	prev, next *cacheEntry
+}
+
+func newLocalCache(capacityMB float64) *localCache {
+	return &localCache{capacityMB: capacityMB, entries: make(map[string]*cacheEntry)}
+}
+
+// Contains reports a hit and refreshes recency.
+func (c *localCache) Contains(path string) bool {
+	e, ok := c.entries[path]
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return true
+}
+
+// Put inserts (or refreshes) a localized resource, evicting least
+// recently used entries to fit.
+func (c *localCache) Put(path string, sizeMB float64) {
+	if e, ok := c.entries[path]; ok {
+		c.usedMB += sizeMB - e.sizeMB
+		e.sizeMB = sizeMB
+		c.moveToFront(e)
+		c.evictToFit()
+		return
+	}
+	e := &cacheEntry{path: path, sizeMB: sizeMB}
+	c.entries[path] = e
+	c.usedMB += sizeMB
+	c.pushFront(e)
+	c.evictToFit()
+}
+
+// Stats returns (hits, misses, evictions, usedMB).
+func (c *localCache) Stats() (hits, misses, evictions int, usedMB float64) {
+	return c.hits, c.misses, c.evictions, c.usedMB
+}
+
+// Len returns the number of cached resources.
+func (c *localCache) Len() int { return len(c.entries) }
+
+func (c *localCache) evictToFit() {
+	if c.capacityMB <= 0 {
+		return
+	}
+	for c.usedMB > c.capacityMB && c.tail != nil {
+		victim := c.tail
+		// Never evict the entry we just inserted if it is alone; an
+		// oversized single resource simply exceeds the target size, as
+		// YARN's cache-target-size behaves.
+		if victim == c.head {
+			return
+		}
+		c.remove(victim)
+		delete(c.entries, victim.path)
+		c.usedMB -= victim.sizeMB
+		c.evictions++
+	}
+}
+
+func (c *localCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *localCache) remove(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *localCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}

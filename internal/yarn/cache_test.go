@@ -1,0 +1,143 @@
+package yarn
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := newLocalCache(1000)
+	if c.Contains("/a") {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("/a", 100)
+	if !c.Contains("/a") {
+		t.Fatal("miss after put")
+	}
+	hits, misses, _, used := c.Stats()
+	if hits != 1 || misses != 1 || used != 100 {
+		t.Fatalf("stats hits=%d misses=%d used=%v", hits, misses, used)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newLocalCache(250)
+	c.Put("/a", 100)
+	c.Put("/b", 100)
+	c.Contains("/a") // refresh /a: /b becomes LRU
+	c.Put("/c", 100) // overflow: evict /b
+	if c.Contains("/b") {
+		t.Fatal("/b should have been evicted (LRU)")
+	}
+	if !c.Contains("/a") || !c.Contains("/c") {
+		t.Fatal("recent entries evicted")
+	}
+	_, _, ev, used := c.Stats()
+	if ev != 1 || used != 200 {
+		t.Fatalf("evictions=%d used=%v", ev, used)
+	}
+}
+
+func TestCacheOversizedEntryKept(t *testing.T) {
+	c := newLocalCache(100)
+	c.Put("/huge", 500)
+	if !c.Contains("/huge") {
+		t.Fatal("sole oversized entry must survive (cache target-size semantics)")
+	}
+}
+
+func TestCacheUpdateSize(t *testing.T) {
+	c := newLocalCache(0) // unbounded
+	c.Put("/a", 100)
+	c.Put("/a", 300)
+	if _, _, _, used := c.Stats(); used != 300 {
+		t.Fatalf("used=%v after size update, want 300", used)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+func TestCacheUnboundedNeverEvicts(t *testing.T) {
+	c := newLocalCache(0)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("/f%d", i), 1000)
+	}
+	if _, _, ev, _ := c.Stats(); ev != 0 {
+		t.Fatalf("unbounded cache evicted %d", ev)
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+// Property: used never exceeds capacity by more than one oversized entry,
+// and Len matches the linked list.
+func TestPropertyCacheInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := newLocalCache(500)
+		for _, op := range ops {
+			path := fmt.Sprintf("/f%d", op%17)
+			switch op % 3 {
+			case 0, 1:
+				c.Put(path, float64(op%200)+1)
+			default:
+				c.Contains(path)
+			}
+			// Walk the list and cross-check.
+			n := 0
+			var sum float64
+			for e := c.head; e != nil; e = e.next {
+				n++
+				sum += e.sizeMB
+				if n > c.Len()+1 {
+					return false // cycle
+				}
+			}
+			if n != c.Len() || sum != c.usedMB {
+				return false
+			}
+			if c.Len() > 1 && c.usedMB > 500+200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingPolicyNames(t *testing.T) {
+	if OrderFIFO.String() != "fifo" || OrderFair.String() != "fair" {
+		t.Fatal("policy names")
+	}
+}
+
+func TestFairOrderingPrefersSmallApps(t *testing.T) {
+	big := &App{running: map[ids.ContainerID]*Allocation{}}
+	small := &App{running: map[ids.ContainerID]*Allocation{}}
+	for i := 0; i < 5; i++ {
+		big.running[ids.ContainerID{Num: i}] = nil
+	}
+	q := []*ask{{app: big}, {app: small}}
+	orderQueue(OrderFair, q)
+	if q[0].app != small {
+		t.Fatal("fair ordering did not prefer the smaller app")
+	}
+	// AM asks jump the queue entirely.
+	q = []*ask{{app: big}, {app: small}, {app: big, forAM: true}}
+	orderQueue(OrderFair, q)
+	if !q[0].forAM {
+		t.Fatal("AM ask not served first under fair ordering")
+	}
+	// FIFO leaves the order alone.
+	q = []*ask{{app: big}, {app: small}}
+	orderQueue(OrderFIFO, q)
+	if q[0].app != big {
+		t.Fatal("FIFO reordered the queue")
+	}
+}

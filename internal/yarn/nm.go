@@ -1,0 +1,400 @@
+package yarn
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/docker"
+	"repro/internal/hdfs"
+	"repro/internal/ids"
+	"repro/internal/log4j"
+	"repro/internal/rng"
+	"repro/internal/share"
+	"repro/internal/sim"
+)
+
+// NodeManager hosts containers on one worker node. It owns the
+// ContainerImpl state machine whose transitions (LOCALIZING, SCHEDULED,
+// RUNNING) SDchecker mines as log messages 6-8, the localization service
+// with its per-node public-resource cache, and the queue for opportunistic
+// containers (Hadoop 3 distributed scheduling).
+type NodeManager struct {
+	Eng  *sim.Engine
+	Node *cluster.Node
+
+	rm  *RM
+	fs  *hdfs.FS
+	cfg Config
+	rng *rng.Source
+
+	logCont   *log4j.Logger
+	logLaunch *log4j.Logger
+
+	totalVCores int
+	totalMemMB  int
+	// Guaranteed reservations (made by the RM at allocation time).
+	reservedVCores int
+	reservedMemMB  int
+	// Capacity consumed by running opportunistic containers.
+	oppVCores int
+	oppMemMB  int
+
+	freeVCores int // cached totalVCores - reservedVCores, read by the RM
+
+	cache     *localCache // localized public resources (LRU)
+	oppQueue  []*containerRun
+	running   map[ids.ContainerID]*containerRun
+	completed []*Allocation // reported to the RM on the next heartbeat
+
+	// localDisk is where localization IO lands: the node's HDFS disks by
+	// default, or a dedicated storage class (Config.DedicatedLocalDiskMBps).
+	localDisk *share.Resource
+
+	hb *sim.Ticker
+}
+
+// containerRun tracks one container through localization, queueing,
+// launch and execution.
+type containerRun struct {
+	alloc *Allocation
+	spec  LaunchSpec
+	env   *ProcessEnv
+}
+
+// NewNodeManager creates the NM for node and registers it with the RM.
+// Its heartbeat is phase-staggered by the node index so that 25 NMs do
+// not beat in lockstep.
+func NewNodeManager(rm *RM, node *cluster.Node, fs *hdfs.FS, sink *log4j.Sink) *NodeManager {
+	nm := &NodeManager{
+		Eng:         rm.Eng,
+		Node:        node,
+		rm:          rm,
+		fs:          fs,
+		cfg:         rm.Cfg,
+		rng:         node.Rng.Fork(0x17a),
+		logCont:     sink.Logger(NMLogFile(node), ClassContainerImpl),
+		logLaunch:   sink.Logger(NMLogFile(node), ClassContainerLaunch),
+		totalVCores: node.VCores,
+		totalMemMB:  node.MemoryMB,
+		freeVCores:  node.VCores,
+		cache:       newLocalCache(rm.Cfg.LocalCacheCapacityMB),
+		running:     make(map[ids.ContainerID]*containerRun),
+	}
+	nm.localDisk = node.Disk
+	if rm.Cfg.DedicatedLocalDiskMBps > 0 {
+		nm.localDisk = share.NewResource(rm.Eng, node.Name+"/local-ssd", rm.Cfg.DedicatedLocalDiskMBps)
+	}
+	period := rm.Cfg.NMHeartbeatMs
+	offset := (period*int64(node.Index))/int64(len(rm.Cl.Nodes)) + nm.rng.Int63n(20)
+	nm.hb = sim.NewTicker(rm.Eng, period, offset, nm.heartbeat)
+	rm.registerNM(nm)
+	return nm
+}
+
+// PrewarmCache marks public resources as already localized on this node,
+// modelling a cluster that has run the framework before (the paper's
+// steady-state measurements).
+func (nm *NodeManager) PrewarmCache(paths ...string) {
+	for _, p := range paths {
+		size := 0.0
+		if f := nm.fs.Lookup(p); f != nil {
+			size = f.SizeMB
+		}
+		nm.cache.Put(p, size)
+	}
+}
+
+// CacheStats exposes the localization cache counters (hits, misses,
+// evictions, used MB) for the caching-service ablation.
+func (nm *NodeManager) CacheStats() (hits, misses, evictions int, usedMB float64) {
+	return nm.cache.Stats()
+}
+
+// FreeVCores returns unreserved guaranteed capacity.
+func (nm *NodeManager) FreeVCores() int { return nm.freeVCores }
+
+// RunningContainers returns the number of containers currently executing.
+func (nm *NodeManager) RunningContainers() int { return len(nm.running) }
+
+// QueuedOpportunistic returns the opportunistic queue depth (Fig 7b).
+func (nm *NodeManager) QueuedOpportunistic() int { return len(nm.oppQueue) }
+
+// reserve claims guaranteed capacity; called by the RM at allocation.
+// With the default memory-only calculator (see Config.UseVCoresAccounting)
+// vcores may oversubscribe; the processor-sharing CPU model absorbs it.
+func (nm *NodeManager) reserve(p Profile) bool {
+	if nm.reservedMemMB+p.MemoryMB > nm.totalMemMB {
+		return false
+	}
+	if nm.cfg.UseVCoresAccounting && nm.reservedVCores+p.VCores > nm.totalVCores {
+		return false
+	}
+	nm.reservedVCores += p.VCores
+	nm.reservedMemMB += p.MemoryMB
+	nm.freeVCores = nm.totalVCores - nm.reservedVCores
+	return true
+}
+
+func (nm *NodeManager) unreserve(p Profile) {
+	nm.reservedVCores -= p.VCores
+	nm.reservedMemMB -= p.MemoryMB
+	nm.freeVCores = nm.totalVCores - nm.reservedVCores
+}
+
+// FreeMemMB returns unreserved guaranteed memory.
+func (nm *NodeManager) FreeMemMB() int { return nm.totalMemMB - nm.reservedMemMB }
+
+// oppFits reports whether an opportunistic container can start now.
+// Unlike guaranteed reservation, opportunistic admission is
+// utilization-based (the NM queues the container when the node is busy),
+// so vcores always count here — this queueing is what Fig 7b measures.
+func (nm *NodeManager) oppFits(p Profile) bool {
+	if nm.reservedMemMB+nm.oppMemMB+p.MemoryMB > nm.totalMemMB {
+		return false
+	}
+	return nm.reservedVCores+nm.oppVCores+p.VCores <= nm.totalVCores
+}
+
+// heartbeat reports completed containers and receives new assignments.
+func (nm *NodeManager) heartbeat() {
+	if len(nm.completed) > 0 {
+		done := nm.completed
+		nm.completed = nil
+		for _, al := range done {
+			nm.rm.containerFinished(al)
+		}
+	}
+	nm.rm.nodeUpdate(nm)
+}
+
+// StartContainer begins the container lifecycle:
+// NEW -> LOCALIZING -> SCHEDULED -> (queue if opportunistic and the node
+// is busy) -> launch -> RUNNING (logged when the instance emits its first
+// log line, per paper §III-B) -> EXITED_WITH_SUCCESS.
+func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
+	run := &containerRun{alloc: al, spec: spec}
+	nm.logCont.Infof("Container %s transitioned from NEW to LOCALIZING", al.Container)
+	nm.Node.Compute(nm.cfg.LocalizerSetupVcoreSec, 1, func(sim.Time) {
+		nm.localize(run, 0)
+	})
+}
+
+// localize fetches resources sequentially, then marks SCHEDULED.
+func (nm *NodeManager) localize(run *containerRun, idx int) {
+	if idx >= len(run.spec.Resources) {
+		nm.logCont.Infof("Container %s transitioned from LOCALIZING to SCHEDULED", run.alloc.Container)
+		nm.afterScheduled(run)
+		return
+	}
+	res := run.spec.Resources[idx]
+	next := func(sim.Time) { nm.localize(run, idx+1) }
+	if res.SizeMB <= 0 {
+		nm.Eng.After(1, func() { next(nm.Eng.Now()) })
+		return
+	}
+	if res.Public && nm.cache.Contains(res.Path) {
+		// Cache hit: verify and copy. Only part of the bytes touch the
+		// disk (the rest is page-cache hot); the copy/CRC costs CPU.
+		diskMB := res.SizeMB * nm.cfg.CacheDiskFraction
+		cluster.StartTransfer(nm.Eng, []cluster.Leg{
+			{Res: nm.localDisk, Work: diskMB, Demand: nm.cfg.LocalCacheReadDemandMBps},
+		}, func(sim.Time) {
+			nm.Node.Compute(res.SizeMB*nm.cfg.LocalizeCPUVcoreSecPerMB, 1, next)
+		})
+		return
+	}
+	// Cold fetch: download from HDFS and write the local copy.
+	f := nm.fs.Lookup(res.Path)
+	if f == nil {
+		f = nm.fs.Create(res.Path, res.SizeMB, nil)
+	}
+	nm.fs.ReadData(nm.Node, f, res.SizeMB, func(sim.Time) {
+		cluster.StartTransfer(nm.Eng, []cluster.Leg{
+			{Res: nm.localDisk, Work: res.SizeMB, Demand: nm.cfg.ColdFetchDemandMBps},
+		}, func(sim.Time) {
+			if res.Public {
+				nm.cache.Put(res.Path, res.SizeMB)
+			}
+			next(nm.Eng.Now())
+		})
+	})
+}
+
+// afterScheduled either launches immediately (guaranteed, or an
+// opportunistic container on an idle-enough node) or queues the container
+// — the queueing delay the paper measures for the distributed scheduler.
+func (nm *NodeManager) afterScheduled(run *containerRun) {
+	if run.alloc.Type == Opportunistic {
+		if !nm.oppFits(run.alloc.Profile) {
+			nm.logLaunch.Infof("Opportunistic container %s queued at %s", run.alloc.Container, nm.Node.Name)
+			nm.oppQueue = append(nm.oppQueue, run)
+			return
+		}
+		nm.oppVCores += run.alloc.Profile.VCores
+		nm.oppMemMB += run.alloc.Profile.MemoryMB
+	} else if nm.cfg.PreemptOpportunistic {
+		nm.preemptForGuaranteed(run.alloc.Profile)
+	}
+	nm.invokeLaunch(run)
+}
+
+// preemptForGuaranteed kills running opportunistic containers, newest
+// first, until the guaranteed profile fits within the node's vcores.
+func (nm *NodeManager) preemptForGuaranteed(p Profile) {
+	for nm.reservedVCores+nm.oppVCores > nm.totalVCores {
+		victim := nm.newestOpportunistic()
+		if victim == nil {
+			return
+		}
+		cid := victim.alloc.Container
+		nm.logCont.Infof("Container %s transitioned from RUNNING to KILLING", cid)
+		nm.logLaunch.Infof("Preempting opportunistic container %s for a guaranteed container", cid)
+		delete(nm.running, cid)
+		nm.oppVCores -= victim.alloc.Profile.VCores
+		nm.oppMemMB -= victim.alloc.Profile.MemoryMB
+		if victim.env != nil {
+			victim.env.exited = true // the process is gone; Exit is a no-op
+		}
+		nm.rm.containerLaunchFailed(victim.alloc)
+	}
+	_ = p
+}
+
+// newestOpportunistic returns the most recently allocated running
+// opportunistic container, or nil.
+func (nm *NodeManager) newestOpportunistic() *containerRun {
+	var best *containerRun
+	for _, run := range nm.running {
+		if run.alloc.Type != Opportunistic {
+			continue
+		}
+		if best == nil || run.alloc.Container.Num > best.alloc.Container.Num ||
+			(run.alloc.Container.Num == best.alloc.Container.Num && run.alloc.Container.App.Seq > best.alloc.Container.App.Seq) {
+			best = run
+		}
+	}
+	return best
+}
+
+// invokeLaunch writes the launch script and starts the process through
+// the configured container runtime.
+func (nm *NodeManager) invokeLaunch(run *containerRun) {
+	cid := run.alloc.Container
+	nm.logLaunch.Infof("Invoking launch script for container %s", cid)
+	if p := nm.cfg.LaunchFailureProb; p > 0 && nm.rng.Float64() < p {
+		// Injected launch failure: the script exits non-zero before the
+		// process ever logs. The AM finds out through the RM and must
+		// re-request the container.
+		fail := int64(nm.rng.Uniform(30, 120))
+		nm.Eng.After(fail, func() { nm.containerFailed(run) })
+		return
+	}
+	setup := int64(nm.rng.Uniform(8, 28)) // write script, set env, mkdirs
+	nm.Eng.After(setup, func() {
+		docker.Apply(nm.Eng, nm.Node, nm.rng, run.spec.Runtime, nm.cfg.DockerOverhead, func() {
+			env := &ProcessEnv{
+				Eng:      nm.Eng,
+				Node:     nm.Node,
+				NM:       nm,
+				Alloc:    run.alloc,
+				Rng:      nm.rng.Fork(uint64(cid.Num)<<16 ^ uint64(cid.App.Seq)),
+				JVMReuse: nm.cfg.JVMReuse,
+				run:      run,
+			}
+			env.sink = nm.rm.Sink
+			run.env = env
+			nm.running[cid] = run
+			run.spec.Process.Launched(env)
+		})
+	})
+}
+
+// markFirstLog is called by ProcessEnv when the instance writes its first
+// log line; the container is then RUNNING.
+func (nm *NodeManager) markFirstLog(run *containerRun) {
+	nm.logCont.Infof("Container %s transitioned from SCHEDULED to RUNNING", run.alloc.Container)
+}
+
+// containerFailed handles a launch failure: EXITED_WITH_FAILURE is
+// logged, capacity freed, and the RM informed so the AM can recover.
+func (nm *NodeManager) containerFailed(run *containerRun) {
+	cid := run.alloc.Container
+	nm.logCont.Infof("Container %s transitioned from SCHEDULED to EXITED_WITH_FAILURE", cid)
+	nm.logLaunch.Infof("Container %s exit code 1: launch script failed", cid)
+	if run.alloc.Type == Opportunistic {
+		nm.oppVCores -= run.alloc.Profile.VCores
+		nm.oppMemMB -= run.alloc.Profile.MemoryMB
+	} else {
+		nm.unreserve(run.alloc.Profile)
+	}
+	nm.rm.containerLaunchFailed(run.alloc)
+	nm.drainOppQueue()
+}
+
+// containerExited releases capacity, reports to the RM on the next
+// heartbeat, and starts queued opportunistic work that now fits.
+func (nm *NodeManager) containerExited(run *containerRun) {
+	cid := run.alloc.Container
+	delete(nm.running, cid)
+	nm.logCont.Infof("Container %s transitioned from RUNNING to EXITED_WITH_SUCCESS", cid)
+	if run.alloc.Type == Opportunistic {
+		nm.oppVCores -= run.alloc.Profile.VCores
+		nm.oppMemMB -= run.alloc.Profile.MemoryMB
+	} else {
+		nm.unreserve(run.alloc.Profile)
+	}
+	nm.completed = append(nm.completed, run.alloc)
+	nm.drainOppQueue()
+}
+
+func (nm *NodeManager) drainOppQueue() {
+	for len(nm.oppQueue) > 0 && nm.oppFits(nm.oppQueue[0].alloc.Profile) {
+		run := nm.oppQueue[0]
+		nm.oppQueue = nm.oppQueue[1:]
+		nm.oppVCores += run.alloc.Profile.VCores
+		nm.oppMemMB += run.alloc.Profile.MemoryMB
+		nm.invokeLaunch(run)
+	}
+}
+
+// Shutdown stops the heartbeat ticker (used when tearing down scenarios).
+func (nm *NodeManager) Shutdown() { nm.hb.Stop() }
+
+// ProcessEnv is the container-side world handed to a Process.
+type ProcessEnv struct {
+	Eng      *sim.Engine
+	Node     *cluster.Node
+	NM       *NodeManager
+	Alloc    *Allocation
+	Rng      *rng.Source
+	JVMReuse bool
+
+	sink        *log4j.Sink
+	run         *containerRun
+	firstLogged bool
+	exited      bool
+}
+
+// Logger returns a logger writing to this container's stderr file under
+// the given class name. The first line written through any of the
+// container's loggers is the FIRST_LOG event.
+func (e *ProcessEnv) Logger(class string) *log4j.Logger {
+	return e.sink.Logger(StderrPath(e.Alloc.Container), class)
+}
+
+// MarkFirstLog must be called exactly once, at the instant the process
+// emits its first log line; it drives the SCHEDULED -> RUNNING transition.
+func (e *ProcessEnv) MarkFirstLog() {
+	if e.firstLogged {
+		return
+	}
+	e.firstLogged = true
+	e.NM.markFirstLog(e.run)
+}
+
+// Exit terminates the container successfully.
+func (e *ProcessEnv) Exit() {
+	if e.exited {
+		return
+	}
+	e.exited = true
+	e.NM.containerExited(e.run)
+}

@@ -1,0 +1,46 @@
+package yarn
+
+import "sort"
+
+// OrderingPolicy selects which pending request the centralized scheduler
+// serves first at each scheduling opportunity. The paper's deployment
+// offers both the Capacity Scheduler's FIFO ordering and the Fair
+// Scheduler's fair-share ordering (§IV-A mentions Capacity and Fair as
+// the configurable centralized schedulers).
+type OrderingPolicy int
+
+// Supported orderings.
+const (
+	// OrderFIFO serves requests in submission order (Capacity Scheduler
+	// default ordering policy).
+	OrderFIFO OrderingPolicy = iota
+	// OrderFair serves the application with the fewest running containers
+	// first (Fair Scheduler / fair ordering policy), which shortens the
+	// allocation delay of small jobs behind large ones.
+	OrderFair
+)
+
+// String names the policy.
+func (p OrderingPolicy) String() string {
+	if p == OrderFair {
+		return "fair"
+	}
+	return "fifo"
+}
+
+// orderQueue arranges the pending asks according to the policy. FIFO
+// leaves submission order intact; Fair sorts by the owning application's
+// current container count (stable, so equal apps stay FIFO).
+func orderQueue(policy OrderingPolicy, queue []*ask) {
+	if policy != OrderFair {
+		return
+	}
+	sort.SliceStable(queue, func(i, j int) bool {
+		// AM requests always sort first: an application cannot make
+		// progress at all without its master.
+		if queue[i].forAM != queue[j].forAM {
+			return queue[i].forAM
+		}
+		return len(queue[i].app.running) < len(queue[j].app.running)
+	})
+}

@@ -1,0 +1,123 @@
+package yarn_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/log4j"
+	"repro/internal/sim"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+// TestDecisionSerializationCeiling verifies the Capacity Scheduler's
+// serialized per-container decision cost: a large batch of allocations is
+// spread over time at roughly 1/RMDecisionMicros containers per second —
+// the Table II throughput ceiling.
+func TestDecisionSerializationCeiling(t *testing.T) {
+	b := testkit.New(testkit.Options{Workers: 2, Yarn: func(c *yarn.Config) {
+		c.MaxAssignPerHeartbeat = 0
+		c.LocalityDelayMaxBeats = 0
+		c.RMDecisionMicros = 2000 // 2 ms per decision: 500/s ceiling
+	}})
+	b.Prewarm(map[string]float64{"/pkg": 100})
+	const want = 200
+	granted := 0
+	var firstAt, lastAt sim.Time
+	am := &stubProc{lifeMs: 600_000, onLaunch: func(env *yarn.ProcessEnv) {
+		app := env.Alloc.Container.App
+		b.RM.RegisterAttempt(app)
+		b.RM.Ask(app, want, yarn.Profile{VCores: 1, MemoryMB: 512})
+		sim.NewTicker(env.Eng, 100, 50, func() {
+			for range b.RM.Pull(app) {
+				granted++
+				if firstAt == 0 {
+					firstAt = env.Eng.Now()
+				}
+				lastAt = env.Eng.Now()
+			}
+		})
+	}}
+	b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+	b.Run(120)
+	if granted != want {
+		t.Fatalf("granted %d, want %d", granted, want)
+	}
+	// 200 containers at 2 ms/decision take >= 400 ms of decision time.
+	if span := lastAt - firstAt; span < 300 {
+		t.Fatalf("decisions span %dms — serialization cost not applied", span)
+	}
+}
+
+// TestAllocationLogSpacing checks that the ALLOCATED log lines themselves
+// carry the serialized decision timestamps SDchecker measures throughput
+// from.
+func TestAllocationLogSpacing(t *testing.T) {
+	b := testkit.New(testkit.Options{Workers: 2, Yarn: func(c *yarn.Config) {
+		c.MaxAssignPerHeartbeat = 0
+		c.LocalityDelayMaxBeats = 0
+		c.RMDecisionMicros = 5000 // 5 ms
+	}})
+	b.Prewarm(map[string]float64{"/pkg": 100})
+	am := &stubProc{lifeMs: 600_000, onLaunch: func(env *yarn.ProcessEnv) {
+		app := env.Alloc.Container.App
+		b.RM.RegisterAttempt(app)
+		b.RM.Ask(app, 10, yarn.Profile{VCores: 1, MemoryMB: 512})
+		sim.NewTicker(env.Eng, 500, 100, func() { b.RM.Pull(app) })
+	}}
+	b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+	b.Run(60)
+
+	var stamps []int64
+	for _, raw := range b.Lines(yarn.RMLogFile) {
+		l, err := log4j.ParseLine(raw)
+		if err != nil {
+			continue
+		}
+		if strings.Contains(l.Message, "from NEW to ALLOCATED") && !strings.Contains(l.Message, "_000001 ") {
+			stamps = append(stamps, l.TimeMS)
+		}
+	}
+	if len(stamps) != 10 {
+		t.Fatalf("found %d executor allocations, want 10", len(stamps))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatal("allocation timestamps not monotone")
+		}
+	}
+	if spread := stamps[len(stamps)-1] - stamps[0]; spread < 40 {
+		t.Fatalf("10 allocations within %dms at 5ms/decision — spacing not logged", spread)
+	}
+}
+
+// TestPullReturnsNothingForUnknownApp guards nil-safety of the AM protocol.
+func TestPullReturnsNothingForUnknownApp(t *testing.T) {
+	b := testkit.New(testkit.Options{})
+	if got := b.RM.Pull(b.IDs.NewApp()); got != nil {
+		t.Fatalf("pull for unknown app returned %v", got)
+	}
+	b.RM.Ask(b.IDs.NewApp(), 3, yarn.Profile{VCores: 1, MemoryMB: 512}) // no-op
+	b.RM.RegisterAttempt(b.IDs.NewApp())                                // no-op
+	b.RM.FinishApp(b.IDs.NewApp())                                      // no-op
+}
+
+// TestAskAfterFinishIsDropped: requests from finished apps must not leak
+// into the queue.
+func TestAskAfterFinishIsDropped(t *testing.T) {
+	b := testkit.New(testkit.Options{})
+	b.Prewarm(map[string]float64{"/pkg": 100})
+	var appID = b.IDs.NewApp() // placeholder; real id captured below
+	am := &stubProc{onLaunch: func(env *yarn.ProcessEnv) {
+		appID = env.Alloc.Container.App
+		b.RM.RegisterAttempt(appID)
+		b.RM.FinishApp(appID)
+		b.RM.Ask(appID, 5, yarn.Profile{VCores: 1, MemoryMB: 512})
+		env.Exit()
+	}}
+	b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+	b.Run(60)
+	if q := b.RM.Queued(); q != 0 {
+		t.Fatalf("queue holds %d requests from a finished app", q)
+	}
+}

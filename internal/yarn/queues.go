@@ -1,0 +1,126 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueueConfig describes one Capacity Scheduler leaf queue: its guaranteed
+// share of the cluster and its elastic ceiling
+// (yarn.scheduler.capacity.<queue>.capacity / maximum-capacity).
+type QueueConfig struct {
+	Name string
+	// Capacity is the guaranteed fraction of cluster memory (0..1].
+	Capacity float64
+	// MaxCapacity is the elastic ceiling fraction; 0 means 1.0.
+	MaxCapacity float64
+}
+
+// DefaultQueueName is where applications land when no queue is named —
+// YARN's root.default.
+const DefaultQueueName = "default"
+
+// queueState tracks one leaf queue's usage at the RM.
+type queueState struct {
+	cfg       QueueConfig
+	usedMemMB int
+}
+
+// queueSet manages the leaf queues. A nil/empty configuration behaves as
+// a single default queue owning the whole cluster, which is the setup the
+// paper evaluates ("we use the Capacity Scheduler").
+type queueSet struct {
+	totalMemMB int
+	byName     map[string]*queueState
+	order      []string
+}
+
+func newQueueSet(totalMemMB int, cfgs []QueueConfig) (*queueSet, error) {
+	qs := &queueSet{totalMemMB: totalMemMB, byName: make(map[string]*queueState)}
+	if len(cfgs) == 0 {
+		cfgs = []QueueConfig{{Name: DefaultQueueName, Capacity: 1, MaxCapacity: 1}}
+	}
+	var sum float64
+	for _, c := range cfgs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("yarn: queue with empty name")
+		}
+		if c.Capacity <= 0 || c.Capacity > 1 {
+			return nil, fmt.Errorf("yarn: queue %q capacity %v out of (0,1]", c.Name, c.Capacity)
+		}
+		if c.MaxCapacity == 0 {
+			c.MaxCapacity = 1
+		}
+		if c.MaxCapacity < c.Capacity || c.MaxCapacity > 1 {
+			return nil, fmt.Errorf("yarn: queue %q max-capacity %v out of [capacity,1]", c.Name, c.MaxCapacity)
+		}
+		if _, dup := qs.byName[c.Name]; dup {
+			return nil, fmt.Errorf("yarn: duplicate queue %q", c.Name)
+		}
+		qs.byName[c.Name] = &queueState{cfg: c}
+		qs.order = append(qs.order, c.Name)
+		sum += c.Capacity
+	}
+	if sum > 1.0001 {
+		return nil, fmt.Errorf("yarn: queue capacities sum to %.2f > 1", sum)
+	}
+	return qs, nil
+}
+
+// lookup resolves a queue name ("" means default / the first queue).
+func (qs *queueSet) lookup(name string) (*queueState, error) {
+	if name == "" {
+		if q, ok := qs.byName[DefaultQueueName]; ok {
+			return q, nil
+		}
+		return qs.byName[qs.order[0]], nil
+	}
+	q, ok := qs.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("yarn: unknown queue %q", name)
+	}
+	return q, nil
+}
+
+// canAllocate reports whether the queue may take memMB more memory, i.e.
+// stays under its elastic ceiling.
+func (qs *queueSet) canAllocate(q *queueState, memMB int) bool {
+	limit := int(q.cfg.MaxCapacity * float64(qs.totalMemMB))
+	return q.usedMemMB+memMB <= limit
+}
+
+// charge/uncharge account queue usage at allocation and release.
+func (qs *queueSet) charge(q *queueState, memMB int)   { q.usedMemMB += memMB }
+func (qs *queueSet) uncharge(q *queueState, memMB int) { q.usedMemMB -= memMB }
+
+// headroomOrder returns queue names sorted by how far each queue is below
+// its guaranteed capacity (most underserved first) — the Capacity
+// Scheduler's inter-queue ordering.
+func (qs *queueSet) headroomOrder() []string {
+	type item struct {
+		name string
+		need float64 // guaranteed minus used, as a fraction
+	}
+	items := make([]item, 0, len(qs.order))
+	for _, name := range qs.order {
+		q := qs.byName[name]
+		used := float64(q.usedMemMB) / float64(qs.totalMemMB)
+		items = append(items, item{name, q.cfg.Capacity - used})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].need > items[j].need })
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.name
+	}
+	return out
+}
+
+// Usage returns a queue's current memory usage fraction (for tests and
+// telemetry).
+func (qs *queueSet) usage(name string) float64 {
+	q, err := qs.lookup(name)
+	if err != nil {
+		return 0
+	}
+	return float64(q.usedMemMB) / float64(qs.totalMemMB)
+}

@@ -1,0 +1,84 @@
+package yarn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueueSetDefaults(t *testing.T) {
+	qs, err := newQueueSet(1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := qs.lookup("")
+	if err != nil || q.cfg.Name != DefaultQueueName {
+		t.Fatalf("default lookup: %v %+v", err, q)
+	}
+	if !qs.canAllocate(q, 1000) {
+		t.Fatal("default queue should own the whole cluster")
+	}
+	if qs.canAllocate(q, 1001) {
+		t.Fatal("over-cluster allocation accepted")
+	}
+}
+
+func TestQueueSetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfgs []QueueConfig
+		want string
+	}{
+		{"empty name", []QueueConfig{{Name: "", Capacity: 1}}, "empty name"},
+		{"bad capacity", []QueueConfig{{Name: "a", Capacity: 0}}, "capacity"},
+		{"bad max", []QueueConfig{{Name: "a", Capacity: 0.5, MaxCapacity: 0.3}}, "max-capacity"},
+		{"dup", []QueueConfig{{Name: "a", Capacity: 0.4}, {Name: "a", Capacity: 0.4}}, "duplicate"},
+		{"oversum", []QueueConfig{{Name: "a", Capacity: 0.7}, {Name: "b", Capacity: 0.7}}, "sum"},
+	}
+	for _, c := range cases {
+		if _, err := newQueueSet(1000, c.cfgs); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v", c.name, err)
+		}
+	}
+}
+
+func TestQueueElasticCeiling(t *testing.T) {
+	qs, err := newQueueSet(1000, []QueueConfig{
+		{Name: "prod", Capacity: 0.6, MaxCapacity: 0.8},
+		{Name: "adhoc", Capacity: 0.4, MaxCapacity: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := qs.lookup("prod")
+	// prod can burst past its 60% guarantee up to 80%.
+	qs.charge(prod, 700)
+	if !qs.canAllocate(prod, 100) {
+		t.Fatal("burst below the ceiling rejected")
+	}
+	if qs.canAllocate(prod, 101) {
+		t.Fatal("burst above the ceiling accepted")
+	}
+	qs.uncharge(prod, 700)
+	if prod.usedMemMB != 0 {
+		t.Fatal("uncharge accounting broken")
+	}
+	if _, err := qs.lookup("nope"); err == nil {
+		t.Fatal("unknown queue accepted")
+	}
+}
+
+func TestQueueHeadroomOrder(t *testing.T) {
+	qs, _ := newQueueSet(1000, []QueueConfig{
+		{Name: "a", Capacity: 0.5},
+		{Name: "b", Capacity: 0.5},
+	})
+	a, _ := qs.lookup("a")
+	qs.charge(a, 400) // a is nearly at its guarantee; b untouched
+	order := qs.headroomOrder()
+	if order[0] != "b" {
+		t.Fatalf("underserved queue not first: %v", order)
+	}
+	if qs.usage("a") != 0.4 {
+		t.Fatalf("usage=%v", qs.usage("a"))
+	}
+}
