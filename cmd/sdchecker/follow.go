@@ -12,44 +12,57 @@ import (
 	"repro/internal/core"
 )
 
+// dirScanner tails a log directory tree into a core.Stream: each scan
+// feeds bytes appended since the previous one (and any newly created
+// files). It is the shared ingestion engine of -follow and -serve.
+type dirScanner struct {
+	dir     string
+	st      *core.Stream
+	offsets map[string]int64
+}
+
+func newDirScanner(dir string, st *core.Stream) *dirScanner {
+	return &dirScanner{dir: dir, st: st, offsets: make(map[string]int64)}
+}
+
+// scan walks the tree once, feeding every new line. It reports whether
+// any line produced scheduling events.
+func (s *dirScanner) scan() (changed bool, err error) {
+	werr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, rerr := filepath.Rel(s.dir, path)
+		if rerr != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		grew, ferr := s.drainFile(path, rel)
+		if ferr != nil {
+			return ferr
+		}
+		if grew {
+			changed = true
+		}
+		return nil
+	})
+	return changed, werr
+}
+
 // followDir is the live mode: it scans the log tree once, then polls for
 // appended bytes and newly created files, feeding every new line into a
 // core.Stream and reprinting the summary whenever the picture changed.
 // It runs until the process is interrupted.
 func followDir(dir string) error {
-	st := core.NewStream()
-	offsets := map[string]int64{}
-
-	scan := func() (changed bool, err error) {
-		werr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil || d.IsDir() {
-				return err
-			}
-			rel, rerr := filepath.Rel(dir, path)
-			if rerr != nil {
-				rel = path
-			}
-			rel = filepath.ToSlash(rel)
-			grew, ferr := drainFile(st, path, rel, offsets)
-			if ferr != nil {
-				return ferr
-			}
-			if grew {
-				changed = true
-			}
-			return nil
-		})
-		return changed, werr
-	}
-
+	sc := newDirScanner(dir, core.NewStream())
 	fmt.Printf("sdchecker: following %s (interrupt to stop)\n", dir)
 	for {
-		changed, err := scan()
+		changed, err := sc.scan()
 		if err != nil {
 			return err
 		}
 		if changed {
-			rep := st.Report()
+			rep := sc.st.Report()
 			fmt.Printf("\n--- %s ---\n%s", time.Now().Format("15:04:05"), rep.Format())
 		}
 		time.Sleep(time.Second)
@@ -58,12 +71,12 @@ func followDir(dir string) error {
 
 // drainFile feeds any bytes appended since the recorded offset. It
 // returns whether new scheduling events were produced.
-func drainFile(st *core.Stream, path, rel string, offsets map[string]int64) (bool, error) {
+func (s *dirScanner) drainFile(path, rel string) (bool, error) {
 	info, err := os.Stat(path)
 	if err != nil {
 		return false, err
 	}
-	off := offsets[rel]
+	off := s.offsets[rel]
 	if info.Size() <= off {
 		return false, nil
 	}
@@ -82,10 +95,10 @@ func drainFile(st *core.Stream, path, rel string, offsets map[string]int64) (boo
 	for sc.Scan() {
 		line := sc.Text()
 		read += int64(len(line)) + 1
-		if st.Feed(rel, line) {
+		if s.st.Feed(rel, line) {
 			changed = true
 		}
 	}
-	offsets[rel] = read
+	s.offsets[rel] = read
 	return changed, sc.Err()
 }

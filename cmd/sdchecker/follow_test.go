@@ -32,29 +32,28 @@ func TestDrainFileIncremental(t *testing.T) {
 	rm := filepath.Join(dir, "rm.log")
 	app := "application_1499000000000_0001"
 
-	st := core.NewStream()
-	offsets := map[string]int64{}
+	sc := newDirScanner(dir, core.NewStream())
 
 	writeLines(t, rm, mkLine(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
-	changed, err := drainFile(st, rm, "rm.log", offsets)
+	changed, err := sc.drainFile(rm, "rm.log")
 	if err != nil || !changed {
 		t.Fatalf("first drain: changed=%v err=%v", changed, err)
 	}
 	// No growth: nothing new.
-	changed, err = drainFile(st, rm, "rm.log", offsets)
+	changed, err = sc.drainFile(rm, "rm.log")
 	if err != nil || changed {
 		t.Fatalf("idle drain reported change: %v %v", changed, err)
 	}
 	// Append: only the new line is consumed.
 	writeLines(t, rm, mkLine(5000, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"))
-	changed, err = drainFile(st, rm, "rm.log", offsets)
+	changed, err = sc.drainFile(rm, "rm.log")
 	if err != nil || !changed {
 		t.Fatalf("append drain: changed=%v err=%v", changed, err)
 	}
-	if st.EventCount() != 2 {
-		t.Fatalf("events=%d, want 2 (no re-reads)", st.EventCount())
+	if sc.st.EventCount() != 2 {
+		t.Fatalf("events=%d, want 2 (no re-reads)", sc.st.EventCount())
 	}
-	a := st.Apps()[0]
+	a := sc.st.Apps()[0]
 	if a.Registered-a.Submitted != 4900 {
 		t.Fatalf("am delay %d, want 4900", a.Registered-a.Submitted)
 	}
@@ -67,17 +66,16 @@ func TestDrainFileContainerLog(t *testing.T) {
 	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	st := core.NewStream()
-	offsets := map[string]int64{}
+	sc := newDirScanner(dir, core.NewStream())
 	writeLines(t, abs, mkLine(7000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"))
-	if changed, err := drainFile(st, abs, rel, offsets); err != nil || !changed {
+	if changed, err := sc.drainFile(abs, rel); err != nil || !changed {
 		t.Fatalf("container drain: %v %v", changed, err)
 	}
 	writeLines(t, abs, mkLine(9000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"))
-	if changed, err := drainFile(st, abs, rel, offsets); err != nil || !changed {
+	if changed, err := sc.drainFile(abs, rel); err != nil || !changed {
 		t.Fatalf("container append drain: %v %v", changed, err)
 	}
-	c := st.Apps()[0].Containers[0]
+	c := sc.st.Apps()[0].Containers[0]
 	if c.FirstLog == 0 || c.FirstTask == 0 {
 		t.Fatalf("container trace incomplete: %+v", c)
 	}

@@ -35,6 +35,8 @@ func main() {
 		validate = flag.Bool("validate", false, "check traces for temporal consistency (clock skew, missing files)")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML report (SVG CDFs + per-app Gantt timelines) to this file")
 		follow   = flag.Bool("follow", false, "keep watching the directory for appended lines and new files, reprinting the summary on change")
+		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq> and /healthz on while tailing the directory")
+		retain   = flag.Int("retain", 4096, "with -serve: keep at most this many completed applications in memory (-1 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -43,8 +45,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *follow {
-		if err := followDir(*dir); err != nil {
+	// Output modes are mutually exclusive, and none of them combine with
+	// the live modes (-follow tails a terminal, -serve tails HTTP): reject
+	// ambiguous combinations instead of silently picking one.
+	outputModes := 0
+	for _, set := range []bool{
+		*graph > 0, *path > 0, *dot > 0, *bugs, *perApp, *csv, *jsonOut,
+		*cdfCSV, *compCSV != "", *validate, *htmlOut != "",
+	} {
+		if set {
+			outputModes++
+		}
+	}
+	switch {
+	case *follow && *serve != "":
+		fmt.Fprintln(os.Stderr, "sdchecker: -follow and -serve are mutually exclusive")
+	case (*follow || *serve != "") && outputModes > 0:
+		fmt.Fprintln(os.Stderr, "sdchecker: live modes (-follow, -serve) cannot be combined with output flags")
+	case outputModes > 1:
+		fmt.Fprintln(os.Stderr, "sdchecker: choose at most one output mode")
+	default:
+		run(*dir, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
+			*compCSV, *validate, *htmlOut, *follow, *serve, *retain)
+		return
+	}
+	flag.Usage()
+	os.Exit(2)
+}
+
+func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
+	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain int) {
+
+	if serve != "" {
+		if err := serveDir(serve, dir, retain); err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if follow {
+		if err := followDir(dir); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
@@ -52,52 +92,52 @@ func main() {
 	}
 
 	checker := core.New()
-	if err := checker.AddDir(*dir); err != nil {
+	if err := checker.AddDir(dir); err != nil {
 		fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 		os.Exit(1)
 	}
 	rep := checker.Analyze()
 
-	if *htmlOut != "" {
-		html := rep.HTMLReport("SDchecker report: "+*dir, 8)
-		if err := os.WriteFile(*htmlOut, []byte(html), 0o644); err != nil {
+	if htmlOut != "" {
+		html := rep.HTMLReport("SDchecker report: "+dir, 8)
+		if err := os.WriteFile(htmlOut, []byte(html), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote HTML report to %s\n", *htmlOut)
+		fmt.Printf("wrote HTML report to %s\n", htmlOut)
 		return
 	}
 
 	switch {
-	case *path > 0:
+	case path > 0:
 		for _, a := range rep.Apps {
-			if a.ID.Seq != *path {
+			if a.ID.Seq != path {
 				continue
 			}
 			fmt.Print(core.FormatCriticalPath(core.CriticalPath(a)))
 			return
 		}
-		fmt.Fprintf(os.Stderr, "sdchecker: no application with sequence %d\n", *path)
+		fmt.Fprintf(os.Stderr, "sdchecker: no application with sequence %d\n", path)
 		os.Exit(1)
-	case *jsonOut:
+	case jsonOut:
 		out, err := rep.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
-	case *csv:
+	case csv:
 		fmt.Print(rep.CSV())
-	case *cdfCSV:
+	case cdfCSV:
 		fmt.Print(rep.CDFCSV(100))
-	case *compCSV != "":
-		out, err := rep.ComponentCSV(*compCSV)
+	case compCSV != "":
+		out, err := rep.ComponentCSV(compCSV)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(2)
 		}
 		fmt.Print(out)
-	case *validate:
+	case validate:
 		problems := rep.ValidateAll()
 		if len(problems) == 0 {
 			fmt.Printf("all %d application traces are temporally consistent\n", len(rep.Apps))
@@ -107,11 +147,11 @@ func main() {
 			fmt.Println(p)
 		}
 		os.Exit(1)
-	case *graph > 0 || *dot > 0:
-		seq := *graph
+	case graph > 0 || dot > 0:
+		seq := graph
 		ascii := true
-		if *dot > 0 {
-			seq = *dot
+		if dot > 0 {
+			seq = dot
 			ascii = false
 		}
 		for _, a := range rep.Apps {
@@ -128,7 +168,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "sdchecker: no application with sequence %d\n", seq)
 		os.Exit(1)
-	case *bugs:
+	case bugs:
 		if len(rep.Bugs) == 0 {
 			fmt.Println("no allocated-but-unused containers found")
 			return
@@ -137,7 +177,7 @@ func main() {
 		for _, f := range rep.Bugs {
 			fmt.Printf("  %s\n", f)
 		}
-	case *perApp:
+	case perApp:
 		fmt.Printf("%-42s %8s %8s %8s %8s %8s %8s %8s\n",
 			"application", "total", "am", "in", "out", "driver", "exec", "job")
 		for _, a := range rep.Apps {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// liveServer runs the -follow tailer behind an HTTP endpoint: the log
+// tree is polled in the background while /metrics, /apps, /trace/<seq>
+// and /healthz expose the stream's current picture. Completed
+// applications beyond the retention limit are evicted so the server can
+// tail a cluster indefinitely.
+type liveServer struct {
+	mu     sync.Mutex // guards st and sc (core.Stream is not thread-safe)
+	st     *core.Stream
+	sc     *dirScanner
+	reg    *metrics.Registry
+	retain int
+	done   chan struct{}
+}
+
+func newLiveServer(dir string, retain int) *liveServer {
+	reg := metrics.NewRegistry()
+	st := core.NewStream()
+	st.Instrument(reg)
+	return &liveServer{
+		st:     st,
+		sc:     newDirScanner(dir, st),
+		reg:    reg,
+		retain: retain,
+		done:   make(chan struct{}),
+	}
+}
+
+// pollOnce runs one ingestion pass: scan the tree, then evict completed
+// apps beyond the retention limit.
+func (s *liveServer) pollOnce() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.sc.scan()
+	if s.retain >= 0 {
+		s.st.EvictCompleted(s.retain)
+	}
+	return err
+}
+
+// ingest polls until the server is closed. Scan errors are transient
+// (files may disappear mid-walk while a collector rotates them), so they
+// are reported and the loop keeps going.
+func (s *liveServer) ingest() {
+	for {
+		if err := s.pollOnce(); err != nil {
+			fmt.Printf("sdchecker: scan: %v\n", err)
+		}
+		select {
+		case <-s.done:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+func (s *liveServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/apps", s.handleApps)
+	mux.HandleFunc("/trace/", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *liveServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.reg.WriteText(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *liveServer) handleApps(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out, err := s.st.Report().JSON()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, out)
+}
+
+func (s *liveServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	seqStr := strings.TrimPrefix(r.URL.Path, "/trace/")
+	seq, err := strconv.Atoi(seqStr)
+	if err != nil || seq <= 0 {
+		http.Error(w, "usage: /trace/<application sequence number>", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	out, err := s.st.Report().ChromeTraceApp(seq)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	events := s.st.EventCount()
+	apps := len(s.st.Apps())
+	s.mu.Unlock()
+	fmt.Fprintf(w, "ok events=%d apps=%d\n", events, apps)
+}
+
+// start listens on addr, launches the background ingestion loop, and
+// serves HTTP. It returns the bound listener so callers (and tests) can
+// learn the actual address when addr is ":0".
+func (s *liveServer) start(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.ingest()
+	go http.Serve(ln, s.handler())
+	return ln, nil
+}
+
+// close stops the ingestion loop.
+func (s *liveServer) close() { close(s.done) }
+
+// serveDir is the -serve entry point: tail dir forever, serving the live
+// endpoints on addr.
+func serveDir(addr, dir string, retain int) error {
+	srv := newLiveServer(dir, retain)
+	ln, err := srv.start(addr)
+	if err != nil {
+		return err
+	}
+	defer srv.close()
+	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /healthz)\n",
+		dir, ln.Addr())
+	select {} // run until interrupted
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+// writeScenarioLogs simulates a small cluster run and materializes its
+// log tree, returning the directory.
+func writeScenarioLogs(t *testing.T) string {
+	t.Helper()
+	s := experiments.NewScenario(experiments.DefaultOptions())
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	for i := 0; i < 2; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i+1, 2048, tables))
+		s.Eng.At(sim.Time(int64(i)*4000+1000), func() { spark.Submit(s.RM, s.FS, cfg) })
+	}
+	s.Run(sim.Time(1800 * sim.Second))
+	dir := t.TempDir()
+	if err := s.Sink.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints starts the real -serve server (listener, background
+// ingestion loop and all) on a simulated log tree and exercises every
+// endpoint while ingestion is live.
+func TestServeEndpoints(t *testing.T) {
+	dir := writeScenarioLogs(t)
+	srv := newLiveServer(dir, 1024)
+	ln, err := srv.start(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The ingestion loop polls in the background; wait until the first
+	// scan has absorbed the tree.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := get(t, base+"/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("/healthz status %d", code)
+		}
+		if strings.HasPrefix(body, "ok ") && !strings.Contains(body, "apps=0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingestion never caught up: %q", body)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// /metrics: Prometheus text format with the stream's series.
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE core_stream_lines_total counter",
+		"core_stream_apps_completed",
+		"core_parser_hits_total{regex=\"rm_container\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	for _, ln := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(ln, "#") || ln == "" {
+			continue
+		}
+		if !strings.Contains(ln, " ") {
+			t.Errorf("malformed exposition line %q", ln)
+		}
+	}
+
+	// /apps: JSON array with both applications and full decompositions.
+	code, body = get(t, base+"/apps")
+	if code != http.StatusOK {
+		t.Fatalf("/apps status %d", code)
+	}
+	var apps []struct {
+		App    string `json:"app"`
+		Decomp struct {
+			Total int64 `json:"total_ms"`
+		} `json:"decomposition"`
+	}
+	if err := json.Unmarshal([]byte(body), &apps); err != nil {
+		t.Fatalf("/apps is not valid JSON: %v", err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("/apps returned %d apps, want 2", len(apps))
+	}
+	for _, a := range apps {
+		if a.Decomp.Total <= 0 {
+			t.Errorf("app %s has no total decomposition: %+v", a.App, a.Decomp)
+		}
+	}
+
+	// /trace/1: Chrome trace-event JSON with the component spans.
+	code, body = get(t, base+"/trace/1")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/1 status %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace/1 is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"am", "driver", "executor", "localization", "launching"} {
+		if !names[want] {
+			t.Errorf("/trace/1 missing span %q (got %v)", want, names)
+		}
+	}
+
+	// Error paths.
+	if code, _ := get(t, base+"/trace/999"); code != http.StatusNotFound {
+		t.Errorf("/trace/999 status %d, want 404", code)
+	}
+	if code, _ := get(t, base+"/trace/bogus"); code != http.StatusBadRequest {
+		t.Errorf("/trace/bogus status %d, want 400", code)
+	}
+	if code, _ := get(t, fmt.Sprintf("%s/healthz", base)); code != http.StatusOK {
+		t.Error("healthz broke mid-test")
+	}
+}

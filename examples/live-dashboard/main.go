@@ -3,7 +3,9 @@
 // line is fed into a core.Stream (exactly what `sdchecker -follow` does
 // against files on disk) and the current picture is printed — completed
 // applications get their final decomposition, in-flight ones show what is
-// known so far.
+// known so far. The stream is instrumented into the scenario's metrics
+// registry, so the run ends with the same counters a live `-serve`
+// endpoint would expose on /metrics.
 //
 //	go run ./examples/live-dashboard
 package main
@@ -13,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/spark"
 	"repro/internal/workload"
@@ -28,25 +31,12 @@ func main() {
 	}
 
 	stream := core.NewStream()
-	offsets := map[string]int{} // lines already fed, per file
-
-	feedNew := func() int {
-		fed := 0
-		for _, f := range s.Sink.Files() {
-			lines := s.Sink.Lines(f)
-			for _, l := range lines[offsets[f]:] {
-				if stream.Feed(f, l) {
-					fed++
-				}
-			}
-			offsets[f] = len(lines)
-		}
-		return fed
-	}
+	stream.Instrument(s.Metrics)
+	feeder := core.NewSinkFeeder(stream, s.Sink)
 
 	for slice := 1; slice <= 6; slice++ {
 		s.Eng.RunUntil(sim.Time(int64(slice) * 10_000))
-		events := feedNew()
+		events := feeder.Drain()
 		fmt.Printf("=== t=%2ds  (+%d scheduling events) ===\n", slice*10, events)
 		for _, a := range stream.Apps() {
 			status := "in-flight"
@@ -72,9 +62,42 @@ func main() {
 
 	// Drain and print the final aggregate — identical to an offline pass.
 	s.Run(sim.Time(3600 * sim.Second))
-	feedNew()
+	feeder.Drain()
 	fmt.Println("\nfinal aggregate from the stream:")
 	rep := stream.Report()
 	fmt.Printf("  %d apps, total p50=%.1fs p95=%.1fs, in/total=%.2f\n",
 		len(rep.Apps), rep.Total.Median()/1000, rep.Total.P95()/1000, rep.InOverTotal.Median())
+
+	// The registry holds simulator, YARN and stream series side by side —
+	// the same snapshot `sdchecker -serve` renders on /metrics.
+	fmt.Println("\nselected metrics:")
+	for _, snap := range s.Metrics.Snapshot() {
+		switch snap.Type {
+		case metrics.TypeCounter, metrics.TypeGauge:
+			if snap.Value == 0 {
+				continue
+			}
+			fmt.Printf("  %-45s %s %d\n", snap.Name+labelSuffix(snap.Labels), snap.Type, snap.Value)
+		case metrics.TypeHistogram:
+			if snap.Count == 0 {
+				continue
+			}
+			fmt.Printf("  %-45s %s count=%d mean=%.1f\n",
+				snap.Name+labelSuffix(snap.Labels), snap.Type, snap.Count, snap.Sum/float64(snap.Count))
+		}
+	}
+}
+
+func labelSuffix(labels map[string]string) string {
+	out := ""
+	for k, v := range labels {
+		if out != "" {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", k, v)
+	}
+	if out == "" {
+		return ""
+	}
+	return "{" + out + "}"
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/log4j"
+	"repro/internal/metrics"
 )
 
 // Parser mines scheduling-related events from log files. Feed it any
@@ -22,6 +23,57 @@ type Parser struct {
 	warnings []string
 	files    int
 	lines    int
+	met      *parserMetrics
+}
+
+// regexNames enumerates the extraction regexes for per-regex hit
+// counters; the names are the `regex` label values on
+// core_parser_hits_total.
+var regexNames = []string{
+	"app_summary", "app_state", "rm_container", "nm_container",
+	"launch_invoked", "opp_queued", "register", "start_allo", "end_allo",
+	"first_task", "first_log",
+}
+
+// parserMetrics are the parser's observability hooks (shared across the
+// throwaway parsers a Stream creates per line).
+type parserMetrics struct {
+	lines *metrics.Counter            // log4j-parseable lines consumed
+	hits  map[string]*metrics.Counter // per-regex match counts
+}
+
+func newParserMetrics(reg *metrics.Registry) *parserMetrics {
+	if reg == nil {
+		return nil
+	}
+	pm := &parserMetrics{
+		lines: reg.Counter("core_parser_lines_total"),
+		hits:  make(map[string]*metrics.Counter, len(regexNames)),
+	}
+	for _, n := range regexNames {
+		pm.hits[n] = reg.Counter("core_parser_hits_total", "regex", n)
+	}
+	return pm
+}
+
+// Instrument registers the parser's line and per-regex hit counters in
+// reg. A nil registry is a no-op.
+func (p *Parser) Instrument(reg *metrics.Registry) {
+	p.met = newParserMetrics(reg)
+}
+
+// hit counts one match of the named extraction regex.
+func (p *Parser) hit(re string) {
+	if p.met != nil {
+		p.met.hits[re].Inc()
+	}
+}
+
+// countLine counts one successfully parsed log4j line.
+func (p *Parser) countLine() {
+	if p.met != nil {
+		p.met.lines.Inc()
+	}
 }
 
 // The extraction regexes (§III-A: "parse the logs to extract scheduling
@@ -122,6 +174,7 @@ func (p *Parser) parseDaemonLog(name string, r io.Reader) error {
 		if err != nil {
 			continue // stack traces / malformed lines are skipped
 		}
+		p.countLine()
 		p.mineDaemonLine(name, line)
 	}
 	return sc.Err()
@@ -130,6 +183,7 @@ func (p *Parser) parseDaemonLog(name string, r io.Reader) error {
 func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 	msg := line.Message
 	if m := reAppSummary.FindStringSubmatch(msg); m != nil {
+		p.hit("app_summary")
 		app, err := ids.ParseAppID(m[1])
 		if err != nil {
 			p.warnf("%s: %v", name, err)
@@ -140,6 +194,7 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 		return
 	}
 	if m := reAppState.FindStringSubmatch(msg); m != nil {
+		p.hit("app_state")
 		app, err := ids.ParseAppID(m[1])
 		if err != nil {
 			p.warnf("%s: %v", name, err)
@@ -162,6 +217,7 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 		return
 	}
 	if m := reRMCont.FindStringSubmatch(msg); m != nil {
+		p.hit("rm_container")
 		cid, err := ids.ParseContainerID(m[1])
 		if err != nil {
 			p.warnf("%s: %v", name, err)
@@ -182,6 +238,7 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 		return
 	}
 	if m := reNMCont.FindStringSubmatch(msg); m != nil {
+		p.hit("nm_container")
 		cid, err := ids.ParseContainerID(m[1])
 		if err != nil {
 			p.warnf("%s: %v", name, err)
@@ -204,12 +261,14 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 		return
 	}
 	if m := reInvoke.FindStringSubmatch(msg); m != nil {
+		p.hit("launch_invoked")
 		if cid, err := ids.ParseContainerID(m[1]); err == nil {
 			p.emit(Event{Kind: LaunchInvoked, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
 		}
 		return
 	}
 	if m := reOppQueue.FindStringSubmatch(msg); m != nil {
+		p.hit("opp_queued")
 		if cid, err := ids.ParseContainerID(m[1]); err == nil {
 			p.emit(Event{Kind: OppQueued, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
 		}
@@ -236,6 +295,7 @@ func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader
 		if err != nil {
 			continue
 		}
+		p.countLine()
 		if firstLine == nil {
 			l := line
 			firstLine = &l
@@ -259,13 +319,17 @@ func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader
 		}
 		switch {
 		case reRegister.MatchString(line.Message) && strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
+			p.hit("register")
 			bodyEvents = append(bodyEvents, Event{Kind: DriverRegister, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
 		case reStartAllo.MatchString(line.Message):
+			p.hit("start_allo")
 			bodyEvents = append(bodyEvents, Event{Kind: StartAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
 		case reEndAllo.MatchString(line.Message):
+			p.hit("end_allo")
 			bodyEvents = append(bodyEvents, Event{Kind: EndAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
 		case !sawFirstTsk && reFirstTask.MatchString(line.Message):
 			sawFirstTsk = true
+			p.hit("first_task")
 			bodyEvents = append(bodyEvents, Event{Kind: FirstTask, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
 		}
 	}
@@ -276,6 +340,7 @@ func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader
 		p.warnf("%s: container log has no parseable lines", name)
 		return nil
 	}
+	p.hit("first_log")
 	flKind := TaskFirstLog
 	switch instance {
 	case InstSparkDriver:

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ids"
+	"repro/internal/metrics"
 )
 
 // singleLine wraps one raw line as a reader for the offline parser.
@@ -28,6 +29,43 @@ type Stream struct {
 	// eventsByApp buckets events so a feed only rebuilds its own app.
 	eventsByApp map[ids.AppID][]Event
 	total       int
+	// completed caches which apps have a fully observable headline
+	// decomposition (the Complete predicate), feeding the in-flight /
+	// completed gauges and the eviction policy.
+	completed map[ids.AppID]bool
+	met       *streamMetrics
+	pmet      *parserMetrics
+}
+
+// streamMetrics are the stream's observability hooks; nil until
+// Instrument is called.
+type streamMetrics struct {
+	lines     *metrics.Counter // lines fed
+	matched   *metrics.Counter // lines that produced >= 1 event
+	dropped   *metrics.Counter // lines that produced nothing
+	events    *metrics.Counter // scheduling events absorbed
+	inflight  *metrics.Gauge   // apps seen but not yet complete
+	completed *metrics.Gauge   // apps with a complete decomposition
+	evicted   *metrics.Counter // apps forgotten/evicted
+}
+
+// Instrument registers the stream's line/event counters and app gauges in
+// reg, plus the shared parser counters every per-line parser reports to.
+// Call once, before feeding; a nil registry is a no-op.
+func (s *Stream) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = &streamMetrics{
+		lines:     reg.Counter("core_stream_lines_total"),
+		matched:   reg.Counter("core_stream_lines_matched_total"),
+		dropped:   reg.Counter("core_stream_lines_dropped_total"),
+		events:    reg.Counter("core_stream_events_total"),
+		inflight:  reg.Gauge("core_stream_apps_inflight"),
+		completed: reg.Gauge("core_stream_apps_completed"),
+		evicted:   reg.Counter("core_stream_apps_evicted_total"),
+	}
+	s.pmet = newParserMetrics(reg)
 }
 
 // NewStream returns an empty incremental checker.
@@ -36,6 +74,7 @@ func NewStream() *Stream {
 		apps:         make(map[ids.AppID]*AppTrace),
 		firstLogSeen: make(map[ids.ContainerID]bool),
 		eventsByApp:  make(map[ids.AppID][]Event),
+		completed:    make(map[ids.AppID]bool),
 	}
 }
 
@@ -43,7 +82,23 @@ func NewStream() *Stream {
 // lines are ignored, like the offline parser does. It returns true when
 // the line produced at least one scheduling event.
 func (s *Stream) Feed(source, rawLine string) bool {
+	if s.met != nil {
+		s.met.lines.Inc()
+	}
+	matched := s.feed(source, rawLine)
+	if s.met != nil {
+		if matched {
+			s.met.matched.Inc()
+		} else {
+			s.met.dropped.Inc()
+		}
+	}
+	return matched
+}
+
+func (s *Stream) feed(source, rawLine string) bool {
 	p := NewParser()
+	p.met = s.pmet
 	if cidStr := reContainerInPath.FindString(source); cidStr != "" {
 		cid, err := ids.ParseContainerID(cidStr)
 		if err != nil {
@@ -105,9 +160,30 @@ func (s *Stream) absorb(evs []Event) bool {
 		for _, a := range Correlate(s.eventsByApp[id]) {
 			Decompose(a)
 			s.apps[a.ID] = a
+			s.completed[a.ID] = s.Complete(a.ID)
 		}
 	}
+	if s.met != nil {
+		s.met.events.Add(int64(len(evs)))
+		s.updateAppGauges()
+	}
 	return true
+}
+
+// updateAppGauges refreshes the in-flight / completed app gauges from the
+// completion cache.
+func (s *Stream) updateAppGauges() {
+	if s.met == nil {
+		return
+	}
+	done := 0
+	for _, c := range s.completed {
+		if c {
+			done++
+		}
+	}
+	s.met.completed.Set(int64(done))
+	s.met.inflight.Set(int64(len(s.apps) - done))
 }
 
 // EventCount returns the number of scheduling events absorbed so far.
@@ -147,4 +223,52 @@ func (s *Stream) Complete(id ids.AppID) bool {
 	}
 	d := a.Decomp
 	return d.Total >= 0 && d.AM >= 0 && d.Driver >= 0 && d.Executor >= 0
+}
+
+// Forget drops all state for one application: its trace, its event
+// bucket, and the FIRST_LOG dedup entries of its containers. Long-running
+// feeds (sdchecker -serve) call this for finished apps so memory tracks
+// the live working set, not the full history.
+func (s *Stream) Forget(id ids.AppID) {
+	if _, ok := s.apps[id]; !ok && len(s.eventsByApp[id]) == 0 {
+		return
+	}
+	s.total -= len(s.eventsByApp[id])
+	delete(s.apps, id)
+	delete(s.eventsByApp, id)
+	delete(s.completed, id)
+	for cid := range s.firstLogSeen {
+		if cid.App == id {
+			delete(s.firstLogSeen, cid)
+		}
+	}
+	if s.met != nil {
+		s.met.evicted.Inc()
+		s.updateAppGauges()
+	}
+}
+
+// EvictCompleted forgets completed applications, oldest submission first,
+// until at most keep of them remain. It returns how many were evicted.
+// In-flight applications are never evicted: their decompositions are
+// still growing.
+func (s *Stream) EvictCompleted(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	var done []ids.AppID
+	for id, c := range s.completed {
+		if c {
+			done = append(done, id)
+		}
+	}
+	if len(done) <= keep {
+		return 0
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Seq < done[j].Seq })
+	victims := done[:len(done)-keep]
+	for _, id := range victims {
+		s.Forget(id)
+	}
+	return len(victims)
 }

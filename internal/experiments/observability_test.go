@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+// TestMinedSpansMatchGroundTruth runs the default scenario with the
+// ground-truth recorder attached, mines the logs with SDchecker, and
+// checks that every mined delay-component span falls within its
+// ground-truth counterpart on the same (application, container, name)
+// track — the fidelity check behind the diffable Perfetto exports.
+func TestMinedSpansMatchGroundTruth(t *testing.T) {
+	s := NewScenario(DefaultOptions())
+	rec := s.Trace()
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	for i := 0; i < 3; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i+1, 2048, tables))
+		s.Eng.At(sim.Time(int64(i)*3000+1000), func() { spark.Submit(s.RM, s.FS, cfg) })
+	}
+	s.Run(sim.Time(1800 * sim.Second))
+	rep := s.Check()
+
+	// Ground truth, shifted onto the epoch timeline the miner works in.
+	epoch := s.Opts.ClusterTS
+	type key struct{ proc, track, name string }
+	truth := map[key][][2]int64{}
+	for _, sp := range rec.Spans() {
+		k := key{sp.Process, sp.Thread, sp.Name}
+		truth[k] = append(truth[k], [2]int64{epoch + int64(sp.Start), epoch + int64(sp.End)})
+	}
+	if len(truth) == 0 {
+		t.Fatal("ground-truth recorder captured nothing")
+	}
+
+	var mined []sim.TraceSpan
+	for _, a := range rep.Apps {
+		mined = append(mined, core.AppSpans(a)...)
+	}
+	if len(mined) == 0 {
+		t.Fatal("no spans mined from the logs")
+	}
+	seen := map[string]bool{}
+	for _, m := range mined {
+		seen[m.Name] = true
+		k := key{m.Process, m.Thread, m.Name}
+		within := false
+		for _, tr := range truth[k] {
+			if tr[0] <= int64(m.Start) && int64(m.End) <= tr[1] {
+				within = true
+				break
+			}
+		}
+		if !within {
+			t.Errorf("mined span %s/%s %q [%d, %d] not within any ground-truth span (%v)",
+				m.Process, m.Thread, m.Name, m.Start, m.End, truth[k])
+		}
+	}
+	// Both exporters must speak the full shared vocabulary for this
+	// scenario, so the two trace files are diffable track-by-track.
+	for _, want := range []string{
+		sim.SpanAM, sim.SpanAllocation, sim.SpanAcquisition,
+		sim.SpanLocalization, sim.SpanLaunching, sim.SpanDriver, sim.SpanExecutor,
+	} {
+		if !seen[want] {
+			t.Errorf("mined trace missing span %q", want)
+		}
+	}
+}
+
+// TestScenarioMetricsPopulated: the default scenario's registry must see
+// engine and RM activity without any extra wiring.
+func TestScenarioMetricsPopulated(t *testing.T) {
+	s := NewScenario(DefaultOptions())
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	spark.Submit(s.RM, s.FS, spark.DefaultConfig(workload.TPCHQuery(6, 2048, tables)))
+	s.Run(sim.Time(600 * sim.Second))
+
+	vals := map[string]int64{}
+	for _, snap := range s.Metrics.Snapshot() {
+		vals[snap.Name] += snap.Value
+	}
+	for _, name := range []string{
+		"sim_events_fired_total",
+		"yarn_rm_heartbeats_total",
+		"yarn_rm_allocations_total",
+		"yarn_nm_heartbeats_total",
+		"yarn_nm_container_transitions_total",
+	} {
+		if vals[name] <= 0 {
+			t.Errorf("metric %s not populated (got %d)", name, vals[name])
+		}
+	}
+	if vals["yarn_rm_allocations_total"] != int64(s.RM.AllocatedTotal) {
+		t.Errorf("allocations counter %d != RM.AllocatedTotal %d",
+			vals["yarn_rm_allocations_total"], s.RM.AllocatedTotal)
+	}
+}

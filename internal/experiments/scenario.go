@@ -13,6 +13,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/ids"
 	"repro/internal/log4j"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/spark"
 	"repro/internal/yarn"
@@ -49,6 +50,10 @@ type Scenario struct {
 	RM   *yarn.RM
 	Sink *log4j.Sink
 	Opts Options
+
+	// Metrics is the scenario's registry; the engine and the RM (and all
+	// NodeManagers, through it) are instrumented at construction.
+	Metrics *metrics.Registry
 }
 
 // NewScenario builds the testbed: engine, cluster, HDFS, RM, one NM per
@@ -73,7 +78,10 @@ func NewScenario(opts Options) *Scenario {
 		nm := yarn.NewNodeManager(rm, n, fs, sink)
 		nm.PrewarmCache(spark.BasePackagePath, "/mr/hadoop-mapreduce.tar.gz")
 	}
-	return &Scenario{Eng: eng, Cl: cl, FS: fs, RM: rm, Sink: sink, Opts: opts}
+	reg := metrics.NewRegistry()
+	eng.Instrument(reg)
+	rm.Instrument(reg)
+	return &Scenario{Eng: eng, Cl: cl, FS: fs, RM: rm, Sink: sink, Opts: opts, Metrics: reg}
 }
 
 // PrewarmCaches marks extra paths localized on every node.
@@ -81,6 +89,16 @@ func (s *Scenario) PrewarmCaches(paths ...string) {
 	for _, nm := range s.RM.NodeManagers() {
 		nm.PrewarmCache(paths...)
 	}
+}
+
+// Trace attaches (on first call) and returns the ground-truth span
+// recorder. Attach it before submitting work; spans for phases that
+// completed earlier are not recorded retroactively.
+func (s *Scenario) Trace() *sim.Recorder {
+	if s.RM.Tracer == nil {
+		s.RM.Tracer = sim.NewRecorder()
+	}
+	return s.RM.Tracer
 }
 
 // Run drives the simulation until the event queue drains or the deadline

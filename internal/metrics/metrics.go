@@ -1,0 +1,368 @@
+// Package metrics is a dependency-free instrumentation library: named
+// counters, gauges, and fixed-bucket histograms collected in a Registry,
+// with a structured snapshot API and Prometheus text-format exposition.
+//
+// Design rules, chosen for a hot simulator loop:
+//
+//   - Get-or-create: Registry.Counter/Gauge/Histogram return the existing
+//     series when called twice with the same name and labels, so callers
+//     never need registration bookkeeping.
+//   - Nil-safety: every method on a nil *Counter, *Gauge, *Histogram or
+//     *Registry is a no-op. Components hold metric pointers that are nil
+//     until instrumented, and the increment sites stay unconditional.
+//   - Counters and gauges are single atomics; histograms take a mutex
+//     only around their fixed bucket array. All types are safe for
+//     concurrent use (the -serve HTTP handlers read while a feeder
+//     writes).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Series types as exposed in snapshots and the Prometheus TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// DefBuckets are general-purpose millisecond-latency bucket upper bounds.
+var DefBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n (negative n panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		panic("metrics: counter decrement")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bucket upper bounds
+// are inclusive (Prometheus `le` semantics): an observation exactly on a
+// boundary lands in that boundary's bucket. Observations above the last
+// bound land only in the implicit +Inf bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []uint64  // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v: inclusive upper bound
+	h.counts[idx]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Count      uint64  // observations <= UpperBound (cumulative)
+}
+
+// Snapshot is the point-in-time state of one series.
+type Snapshot struct {
+	Name   string
+	Labels map[string]string
+	Type   string
+
+	// Value holds the counter/gauge reading.
+	Value int64
+	// Histogram state (Type == TypeHistogram only).
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// series is one registered metric instance.
+type series struct {
+	name   string
+	labels map[string]string
+	key    string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named series grouped into families (one family per
+// metric name; all series of a family share a type).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]string // name -> type
+	series   map[string]*series
+	order    []string // series keys in registration order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]string), series: make(map[string]*series)}
+}
+
+// labelMap converts alternating key/value pairs.
+func labelMap(kv []string) map[string]string {
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// get returns the series for (name, labels), creating it with mk when
+// absent. Type mismatches across calls are programming errors and panic.
+func (r *Registry) get(name, typ string, kv []string, mk func(*series)) *series {
+	labels := labelMap(kv)
+	key := name + labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.families[name]; ok && t != typ {
+		panic(fmt.Sprintf("metrics: %s already registered as %s, requested %s", name, t, typ))
+	}
+	if s, ok := r.series[key]; ok {
+		return s
+	}
+	s := &series{name: name, labels: labels, key: key}
+	mk(s)
+	r.families[name] = typ
+	r.series[key] = s
+	r.order = append(r.order, key)
+	return s
+}
+
+// Counter returns the counter for name and the given label key/value
+// pairs, creating it on first use. Nil receiver returns nil.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, TypeCounter, kv, func(s *series) { s.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, TypeGauge, kv, func(s *series) { s.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram for name and labels, creating it with
+// the given bucket upper bounds on first use (later calls reuse the
+// original buckets).
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(name, TypeHistogram, kv, func(s *series) { s.h = newHistogram(bounds) }).h
+}
+
+// Snapshot returns the current state of every series, in registration
+// order. Histogram bucket counts are cumulative, like the exposition
+// format. An empty (or nil) registry returns an empty slice.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	ss := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		ss = append(ss, r.series[k])
+	}
+	r.mu.Unlock()
+
+	out := make([]Snapshot, 0, len(ss))
+	for _, s := range ss {
+		snap := Snapshot{Name: s.name, Labels: s.labels}
+		switch {
+		case s.c != nil:
+			snap.Type = TypeCounter
+			snap.Value = s.c.Value()
+		case s.g != nil:
+			snap.Type = TypeGauge
+			snap.Value = s.g.Value()
+		case s.h != nil:
+			snap.Type = TypeHistogram
+			s.h.mu.Lock()
+			snap.Count = s.h.total
+			snap.Sum = s.h.sum
+			var cum uint64
+			for i, b := range s.h.bounds {
+				cum += s.h.counts[i]
+				snap.Buckets = append(snap.Buckets, Bucket{UpperBound: b, Count: cum})
+			}
+			cum += s.h.counts[len(s.h.bounds)]
+			snap.Buckets = append(snap.Buckets, Bucket{UpperBound: inf, Count: cum})
+			s.h.mu.Unlock()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+var inf = math.Inf(1)
+
+// formatFloat renders a float for the exposition format.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText writes the registry in Prometheus text exposition format
+// (version 0.0.4): one `# TYPE` line per family followed by its series.
+func (r *Registry) WriteText(w io.Writer) error {
+	snaps := r.Snapshot()
+	// Group by family, preserving first-seen order.
+	var famOrder []string
+	byFam := map[string][]Snapshot{}
+	for _, s := range snaps {
+		if _, ok := byFam[s.Name]; !ok {
+			famOrder = append(famOrder, s.Name)
+		}
+		byFam[s.Name] = append(byFam[s.Name], s)
+	}
+	for _, fam := range famOrder {
+		group := byFam[fam]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, group[0].Type); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if err := writeSeries(w, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, s Snapshot) error {
+	switch s.Type {
+	case TypeCounter, TypeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, labelString(s.Labels), s.Value)
+		return err
+	case TypeHistogram:
+		for _, b := range s.Buckets {
+			labels := make(map[string]string, len(s.Labels)+1)
+			for k, v := range s.Labels {
+				labels[k] = v
+			}
+			labels["le"] = formatFloat(b.UpperBound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(labels), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", s.Name, labelString(s.Labels), s.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels), s.Count)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "kind", "fired")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("events_total", "kind", "fired"); again != c {
+		t.Fatal("get-or-create returned a different counter for the same series")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefBuckets)
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_ms", []float64{10, 20})
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Type != TypeHistogram || s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram snapshot: %+v", s)
+	}
+	if len(s.Buckets) != 3 { // 10, 20, +Inf
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	for _, b := range s.Buckets {
+		if b.Count != 0 {
+			t.Fatalf("empty histogram has bucket count %d", b.Count)
+		}
+	}
+	if !math.IsInf(s.Buckets[2].UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", s.Buckets[2].UpperBound)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lat_ms_bucket{le="+Inf"} 0`) {
+		t.Fatalf("exposition missing +Inf bucket:\n%s", buf.String())
+	}
+}
+
+func TestHistogramBucketBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", []float64{10, 20})
+	h.Observe(10) // exactly on the first bound: le="10" must include it
+	h.Observe(10.0001)
+	h.Observe(20)
+	h.Observe(21) // beyond the last bound: only +Inf
+	s := r.Snapshot()[0]
+	wantCum := []uint64{1, 3, 4}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v count=%d, want %d", b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if s.Count != 4 || s.Sum != 10+10.0001+20+21 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", DefBuckets)
+	c := r.Counter("n")
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i % 100))
+				c.Inc()
+				if i%500 == 0 {
+					r.Snapshot() // readers race with writers under -race
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("observations = %d, want %d", got, workers*each)
+	}
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+// promLine validates one exposition line: comment or `name{labels} value`.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [-+0-9.eEIinf]+)$`)
+
+func TestWriteTextIsValidPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "scheduler", "capacity").Add(3)
+	r.Counter("a_total", "scheduler", "opportunistic").Add(1)
+	r.Gauge("b_depth").Set(-2)
+	r.Histogram("c_ms", []float64{5, 50}).Observe(7)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	typeSeen := map[string]bool{}
+	for _, ln := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !promLine.MatchString(ln) {
+			t.Errorf("invalid exposition line: %q", ln)
+		}
+		if strings.HasPrefix(ln, "# TYPE ") {
+			name := strings.Fields(ln)[2]
+			if typeSeen[name] {
+				t.Errorf("duplicate TYPE line for %s", name)
+			}
+			typeSeen[name] = true
+		}
+	}
+	for _, want := range []string{
+		`a_total{scheduler="capacity"} 3`,
+		`b_depth -2`,
+		`c_ms_bucket{le="50"} 1`,
+		`c_ms_count 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m")
+	r.Gauge("m")
+}

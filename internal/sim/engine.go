@@ -13,6 +13,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
+
+	"repro/internal/metrics"
 )
 
 // Time is a virtual timestamp in milliseconds since the simulation epoch.
@@ -55,6 +58,28 @@ type Engine struct {
 	pq      eventHeap
 	stopped bool
 	fired   uint64
+	met     engineMetrics
+}
+
+// engineMetrics are the engine's observability hooks. All fields are nil
+// until Instrument is called; the increment sites rely on the metrics
+// package's nil-safety, so an uninstrumented engine pays nothing but a
+// nil check.
+type engineMetrics struct {
+	fired       *metrics.Counter   // callbacks executed
+	scheduled   *metrics.Counter   // events pushed via At/After
+	pending     *metrics.Gauge     // current queue depth
+	sliceWallMS *metrics.Histogram // wall-clock per Run/RunUntil slice
+}
+
+// Instrument registers the engine's counters, queue-depth gauge, and
+// per-RunUntil-slice wall-clock histogram in reg. Call once, before
+// running; a nil registry is a no-op.
+func (e *Engine) Instrument(reg *metrics.Registry) {
+	e.met.fired = reg.Counter("sim_events_fired_total")
+	e.met.scheduled = reg.Counter("sim_events_scheduled_total")
+	e.met.pending = reg.Gauge("sim_queue_depth")
+	e.met.sliceWallMS = reg.Histogram("sim_run_slice_wall_ms", metrics.DefBuckets)
 }
 
 // NewEngine returns an engine positioned at virtual time 0.
@@ -84,6 +109,8 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.pq, ev)
+	e.met.scheduled.Inc()
+	e.met.pending.Set(int64(len(e.pq)))
 	return ev
 }
 
@@ -104,6 +131,7 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.pq, ev.index)
 	ev.index = -1
 	ev.fn = nil
+	e.met.pending.Set(int64(len(e.pq)))
 }
 
 // Stop makes the current Run return after the in-flight event completes.
@@ -120,11 +148,15 @@ func (e *Engine) Run() Time {
 // remains queued).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
+	var wallStart time.Time
+	if e.met.sliceWallMS != nil {
+		wallStart = time.Now()
+	}
 	for len(e.pq) > 0 && !e.stopped {
 		next := e.pq[0]
 		if next.at > deadline {
 			e.now = deadline
-			return e.now
+			break
 		}
 		heap.Pop(&e.pq)
 		next.index = -1
@@ -132,7 +164,12 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		fn := next.fn
 		next.fn = nil
 		e.fired++
+		e.met.fired.Inc()
 		fn()
+	}
+	e.met.pending.Set(int64(len(e.pq)))
+	if e.met.sliceWallMS != nil {
+		e.met.sliceWallMS.Observe(float64(time.Since(wallStart)) / float64(time.Millisecond))
 	}
 	return e.now
 }

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Span names shared by the two trace exporters: the ground-truth recorder
+// below (components record spans at the instant things actually happen in
+// the simulation) and SDchecker's mined exporter (core builds the same
+// spans from log timestamps alone). Because both sides use the same
+// vocabulary and track naming, the two Chrome trace files are diffable
+// track-by-track in chrome://tracing or Perfetto — a visual check of how
+// faithfully the log-mined picture reproduces reality.
+const (
+	SpanAM           = "am"           // app submitted -> AppMaster registered
+	SpanAllocation   = "allocation"   // START_ALLO -> END_ALLO (driver-side)
+	SpanAcquisition  = "acquisition"  // container ALLOCATED -> ACQUIRED
+	SpanLocalization = "localization" // container LOCALIZING -> SCHEDULED
+	SpanLaunching    = "launching"    // container SCHEDULED -> RUNNING
+	SpanDriver       = "driver"       // driver first log -> RM registration
+	SpanExecutor     = "executor"     // executor first log -> first task
+)
+
+// AppTrack is the thread name for application-level spans (everything not
+// tied to a single container).
+const AppTrack = "app"
+
+// TraceSpan is one complete span on a (process, thread) track. Process
+// groups tracks (one process per application), Thread is the track within
+// it (a container ID, or AppTrack). Start and End are engine milliseconds
+// (or epoch milliseconds, when the producer already works in wall time —
+// the renderer just adds an offset).
+type TraceSpan struct {
+	Process string
+	Thread  string
+	Name    string
+	Start   Time
+	End     Time
+}
+
+// Recorder collects ground-truth spans from instrumented components. All
+// methods are safe on a nil receiver, so instrumentation sites stay
+// unconditional; attach a recorder only when the timeline is wanted.
+type Recorder struct {
+	mu    sync.Mutex
+	spans []TraceSpan
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one span. Spans with End < Start are recorded as
+// zero-length at Start (a defensive clamp; simulated time cannot run
+// backwards, but a forgotten start leaves Start == 0).
+func (r *Recorder) Record(s TraceSpan) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far.
+func (r *Recorder) Spans() []TraceSpan {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceSpan(nil), r.spans...)
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// ChromeTrace renders the recorder's spans; see the package function.
+func (r *Recorder) ChromeTrace(epochMS int64) ([]byte, error) {
+	return ChromeTrace(r.Spans(), epochMS)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (Perfetto-compatible). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. epochMS is added to every
+// timestamp (use the cluster epoch for engine-time spans, 0 for spans
+// already in epoch milliseconds), so ground-truth and mined exports of
+// the same run land on the same absolute timeline.
+//
+// Track identity is deterministic: processes and threads are numbered in
+// lexicographic name order, and metadata events carry the names, so two
+// exports of the same scenario are diffable track-by-track.
+func ChromeTrace(spans []TraceSpan, epochMS int64) ([]byte, error) {
+	sorted := append([]TraceSpan(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Process != b.Process {
+			return a.Process < b.Process
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Name < b.Name
+	})
+
+	pids := map[string]int{}
+	type ptKey struct {
+		p, t string
+	}
+	tids := map[ptKey]int{}
+	nextTIDs := map[string]int{}
+	events := make([]chromeEvent, 0, 2*len(sorted))
+	for _, s := range sorted {
+		pid, ok := pids[s.Process]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Process] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]string{"name": s.Process},
+			})
+		}
+		tid, ok := tids[ptKey{s.Process, s.Thread}]
+		if !ok {
+			nextTIDs[s.Process]++
+			tid = nextTIDs[s.Process]
+			tids[ptKey{s.Process, s.Thread}] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": s.Thread},
+			})
+		}
+		dur := int64(s.End-s.Start) * 1000
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "scheduling",
+			Ph:   "X",
+			TS:   (epochMS + int64(s.Start)) * 1000,
+			Dur:  &dur,
+			PID:  pid,
+			TID:  tid,
+		})
+	}
+	return json.MarshalIndent(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}

@@ -60,6 +60,11 @@ type driver struct {
 	allocLog logf
 	ctxLog   logf
 
+	// firstLogAt / alloStartAt anchor the ground-truth driver and
+	// allocation spans.
+	firstLogAt  sim.Time
+	alloStartAt sim.Time
+
 	// Allocation state.
 	allocated   int
 	launched    int
@@ -99,6 +104,7 @@ func (d *driver) Launched(env *yarn.ProcessEnv) {
 	cfg.DriverJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
 		func() {
 			// FIRST_LOG (Table I message 9).
+			d.firstLogAt = env.Eng.Now()
 			d.amLog.Infof("Preparing Local resources")
 			env.MarkFirstLog()
 		},
@@ -115,6 +121,10 @@ func (d *driver) contextInit() {
 		d.amLog.Infof("Registered with ResourceManager as %s",
 			ids.AttemptID{App: d.app.ID, Attempt: 1})
 		d.app.rm.RegisterAttempt(d.app.ID)
+		d.env.Tracer().Record(sim.TraceSpan{
+			Process: d.app.ID.String(), Thread: d.env.Alloc.Container.String(),
+			Name: sim.SpanDriver, Start: d.firstLogAt, End: d.env.Eng.Now(),
+		})
 		d.startAllocation()
 		d.startUserInit()
 	})
@@ -127,6 +137,7 @@ func (d *driver) startAllocation() {
 	d.execByCID = make(map[string]*executor, want)
 	d.app.rm.SetFailureHandler(d.app.ID, d.onContainerFailed)
 	// START_ALLO (Table I message 11; manually added by the authors).
+	d.alloStartAt = d.env.Eng.Now()
 	d.allocLog.Infof("SDCHECKER START_ALLO Requesting %d executor containers", want)
 	d.gateTimer = d.env.Eng.After(cfg.RegisteredWaitMaxMs, func() {
 		d.gateTimer = nil
@@ -226,6 +237,10 @@ func (d *driver) onGrant(al *yarn.Allocation) {
 		d.endAlloLogd = true
 		// END_ALLO (Table I message 12).
 		d.allocLog.Infof("SDCHECKER END_ALLO All %d requested containers allocated", cfg.Executors)
+		d.env.Tracer().Record(sim.TraceSpan{
+			Process: d.app.ID.String(), Thread: d.env.Alloc.Container.String(),
+			Name: sim.SpanAllocation, Start: d.alloStartAt, End: d.env.Eng.Now(),
+		})
 	}
 	if d.launched >= cfg.Executors {
 		d.extras = append(d.extras, al) // the bug: allocated, never used

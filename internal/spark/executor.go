@@ -54,6 +54,7 @@ type executor struct {
 	gotFirst bool
 
 	registeredAt sim.Time
+	firstLogAt   sim.Time
 }
 
 func (e *executor) registered() bool { return e.registeredAt > 0 }
@@ -73,6 +74,7 @@ func (e *executor) Launched(env *yarn.ProcessEnv) {
 	cfg := e.d.app.cfg
 	cfg.ExecutorJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
 		func() {
+			e.firstLogAt = env.Eng.Now()
 			e.log.Infof("Started daemon with process name: %d@%s", 20000+e.idx, env.Node.Name)
 			env.MarkFirstLog()
 		},
@@ -102,6 +104,10 @@ func (e *executor) runTask(tid int, st *StageProfile, done func()) {
 	if !e.gotFirst {
 		e.gotFirst = true
 		e.log.Infof("Got assigned task %d", tid)
+		e.env.Tracer().Record(sim.TraceSpan{
+			Process: e.d.app.ID.String(), Thread: e.env.Alloc.Container.String(),
+			Name: sim.SpanExecutor, Start: e.firstLogAt, End: e.env.Eng.Now(),
+		})
 	}
 	vcores := st.TaskCPUVcores
 	if vcores <= 0 {

@@ -57,6 +57,10 @@ type containerRun struct {
 	alloc *Allocation
 	spec  LaunchSpec
 	env   *ProcessEnv
+	// localizingAt / scheduledAt anchor the ground-truth localization and
+	// launching spans.
+	localizingAt sim.Time
+	scheduledAt  sim.Time
 }
 
 // NewNodeManager creates the NM for node and registers it with the RM.
@@ -155,6 +159,7 @@ func (nm *NodeManager) oppFits(p Profile) bool {
 
 // heartbeat reports completed containers and receives new assignments.
 func (nm *NodeManager) heartbeat() {
+	nm.rm.met.nmBeat()
 	if len(nm.completed) > 0 {
 		done := nm.completed
 		nm.completed = nil
@@ -170,8 +175,9 @@ func (nm *NodeManager) heartbeat() {
 // is busy) -> launch -> RUNNING (logged when the instance emits its first
 // log line, per paper §III-B) -> EXITED_WITH_SUCCESS.
 func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
-	run := &containerRun{alloc: al, spec: spec}
+	run := &containerRun{alloc: al, spec: spec, localizingAt: nm.Eng.Now()}
 	nm.logCont.Infof("Container %s transitioned from NEW to LOCALIZING", al.Container)
+	nm.rm.met.transition("LOCALIZING")
 	nm.Node.Compute(nm.cfg.LocalizerSetupVcoreSec, 1, func(sim.Time) {
 		nm.localize(run, 0)
 	})
@@ -180,7 +186,13 @@ func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
 // localize fetches resources sequentially, then marks SCHEDULED.
 func (nm *NodeManager) localize(run *containerRun, idx int) {
 	if idx >= len(run.spec.Resources) {
+		run.scheduledAt = nm.Eng.Now()
 		nm.logCont.Infof("Container %s transitioned from LOCALIZING to SCHEDULED", run.alloc.Container)
+		nm.rm.met.transition("SCHEDULED")
+		nm.rm.Tracer.Record(sim.TraceSpan{
+			Process: run.alloc.Container.App.String(), Thread: run.alloc.Container.String(),
+			Name: sim.SpanLocalization, Start: run.localizingAt, End: run.scheduledAt,
+		})
 		nm.afterScheduled(run)
 		return
 	}
@@ -246,6 +258,7 @@ func (nm *NodeManager) preemptForGuaranteed(p Profile) {
 		}
 		cid := victim.alloc.Container
 		nm.logCont.Infof("Container %s transitioned from RUNNING to KILLING", cid)
+		nm.rm.met.transition("KILLING")
 		nm.logLaunch.Infof("Preempting opportunistic container %s for a guaranteed container", cid)
 		delete(nm.running, cid)
 		nm.oppVCores -= victim.alloc.Profile.VCores
@@ -311,6 +324,11 @@ func (nm *NodeManager) invokeLaunch(run *containerRun) {
 // log line; the container is then RUNNING.
 func (nm *NodeManager) markFirstLog(run *containerRun) {
 	nm.logCont.Infof("Container %s transitioned from SCHEDULED to RUNNING", run.alloc.Container)
+	nm.rm.met.transition("RUNNING")
+	nm.rm.Tracer.Record(sim.TraceSpan{
+		Process: run.alloc.Container.App.String(), Thread: run.alloc.Container.String(),
+		Name: sim.SpanLaunching, Start: run.scheduledAt, End: nm.Eng.Now(),
+	})
 }
 
 // containerFailed handles a launch failure: EXITED_WITH_FAILURE is
@@ -318,6 +336,7 @@ func (nm *NodeManager) markFirstLog(run *containerRun) {
 func (nm *NodeManager) containerFailed(run *containerRun) {
 	cid := run.alloc.Container
 	nm.logCont.Infof("Container %s transitioned from SCHEDULED to EXITED_WITH_FAILURE", cid)
+	nm.rm.met.transition("EXITED_WITH_FAILURE")
 	nm.logLaunch.Infof("Container %s exit code 1: launch script failed", cid)
 	if run.alloc.Type == Opportunistic {
 		nm.oppVCores -= run.alloc.Profile.VCores
@@ -335,6 +354,7 @@ func (nm *NodeManager) containerExited(run *containerRun) {
 	cid := run.alloc.Container
 	delete(nm.running, cid)
 	nm.logCont.Infof("Container %s transitioned from RUNNING to EXITED_WITH_SUCCESS", cid)
+	nm.rm.met.transition("EXITED_WITH_SUCCESS")
 	if run.alloc.Type == Opportunistic {
 		nm.oppVCores -= run.alloc.Profile.VCores
 		nm.oppMemMB -= run.alloc.Profile.MemoryMB
@@ -379,6 +399,11 @@ type ProcessEnv struct {
 func (e *ProcessEnv) Logger(class string) *log4j.Logger {
 	return e.sink.Logger(StderrPath(e.Alloc.Container), class)
 }
+
+// Tracer returns the cluster's ground-truth span recorder (nil-safe to
+// record on when tracing is off), so framework processes can record their
+// driver/executor/allocation spans next to YARN's container spans.
+func (e *ProcessEnv) Tracer() *sim.Recorder { return e.NM.rm.Tracer }
 
 // MarkFirstLog must be called exactly once, at the instant the process
 // emits its first log line; it drives the SCHEDULED -> RUNNING transition.

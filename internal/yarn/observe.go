@@ -1,0 +1,71 @@
+package yarn
+
+import "repro/internal/metrics"
+
+// nmStates are the ContainerImpl transition targets counted per state on
+// yarn_nm_container_transitions_total.
+var nmStates = []string{
+	"LOCALIZING", "SCHEDULED", "RUNNING",
+	"EXITED_WITH_SUCCESS", "EXITED_WITH_FAILURE", "KILLING",
+}
+
+// rmMetrics are the RM's (and, shared through it, every NM's)
+// observability hooks; nil until RM.Instrument is called.
+type rmMetrics struct {
+	rmHeartbeats *metrics.Counter   // nodeUpdate calls reaching the scheduler
+	allocations  *metrics.Counter   // containers allocated
+	allocLatency *metrics.Histogram // ask -> allocation decision, ms
+	nmHeartbeats *metrics.Counter   // NM heartbeat ticks
+	transitions  map[string]*metrics.Counter
+}
+
+// Instrument registers the ResourceManager's allocation counters and
+// latency histogram plus the NodeManagers' heartbeat and container-state
+// counters in reg. The scheduler type is carried as a label so runs with
+// different schedulers stay distinguishable in one registry. Call once,
+// before running; a nil registry is a no-op.
+func (rm *RM) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	sched := rm.Cfg.Scheduler.String()
+	m := &rmMetrics{
+		rmHeartbeats: reg.Counter("yarn_rm_heartbeats_total", "scheduler", sched),
+		allocations:  reg.Counter("yarn_rm_allocations_total", "scheduler", sched),
+		allocLatency: reg.Histogram("yarn_rm_allocation_latency_ms", metrics.DefBuckets),
+		nmHeartbeats: reg.Counter("yarn_nm_heartbeats_total"),
+		transitions:  make(map[string]*metrics.Counter, len(nmStates)),
+	}
+	for _, st := range nmStates {
+		m.transitions[st] = reg.Counter("yarn_nm_container_transitions_total", "state", st)
+	}
+	rm.met = m
+}
+
+func (m *rmMetrics) rmBeat() {
+	if m != nil {
+		m.rmHeartbeats.Inc()
+	}
+}
+
+func (m *rmMetrics) nmBeat() {
+	if m != nil {
+		m.nmHeartbeats.Inc()
+	}
+}
+
+// allocated counts one container allocation and its ask-to-decision
+// latency.
+func (m *rmMetrics) allocated(latencyMS float64) {
+	if m != nil {
+		m.allocations.Inc()
+		m.allocLatency.Observe(latencyMS)
+	}
+}
+
+// transition counts one ContainerImpl state entry on a NodeManager.
+func (m *rmMetrics) transition(state string) {
+	if m != nil {
+		m.transitions[state].Inc()
+	}
+}

@@ -47,6 +47,9 @@ type ask struct {
 	// waitBeats is the delay-scheduling skip counter: the ask is passed
 	// over on this many node heartbeats before it becomes assignable.
 	waitBeats int
+	// asked is when the request entered the queue, for the RM's
+	// allocation-latency histogram.
+	asked sim.Time
 }
 
 // RM is the ResourceManager.
@@ -57,8 +60,14 @@ type RM struct {
 	Sink *log4j.Sink
 	IDs  *ids.Factory
 
+	// Tracer, when set, receives ground-truth scheduling spans at the
+	// instant each phase completes (the simulator-side counterpart of the
+	// spans SDchecker mines from logs). Nil disables recording.
+	Tracer *sim.Recorder
+
 	logs rmLoggers
 	rng  *rng.Source
+	met  *rmMetrics
 
 	nms    []*NodeManager
 	apps   map[ids.AppID]*App
@@ -162,7 +171,7 @@ func (rm *RM) Submit(spec AppSpec) ids.AppID {
 				}
 				// AM requests carry no locality preference, but queue
 				// activation still costs a few scheduling opportunities.
-				rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10)})
+				rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10), asked: rm.Eng.Now()})
 			})
 		})
 	})
@@ -178,7 +187,7 @@ func (rm *RM) Ask(appID ids.AppID, n int, p Profile) {
 	if a == nil || a.finished {
 		return
 	}
-	q := &ask{app: a, profile: p, remaining: n}
+	q := &ask{app: a, profile: p, remaining: n, asked: rm.Eng.Now()}
 	if max := rm.Cfg.LocalityDelayMaxBeats; max > 0 {
 		q.waitBeats = 4 + rm.rng.Intn(max)
 	}
@@ -197,6 +206,10 @@ func (rm *RM) Pull(appID ids.AppID) []*Allocation {
 	for _, g := range grants {
 		rm.contState(g.Container, "ALLOCATED", "ACQUIRED")
 		a.running[g.Container] = g
+		rm.Tracer.Record(sim.TraceSpan{
+			Process: g.Container.App.String(), Thread: g.Container.String(),
+			Name: sim.SpanAcquisition, Start: g.AllocTime, End: rm.Eng.Now(),
+		})
 	}
 	return grants
 }
@@ -222,6 +235,7 @@ func (rm *RM) AskOpportunistic(appID ids.AppID, n int, p Profile, deliver func([
 	if rpc < 3 {
 		rpc = 3
 	}
+	asked := rm.Eng.Now()
 	rm.Eng.After(rpc, func() {
 		allocs := make([]*Allocation, 0, n)
 		for i := 0; i < n; i++ {
@@ -231,6 +245,13 @@ func (rm *RM) AskOpportunistic(appID ids.AppID, n int, p Profile, deliver func([
 			rm.contState(cid, "NEW", "ALLOCATED")
 			rm.contState(cid, "ALLOCATED", "ACQUIRED")
 			rm.AllocatedTotal++
+			rm.met.allocated(float64(rm.Eng.Now() - asked))
+			// Opportunistic grants are acquired in the same RPC: the
+			// acquisition span is zero-length by construction.
+			rm.Tracer.Record(sim.TraceSpan{
+				Process: cid.App.String(), Thread: cid.String(),
+				Name: sim.SpanAcquisition, Start: rm.Eng.Now(), End: rm.Eng.Now(),
+			})
 			al := &Allocation{Container: cid, Node: nm, Profile: p, Type: Opportunistic, AllocTime: rm.Eng.Now()}
 			a.running[cid] = al
 			allocs = append(allocs, al)
@@ -290,6 +311,10 @@ func (rm *RM) RegisterAttempt(appID ids.AppID) {
 		return
 	}
 	rm.appState(a, "ACCEPTED", "RUNNING", "ATTEMPT_REGISTERED")
+	rm.Tracer.Record(sim.TraceSpan{
+		Process: a.ID.String(), Thread: sim.AppTrack,
+		Name: sim.SpanAM, Start: a.SubmitTime, End: rm.Eng.Now(),
+	})
 }
 
 // FinishApp unregisters the application: RUNNING -> FINAL_SAVING ->
@@ -344,7 +369,7 @@ func (rm *RM) containerLaunchFailed(al *Allocation) {
 		if profile == (Profile{}) {
 			profile = rm.Cfg.AMProfile
 		}
-		rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10)})
+		rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10), asked: rm.Eng.Now()})
 		return
 	}
 	if a.onFailure != nil {
@@ -375,6 +400,7 @@ func (rm *RM) containerFinished(al *Allocation) {
 // costs a serialized decision (RMDecisionMicros), which is the cluster's
 // allocation-throughput ceiling measured in Table II.
 func (rm *RM) nodeUpdate(nm *NodeManager) {
+	rm.met.rmBeat()
 	if len(rm.queue) == 0 {
 		return
 	}
@@ -412,6 +438,7 @@ func (rm *RM) nodeUpdate(nm *NodeManager) {
 			al := &Allocation{Container: cid, Node: nm, Profile: q.profile, Type: Guaranteed, queue: q.app.queue}
 			rm.decisionClockUS += rm.Cfg.RMDecisionMicros
 			at := sim.Time((rm.decisionClockUS + 999) / 1000)
+			rm.met.allocated(float64(at - q.asked))
 			app, forAM := q.app, q.forAM
 			rm.Eng.At(at, func() { rm.finalizeAllocation(app, al, forAM) })
 		}
@@ -458,6 +485,10 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 		rm.Eng.After(d, func() {
 			rm.contState(al.Container, "ALLOCATED", "ACQUIRED")
 			a.running[al.Container] = al
+			rm.Tracer.Record(sim.TraceSpan{
+				Process: al.Container.App.String(), Thread: al.Container.String(),
+				Name: sim.SpanAcquisition, Start: al.AllocTime, End: rm.Eng.Now(),
+			})
 			al.Node.StartContainer(al, a.Spec.AMLaunch)
 		})
 		return
