@@ -20,7 +20,7 @@ import (
 func main() {
 	var (
 		scale  = flag.String("scale", "quick", `"quick" (reduced counts) or "paper" (full trace sizes)`)
-		only   = flag.String("only", "", "comma-separated subset: fig4,fig5,fig6,fig7,fig8,fig9,fig11,fig12,fig13,tableII,tableIII,bug,ablations,multitenant,extensions")
+		only   = flag.String("only", "", "comma-separated subset: fig4,fig5,fig6,fig7,fig8,fig9,fig11,fig12,fig13,tableII,tableIII,bug,ablations,multitenant,extensions,failures")
 		outDir = flag.String("out", "", "also write each section's text (plus Fig 4 CSV series and an HTML report) into this directory")
 	)
 	flag.Parse()
@@ -103,6 +103,7 @@ func main() {
 		return sb.String()
 	})
 	run("multitenant", func() string { return experiments.MultiTenant(short).Format() })
+	run("failures", func() string { return experiments.FormatFailureSweep(experiments.FailureSweep(short)) })
 	run("extensions", func() string {
 		var sb strings.Builder
 		sb.WriteString(experiments.FormatExtensionSampling(experiments.ExtensionSampling(short * 2)))

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -37,6 +38,7 @@ func main() {
 		follow   = flag.Bool("follow", false, "keep watching the directory for appended lines and new files, reprinting the summary on change")
 		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq> and /healthz on while tailing the directory")
 		retain   = flag.Int("retain", 4096, "with -serve: keep at most this many completed applications in memory (-1 = unlimited)")
+		maxApps  = flag.Int("max-apps", 16384, "with -serve: hard cap on tracked applications, complete or not — degraded logs can mint unbounded IDs (-1 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -66,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdchecker: choose at most one output mode")
 	default:
 		run(*dir, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
-			*compCSV, *validate, *htmlOut, *follow, *serve, *retain)
+			*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps)
 		return
 	}
 	flag.Usage()
@@ -74,10 +76,10 @@ func main() {
 }
 
 func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
-	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain int) {
+	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int) {
 
 	if serve != "" {
-		if err := serveDir(serve, dir, retain); err != nil {
+		if err := serveDir(serve, dir, retain, maxApps); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
@@ -178,15 +180,22 @@ func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bo
 			fmt.Printf("  %s\n", f)
 		}
 	case perApp:
-		fmt.Printf("%-42s %8s %8s %8s %8s %8s %8s %8s\n",
-			"application", "total", "am", "in", "out", "driver", "exec", "job")
+		fmt.Printf("%-42s %8s %8s %8s %8s %8s %8s %8s  %s\n",
+			"application", "total", "am", "in", "out", "driver", "exec", "job", "status")
 		for _, a := range rep.Apps {
 			d := a.Decomp
 			if d == nil {
 				continue
 			}
-			fmt.Printf("%-42s %8d %8d %8d %8d %8d %8d %8d\n",
-				a.ID, d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.JobRuntime)
+			status := "complete"
+			if !d.Complete {
+				status = "partial"
+				if len(d.Anomalies) > 0 {
+					status += " (" + strings.Join(d.Anomalies, "; ") + ")"
+				}
+			}
+			fmt.Printf("%-42s %8d %8d %8d %8d %8d %8d %8d  %s\n",
+				a.ID, d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.JobRuntime, status)
 		}
 	default:
 		fmt.Print(rep.Format())

@@ -24,30 +24,38 @@ type liveServer struct {
 	sc     *dirScanner
 	reg    *metrics.Registry
 	retain int
-	done   chan struct{}
+	// maxApps hard-caps tracked applications, complete or not: degraded
+	// logs can mint unbounded app IDs whose traces never complete, which
+	// EvictCompleted alone would hold forever.
+	maxApps int
+	done    chan struct{}
 }
 
-func newLiveServer(dir string, retain int) *liveServer {
+func newLiveServer(dir string, retain, maxApps int) *liveServer {
 	reg := metrics.NewRegistry()
 	st := core.NewStream()
 	st.Instrument(reg)
 	return &liveServer{
-		st:     st,
-		sc:     newDirScanner(dir, st),
-		reg:    reg,
-		retain: retain,
-		done:   make(chan struct{}),
+		st:      st,
+		sc:      newDirScanner(dir, st),
+		reg:     reg,
+		retain:  retain,
+		maxApps: maxApps,
+		done:    make(chan struct{}),
 	}
 }
 
-// pollOnce runs one ingestion pass: scan the tree, then evict completed
-// apps beyond the retention limit.
+// pollOnce runs one ingestion pass: scan the tree, evict completed apps
+// beyond the retention limit, then enforce the hard memory bound.
 func (s *liveServer) pollOnce() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, err := s.sc.scan()
 	if s.retain >= 0 {
 		s.st.EvictCompleted(s.retain)
+	}
+	if s.maxApps >= 0 {
+		s.st.EvictOldest(s.maxApps)
 	}
 	return err
 }
@@ -142,8 +150,8 @@ func (s *liveServer) close() { close(s.done) }
 
 // serveDir is the -serve entry point: tail dir forever, serving the live
 // endpoints on addr.
-func serveDir(addr, dir string, retain int) error {
-	srv := newLiveServer(dir, retain)
+func serveDir(addr, dir string, retain, maxApps int) error {
+	srv := newLiveServer(dir, retain, maxApps)
 	ln, err := srv.start(addr)
 	if err != nil {
 		return err

@@ -52,7 +52,7 @@ func get(t *testing.T, url string) (int, string) {
 // endpoint while ingestion is live.
 func TestServeEndpoints(t *testing.T) {
 	dir := writeScenarioLogs(t)
-	srv := newLiveServer(dir, 1024)
+	srv := newLiveServer(dir, 1024, 16384)
 	ln, err := srv.start(":0")
 	if err != nil {
 		t.Fatal(err)

@@ -70,7 +70,22 @@ type Node struct {
 	Net  *share.Resource // capacity: MB/s
 
 	Rng *rng.Source
+
+	// down marks a machine that has crashed (power loss, kernel panic).
+	// Layered services (the NodeManager, processes) check it to blackhole
+	// work; the share.Resources keep draining whatever was in flight, since
+	// their callbacks are guarded by the layers above.
+	down bool
 }
+
+// Fail marks the machine as crashed. Idempotent.
+func (n *Node) Fail() { n.down = true }
+
+// Recover marks the machine as back up after a restart. Idempotent.
+func (n *Node) Recover() { n.down = false }
+
+// IsDown reports whether the machine is currently crashed.
+func (n *Node) IsDown() bool { return n.down }
 
 // Cluster is the set of worker nodes plus the shared fabric.
 type Cluster struct {

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Decomposition is the per-application delay breakdown of §III-C. All
 // values are milliseconds; Missing (-1) marks components whose defining
 // log messages were absent (e.g. an application that never ran a task).
@@ -43,6 +45,17 @@ type Decomposition struct {
 	Localizations []ContainerDelay
 	Launchings    []ContainerDelay
 	Queueings     []ContainerDelay
+
+	// Complete reports whether the decomposition rests on a full set of
+	// headline observations (Total, AM, Driver, Executor all present) and
+	// no anomalies. Incomplete decompositions are still returned — a
+	// partial breakdown of a degraded log beats no breakdown — but they
+	// must not be silently aggregated as if sound.
+	Complete bool
+	// Anomalies lists, in human-readable form, why the trace is partial or
+	// suspect: missing headline messages, containers lost to node failure,
+	// or out-of-order timestamps hinting at clock skew between log files.
+	Anomalies []string
 }
 
 func diff(later, earlier int64) int64 {
@@ -129,5 +142,70 @@ func Decompose(a *AppTrace) *Decomposition {
 			d.Queueings = append(d.Queueings, ContainerDelay{id, c.Instance, v})
 		}
 	}
+
+	d.Anomalies = findAnomalies(a, firstTask)
+	d.Complete = d.Total >= 0 && d.AM >= 0 && d.Driver >= 0 && d.Executor >= 0 &&
+		len(d.Anomalies) == 0
 	return d
+}
+
+// findAnomalies explains why a trace is partial or suspect: headline
+// Table I messages that never arrived (dropped or truncated lines, app
+// still in flight), containers the RM marked KILLED after losing their
+// node, and timestamp pairs that run backwards (clock skew between the
+// files the two observations came from). The list is bounded: per-check
+// findings collapse into counts.
+func findAnomalies(a *AppTrace, firstTask int64) []string {
+	var out []string
+	if a.Submitted == 0 {
+		out = append(out, "SUBMITTED not observed")
+	}
+	if a.Registered == 0 {
+		out = append(out, "AM registration not observed")
+	}
+	if am := a.AMContainer(); am == nil {
+		out = append(out, "no AM container observed")
+	} else if am.FirstLog == 0 {
+		out = append(out, "AM container log not observed")
+	}
+	if firstTask == 0 {
+		out = append(out, "no FIRST_TASK observed")
+	}
+	lost := 0
+	for _, c := range a.Containers {
+		if c.Lost > 0 {
+			lost++
+		}
+	}
+	if lost > 0 {
+		out = append(out, fmt.Sprintf("%d container(s) lost to node failure", lost))
+	}
+	if n := countOrderViolations(a); n > 0 {
+		out = append(out, fmt.Sprintf("%d out-of-order timestamp pair(s) (clock skew or corrupted stamps)", n))
+	}
+	return out
+}
+
+// countOrderViolations counts observed timestamp pairs that violate the
+// causal order of the scheduling state machines. Pairs with either side
+// unobserved (0) don't count — absence is reported separately.
+func countOrderViolations(a *AppTrace) int {
+	n := 0
+	bad := func(earlier, later int64) {
+		if earlier > 0 && later > 0 && later < earlier {
+			n++
+		}
+	}
+	bad(a.Submitted, a.Accepted)
+	bad(a.Accepted, a.Registered)
+	bad(a.Submitted, a.Finished)
+	for _, c := range a.Containers {
+		bad(c.Allocated, c.Acquired)
+		bad(c.Acquired, c.Localizing)
+		bad(c.Localizing, c.Scheduled)
+		bad(c.Scheduled, c.Running)
+		bad(c.Running, c.FirstLog)
+		bad(c.FirstLog, c.FirstTask)
+	}
+	return n
 }

@@ -50,6 +50,7 @@ const (
 	OppQueued     // opportunistic container queued at the NM
 	TaskFirstLog  // first log line of a non-Spark (MapReduce) container
 	AppSubmitted0 // submission summary line: application name/type/queue
+	ContLost      // RMContainerImpl KILLED — container lost to node failure
 )
 
 // kindNames indexes Kind for display.
@@ -75,6 +76,7 @@ var kindNames = map[Kind]string{
 	OppQueued:         "OPP_QUEUED",
 	TaskFirstLog:      "FIRST_LOG(task)",
 	AppSubmitted0:     "APP_SUMMARY",
+	ContLost:          "LOST",
 }
 
 // String names the kind.

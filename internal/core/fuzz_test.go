@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedCorpus adds every checked-in testdata/corpus file — real simulator
+// output, including degraded (torn/truncated/skewed) variants regenerated
+// by cmd/gencorpus — as a fuzz seed.
+func seedCorpus(f *testing.F) {
+	dir := filepath.Join("testdata", "corpus")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading seed corpus: %v", err)
+	}
+	n := 0
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatalf("reading seed %s: %v", e.Name(), err)
+		}
+		f.Add(data)
+		n++
+	}
+	if n == 0 {
+		f.Fatal("empty seed corpus; run `go run ./cmd/gencorpus`")
+	}
+	// Hand-picked adversarial shapes on top of the real logs.
+	f.Add([]byte("2017-07-02 12:53:22,505 INFO org.apache.x.Y: Container container_1499000000000_0001_01_000002 transitioned from NEW to LOCALIZING"))
+	f.Add([]byte("garbage\n\x00\xff\n2017-07-02 99:99:99,999 INFO x: y"))
+	f.Add([]byte("2017-07-02 12:53:22,505 INFO a: application_1_2 submitted: name= type= queue="))
+	f.Add([]byte(strings.Repeat("no timestamp here\n", 40)))
+}
+
+// FuzzParseReader feeds arbitrary bytes through the whole offline
+// pipeline: parse, correlate, decompose, report, JSON. The contract under
+// garbage input is no panic, bounded warnings, and a well-formed (possibly
+// empty or partial) report — never an error for mere log damage.
+func FuzzParseReader(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewParser()
+		if err := p.ParseReader("hadoop/yarn-resourcemanager.log", bytes.NewReader(data)); err != nil {
+			t.Fatalf("ParseReader must tolerate arbitrary input, got %v", err)
+		}
+		if n := len(p.Warnings()); n > maxDistinctWarnings+1 {
+			t.Fatalf("%d warnings retained; cap is %d", n, maxDistinctWarnings)
+		}
+		apps := Correlate(p.Events())
+		for _, a := range apps {
+			d := Decompose(a)
+			if d == nil {
+				t.Fatal("Decompose returned nil")
+			}
+			_ = ValidateTrace(a)
+			_ = CriticalPath(a)
+		}
+		rep := ReportFrom(apps, p.Events())
+		_ = rep.Format()
+		if _, err := rep.JSON(); err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+	})
+}
+
+// FuzzStreamFeed pushes arbitrary line streams through the incremental
+// checker, interleaved across an RM log, an NM log, and a container stderr
+// source (exercising container attribution), and checks the memory bound.
+func FuzzStreamFeed(f *testing.F) {
+	seedCorpus(f)
+	sources := []string{
+		"hadoop/yarn-resourcemanager.log",
+		"hadoop/yarn-nodemanager-node01.log",
+		"userlogs/application_1499000000000_0001/container_1499000000000_0001_01_000001/stderr",
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st := NewStream()
+		for i, line := range strings.Split(string(data), "\n") {
+			st.Feed(sources[i%len(sources)], line)
+		}
+		st.EvictOldest(8)
+		if n := len(st.Apps()); n > 8 {
+			t.Fatalf("%d apps tracked after EvictOldest(8)", n)
+		}
+		rep := st.Report()
+		_ = rep.Format()
+		for _, a := range st.Apps() {
+			_ = st.Complete(a.ID)
+		}
+	})
+}

@@ -33,6 +33,10 @@ th{background:#eee} td:first-child,th:first-child{text-align:left}
 	fmt.Fprintf(&b, "<h1>%s</h1>\n", template.HTMLEscapeString(title))
 	fmt.Fprintf(&b, "<p>%d applications, %d log files, %d lines parsed.</p>\n",
 		len(r.Apps), r.FilesParsed, r.LinesParsed)
+	if r.PartialApps > 0 {
+		fmt.Fprintf(&b, "<p><b>%d of %d decompositions are partial</b> (missing observations or anomalies); aggregates use observed components only.</p>\n",
+			r.PartialApps, r.CompleteApps+r.PartialApps)
+	}
 
 	r.htmlSummaryTable(&b)
 	r.htmlCDFChart(&b)

@@ -31,6 +31,10 @@ type jsonDecomp struct {
 	Cf       int64 `json:"cf_ms"`
 	Cl       int64 `json:"cl_ms"`
 	Job      int64 `json:"job_ms"`
+	// Complete is false when headline observations are missing or
+	// anomalies were found; the decomposition is then partial.
+	Complete  bool     `json:"complete"`
+	Anomalies []string `json:"anomalies,omitempty"`
 }
 
 type jsonSegment struct {
@@ -51,6 +55,7 @@ type jsonContainer struct {
 	Exited        int64  `json:"exited_ms,omitempty"`
 	Released      int64  `json:"released_ms,omitempty"`
 	LaunchInvoked int64  `json:"launch_invoked_ms,omitempty"`
+	Lost          int64  `json:"lost_ms,omitempty"`
 }
 
 // JSON renders the report's per-application traces, decompositions, and
@@ -70,6 +75,7 @@ func (r *Report) JSON() (string, error) {
 				Total: d.Total, AM: d.AM, In: d.In, Out: d.Out,
 				Driver: d.Driver, Executor: d.Executor, Alloc: d.Alloc,
 				Cf: d.Cf, Cl: d.Cl, Job: d.JobRuntime,
+				Complete: d.Complete, Anomalies: d.Anomalies,
 			}
 		}
 		for _, s := range CriticalPath(a) {
@@ -89,6 +95,7 @@ func (r *Report) JSON() (string, error) {
 				Exited:        c.Exited,
 				Released:      c.Released,
 				LaunchInvoked: c.LaunchInvoked,
+				Lost:          c.Lost,
 			})
 		}
 		out = append(out, ja)

@@ -19,11 +19,61 @@ import (
 // number of files (daemon logs and per-container stderr files) in any
 // order, then hand Events() to the Correlator.
 type Parser struct {
-	events   []Event
-	warnings []string
-	files    int
-	lines    int
-	met      *parserMetrics
+	events []Event
+	warns  warnSet
+	files  int
+	lines  int
+	met    *parserMetrics
+}
+
+// maxDistinctWarnings bounds the warning set: corrupted inputs can
+// produce one unique warning per garbage line, which must not exhaust
+// memory in -follow/-serve modes. Beyond the cap only a suppression
+// counter grows.
+const maxDistinctWarnings = 256
+
+// warnSet deduplicates warnings, keeping a repeat count per message and
+// a count of messages dropped once the distinct cap is hit.
+type warnSet struct {
+	order      []string
+	count      map[string]int
+	suppressed int
+}
+
+func (w *warnSet) add(msg string) {
+	if w.count == nil {
+		w.count = make(map[string]int)
+	}
+	if n, ok := w.count[msg]; ok {
+		w.count[msg] = n + 1
+		return
+	}
+	if len(w.order) >= maxDistinctWarnings {
+		w.suppressed++
+		return
+	}
+	w.order = append(w.order, msg)
+	w.count[msg] = 1
+}
+
+// render flattens the set back to display strings, annotating repeats
+// and the suppressed overflow.
+func (w *warnSet) render() []string {
+	if len(w.order) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(w.order)+1)
+	for _, msg := range w.order {
+		if n := w.count[msg]; n > 1 {
+			out = append(out, fmt.Sprintf("%s (x%d)", msg, n))
+		} else {
+			out = append(out, msg)
+		}
+	}
+	if w.suppressed > 0 {
+		out = append(out, fmt.Sprintf("... %d further distinct warnings suppressed", w.suppressed))
+	}
+	return out
 }
 
 // regexNames enumerates the extraction regexes for per-regex hit
@@ -100,8 +150,10 @@ func NewParser() *Parser {
 	return &Parser{}
 }
 
-// Warnings returns non-fatal anomalies found while parsing.
-func (p *Parser) Warnings() []string { return p.warnings }
+// Warnings returns non-fatal anomalies found while parsing, deduplicated
+// (repeats annotated "(xN)") and capped so arbitrary garbage input cannot
+// grow them without bound.
+func (p *Parser) Warnings() []string { return p.warns.render() }
 
 // Stats returns (files, lines) consumed so far.
 func (p *Parser) Stats() (files, lines int) { return p.files, p.lines }
@@ -110,7 +162,7 @@ func (p *Parser) Stats() (files, lines int) { return p.files, p.lines }
 func (p *Parser) Events() []Event { return p.events }
 
 func (p *Parser) warnf(format string, args ...any) {
-	p.warnings = append(p.warnings, fmt.Sprintf(format, args...))
+	p.warns.add(fmt.Sprintf(format, args...))
 }
 
 // ParseReader consumes one log file. name should be the file's path: when
@@ -231,6 +283,8 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 			kind = ContAcquired
 		case "RELEASED":
 			kind = ContReleased
+		case "KILLED":
+			kind = ContLost
 		default:
 			return
 		}

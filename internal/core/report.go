@@ -108,6 +108,12 @@ type Report struct {
 	LinesParsed int
 	Warnings    []string
 
+	// CompleteApps / PartialApps count decompositions by their Complete
+	// flag: partial ones (degraded logs, lost nodes, in-flight apps) are
+	// still listed but carry anomaly reasons instead of trusted totals.
+	CompleteApps int
+	PartialApps  int
+
 	// Per-application samples.
 	Job, Total, AM, In, Out *stats.Sample
 	Driver, Executor, Alloc *stats.Sample
@@ -162,6 +168,11 @@ func buildReport(apps []*AppTrace, events []Event) *Report {
 		d := a.Decomp
 		if d == nil {
 			continue
+		}
+		if d.Complete {
+			r.CompleteApps++
+		} else {
+			r.PartialApps++
 		}
 		addIf(r.Job, d.JobRuntime)
 		addIf(r.Total, d.Total)
@@ -372,6 +383,22 @@ func (r *Report) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "SDchecker report: %d applications, %d files, %d lines parsed\n",
 		len(r.Apps), r.FilesParsed, r.LinesParsed)
+	if r.PartialApps > 0 {
+		fmt.Fprintf(&b, "WARNING: %d of %d decompositions are partial (missing observations or anomalies); aggregate rows below use observed components only\n",
+			r.PartialApps, r.CompleteApps+r.PartialApps)
+		shown := 0
+		for _, a := range r.Apps {
+			if a.Decomp == nil || a.Decomp.Complete || len(a.Decomp.Anomalies) == 0 {
+				continue
+			}
+			if shown == 10 {
+				fmt.Fprintf(&b, "  ... and %d more partial applications\n", r.PartialApps-shown)
+				break
+			}
+			fmt.Fprintf(&b, "  %s: %s\n", a.ID, strings.Join(a.Decomp.Anomalies, "; "))
+			shown++
+		}
+	}
 	b.WriteString(stats.FormatTable("scheduling delay components (ms)", r.Summaries()))
 	fmt.Fprintf(&b, "\nnormalized: total/job p50=%.2f p95=%.2f | in/total p50=%.2f | out/total p50=%.2f | am/total p50=%.2f\n",
 		r.TotalOverJob.Median(), r.TotalOverJob.P95(),

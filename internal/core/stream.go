@@ -214,15 +214,14 @@ func (s *Stream) Report() *Report {
 }
 
 // Complete reports whether an application's headline decomposition is
-// fully observable (total, am, driver, executor all present) — the
-// signal a live dashboard uses to mark a row final.
+// fully observable and anomaly-free (the Decomposition.Complete flag) —
+// the signal a live dashboard uses to mark a row final.
 func (s *Stream) Complete(id ids.AppID) bool {
 	a := s.apps[id]
 	if a == nil || a.Decomp == nil {
 		return false
 	}
-	d := a.Decomp
-	return d.Total >= 0 && d.AM >= 0 && d.Driver >= 0 && d.Executor >= 0
+	return a.Decomp.Complete
 }
 
 // Forget drops all state for one application: its trace, its event
@@ -267,6 +266,27 @@ func (s *Stream) EvictCompleted(keep int) int {
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].Seq < done[j].Seq })
 	victims := done[:len(done)-keep]
+	for _, id := range victims {
+		s.Forget(id)
+	}
+	return len(victims)
+}
+
+// EvictOldest is the hard memory bound behind EvictCompleted: when more
+// than max applications are tracked — complete or not — the oldest by
+// submission sequence are forgotten until max remain. Garbage input can
+// mint unbounded app IDs whose decompositions never complete; without
+// this bound a tailing server would hold them all forever.
+func (s *Stream) EvictOldest(max int) int {
+	if max < 0 || len(s.apps) <= max {
+		return 0
+	}
+	all := make([]ids.AppID, 0, len(s.apps))
+	for id := range s.apps {
+		all = append(all, id)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	victims := all[:len(all)-max]
 	for _, id := range victims {
 		s.Forget(id)
 	}

@@ -24,6 +24,7 @@ type ContainerTrace struct {
 	Exited        int64
 	Released      int64
 	OppQueuedAt   int64 // opportunistic queueing observed
+	Lost          int64 // RMContainerImpl -> KILLED (node lost)
 
 	Events []Event
 }
@@ -195,6 +196,8 @@ func Correlate(events []Event) []*AppTrace {
 			setOnce(&c.Exited, e.TimeMS)
 		case ContReleased:
 			setOnce(&c.Released, e.TimeMS)
+		case ContLost:
+			setOnce(&c.Lost, e.TimeMS)
 		case OppQueued:
 			setOnce(&c.OppQueuedAt, e.TimeMS)
 		case DriverRegister:

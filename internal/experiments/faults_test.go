@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+// crashScenario runs n TPC-H queries against a cluster with the given
+// fault schedule and returns the scenario plus the submitted apps.
+func crashScenario(t *testing.T, seed uint64, n int, faults yarn.FaultSchedule) (*Scenario, []*spark.App) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Faults = faults
+	s := NewScenario(opts)
+	tables := workload.CreateTPCHTables(s.FS, 2048)
+	apps := make([]*spark.App, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := spark.DefaultConfig(workload.TPCHQuery(i%22+1, 2048, tables))
+		at := sim.Time(int64(i)*2500 + 2000)
+		s.Eng.At(at, func() { apps = append(apps, spark.Submit(s.RM, s.FS, cfg)) })
+	}
+	s.Run(sim.Time(3600 * sim.Second))
+	return s, apps
+}
+
+// TestNodeCrashProducesLostContainersAndPartialDecomposition is the
+// tentpole acceptance path: crash a swath of nodes mid-run, confirm the RM
+// expires them and logs LOST-container lines, and confirm SDchecker mines
+// the result into partial decompositions that are flagged — not an error,
+// and not a silently wrong total.
+func TestNodeCrashProducesLostContainersAndPartialDecomposition(t *testing.T) {
+	// Kill twelve of the 25 nodes at 15 s (queries are mid-flight) for 40 s
+	// each: long enough for the 10 s expiry timer to fire first.
+	var fs yarn.FaultSchedule
+	for n := 0; n < 12; n++ {
+		fs.Crashes = append(fs.Crashes, yarn.NodeCrash{Node: n, AtMs: 15_000, DownForMs: 40_000})
+	}
+	s, apps := crashScenario(t, 211, 8, fs)
+
+	for i, app := range apps {
+		if !app.Finished() {
+			t.Errorf("app %d did not recover from the node crashes", i)
+		}
+	}
+
+	rmLog := strings.Join(s.Sink.Lines(yarn.RMLogFile), "\n")
+	for _, want := range []string{
+		"Timed out after 10 secs",
+		"as it is now LOST",
+		"Node Transitioned from RUNNING to LOST",
+		"exit status -100",
+		"Node Transitioned from NEW to RUNNING", // the restarted NMs re-register
+	} {
+		if !strings.Contains(rmLog, want) {
+			t.Errorf("RM log missing %q after node crashes", want)
+		}
+	}
+
+	rep := s.Check()
+	if len(rep.Apps) == 0 {
+		t.Fatal("no applications mined from degraded logs")
+	}
+	lost, partial := 0, 0
+	for _, a := range rep.Apps {
+		for _, c := range a.Containers {
+			if c.Lost > 0 {
+				lost++
+			}
+		}
+		d := a.Decomp
+		if d == nil {
+			t.Fatalf("app %s has no decomposition at all", a.ID)
+		}
+		if !d.Complete {
+			partial++
+			if len(d.Anomalies) == 0 {
+				t.Errorf("app %s flagged incomplete without anomaly reasons", a.ID)
+			}
+		}
+	}
+	if lost == 0 {
+		t.Fatal("crashing 12 nodes mid-run lost no containers — expiry path dead?")
+	}
+	if partial == 0 {
+		t.Fatal("lost containers produced no partial decompositions")
+	}
+	if rep.PartialApps != partial {
+		t.Fatalf("Report.PartialApps=%d, counted %d", rep.PartialApps, partial)
+	}
+	// The report must surface the degradation, not bury it.
+	if !strings.Contains(rep.Format(), "partial") {
+		t.Error("Format() does not mention partial decompositions")
+	}
+	// No capacity leak once everything drains.
+	if u := s.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+		t.Fatalf("queue usage %.4f after drain, want 0 (capacity leak across crashes)", u)
+	}
+}
+
+// TestNodeCrashWithoutRestart covers nodes that never come back: the RM
+// must still expire them and the apps must finish on the survivors.
+func TestNodeCrashWithoutRestart(t *testing.T) {
+	fs := yarn.FaultSchedule{Crashes: []yarn.NodeCrash{
+		{Node: 2, AtMs: 12_000, DownForMs: 0},
+		{Node: 7, AtMs: 14_000, DownForMs: 0},
+	}}
+	s, apps := crashScenario(t, 212, 5, fs)
+	for i, app := range apps {
+		if !app.Finished() {
+			t.Errorf("app %d wedged behind permanently dead nodes", i)
+		}
+	}
+	rmLog := strings.Join(s.Sink.Lines(yarn.RMLogFile), "\n")
+	if !strings.Contains(rmLog, "as it is now LOST") {
+		t.Error("permanently dead nodes were never expired")
+	}
+	if u := s.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+		t.Fatalf("queue usage %.4f after drain (capacity leak)", u)
+	}
+}
+
+// TestFastRestartBeforeExpiry covers the resync path: the node restarts
+// inside the expiry window, so the RM learns about the killed containers
+// from the NM's re-registration report, not the liveliness monitor.
+func TestFastRestartBeforeExpiry(t *testing.T) {
+	var fs yarn.FaultSchedule
+	for n := 0; n < 8; n++ {
+		fs.Crashes = append(fs.Crashes, yarn.NodeCrash{Node: n, AtMs: 16_000, DownForMs: 5_000})
+	}
+	s, apps := crashScenario(t, 213, 6, fs)
+	for i, app := range apps {
+		if !app.Finished() {
+			t.Errorf("app %d did not recover from fast-restart crashes", i)
+		}
+	}
+	if u := s.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+		t.Fatalf("queue usage %.4f after drain (capacity leak)", u)
+	}
+}
+
+// TestFaultScheduleDeterministic pins down both the schedule draw and the
+// whole faulted simulation: same seed, same report, byte for byte.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a := yarn.RandomFaults(5, 25, 300_000, 120_000, 25_000)
+	b := yarn.RandomFaults(5, 25, 300_000, 120_000, 25_000)
+	if len(a.Crashes) == 0 {
+		t.Fatal("expected some crashes from a 120s MTBF over 300s on 25 nodes")
+	}
+	if len(a.Crashes) != len(b.Crashes) {
+		t.Fatalf("same seed drew different schedules: %d vs %d", len(a.Crashes), len(b.Crashes))
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatalf("crash %d differs: %+v vs %+v", i, a.Crashes[i], b.Crashes[i])
+		}
+	}
+	if testing.Short() {
+		t.Skip("two full faulted runs")
+	}
+	run := func() string {
+		s, _ := crashScenario(t, 214, 4, yarn.RandomFaults(9, 25, 60_000, 180_000, 20_000))
+		return s.Check().Format()
+	}
+	if run() != run() {
+		t.Fatal("identical faulted runs diverged")
+	}
+}
+
+// TestPropertyFaultInvariants fuzzes (seed × fault-rate) configurations
+// through the full pipeline and asserts the decomposition contract under
+// failures: components are -1 or non-negative, observable components
+// reconcile (in = driver+executor, out = total-in >= 0), and the
+// completeness flag agrees with ground truth — an app the simulator says
+// finished with no lost containers must mine as complete, and an app mined
+// complete must really have finished.
+func TestPropertyFaultInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized faulted scenario runs")
+	}
+	f := func(seed uint16, rate, down uint8) bool {
+		n := 4
+		horizon := int64(n)*2500 + 60_000
+		mtbf := float64(60_000 + int64(rate)*1000)
+		meanDown := float64(8_000 + int64(down%40)*1000)
+		faults := yarn.RandomFaults(uint64(seed)+1, 25, horizon, mtbf, meanDown)
+		s, apps := crashScenario(t, uint64(seed)+300, n, faults)
+		rep := s.Check()
+		if len(rep.Apps) != n {
+			return false
+		}
+		finished := make(map[string]bool, n)
+		for _, app := range apps {
+			finished[app.ID.String()] = app.Finished()
+		}
+		for _, a := range rep.Apps {
+			d := a.Decomp
+			if d == nil {
+				return false
+			}
+			// Every component is either Missing or a real duration.
+			for _, v := range []int64{d.Total, d.AM, d.In, d.Out, d.Driver, d.Executor, d.Alloc, d.Cf, d.Cl} {
+				if v < -1 {
+					return false
+				}
+			}
+			// Observable components must reconcile.
+			if d.Driver >= 0 && d.Executor >= 0 && d.In >= 0 && d.In != d.Driver+d.Executor {
+				return false
+			}
+			// Out is clamped at 0 when In overruns Total, so the sum can
+			// only meet or exceed Total — never undershoot it.
+			if d.Total >= 0 && d.In >= 0 && (d.Out < 0 || d.In+d.Out < d.Total) {
+				return false
+			}
+			hasLost := false
+			for _, c := range a.Containers {
+				if c.Lost > 0 {
+					hasLost = true
+				}
+			}
+			// Parity with ground truth: mined-complete implies truly
+			// finished; truly finished and untouched by faults implies
+			// mined-complete.
+			if d.Complete && !finished[a.ID.String()] {
+				return false
+			}
+			if finished[a.ID.String()] && !hasLost && !d.Complete {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,7 +44,21 @@ type Spec struct {
 	DfsIOWriteGB float64 `json:"dfsio_write_gb"`
 	KmeansApps   int     `json:"kmeans_apps"`
 
+	// Fault injection: explicit node crashes, or a seed-derived random
+	// schedule when FaultMTBFSec > 0 (exponential up/down times).
+	Faults       []FaultSpec `json:"faults"`
+	FaultMTBFSec float64     `json:"fault_mtbf_sec"` // per-node mean time between failures
+	FaultMTTRSec float64     `json:"fault_mttr_sec"` // mean outage length (default 25 s)
+
 	DeadlineSec int64 `json:"deadline_sec"`
+}
+
+// FaultSpec is one scheduled node crash. DownForMs <= 0 means the node
+// never comes back.
+type FaultSpec struct {
+	Node      int   `json:"node"`
+	AtMs      int64 `json:"at_ms"`
+	DownForMs int64 `json:"down_for_ms"`
 }
 
 // LoadSpec decodes a JSON spec, rejecting unknown fields so typos in
@@ -83,6 +97,14 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Queries < 0 || sp.DatasetMB < 0 || sp.Executors < 0 {
 		return fmt.Errorf("spec: negative workload sizes")
+	}
+	for _, f := range sp.Faults {
+		if f.Node < 0 || f.AtMs < 0 {
+			return fmt.Errorf("spec: fault {node:%d at_ms:%d} has negative fields", f.Node, f.AtMs)
+		}
+	}
+	if sp.FaultMTBFSec < 0 || sp.FaultMTTRSec < 0 {
+		return fmt.Errorf("spec: negative fault rates")
 	}
 	return nil
 }
@@ -126,6 +148,20 @@ func (sp Spec) ToTraceRun() (TraceRun, error) {
 	}
 	tr.Opts.Yarn.JVMReuse = sp.JVMReuse
 	tr.DeadlineSec = sp.DeadlineSec
+
+	for _, f := range sp.Faults {
+		tr.Opts.Faults.Crashes = append(tr.Opts.Faults.Crashes,
+			yarn.NodeCrash{Node: f.Node, AtMs: f.AtMs, DownForMs: f.DownForMs})
+	}
+	if sp.FaultMTBFSec > 0 {
+		mttr := sp.FaultMTTRSec
+		if mttr == 0 {
+			mttr = 25
+		}
+		horizon := int64(float64(queries)*tr.MeanGapMs) + 120_000
+		tr.Opts.Faults = yarn.RandomFaults(tr.Seed, tr.Opts.Cluster.Workers,
+			horizon, sp.FaultMTBFSec*1000, mttr*1000)
+	}
 
 	if sp.ArrivalCSV != "" {
 		f, err := os.Open(sp.ArrivalCSV)

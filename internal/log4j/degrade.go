@@ -1,0 +1,132 @@
+package log4j
+
+import (
+	"hash/fnv"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// DegradeConfig models lossy, real-world log collection: the paper mines
+// logs scp'd off a live 26-node cluster, where rotated files lose lines,
+// crashed daemons leave torn partial writes, and per-node clocks drift.
+// A degraded sink reproduces those defects deterministically so the miner
+// can be tested against them.
+//
+// All probabilities are per line. The zero value disables everything.
+type DegradeConfig struct {
+	// DropProb silently discards the line (log rotation, lost packets in
+	// a forwarding pipeline).
+	DropProb float64
+	// TruncateProb cuts the line at a uniformly random byte (a writer
+	// killed mid-line, or a collector copying a file as it is appended).
+	TruncateProb float64
+	// TearProb splits the line: the first half is written now and the
+	// second half is glued (without a newline) onto the front of the next
+	// line written to the same file — a torn write interleaving two
+	// records.
+	TearProb float64
+	// SkewMaxMs, when > 0, applies a constant per-file clock offset drawn
+	// uniformly from [-SkewMaxMs, +SkewMaxMs] to every timestamp —
+	// modeling unsynchronized node clocks.
+	SkewMaxMs int64
+	// GarbageProb inserts a non-log4j noise line (a stack-trace fragment)
+	// before the line, like the stdout noise real daemon logs carry.
+	GarbageProb float64
+	// Seed drives the deterministic per-file degradation streams.
+	Seed uint64
+}
+
+// enabled reports whether any degradation is configured.
+func (c DegradeConfig) enabled() bool {
+	return c.DropProb > 0 || c.TruncateProb > 0 || c.TearProb > 0 ||
+		c.SkewMaxMs > 0 || c.GarbageProb > 0
+}
+
+// garbageLines are the noise fragments GarbageProb injects; they mimic
+// the unstamped continuation lines of real Java stack traces.
+var garbageLines = []string{
+	"\tat org.apache.hadoop.ipc.Client$Connection.handleConnectionFailure(Client.java:891)",
+	"java.net.ConnectException: Connection refused",
+	"\t... 12 more",
+	"Caused by: java.io.IOException: Broken pipe",
+	"#### stray stdout from user code ####",
+}
+
+// degrader corrupts lines on their way into a Sink. Each file gets its
+// own forked RNG stream and skew offset, so degradation is a pure
+// function of (config, file, line sequence) — reruns are byte-identical.
+type degrader struct {
+	cfg  DegradeConfig
+	root *rng.Source
+	per  map[string]*fileDegrade
+}
+
+type fileDegrade struct {
+	rng    *rng.Source
+	skewMS int64
+	tail   string // second half of a torn line, pending the next write
+}
+
+func newDegrader(cfg DegradeConfig) *degrader {
+	return &degrader{cfg: cfg, root: rng.New(cfg.Seed ^ 0xdead10cc), per: make(map[string]*fileDegrade)}
+}
+
+func (d *degrader) file(name string) *fileDegrade {
+	fd := d.per[name]
+	if fd == nil {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		fd = &fileDegrade{rng: d.root.Fork(h.Sum64())}
+		if d.cfg.SkewMaxMs > 0 {
+			fd.skewMS = fd.rng.Int63n(2*d.cfg.SkewMaxMs+1) - d.cfg.SkewMaxMs
+		}
+		d.per[name] = fd
+	}
+	return fd
+}
+
+// transform maps one intended line to the zero or more raw lines actually
+// written to the file.
+func (d *degrader) transform(file, line string) []string {
+	fd := d.file(file)
+	var out []string
+	if d.cfg.GarbageProb > 0 && fd.rng.Float64() < d.cfg.GarbageProb {
+		out = append(out, garbageLines[fd.rng.Intn(len(garbageLines))])
+	}
+	if fd.skewMS != 0 {
+		line = skewStamp(line, fd.skewMS)
+	}
+	// A pending torn tail glues onto the front of this write.
+	if fd.tail != "" {
+		line = fd.tail + line
+		fd.tail = ""
+	}
+	switch {
+	case d.cfg.DropProb > 0 && fd.rng.Float64() < d.cfg.DropProb:
+		return out // line lost
+	case d.cfg.TruncateProb > 0 && fd.rng.Float64() < d.cfg.TruncateProb && len(line) > 1:
+		cut := 1 + fd.rng.Intn(len(line)-1)
+		out = append(out, line[:cut])
+	case d.cfg.TearProb > 0 && fd.rng.Float64() < d.cfg.TearProb && len(line) > 1:
+		cut := 1 + fd.rng.Intn(len(line)-1)
+		out = append(out, line[:cut])
+		fd.tail = line[cut:]
+	default:
+		out = append(out, line)
+	}
+	return out
+}
+
+// skewStamp shifts the leading log4j timestamp of line by ms. Lines that
+// do not start with a parseable stamp pass through unchanged.
+func skewStamp(line string, ms int64) string {
+	if len(line) < 23 {
+		return line
+	}
+	t, err := ParseStamp(line[:23])
+	if err != nil {
+		return line
+	}
+	return Clock{EpochMS: 0}.Stamp(sim.Time(t+ms)) + line[23:]
+}

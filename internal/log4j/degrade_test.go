@@ -1,0 +1,165 @@
+package log4j
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func degradedSink(cfg DegradeConfig) *Sink {
+	s := NewSink(sim.NewEngine(), Clock{EpochMS: 1499000000000})
+	s.Degrade(cfg)
+	return s
+}
+
+func emitN(s *Sink, file string, n int) {
+	log := s.Logger(file, "org.test.Class")
+	for i := 0; i < n; i++ {
+		log.Infof("message number %d with some padding to allow cuts", i)
+	}
+}
+
+func TestDegradeZeroConfigIsTransparent(t *testing.T) {
+	s := degradedSink(DegradeConfig{})
+	emitN(s, "a.log", 10)
+	if got := len(s.Lines("a.log")); got != 10 {
+		t.Fatalf("zero config changed line count: got %d, want 10", got)
+	}
+}
+
+func TestDegradeDropLosesLines(t *testing.T) {
+	s := degradedSink(DegradeConfig{DropProb: 0.5, Seed: 7})
+	emitN(s, "a.log", 200)
+	got := len(s.Lines("a.log"))
+	if got >= 200 || got == 0 {
+		t.Fatalf("drop 0.5 kept %d of 200 lines", got)
+	}
+}
+
+func TestDegradeTruncateCutsLines(t *testing.T) {
+	s := degradedSink(DegradeConfig{TruncateProb: 1, Seed: 7})
+	emitN(s, "a.log", 50)
+	lines := s.Lines("a.log")
+	if len(lines) != 50 {
+		t.Fatalf("truncate changed line count: %d", len(lines))
+	}
+	short := 0
+	for _, l := range lines {
+		if !strings.HasSuffix(l, "cuts") {
+			short++
+		}
+	}
+	if short == 0 {
+		t.Fatal("truncate 1.0 cut no lines")
+	}
+}
+
+func TestDegradeTearGluesHalves(t *testing.T) {
+	s := degradedSink(DegradeConfig{TearProb: 1, Seed: 7})
+	emitN(s, "a.log", 20)
+	lines := s.Lines("a.log")
+	// Every line is torn, so each stored line after the first carries the
+	// previous line's tail glued on. Total bytes are conserved.
+	var stored, emitted int
+	for _, l := range lines {
+		stored += len(l)
+	}
+	s2 := degradedSink(DegradeConfig{})
+	emitN(s2, "a.log", 20)
+	for _, l := range s2.Lines("a.log") {
+		emitted += len(l)
+	}
+	// The last torn tail is still pending, so stored <= emitted.
+	if stored > emitted || stored == 0 {
+		t.Fatalf("tear bytes: stored %d, emitted %d", stored, emitted)
+	}
+	glued := 0
+	for _, l := range lines[1:] {
+		if _, err := ParseLine(l); err != nil {
+			glued++
+		}
+	}
+	if glued == 0 {
+		t.Fatal("tear 1.0 produced no glued unparseable lines")
+	}
+}
+
+func TestDegradeSkewShiftsWholeFileConstantly(t *testing.T) {
+	s := degradedSink(DegradeConfig{SkewMaxMs: 5000, Seed: 3})
+	emitN(s, "a.log", 5)
+	clean := degradedSink(DegradeConfig{})
+	emitN(clean, "a.log", 5)
+
+	var offset int64
+	for i, l := range s.Lines("a.log") {
+		got, err := ParseLine(l)
+		if err != nil {
+			t.Fatalf("skewed line %d unparseable: %v", i, err)
+		}
+		want, _ := ParseLine(clean.Lines("a.log")[i])
+		d := got.TimeMS - want.TimeMS
+		if i == 0 {
+			offset = d
+		} else if d != offset {
+			t.Fatalf("skew not constant within file: line %d offset %d, want %d", i, d, offset)
+		}
+	}
+	if offset == 0 {
+		t.Log("drawn skew was 0; acceptable but not exercising the shift")
+	}
+	if offset < -5000 || offset > 5000 {
+		t.Fatalf("skew %d outside ±5000ms", offset)
+	}
+}
+
+func TestDegradeGarbageInsertsNoise(t *testing.T) {
+	s := degradedSink(DegradeConfig{GarbageProb: 1, Seed: 7})
+	emitN(s, "a.log", 10)
+	lines := s.Lines("a.log")
+	if len(lines) != 20 {
+		t.Fatalf("garbage 1.0: got %d lines, want 20", len(lines))
+	}
+	if _, err := ParseLine(lines[0]); err == nil {
+		t.Fatal("expected first line to be unparseable garbage")
+	}
+}
+
+func TestDegradeDeterministic(t *testing.T) {
+	cfg := DegradeConfig{DropProb: 0.2, TruncateProb: 0.2, TearProb: 0.2, SkewMaxMs: 1000, GarbageProb: 0.1, Seed: 42}
+	a, b := degradedSink(cfg), degradedSink(cfg)
+	for _, s := range []*Sink{a, b} {
+		emitN(s, "x.log", 100)
+		emitN(s, "y.log", 100)
+	}
+	for _, f := range []string{"x.log", "y.log"} {
+		la, lb := a.Lines(f), b.Lines(f)
+		if len(la) != len(lb) {
+			t.Fatalf("%s: nondeterministic line count %d vs %d", f, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("%s line %d differs:\n%q\n%q", f, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+func TestDegradePerFileStreamsIndependent(t *testing.T) {
+	cfg := DegradeConfig{DropProb: 0.5, Seed: 9}
+	// Writing to file B between writes to file A must not change what
+	// happens to A's lines.
+	a := degradedSink(cfg)
+	emitN(a, "a.log", 50)
+	b := degradedSink(cfg)
+	ba := b.Logger("a.log", "org.test.Class")
+	bb := b.Logger("b.log", "org.test.Class")
+	for i := 0; i < 50; i++ {
+		ba.Infof("message number %d with some padding to allow cuts", i)
+		bb.Infof("message number %d with some padding to allow cuts", i)
+	}
+	la, lb := a.Lines("a.log"), b.Lines("a.log")
+	if len(la) != len(lb) {
+		t.Fatalf("interleaving changed a.log: %d vs %d lines", len(la), len(lb))
+	}
+}

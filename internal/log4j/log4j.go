@@ -124,6 +124,7 @@ type Sink struct {
 	eng   *sim.Engine
 	files map[string][]string
 	order []string
+	deg   *degrader
 }
 
 // NewSink creates a sink stamping lines with eng's clock mapped through
@@ -140,8 +141,31 @@ func (s *Sink) Logger(file, class string) *Logger {
 	return &Logger{sink: s, file: file, class: class}
 }
 
-// Append writes a raw line to file (used by Logger).
+// Degrade installs a lossy-collection model on the sink: every line
+// subsequently appended passes through cfg's drop/truncate/tear/skew
+// transformations before being stored. A zero config removes the model.
+func (s *Sink) Degrade(cfg DegradeConfig) {
+	if !cfg.enabled() {
+		s.deg = nil
+		return
+	}
+	s.deg = newDegrader(cfg)
+}
+
+// Append writes a raw line to file (used by Logger). With a degradation
+// model installed, the line may be dropped, cut, torn across writes, or
+// time-shifted on the way in.
 func (s *Sink) Append(file, line string) {
+	if s.deg != nil {
+		for _, raw := range s.deg.transform(file, line) {
+			s.append(file, raw)
+		}
+		return
+	}
+	s.append(file, line)
+}
+
+func (s *Sink) append(file, line string) {
 	if _, ok := s.files[file]; !ok {
 		s.order = append(s.order, file)
 	}

@@ -2,6 +2,7 @@ package spark
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
@@ -87,6 +88,14 @@ type driver struct {
 	stage       int
 	nextTask    int
 	outstanding int
+
+	// Failure-recovery state: retry holds task IDs reclaimed from dead
+	// executors (re-dispatched before fresh tasks); amRetry marks that the
+	// AM container died with its node and the next Launched is a relaunch;
+	// pullGen invalidates allocator heartbeat loops from a dead attempt.
+	retry   []int
+	amRetry bool
+	pullGen int
 }
 
 // logf narrows log4j.Logger to the one method processes use.
@@ -94,8 +103,52 @@ type logf interface {
 	Infof(format string, args ...any)
 }
 
+// Killed implements yarn.Killable for the AM container: the driver died
+// with its node. Surviving executors lose their driver and shut down; the
+// RM relaunches the AM in a new container, and Launched then rebuilds the
+// attempt from scratch.
+func (d *driver) Killed() {
+	if d.finished {
+		return // job already over; nothing to recover
+	}
+	d.finished = true // halt every pending callback until the relaunch
+	d.amRetry = true
+	if d.gateTimer != nil {
+		d.env.Eng.Cancel(d.gateTimer)
+		d.gateTimer = nil
+	}
+	for _, e := range d.executors {
+		e.driverLost()
+	}
+	if len(d.extras) > 0 {
+		d.app.rm.ReleaseGrants(d.app.ID, d.extras)
+		d.extras = nil
+	}
+}
+
+// resetForRetry clears attempt-scoped state before a relaunched AM boots:
+// allocation counts, executors, gate and job progress all start over, like
+// a fresh application attempt's driver.
+func (d *driver) resetForRetry() {
+	d.amRetry = false
+	d.finished = false
+	d.executors, d.execByCID = nil, nil
+	d.extras = nil
+	d.allocated, d.launched, d.registered = 0, 0, 0
+	d.endAlloLogd = false
+	d.gateOpen = false
+	d.initDone, d.started = false, false
+	d.stage, d.nextTask, d.outstanding = 0, 0, 0
+	d.retry = nil
+	d.pullActive = false
+	d.pullGen++
+}
+
 // Launched runs the driver JVM and then the ApplicationMaster sequence.
 func (d *driver) Launched(env *yarn.ProcessEnv) {
+	if d.amRetry {
+		d.resetForRetry()
+	}
 	d.env = env
 	d.amLog = env.Logger(ClassAppMaster)
 	d.allocLog = env.Logger(ClassYarnAllocator)
@@ -154,7 +207,19 @@ func (d *driver) startAllocation() {
 	d.app.rm.Ask(d.app.ID, want, cfg.ExecutorProfile)
 	d.pullEvery = cfg.InitialAllocIntervalMs
 	d.pullActive = true
-	d.env.Eng.After(d.pullEvery, d.pull)
+	d.schedulePull()
+}
+
+// schedulePull arms the next allocator heartbeat, tagged with the current
+// attempt generation so loops from a dead AM attempt die silently.
+func (d *driver) schedulePull() {
+	gen := d.pullGen
+	d.env.Eng.After(d.pullEvery, func() {
+		if gen != d.pullGen {
+			return
+		}
+		d.pull()
+	})
 }
 
 // onContainerFailed is the AM-side recovery path: the failed executor is
@@ -182,7 +247,22 @@ func (d *driver) onContainerFailed(al *yarn.Allocation) {
 	e.stopped = true
 	d.launched--
 	d.allocated--
+	if len(e.tids) > 0 {
+		// The executor died mid-task (node loss): hand its tasks back to
+		// the scheduler for re-execution on surviving executors.
+		tids := make([]int, 0, len(e.tids))
+		for tid := range e.tids {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			d.outstanding--
+			d.retry = append(d.retry, tid)
+		}
+		e.tids = nil
+	}
 	d.allocLog.Infof("Container %s failed to launch; requesting a replacement executor", al.Container)
+	d.redispatch()
 	cfg := d.app.cfg
 	if cfg.Opportunistic {
 		d.app.rm.AskOpportunistic(d.app.ID, 1, cfg.ExecutorProfile, func(allocs []*yarn.Allocation) {
@@ -196,7 +276,23 @@ func (d *driver) onContainerFailed(al *yarn.Allocation) {
 	if !d.pullActive {
 		d.pullEvery = cfg.InitialAllocIntervalMs
 		d.pullActive = true
-		d.env.Eng.After(d.pullEvery, d.pull)
+		d.schedulePull()
+	}
+}
+
+// redispatch pushes reclaimed tasks onto surviving executors and advances
+// the stage if the loss left nothing outstanding and nothing to retry.
+func (d *driver) redispatch() {
+	if !d.started || d.finished || d.stage >= len(d.app.cfg.App.Stages) {
+		return
+	}
+	for _, e := range d.executors {
+		d.fillExecutor(e)
+	}
+	st := &d.app.cfg.App.Stages[d.stage]
+	if d.outstanding == 0 && len(d.retry) == 0 && d.nextTask >= st.Tasks {
+		d.stage++
+		d.startStage()
 	}
 }
 
@@ -225,12 +321,17 @@ func (d *driver) pull() {
 			d.pullEvery = d.app.cfg.MaxAllocIntervalMs
 		}
 	}
-	d.env.Eng.After(d.pullEvery, d.pull)
+	d.schedulePull()
 }
 
 // onGrant starts an executor in the container, or — beyond the executor
 // target, which only happens when over-requesting — parks it unused.
 func (d *driver) onGrant(al *yarn.Allocation) {
+	if d.finished {
+		// Granted after the job ended or the AM died: hand it straight back.
+		d.app.rm.ReleaseGrants(d.app.ID, []*yarn.Allocation{al})
+		return
+	}
 	d.allocated++
 	cfg := d.app.cfg
 	if d.allocated >= cfg.Executors && !d.endAlloLogd {
@@ -446,7 +547,7 @@ func (d *driver) startStage() {
 			if d.nextTask >= st.Tasks {
 				return
 			}
-			if !e.registered() || e.free() <= 0 {
+			if !e.registered() || e.stopped || e.free() <= 0 {
 				continue
 			}
 			d.dispatchOne(e, &app.Stages[d.stage])
@@ -455,10 +556,17 @@ func (d *driver) startStage() {
 	}
 }
 
-// dispatchOne sends the next task of the current stage to e.
+// dispatchOne sends the next task to e: reclaimed tasks from dead
+// executors first, then fresh tasks of the current stage.
 func (d *driver) dispatchOne(e *executor, st *StageProfile) {
-	tid := d.taskID(d.nextTask)
-	d.nextTask++
+	var tid int
+	if len(d.retry) > 0 {
+		tid = d.retry[0]
+		d.retry = d.retry[1:]
+	} else {
+		tid = d.taskID(d.nextTask)
+		d.nextTask++
+	}
 	d.outstanding++
 	e.runTask(tid, st, func() { d.taskDone(e) })
 }
@@ -469,7 +577,7 @@ func (d *driver) fillExecutor(e *executor) {
 		return
 	}
 	st := &d.app.cfg.App.Stages[d.stage]
-	for e.free() > 0 && d.nextTask < st.Tasks {
+	for e.registered() && !e.stopped && e.free() > 0 && (len(d.retry) > 0 || d.nextTask < st.Tasks) {
 		d.dispatchOne(e, st)
 	}
 }
@@ -484,9 +592,12 @@ func (d *driver) taskID(n int) int {
 }
 
 func (d *driver) taskDone(e *executor) {
+	if d.finished {
+		return
+	}
 	d.outstanding--
 	st := &d.app.cfg.App.Stages[d.stage]
-	if d.nextTask < st.Tasks {
+	if len(d.retry) > 0 || d.nextTask < st.Tasks {
 		d.fillExecutor(e)
 		return
 	}

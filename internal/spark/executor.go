@@ -53,8 +53,31 @@ type executor struct {
 	stopped  bool
 	gotFirst bool
 
+	// tids are the task IDs currently executing here. When the executor
+	// dies with its node the driver reclaims them for re-execution.
+	tids map[int]bool
+
 	registeredAt sim.Time
 	firstLogAt   sim.Time
+}
+
+// Killed implements yarn.Killable: the container died with its node. The
+// process is simply gone — the driver learns of the loss through the RM
+// and reclaims this executor's in-flight tasks.
+func (e *executor) Killed() { e.stopped = true }
+
+// driverLost shuts the executor down after the driver's AM container died;
+// the relaunched AM attempt starts over with fresh executors.
+func (e *executor) driverLost() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	if e.env == nil || e.env.Exited() {
+		return // never launched, or died in the same node crash
+	}
+	e.log.Infof("Driver disassociated! Shutting down.")
+	e.env.Exit()
 }
 
 func (e *executor) registered() bool { return e.registeredAt > 0 }
@@ -74,6 +97,9 @@ func (e *executor) Launched(env *yarn.ProcessEnv) {
 	cfg := e.d.app.cfg
 	cfg.ExecutorJVM.Boot(env.Eng, env.Node, env.Rng, env.JVMReuse,
 		func() {
+			if e.stopped {
+				return
+			}
 			e.firstLogAt = env.Eng.Now()
 			e.log.Infof("Started daemon with process name: %d@%s", 20000+e.idx, env.Node.Name)
 			env.MarkFirstLog()
@@ -101,6 +127,10 @@ func (e *executor) runTask(tid int, st *StageProfile, done func()) {
 		return
 	}
 	e.busy++
+	if e.tids == nil {
+		e.tids = make(map[int]bool, e.slots)
+	}
+	e.tids[tid] = true
 	if !e.gotFirst {
 		e.gotFirst = true
 		e.log.Infof("Got assigned task %d", tid)
@@ -115,8 +145,9 @@ func (e *executor) runTask(tid int, st *StageProfile, done func()) {
 	}
 	finish := func(sim.Time) {
 		if e.stopped {
-			return
+			return // a lost task stays in tids for the driver to reclaim
 		}
+		delete(e.tids, tid)
 		e.busy--
 		done()
 	}

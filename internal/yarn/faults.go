@@ -1,0 +1,85 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NodeCrash is one scheduled node failure: the node's NM stops
+// heartbeating at AtMs and, unless DownForMs <= 0, restarts DownForMs
+// later. The RM learns of the crash only through heartbeat silence
+// (Config.NodeExpiryMs) or the restarted NM's resync.
+type NodeCrash struct {
+	Node      int   // node index (0-based, cluster order)
+	AtMs      int64 // crash instant in sim time
+	DownForMs int64 // outage length; <= 0 means the node never comes back
+}
+
+// FaultSchedule is a deterministic set of node crash/restart events. Being
+// plain data, a schedule can be logged, replayed, or embedded in a test.
+type FaultSchedule struct {
+	Crashes []NodeCrash
+}
+
+// Empty reports whether the schedule injects nothing.
+func (fs FaultSchedule) Empty() bool { return len(fs.Crashes) == 0 }
+
+// String summarizes the schedule for experiment output.
+func (fs FaultSchedule) String() string {
+	if fs.Empty() {
+		return "no faults"
+	}
+	return fmt.Sprintf("%d node crash(es)", len(fs.Crashes))
+}
+
+// Install schedules every crash and restart onto the engine against the
+// RM's registered NodeManagers. Crashes naming unregistered nodes are
+// ignored; overlapping events are harmless (Crash while down and Restart
+// while up are no-ops).
+func (fs FaultSchedule) Install(eng *sim.Engine, rm *RM) {
+	for _, c := range fs.Crashes {
+		if c.Node < 0 || c.Node >= len(rm.nms) {
+			continue
+		}
+		nm := rm.nms[c.Node]
+		eng.At(sim.Time(c.AtMs), nm.Crash)
+		if c.DownForMs > 0 {
+			eng.At(sim.Time(c.AtMs+c.DownForMs), nm.Restart)
+		}
+	}
+}
+
+// RandomFaults draws a crash schedule over [0, horizonMs): each of nodes
+// machines independently alternates exponential up-times (mean meanUpMs)
+// and exponential outages (mean meanDownMs). The draw is fully determined
+// by seed, so a failure sweep varies only meanUpMs while holding the rest
+// of the scenario fixed. Crashes are returned in time order.
+func RandomFaults(seed uint64, nodes int, horizonMs int64, meanUpMs, meanDownMs float64) FaultSchedule {
+	var fs FaultSchedule
+	if nodes <= 0 || horizonMs <= 0 || meanUpMs <= 0 {
+		return fs
+	}
+	root := rng.New(seed ^ 0xfa17)
+	for n := 0; n < nodes; n++ {
+		r := root.Fork(uint64(n) + 1)
+		t := int64(r.Exp(meanUpMs))
+		for t < horizonMs {
+			down := int64(r.Exp(meanDownMs))
+			if down < 1 {
+				down = 1
+			}
+			fs.Crashes = append(fs.Crashes, NodeCrash{Node: n, AtMs: t, DownForMs: down})
+			t += down + int64(r.Exp(meanUpMs))
+		}
+	}
+	sort.Slice(fs.Crashes, func(i, j int) bool {
+		if fs.Crashes[i].AtMs != fs.Crashes[j].AtMs {
+			return fs.Crashes[i].AtMs < fs.Crashes[j].AtMs
+		}
+		return fs.Crashes[i].Node < fs.Crashes[j].Node
+	})
+	return fs
+}

@@ -1,6 +1,8 @@
 package yarn
 
 import (
+	"sort"
+
 	"repro/internal/cluster"
 	"repro/internal/docker"
 	"repro/internal/hdfs"
@@ -42,13 +44,31 @@ type NodeManager struct {
 	cache     *localCache // localized public resources (LRU)
 	oppQueue  []*containerRun
 	running   map[ids.ContainerID]*containerRun
-	completed []*Allocation // reported to the RM on the next heartbeat
+	// localizing tracks containers between StartContainer and launch (or
+	// queueing), so a crash can account for them too.
+	localizing map[ids.ContainerID]*containerRun
+	completed  []*Allocation // reported to the RM on the next heartbeat
 
 	// localDisk is where localization IO lands: the node's HDFS disks by
 	// default, or a dedicated storage class (Config.DedicatedLocalDiskMBps).
 	localDisk *share.Resource
 
 	hb *sim.Ticker
+
+	// Crash/restart state. down blackholes the NM; epoch invalidates
+	// in-flight localization/launch callback chains from before a restart
+	// (each chain step rechecks run.epoch against nm.epoch). lostAtCrash
+	// holds the containers killed by the crash, reported to the RM when the
+	// NM resyncs on restart (the RM's expiry timer covers nodes that never
+	// come back).
+	down        bool
+	epoch       int
+	lostAtCrash []*Allocation
+
+	// RM-side liveness view (owned by the RM, kept here to stay
+	// deterministic — no map of NM pointers to iterate).
+	lastBeat sim.Time
+	expired  bool
 }
 
 // containerRun tracks one container through localization, queueing,
@@ -61,6 +81,14 @@ type containerRun struct {
 	// launching spans.
 	localizingAt sim.Time
 	scheduledAt  sim.Time
+	// epoch is the NM incarnation that started this container; a restart
+	// bumps the NM's epoch, orphaning every older chain.
+	epoch int
+}
+
+// stale reports whether this container belongs to a dead NM incarnation.
+func (run *containerRun) stale(nm *NodeManager) bool {
+	return nm.down || run.epoch != nm.epoch
 }
 
 // NewNodeManager creates the NM for node and registers it with the RM.
@@ -81,6 +109,7 @@ func NewNodeManager(rm *RM, node *cluster.Node, fs *hdfs.FS, sink *log4j.Sink) *
 		freeVCores:  node.VCores,
 		cache:       newLocalCache(rm.Cfg.LocalCacheCapacityMB),
 		running:     make(map[ids.ContainerID]*containerRun),
+		localizing:  make(map[ids.ContainerID]*containerRun),
 	}
 	nm.localDisk = node.Disk
 	if rm.Cfg.DedicatedLocalDiskMBps > 0 {
@@ -159,6 +188,9 @@ func (nm *NodeManager) oppFits(p Profile) bool {
 
 // heartbeat reports completed containers and receives new assignments.
 func (nm *NodeManager) heartbeat() {
+	if nm.down {
+		return
+	}
 	nm.rm.met.nmBeat()
 	if len(nm.completed) > 0 {
 		done := nm.completed
@@ -175,7 +207,15 @@ func (nm *NodeManager) heartbeat() {
 // is busy) -> launch -> RUNNING (logged when the instance emits its first
 // log line, per paper §III-B) -> EXITED_WITH_SUCCESS.
 func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
-	run := &containerRun{alloc: al, spec: spec, localizingAt: nm.Eng.Now()}
+	if nm.down {
+		// Node died while the start was in flight. Record the container so
+		// a restart's resync reports it lost; if the node never comes back,
+		// the RM's expiry timer finds it through the app's running set.
+		nm.lostAtCrash = append(nm.lostAtCrash, al)
+		return
+	}
+	run := &containerRun{alloc: al, spec: spec, localizingAt: nm.Eng.Now(), epoch: nm.epoch}
+	nm.localizing[al.Container] = run
 	nm.logCont.Infof("Container %s transitioned from NEW to LOCALIZING", al.Container)
 	nm.rm.met.transition("LOCALIZING")
 	nm.Node.Compute(nm.cfg.LocalizerSetupVcoreSec, 1, func(sim.Time) {
@@ -185,6 +225,9 @@ func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
 
 // localize fetches resources sequentially, then marks SCHEDULED.
 func (nm *NodeManager) localize(run *containerRun, idx int) {
+	if run.stale(nm) {
+		return
+	}
 	if idx >= len(run.spec.Resources) {
 		run.scheduledAt = nm.Eng.Now()
 		nm.logCont.Infof("Container %s transitioned from LOCALIZING to SCHEDULED", run.alloc.Container)
@@ -237,6 +280,7 @@ func (nm *NodeManager) afterScheduled(run *containerRun) {
 	if run.alloc.Type == Opportunistic {
 		if !nm.oppFits(run.alloc.Profile) {
 			nm.logLaunch.Infof("Opportunistic container %s queued at %s", run.alloc.Container, nm.Node.Name)
+			delete(nm.localizing, run.alloc.Container)
 			nm.oppQueue = append(nm.oppQueue, run)
 			return
 		}
@@ -290,6 +334,9 @@ func (nm *NodeManager) newestOpportunistic() *containerRun {
 // invokeLaunch writes the launch script and starts the process through
 // the configured container runtime.
 func (nm *NodeManager) invokeLaunch(run *containerRun) {
+	if run.stale(nm) {
+		return
+	}
 	cid := run.alloc.Container
 	nm.logLaunch.Infof("Invoking launch script for container %s", cid)
 	if p := nm.cfg.LaunchFailureProb; p > 0 && nm.rng.Float64() < p {
@@ -303,6 +350,9 @@ func (nm *NodeManager) invokeLaunch(run *containerRun) {
 	setup := int64(nm.rng.Uniform(8, 28)) // write script, set env, mkdirs
 	nm.Eng.After(setup, func() {
 		docker.Apply(nm.Eng, nm.Node, nm.rng, run.spec.Runtime, nm.cfg.DockerOverhead, func() {
+			if run.stale(nm) {
+				return
+			}
 			env := &ProcessEnv{
 				Eng:      nm.Eng,
 				Node:     nm.Node,
@@ -314,6 +364,7 @@ func (nm *NodeManager) invokeLaunch(run *containerRun) {
 			}
 			env.sink = nm.rm.Sink
 			run.env = env
+			delete(nm.localizing, cid)
 			nm.running[cid] = run
 			run.spec.Process.Launched(env)
 		})
@@ -334,7 +385,11 @@ func (nm *NodeManager) markFirstLog(run *containerRun) {
 // containerFailed handles a launch failure: EXITED_WITH_FAILURE is
 // logged, capacity freed, and the RM informed so the AM can recover.
 func (nm *NodeManager) containerFailed(run *containerRun) {
+	if run.stale(nm) {
+		return
+	}
 	cid := run.alloc.Container
+	delete(nm.localizing, cid)
 	nm.logCont.Infof("Container %s transitioned from SCHEDULED to EXITED_WITH_FAILURE", cid)
 	nm.rm.met.transition("EXITED_WITH_FAILURE")
 	nm.logLaunch.Infof("Container %s exit code 1: launch script failed", cid)
@@ -351,6 +406,9 @@ func (nm *NodeManager) containerFailed(run *containerRun) {
 // containerExited releases capacity, reports to the RM on the next
 // heartbeat, and starts queued opportunistic work that now fits.
 func (nm *NodeManager) containerExited(run *containerRun) {
+	if run.stale(nm) {
+		return
+	}
 	cid := run.alloc.Container
 	delete(nm.running, cid)
 	nm.logCont.Infof("Container %s transitioned from RUNNING to EXITED_WITH_SUCCESS", cid)
@@ -377,6 +435,90 @@ func (nm *NodeManager) drainOppQueue() {
 
 // Shutdown stops the heartbeat ticker (used when tearing down scenarios).
 func (nm *NodeManager) Shutdown() { nm.hb.Stop() }
+
+// Down reports whether the NM is currently crashed.
+func (nm *NodeManager) Down() bool { return nm.down }
+
+// Crash kills the node: heartbeats stop, every hosted process dies
+// mid-flight, and in-flight localization/launch chains are orphaned. The
+// RM hears nothing — it discovers the crash through heartbeat silence
+// (checkLiveness) or, if the node restarts first, through resync. Completed
+// containers whose reports were on the wire are flushed first so their
+// queue charges do not leak. Idempotent while down.
+func (nm *NodeManager) Crash() {
+	if nm.down {
+		return
+	}
+	nm.down = true
+	nm.hb.Stop()
+	nm.Node.Fail()
+	for _, al := range nm.completed {
+		nm.rm.containerFinished(al)
+	}
+	nm.completed = nil
+	victims := make([]*containerRun, 0, len(nm.running)+len(nm.localizing)+len(nm.oppQueue))
+	for _, run := range nm.running {
+		victims = append(victims, run)
+	}
+	for _, run := range nm.localizing {
+		victims = append(victims, run)
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		ci, cj := victims[i].alloc.Container, victims[j].alloc.Container
+		if ci.App.Seq != cj.App.Seq {
+			return ci.App.Seq < cj.App.Seq
+		}
+		return ci.Num < cj.Num
+	})
+	victims = append(victims, nm.oppQueue...)
+	nm.running = make(map[ids.ContainerID]*containerRun)
+	nm.localizing = make(map[ids.ContainerID]*containerRun)
+	nm.oppQueue = nil
+	// Mark every process dead before notifying any of them, so that a
+	// dying AM's cleanup can't make a doomed neighbor log from the grave.
+	for _, run := range victims {
+		if run.env != nil {
+			run.env.exited = true // the process is gone; Exit is a no-op
+		}
+	}
+	for _, run := range victims {
+		if k, ok := run.spec.Process.(Killable); ok {
+			k.Killed()
+		}
+		nm.lostAtCrash = append(nm.lostAtCrash, run.alloc)
+	}
+}
+
+// Restart brings a crashed node back: a fresh NM incarnation with empty
+// capacity counters and container state (the localization cache survives
+// on disk, as it does in real YARN). It resyncs with the RM by reporting
+// the containers the crash killed, then resumes heartbeating — the first
+// beat re-registers the node if the RM had expired it. Idempotent while up.
+func (nm *NodeManager) Restart() {
+	if !nm.down {
+		return
+	}
+	nm.down = false
+	nm.epoch++
+	nm.Node.Recover()
+	nm.reservedVCores, nm.reservedMemMB = 0, 0
+	nm.oppVCores, nm.oppMemMB = 0, 0
+	nm.freeVCores = nm.totalVCores
+	nm.running = make(map[ids.ContainerID]*containerRun)
+	nm.localizing = make(map[ids.ContainerID]*containerRun)
+	nm.oppQueue = nil
+	nm.completed = nil
+	nm.rm.Sink.Logger(NMLogFile(nm.Node), ClassNodeStatusUpd).
+		Infof("Registering with RM using containers from previous attempt")
+	lost := nm.lostAtCrash
+	nm.lostAtCrash = nil
+	for _, al := range lost {
+		nm.rm.containerLost(al)
+	}
+	period := nm.cfg.NMHeartbeatMs
+	offset := 50 + nm.rng.Int63n(int64(period))
+	nm.hb = sim.NewTicker(nm.Eng, period, offset, nm.heartbeat)
+}
 
 // ProcessEnv is the container-side world handed to a Process.
 type ProcessEnv struct {
@@ -408,12 +550,16 @@ func (e *ProcessEnv) Tracer() *sim.Recorder { return e.NM.rm.Tracer }
 // MarkFirstLog must be called exactly once, at the instant the process
 // emits its first log line; it drives the SCHEDULED -> RUNNING transition.
 func (e *ProcessEnv) MarkFirstLog() {
-	if e.firstLogged {
+	if e.firstLogged || e.exited {
 		return
 	}
 	e.firstLogged = true
 	e.NM.markFirstLog(e.run)
 }
+
+// Exited reports whether the container is already gone (normal exit or
+// node crash); processes check it before post-mortem cleanup.
+func (e *ProcessEnv) Exited() bool { return e.exited }
 
 // Exit terminates the container successfully.
 func (e *ProcessEnv) Exit() {

@@ -74,6 +74,11 @@ type RM struct {
 	queue  []*ask
 	queues *queueSet
 
+	// liveTick drives the node liveliness monitor (AbstractLivelinessMonitor):
+	// nodes whose heartbeat is older than Cfg.NodeExpiryMs are expired and
+	// their containers declared LOST. Started lazily with the first NM.
+	liveTick *sim.Ticker
+
 	// decisionClockUS serializes Capacity Scheduler allocation decisions
 	// at sub-millisecond granularity (the engine ticks in ms, so decisions
 	// are tracked in absolute microseconds and rounded when logged). This
@@ -116,8 +121,183 @@ func NewRM(eng *sim.Engine, cfg Config, cl *cluster.Cluster, sink *log4j.Sink, f
 // QueueUsage returns a leaf queue's current share of cluster memory.
 func (rm *RM) QueueUsage(name string) float64 { return rm.queues.usage(name) }
 
+// ChargedContainers lists containers still holding a queue charge, for
+// leak checks in tests: after every app drains it must be empty.
+func (rm *RM) ChargedContainers() []string {
+	var out []string
+	for _, a := range rm.apps {
+		for _, al := range a.running {
+			if al.queue != nil {
+				out = append(out, fmt.Sprintf("%s running on %s (down=%v finished=%v)", al.Container, al.Node.Node.Name, al.Node.down, a.finished))
+			}
+		}
+		for _, al := range a.pendingGrants {
+			if al.queue != nil {
+				out = append(out, fmt.Sprintf("%s pending on %s (down=%v finished=%v)", al.Container, al.Node.Node.Name, al.Node.down, a.finished))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (rm *RM) registerNM(nm *NodeManager) {
+	nm.lastBeat = rm.Eng.Now()
 	rm.nms = append(rm.nms, nm)
+	if rm.liveTick == nil && rm.Cfg.NodeExpiryMs > 0 {
+		period := rm.Cfg.NodeExpiryMs / 2
+		if period < 500 {
+			period = 500
+		}
+		rm.liveTick = sim.NewTicker(rm.Eng, period, period, rm.checkLiveness)
+	}
+}
+
+// checkLiveness expires nodes that have missed heartbeats for longer than
+// NodeExpiryMs, the RM-side half of crash detection: the NM does not tell
+// the RM it died, silence does.
+func (rm *RM) checkLiveness() {
+	now := rm.Eng.Now()
+	for _, nm := range rm.nms {
+		if nm.expired || int64(now-nm.lastBeat) <= rm.Cfg.NodeExpiryMs {
+			continue
+		}
+		rm.expireNode(nm)
+	}
+}
+
+// expireNode marks a silent node LOST and declares every container the RM
+// placed there dead, in the real RM's log vocabulary.
+func (rm *RM) expireNode(nm *NodeManager) {
+	nm.expired = true
+	host := nm.Node.Name + ":8041"
+	rm.logs.live.Infof("Expired:%s Timed out after %d secs", host, rm.Cfg.NodeExpiryMs/1000)
+	rm.logs.node.Infof("Deactivating Node %s as it is now LOST", host)
+	rm.logs.node.Infof("%s Node Transitioned from RUNNING to LOST", host)
+	for _, al := range rm.allocationsOn(nm) {
+		rm.containerLost(al)
+	}
+}
+
+// allocationsOn collects every live allocation the RM has placed on the
+// node — acquired/running containers plus grants still awaiting AM pull —
+// in deterministic (app sequence, container number) order. Finished apps
+// are included: an app can complete (gate timers let it limp) while a
+// stranded container still holds its queue charge.
+func (rm *RM) allocationsOn(nm *NodeManager) []*Allocation {
+	var out []*Allocation
+	for _, a := range rm.apps {
+		for _, al := range a.running {
+			if al.Node == nm && !al.lost {
+				out = append(out, al)
+			}
+		}
+		for _, al := range a.pendingGrants {
+			if al.Node == nm && !al.lost {
+				out = append(out, al)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Container, out[j].Container
+		if ci.App.Seq != cj.App.Seq {
+			return ci.App.Seq < cj.App.Seq
+		}
+		return ci.Num < cj.Num
+	})
+	return out
+}
+
+// containerLost reports one container killed by a node failure: the
+// RMContainerImpl transitions to KILLED with the lost-node exit status
+// (-100), queue charge is dropped, and the owner recovers — the RM itself
+// retries AppMasters, worker losses reach the AM on its next heartbeat.
+// Idempotent per allocation (expiry and NM resync can both report it).
+func (rm *RM) containerLost(al *Allocation) {
+	if al.lost {
+		return
+	}
+	al.lost = true
+	rm.contState(al.Container, "RUNNING", "KILLED")
+	rm.logs.cont.Infof("%s completed with exit status -100. Diagnostics: Container released on a *lost* node", al.Container)
+	if al.queue != nil {
+		rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
+		al.queue = nil
+	}
+	a := rm.apps[al.Container.App]
+	if a == nil || a.finished {
+		return
+	}
+	delete(a.running, al.Container)
+	kept := a.pendingGrants[:0]
+	for _, g := range a.pendingGrants {
+		if g != al {
+			kept = append(kept, g)
+		}
+	}
+	a.pendingGrants = kept
+	if al.forAM || al.Container.IsAM() {
+		rm.requeueAM(a)
+		return
+	}
+	if a.onFailure != nil {
+		delay := int64(rm.rng.Uniform(100, 400))
+		rm.Eng.After(delay, func() {
+			if !a.finished && a.onFailure != nil {
+				a.onFailure(al)
+			}
+		})
+	}
+}
+
+// safeUnreserve returns a guaranteed container's node reservation, unless
+// the node has crashed (its counters are dead) or restarted since the
+// reservation was made (its counters were zeroed; unreserving against the
+// fresh incarnation would drive them negative).
+func (rm *RM) safeUnreserve(al *Allocation) {
+	if al.Type == Guaranteed && !al.Node.down && al.Node.epoch == al.nmEpoch {
+		al.Node.unreserve(al.Profile)
+	}
+}
+
+// releaseUnacquired releases every grant the AM never pulled: queue charge
+// dropped, node reservation returned, RELEASED logged. Called when the
+// attempt dies (the relaunched AM re-requests from scratch) and when the
+// app finishes (stragglers granted after the AM's last heartbeat).
+func (rm *RM) releaseUnacquired(a *App) {
+	for _, al := range a.pendingGrants {
+		if al.lost {
+			continue
+		}
+		al.lost = true
+		rm.contState(al.Container, "ALLOCATED", "RELEASED")
+		rm.safeUnreserve(al)
+		if al.queue != nil {
+			rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
+			al.queue = nil
+		}
+	}
+	a.pendingGrants = nil
+}
+
+// requeueAM re-requests an application's AppMaster container (a new
+// container of the same attempt; full attempt state machines are out of
+// scope). The dead attempt's outstanding asks and unpulled grants are
+// dropped first — the relaunched AM negotiates its containers anew.
+func (rm *RM) requeueAM(a *App) {
+	kept := rm.queue[:0]
+	for _, q := range rm.queue {
+		if q.app != a {
+			kept = append(kept, q)
+		}
+	}
+	rm.queue = kept
+	rm.releaseUnacquired(a)
+	profile := a.Spec.AMProfile
+	if profile == (Profile{}) {
+		profile = rm.Cfg.AMProfile
+	}
+	rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10), asked: rm.Eng.Now()})
 }
 
 // NodeManagers returns the registered NodeManagers.
@@ -252,7 +432,7 @@ func (rm *RM) AskOpportunistic(appID ids.AppID, n int, p Profile, deliver func([
 				Process: cid.App.String(), Thread: cid.String(),
 				Name: sim.SpanAcquisition, Start: rm.Eng.Now(), End: rm.Eng.Now(),
 			})
-			al := &Allocation{Container: cid, Node: nm, Profile: p, Type: Opportunistic, AllocTime: rm.Eng.Now()}
+			al := &Allocation{Container: cid, Node: nm, Profile: p, Type: Opportunistic, AllocTime: rm.Eng.Now(), nmEpoch: nm.epoch}
 			a.running[cid] = al
 			allocs = append(allocs, al)
 		}
@@ -264,9 +444,18 @@ func (rm *RM) AskOpportunistic(appID ids.AppID, n int, p Profile, deliver func([
 // uniformly random node by default, or the least-loaded of
 // OppPowerOfChoices random samples (Sparrow-style batch sampling).
 func (rm *RM) pickOppNode() *NodeManager {
+	// sample draws one random node, redrawing a few times to avoid nodes
+	// the RM currently believes LOST (under total blackout any node goes).
+	sample := func() *NodeManager {
+		nm := rm.nms[rm.rng.Intn(len(rm.nms))]
+		for tries := 0; nm.expired && tries < 3; tries++ {
+			nm = rm.nms[rm.rng.Intn(len(rm.nms))]
+		}
+		return nm
+	}
 	k := rm.Cfg.OppPowerOfChoices
 	if k < 2 {
-		return rm.nms[rm.rng.Intn(len(rm.nms))]
+		return sample()
 	}
 	if k > len(rm.nms) {
 		k = len(rm.nms)
@@ -274,7 +463,7 @@ func (rm *RM) pickOppNode() *NodeManager {
 	var best *NodeManager
 	bestLoad := 0
 	for i := 0; i < k; i++ {
-		nm := rm.nms[rm.rng.Intn(len(rm.nms))]
+		nm := sample()
 		load := nm.reservedVCores + nm.oppVCores + 16*len(nm.oppQueue)
 		if best == nil || load < bestLoad {
 			best, bestLoad = nm, load
@@ -293,9 +482,7 @@ func (rm *RM) ReleaseGrants(appID ids.AppID, allocs []*Allocation) {
 		if a != nil {
 			delete(a.running, al.Container)
 		}
-		if al.Type == Guaranteed {
-			al.Node.unreserve(al.Profile)
-		}
+		rm.safeUnreserve(al)
 		if al.queue != nil {
 			rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
 			al.queue = nil
@@ -325,7 +512,7 @@ func (rm *RM) FinishApp(appID ids.AppID) {
 		return
 	}
 	a.finished = true
-	// Drop this app's outstanding asks.
+	// Drop this app's outstanding asks and release grants it never pulled.
 	kept := rm.queue[:0]
 	for _, q := range rm.queue {
 		if q.app != a {
@@ -333,6 +520,7 @@ func (rm *RM) FinishApp(appID ids.AppID) {
 		}
 	}
 	rm.queue = kept
+	rm.releaseUnacquired(a)
 	rm.appState(a, "RUNNING", "FINAL_SAVING", "ATTEMPT_UNREGISTERED")
 	rm.Eng.After(int64(rm.rng.Uniform(5, 25)), func() {
 		a.FinishTime = rm.Eng.Now()
@@ -362,14 +550,9 @@ func (rm *RM) containerLaunchFailed(al *Allocation) {
 		return
 	}
 	delete(a.running, al.Container)
-	if al.Container.IsAM() {
-		// The RM itself retries the AppMaster (a new container of the
-		// same attempt; full attempt state machines are out of scope).
-		profile := a.Spec.AMProfile
-		if profile == (Profile{}) {
-			profile = rm.Cfg.AMProfile
-		}
-		rm.queue = append(rm.queue, &ask{app: a, profile: profile, remaining: 1, forAM: true, waitBeats: 2 + rm.rng.Intn(10), asked: rm.Eng.Now()})
+	if al.forAM || al.Container.IsAM() {
+		// The RM itself retries the AppMaster.
+		rm.requeueAM(a)
 		return
 	}
 	if a.onFailure != nil {
@@ -401,6 +584,12 @@ func (rm *RM) containerFinished(al *Allocation) {
 // allocation-throughput ceiling measured in Table II.
 func (rm *RM) nodeUpdate(nm *NodeManager) {
 	rm.met.rmBeat()
+	nm.lastBeat = rm.Eng.Now()
+	if nm.expired {
+		// A restarted NM re-registers on its first heartbeat back.
+		nm.expired = false
+		rm.logs.node.Infof("%s:8041 Node Transitioned from NEW to RUNNING", nm.Node.Name)
+	}
 	if len(rm.queue) == 0 {
 		return
 	}
@@ -435,7 +624,7 @@ func (rm *RM) nodeUpdate(nm *NodeManager) {
 			assigned++
 			rm.queues.charge(q.app.queue, q.profile.MemoryMB)
 			cid := rm.IDs.NewContainer(q.app.ID)
-			al := &Allocation{Container: cid, Node: nm, Profile: q.profile, Type: Guaranteed, queue: q.app.queue}
+			al := &Allocation{Container: cid, Node: nm, Profile: q.profile, Type: Guaranteed, queue: q.app.queue, nmEpoch: nm.epoch}
 			rm.decisionClockUS += rm.Cfg.RMDecisionMicros
 			at := sim.Time((rm.decisionClockUS + 999) / 1000)
 			rm.met.allocated(float64(at - q.asked))
@@ -465,6 +654,7 @@ func (rm *RM) nodeUpdate(nm *NodeManager) {
 // AMLauncher; executor containers wait for the AM's next Pull.
 func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 	al.AllocTime = rm.Eng.Now()
+	al.forAM = forAM
 	rm.AllocatedTotal++
 	rm.logs.sched.Infof("Assigned container %s of capacity <memory:%d, vCores:%d> on host %s",
 		al.Container, al.Profile.MemoryMB, al.Profile.VCores, al.Node.Node.Name)
@@ -472,10 +662,33 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 	if a.finished {
 		// App finished while the decision was in flight; release quietly.
 		rm.contState(al.Container, "ALLOCATED", "RELEASED")
-		al.Node.unreserve(al.Profile)
+		rm.safeUnreserve(al)
 		if al.queue != nil {
 			rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
 			al.queue = nil
+		}
+		return
+	}
+	if al.Node.down {
+		// The node died between reservation and the serialized decision:
+		// kill the container before anything launches. No unreserve — the
+		// NM's counters reset when (if) it restarts.
+		al.lost = true
+		rm.contState(al.Container, "ALLOCATED", "KILLED")
+		rm.logs.cont.Infof("%s completed with exit status -100. Diagnostics: Container released on a *lost* node", al.Container)
+		if al.queue != nil {
+			rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
+			al.queue = nil
+		}
+		if forAM {
+			rm.requeueAM(a)
+		} else if a.onFailure != nil {
+			delay := int64(rm.rng.Uniform(100, 400))
+			rm.Eng.After(delay, func() {
+				if !a.finished && a.onFailure != nil {
+					a.onFailure(al)
+				}
+			})
 		}
 		return
 	}

@@ -30,6 +30,9 @@ const (
 	ClassContainerLaunch = "org.apache.hadoop.yarn.server.nodemanager.containermanager.launcher.ContainerLaunch"
 	ClassCapacitySched   = "org.apache.hadoop.yarn.server.resourcemanager.scheduler.capacity.CapacityScheduler"
 	ClassOpportunistic   = "org.apache.hadoop.yarn.server.resourcemanager.scheduler.distributed.OpportunisticContainerAllocator"
+	ClassRMNodeImpl      = "org.apache.hadoop.yarn.server.resourcemanager.rmnode.RMNodeImpl"
+	ClassLivelinessMon   = "org.apache.hadoop.yarn.util.AbstractLivelinessMonitor"
+	ClassNodeStatusUpd   = "org.apache.hadoop.yarn.server.nodemanager.NodeStatusUpdaterImpl"
 )
 
 // SchedulerType selects the out-application scheduling policy.
@@ -97,6 +100,13 @@ type Process interface {
 	Launched(env *ProcessEnv)
 }
 
+// Killable is optionally implemented by Processes that need to know when
+// their container dies with its node (a crash, not a graceful Exit). The
+// process must stop scheduling work; it gets no further callbacks.
+type Killable interface {
+	Killed()
+}
+
 // LaunchSpec is everything the NodeManager needs to start a container.
 type LaunchSpec struct {
 	Resources []LocalResource
@@ -113,7 +123,10 @@ type Allocation struct {
 	Type      ContainerType
 	AllocTime sim.Time
 
-	queue *queueState // leaf queue charged for this container (guaranteed only)
+	queue   *queueState // leaf queue charged for this container (guaranteed only)
+	forAM   bool        // allocated to run the ApplicationMaster
+	lost    bool        // terminally accounted (lost or released); dedupes expiry vs resync
+	nmEpoch int         // NM incarnation the reservation was made against
 }
 
 // Config holds the tunables of the YARN deployment.
@@ -199,6 +212,12 @@ type Config struct {
 	// exits non-zero before the process comes up, the NM reports the
 	// failure, and the owning ApplicationMaster must recover. 0 disables.
 	LaunchFailureProb float64
+	// NodeExpiryMs is how long the RM waits without a heartbeat before
+	// declaring a node LOST and killing its containers
+	// (yarn.nm.liveness-monitor.expiry-interval-ms). Real YARN defaults to
+	// 600 s; the simulator defaults to 10 s so failure experiments resolve
+	// within low-latency job lifetimes. <= 0 disables the monitor.
+	NodeExpiryMs int64
 	// UseVCoresAccounting makes the scheduler account vcores as well as
 	// memory. Off by default: the stock Capacity Scheduler uses the
 	// DefaultResourceCalculator, which considers memory only — the reason
@@ -226,6 +245,7 @@ func DefaultConfig() Config {
 		ColdFetchDemandMBps:      800,
 		LocalizerSetupVcoreSec:   0.02,
 		LocalCacheCapacityMB:     20480,
+		NodeExpiryMs:             10_000,
 	}
 }
 
@@ -257,6 +277,8 @@ type rmLoggers struct {
 	app   *log4j.Logger
 	cont  *log4j.Logger
 	sched *log4j.Logger
+	node  *log4j.Logger // RMNodeImpl: node state transitions
+	live  *log4j.Logger // liveliness monitor: heartbeat expiry
 }
 
 func newRMLoggers(sink *log4j.Sink, schedClass string) rmLoggers {
@@ -264,5 +286,7 @@ func newRMLoggers(sink *log4j.Sink, schedClass string) rmLoggers {
 		app:   sink.Logger(RMLogFile, ClassRMAppImpl),
 		cont:  sink.Logger(RMLogFile, ClassRMContainerImpl),
 		sched: sink.Logger(RMLogFile, schedClass),
+		node:  sink.Logger(RMLogFile, ClassRMNodeImpl),
+		live:  sink.Logger(RMLogFile, ClassLivelinessMon),
 	}
 }
