@@ -71,14 +71,33 @@ func main() {
 		write("fig4_report.html", fig4.Report.HTMLReport("Fig 4 — overall scheduling delays", 6))
 		return fig4.Format()
 	})
-	run("fig5", func() string { return experiments.FormatFig5(experiments.Fig5(short)) })
+	// Sweep figures also emit their mergeable-sketch aggregation tables:
+	// the text form alongside the figure, the full per-point/merged
+	// percentile rows as JSON when -out is set.
+	writeSweep := func(base string, t *experiments.SweepTable) string {
+		if *outDir != "" {
+			if b, err := t.JSON(); err == nil {
+				write(base+"_aggregate.json", string(b))
+			} else {
+				fmt.Fprintf(os.Stderr, "benchall: %s aggregate: %v\n", base, err)
+			}
+		}
+		return t.Format("total", "alloc", "localization")
+	}
+	run("fig5", func() string {
+		rows := experiments.Fig5(short)
+		return experiments.FormatFig5(rows) + writeSweep("fig5", experiments.Fig5Aggregate(rows))
+	})
 	run("fig6", func() string { return experiments.FormatFig6(experiments.Fig6(short)) })
 	run("fig7", func() string { return experiments.Fig7(short).Format() })
 	run("tableII", func() string { return experiments.FormatTableII(experiments.TableII()) })
 	run("fig8", func() string { return experiments.FormatFig8(experiments.Fig8(short)) })
 	run("fig9", func() string { return experiments.Fig9(short).Format() })
 	run("fig11", func() string { return experiments.Fig11(short).Format() })
-	run("fig12", func() string { return experiments.FormatFig12(experiments.Fig12(short)) })
+	run("fig12", func() string {
+		rows := experiments.Fig12(short)
+		return experiments.FormatFig12(rows) + writeSweep("fig12", experiments.Fig12Aggregate(rows))
+	})
 	run("fig13", func() string { return experiments.FormatFig13(experiments.Fig13(short)) })
 	run("tableIII", func() string {
 		if fig4 == nil {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/slo"
 )
 
 func main() {
@@ -36,9 +37,10 @@ func main() {
 		validate = flag.Bool("validate", false, "check traces for temporal consistency (clock skew, missing files)")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML report (SVG CDFs + per-app Gantt timelines) to this file")
 		follow   = flag.Bool("follow", false, "keep watching the directory for appended lines and new files, reprinting the summary on change")
-		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq> and /healthz on while tailing the directory")
+		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq>, /aggregate, /slo and /healthz on while tailing the directory")
 		retain   = flag.Int("retain", 4096, "with -serve: keep at most this many completed applications in memory (-1 = unlimited)")
 		maxApps  = flag.Int("max-apps", 16384, "with -serve: hard cap on tracked applications, complete or not — degraded logs can mint unbounded IDs (-1 = unlimited)")
+		sloFile  = flag.String("slo", "", "with -serve: SLO rule file (one `name: p99(component[, queue=Q][, node=N]) < 500ms over 5m [burn 1m]` per line)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -64,11 +66,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdchecker: -follow and -serve are mutually exclusive")
 	case (*follow || *serve != "") && outputModes > 0:
 		fmt.Fprintln(os.Stderr, "sdchecker: live modes (-follow, -serve) cannot be combined with output flags")
+	case *sloFile != "" && *serve == "":
+		fmt.Fprintln(os.Stderr, "sdchecker: -slo requires -serve")
 	case outputModes > 1:
 		fmt.Fprintln(os.Stderr, "sdchecker: choose at most one output mode")
 	default:
 		run(*dir, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
-			*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps)
+			*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps, *sloFile)
 		return
 	}
 	flag.Usage()
@@ -76,10 +80,24 @@ func main() {
 }
 
 func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
-	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int) {
+	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int, sloFile string) {
 
 	if serve != "" {
-		if err := serveDir(serve, dir, retain, maxApps); err != nil {
+		var rules []slo.Rule
+		if sloFile != "" {
+			f, err := os.Open(sloFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+				os.Exit(1)
+			}
+			rules, err = slo.ParseRules(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdchecker: %s: %v\n", sloFile, err)
+				os.Exit(1)
+			}
+		}
+		if err := serveDir(serve, dir, retain, maxApps, rules); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,16 +12,25 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/slo"
 )
 
+// healthFailThreshold is how many consecutive failed scans flip /healthz
+// to 503: one failure is usually a collector rotating files mid-walk, a
+// sustained run means the tree is gone or unreadable.
+const healthFailThreshold = 5
+
 // liveServer runs the -follow tailer behind an HTTP endpoint: the log
-// tree is polled in the background while /metrics, /apps, /trace/<seq>
-// and /healthz expose the stream's current picture. Completed
-// applications beyond the retention limit are evicted so the server can
-// tail a cluster indefinitely.
+// tree is polled in the background while /metrics, /apps, /trace/<seq>,
+// /aggregate, /slo and /healthz expose the stream's current picture.
+// Completed applications beyond the retention limit are evicted so the
+// server can tail a cluster indefinitely; the SLO engine keeps its own
+// (bounded) aggregate state, so evicting an app does not lose its delay
+// observations.
 type liveServer struct {
-	mu     sync.Mutex // guards st and sc (core.Stream is not thread-safe)
+	mu     sync.Mutex // guards st, sc and eng (none are thread-safe)
 	st     *core.Stream
+	eng    *slo.Engine
 	sc     *dirScanner
 	reg    *metrics.Registry
 	retain int
@@ -29,33 +39,76 @@ type liveServer struct {
 	// EvictCompleted alone would hold forever.
 	maxApps int
 	done    chan struct{}
+
+	// Poll health, for /healthz.
+	lastScanUnixMS int64
+	lastErr        string
+	consecFails    int
+
+	compHist map[string]*metrics.Histogram
+	firing   *metrics.Gauge
+	ingested *metrics.Gauge
 }
 
-func newLiveServer(dir string, retain, maxApps int) *liveServer {
+func newLiveServer(dir string, retain, maxApps int, rules []slo.Rule) *liveServer {
 	reg := metrics.NewRegistry()
 	st := core.NewStream()
 	st.Instrument(reg)
-	return &liveServer{
-		st:      st,
-		sc:      newDirScanner(dir, st),
-		reg:     reg,
-		retain:  retain,
-		maxApps: maxApps,
-		done:    make(chan struct{}),
+	s := &liveServer{
+		st:       st,
+		eng:      slo.NewEngine(rules),
+		sc:       newDirScanner(dir, st),
+		reg:      reg,
+		retain:   retain,
+		maxApps:  maxApps,
+		done:     make(chan struct{}),
+		compHist: make(map[string]*metrics.Histogram, len(core.Components)),
+		firing:   reg.Gauge("slo_rules_firing"),
+		ingested: reg.Gauge("slo_apps_ingested"),
 	}
+	// Component-delay histograms: exponential buckets from 1ms to ~9min
+	// cover the paper's sub-second tail and the worst degraded runs.
+	for _, c := range core.Components {
+		s.compHist[c] = reg.Histogram("core_component_delay_ms",
+			metrics.ExpBuckets(1, 2, 20), "component", c)
+	}
+	// Completed decompositions flow into the SLO engine and the
+	// component histograms. The hook runs inside Feed, which only runs
+	// under s.mu (pollOnce), so no extra locking here.
+	st.OnComplete(func(a *core.AppTrace) {
+		for _, o := range core.Observations(a) {
+			s.compHist[o.Component].Observe(float64(o.MS))
+		}
+		s.eng.ObserveApp(a)
+	})
+	return s
 }
 
-// pollOnce runs one ingestion pass: scan the tree, evict completed apps
-// beyond the retention limit, then enforce the hard memory bound.
+// pollOnce runs one ingestion pass: scan the tree, advance the SLO
+// engine's event clock to the newest log timestamp (so rules resolve
+// when their windows drain even with no new completions), evict
+// completed apps beyond the retention limit, then enforce the hard
+// memory bound.
 func (s *liveServer) pollOnce() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, err := s.sc.scan()
+	s.eng.Advance(s.st.LastEventMS())
+	s.firing.Set(int64(s.eng.FiringCount()))
+	s.ingested.Set(int64(s.eng.AppsIngested()))
 	if s.retain >= 0 {
 		s.st.EvictCompleted(s.retain)
 	}
 	if s.maxApps >= 0 {
 		s.st.EvictOldest(s.maxApps)
+	}
+	if err != nil {
+		s.consecFails++
+		s.lastErr = err.Error()
+	} else {
+		s.consecFails = 0
+		s.lastErr = ""
+		s.lastScanUnixMS = time.Now().UnixMilli()
 	}
 	return err
 }
@@ -81,6 +134,8 @@ func (s *liveServer) handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/apps", s.handleApps)
 	mux.HandleFunc("/trace/", s.handleTrace)
+	mux.HandleFunc("/aggregate", s.handleAggregate)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -124,12 +179,133 @@ func (s *liveServer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// aggregateDoc is the /aggregate response: cumulative percentile tables
+// over everything the server has ingested, at fleet granularity
+// (components), full (component, queue, node, instance) granularity
+// (rows), and worst-group callouts per component.
+type aggregateDoc struct {
+	Alpha       float64              `json:"alpha"`
+	Apps        uint64               `json:"apps_ingested"`
+	OverflowObs uint64               `json:"overflow_observations,omitempty"`
+	Components  []core.BreakdownRow  `json:"components"`
+	Rows        []core.BreakdownRow  `json:"rows"`
+	WorstNodes  map[string]worstSpot `json:"worst_nodes,omitempty"`
+	WorstQueues map[string]worstSpot `json:"worst_queues,omitempty"`
+}
+
+type worstSpot struct {
+	Name  string  `json:"name"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// handleAggregate serves the cumulative cluster breakdown. An optional
+// ?component=alloc query narrows both tables to one component.
+func (s *liveServer) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	comp := r.URL.Query().Get("component")
+	s.mu.Lock()
+	cb := s.eng.Breakdown()
+	doc := aggregateDoc{
+		Alpha:       cb.Alpha,
+		Apps:        s.eng.AppsIngested(),
+		OverflowObs: s.eng.OverflowObservations(),
+		Components:  cb.ComponentRows(),
+		Rows:        cb.Rows(),
+		WorstNodes:  make(map[string]worstSpot),
+		WorstQueues: make(map[string]worstSpot),
+	}
+	for _, c := range core.Components {
+		if comp != "" && c != comp {
+			continue
+		}
+		if n, p99, ok := core.Worst(cb.ByNode(c), 1); ok {
+			doc.WorstNodes[c] = worstSpot{Name: n, P99MS: p99}
+		}
+		if q, p99, ok := core.Worst(cb.ByQueue(c), 1); ok {
+			doc.WorstQueues[c] = worstSpot{Name: q, P99MS: p99}
+		}
+	}
+	s.mu.Unlock()
+	if comp != "" {
+		doc.Components = filterRows(doc.Components, comp)
+		doc.Rows = filterRows(doc.Rows, comp)
+	}
+	writeJSON(w, doc)
+}
+
+func filterRows(rows []core.BreakdownRow, component string) []core.BreakdownRow {
+	out := rows[:0]
+	for _, r := range rows {
+		if r.Component == component {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// sloDoc is the /slo response: every rule's current evaluation plus the
+// recorded firing/resolved transitions, all on the event clock.
+type sloDoc struct {
+	NowMS   int64            `json:"now_ms"`
+	Firing  int              `json:"firing"`
+	Rules   []slo.RuleStatus `json:"rules"`
+	History []slo.Transition `json:"history"`
+}
+
+func (s *liveServer) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	doc := sloDoc{
+		NowMS:   s.eng.Now(),
+		Firing:  s.eng.FiringCount(),
+		Rules:   s.eng.Status(),
+		History: s.eng.History(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, doc)
+}
+
+// healthDoc is the /healthz body. Status is "ok" until
+// healthFailThreshold consecutive scans fail, then "unhealthy" with 503.
+type healthDoc struct {
+	Status         string `json:"status"`
+	Events         int    `json:"events"`
+	Apps           int    `json:"apps"`
+	AppsIngested   uint64 `json:"apps_ingested"`
+	LastScanUnixMS int64  `json:"last_scan_unix_ms,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
+	ConsecFails    int    `json:"consecutive_failures,omitempty"`
+}
+
 func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	events := s.st.EventCount()
-	apps := len(s.st.Apps())
+	doc := healthDoc{
+		Status:         "ok",
+		Events:         s.st.EventCount(),
+		Apps:           len(s.st.Apps()),
+		AppsIngested:   s.eng.AppsIngested(),
+		LastScanUnixMS: s.lastScanUnixMS,
+		LastError:      s.lastErr,
+		ConsecFails:    s.consecFails,
+	}
 	s.mu.Unlock()
-	fmt.Fprintf(w, "ok events=%d apps=%d\n", events, apps)
+	code := http.StatusOK
+	if doc.ConsecFails >= healthFailThreshold {
+		doc.Status = "unhealthy"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, doc any) {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 // start listens on addr, launches the background ingestion loop, and
@@ -150,14 +326,14 @@ func (s *liveServer) close() { close(s.done) }
 
 // serveDir is the -serve entry point: tail dir forever, serving the live
 // endpoints on addr.
-func serveDir(addr, dir string, retain, maxApps int) error {
-	srv := newLiveServer(dir, retain, maxApps)
+func serveDir(addr, dir string, retain, maxApps int, rules []slo.Rule) error {
+	srv := newLiveServer(dir, retain, maxApps, rules)
 	ln, err := srv.start(addr)
 	if err != nil {
 		return err
 	}
 	defer srv.close()
-	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /healthz)\n",
-		dir, ln.Addr())
+	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /aggregate /slo /healthz; %d SLO rules)\n",
+		dir, ln.Addr(), len(rules))
 	select {} // run until interrupted
 }

@@ -5,12 +5,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/log4j"
 	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/spark"
 	"repro/internal/workload"
 )
@@ -52,7 +59,7 @@ func get(t *testing.T, url string) (int, string) {
 // endpoint while ingestion is live.
 func TestServeEndpoints(t *testing.T) {
 	dir := writeScenarioLogs(t)
-	srv := newLiveServer(dir, 1024, 16384)
+	srv := newLiveServer(dir, 1024, 16384, nil)
 	ln, err := srv.start(":0")
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +76,11 @@ func TestServeEndpoints(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("/healthz status %d", code)
 		}
-		if strings.HasPrefix(body, "ok ") && !strings.Contains(body, "apps=0") {
+		var h healthDoc
+		if err := json.Unmarshal([]byte(body), &h); err != nil {
+			t.Fatalf("/healthz is not valid JSON: %v\n%s", err, body)
+		}
+		if h.Status == "ok" && h.Apps > 0 && h.LastScanUnixMS > 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -87,6 +98,9 @@ func TestServeEndpoints(t *testing.T) {
 		"# TYPE core_stream_lines_total counter",
 		"core_stream_apps_completed",
 		"core_parser_hits_total{regex=\"rm_container\"}",
+		"# TYPE core_component_delay_ms histogram",
+		`component="total"`,
+		"slo_rules_firing 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
@@ -159,5 +173,268 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ := get(t, fmt.Sprintf("%s/healthz", base)); code != http.StatusOK {
 		t.Error("healthz broke mid-test")
+	}
+}
+
+func sloRules(t *testing.T, src string) []slo.Rule {
+	t.Helper()
+	rules, err := slo.ParseRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+// TestServeAggregateAndSLOLifecycle drives the serve stack over a
+// simulated 26-node TPC-H run: /aggregate must expose percentile tables
+// with per-queue/per-node attribution, and a tight SLO rule must
+// demonstrably fire on the run's delays and resolve once the cluster's
+// event clock moves past the rule window.
+func TestServeAggregateAndSLOLifecycle(t *testing.T) {
+	dir := writeScenarioLogs(t)
+	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
+	srv := newLiveServer(dir, 1024, 16384, rules)
+	if err := srv.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	// /aggregate: cumulative percentile tables.
+	code, body := get(t, ts.URL+"/aggregate")
+	if code != http.StatusOK {
+		t.Fatalf("/aggregate status %d", code)
+	}
+	var agg struct {
+		Alpha      float64              `json:"alpha"`
+		Apps       uint64               `json:"apps_ingested"`
+		Components []core.BreakdownRow  `json:"components"`
+		Rows       []core.BreakdownRow  `json:"rows"`
+		WorstNodes map[string]worstSpot `json:"worst_nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &agg); err != nil {
+		t.Fatalf("/aggregate is not valid JSON: %v\n%s", err, body)
+	}
+	if agg.Apps != 2 || agg.Alpha <= 0 {
+		t.Fatalf("aggregate header: %+v", agg)
+	}
+	var sawTotal, sawNodeRow bool
+	for _, r := range agg.Components {
+		if r.Component == "total" {
+			sawTotal = true
+			if r.Count != 2 || r.P50MS <= 0 || r.P99MS < r.P50MS {
+				t.Errorf("total rollup %+v", r)
+			}
+		}
+	}
+	for _, r := range agg.Rows {
+		if r.Node != "" {
+			sawNodeRow = true
+		}
+	}
+	if !sawTotal {
+		t.Error("no total component in /aggregate")
+	}
+	if !sawNodeRow {
+		t.Error("no per-node rows: node attribution did not flow through")
+	}
+	if _, ok := agg.WorstNodes["localization"]; !ok {
+		t.Errorf("no worst-node callout for localization: %+v", agg.WorstNodes)
+	}
+
+	// ?component= narrows both tables.
+	_, body = get(t, ts.URL+"/aggregate?component=alloc")
+	var filtered struct {
+		Components []core.BreakdownRow `json:"components"`
+		Rows       []core.BreakdownRow `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Rows) == 0 {
+		t.Fatal("component filter returned nothing")
+	}
+	for _, r := range append(filtered.Components, filtered.Rows...) {
+		if r.Component != "alloc" {
+			t.Fatalf("filter leaked %+v", r)
+		}
+	}
+
+	// /slo: the tight rule must be firing on real scheduling delays.
+	code, body = get(t, ts.URL+"/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo status %d", code)
+	}
+	var doc sloDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/slo is not valid JSON: %v\n%s", err, body)
+	}
+	if doc.Firing != 1 || len(doc.Rules) != 1 || doc.Rules[0].State != "firing" {
+		t.Fatalf("rule not firing: %+v", doc)
+	}
+	if len(doc.History) != 1 || doc.History[0].State != "firing" {
+		t.Fatalf("history %+v", doc.History)
+	}
+	if doc.Rules[0].ValueMS <= 1 {
+		t.Fatalf("window value %v should exceed the 1ms threshold", doc.Rules[0].ValueMS)
+	}
+
+	// The cluster keeps logging but no new delays arrive: a later RM
+	// line advances the event clock past the rule window and the alert
+	// resolves.
+	late := log4j.Line{
+		TimeMS: doc.NowMS + 10*60*1000, Level: log4j.Info, Class: "x.RMAppImpl",
+		Message: "application_1499000000000_0099 State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED",
+	}.Format()
+	if err := os.WriteFile(filepath.Join(dir, "late-rm.log"), []byte(late+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts.URL+"/slo")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Firing != 0 || doc.Rules[0].State != "ok" {
+		t.Fatalf("rule did not resolve: %+v", doc)
+	}
+	if len(doc.History) != 2 || doc.History[1].State != "ok" {
+		t.Fatalf("history after recovery %+v", doc.History)
+	}
+
+	// /metrics reflects the engine state.
+	_, body = get(t, ts.URL+"/metrics")
+	for _, want := range []string{"slo_rules_firing 0", "slo_apps_ingested 2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeHealthzDegraded checks the 503 path: a scan target that
+// disappears flips /healthz to unhealthy after enough consecutive
+// failures, and reports the last error.
+func TestServeHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	gone := filepath.Join(dir, "gone")
+	if err := os.Mkdir(gone, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srv := newLiveServer(gone, 1024, 16384, nil)
+	if err := srv.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy tree reported %d: %s", code, body)
+	}
+
+	if err := os.RemoveAll(gone); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < healthFailThreshold; i++ {
+		if err := srv.pollOnce(); err == nil {
+			t.Fatal("scan of a removed tree succeeded")
+		}
+		code, _ = get(t, ts.URL+"/healthz")
+		if i < healthFailThreshold-1 && code != http.StatusOK {
+			t.Fatalf("degraded after only %d failures", i+1)
+		}
+	}
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d after %d failures, want 503", code, healthFailThreshold)
+	}
+	var h healthDoc
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "unhealthy" || h.LastError == "" || h.ConsecFails < healthFailThreshold {
+		t.Fatalf("health doc %+v", h)
+	}
+
+	// Recovery: restore the tree, one good scan resets the counter.
+	if err := os.Mkdir(gone, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.pollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ = get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz did not recover: %d", code)
+	}
+}
+
+// TestServeConcurrentScrapes hammers every read endpoint while the
+// ingestion path is feeding the stream, under -race in CI. Reported
+// ingestion counts must be monotonically non-decreasing across scrapes.
+func TestServeConcurrentScrapes(t *testing.T) {
+	dir := writeScenarioLogs(t)
+	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
+	srv := newLiveServer(dir, 1024, 16384, rules)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := srv.pollOnce(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for _, ep := range []string{"/metrics", "/aggregate", "/slo", "/apps"} {
+		wg.Add(1)
+		go func(ep string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				code, _ := get(t, ts.URL+ep)
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("%s returned %d", ep, code)
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev uint64
+		for i := 0; i < 25; i++ {
+			_, body := get(t, ts.URL+"/healthz")
+			var h healthDoc
+			if err := json.Unmarshal([]byte(body), &h); err != nil {
+				errc <- fmt.Errorf("healthz JSON: %v", err)
+				return
+			}
+			if h.AppsIngested < prev {
+				errc <- fmt.Errorf("apps_ingested went backwards: %d -> %d", prev, h.AppsIngested)
+				return
+			}
+			prev = h.AppsIngested
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// After the dust settles the engine saw both applications.
+	_, body := get(t, ts.URL+"/healthz")
+	var h healthDoc
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.AppsIngested != 2 {
+		t.Fatalf("apps_ingested = %d, want 2", h.AppsIngested)
 	}
 }

@@ -12,11 +12,13 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/spark"
 	"repro/internal/workload"
 )
@@ -33,6 +35,17 @@ func main() {
 	stream := core.NewStream()
 	stream.Instrument(s.Metrics)
 	feeder := core.NewSinkFeeder(stream, s.Sink)
+
+	// Completed decompositions roll into the SLO engine, exactly as
+	// `sdchecker -serve -slo rules.txt` wires them. The tight rule is
+	// meant to fire on any realistic run; watch it in the alert log.
+	rules, err := slo.ParseRules(strings.NewReader(
+		"demo-total-p95: p95(total) < 5s over 2m\n"))
+	if err != nil {
+		panic(err)
+	}
+	engine := slo.NewEngine(rules)
+	stream.OnComplete(engine.ObserveApp)
 
 	for slice := 1; slice <= 6; slice++ {
 		s.Eng.RunUntil(sim.Time(int64(slice) * 10_000))
@@ -67,6 +80,28 @@ func main() {
 	rep := stream.Report()
 	fmt.Printf("  %d apps, total p50=%.1fs p95=%.1fs, in/total=%.2f\n",
 		len(rep.Apps), rep.Total.Median()/1000, rep.Total.P95()/1000, rep.InOverTotal.Median())
+
+	// Cluster breakdown: the same mergeable-sketch tables `-serve`
+	// renders on /aggregate — per-component percentiles plus the worst
+	// node by localization tail.
+	engine.Advance(stream.LastEventMS())
+	cb := engine.Breakdown()
+	fmt.Println("\ncluster breakdown (from the SLO engine's sketches):")
+	fmt.Printf("  %-14s %6s %9s %9s %9s\n", "component", "count", "p50ms", "p95ms", "p99ms")
+	for _, row := range cb.ComponentRows() {
+		fmt.Printf("  %-14s %6d %9.0f %9.0f %9.0f\n",
+			row.Component, row.Count, row.P50MS, row.P95MS, row.P99MS)
+	}
+	if node, p99, ok := core.Worst(cb.ByNode("localization"), 1); ok {
+		fmt.Printf("  worst node by localization p99: %s (%.0fms)\n", node, p99)
+	}
+	fmt.Println("\nSLO status:")
+	for _, st := range engine.Status() {
+		fmt.Printf("  [%s] %s (value %.0fms over %d samples)\n", st.State, st.Expr, st.ValueMS, st.WindowCount)
+	}
+	for _, tr := range engine.History() {
+		fmt.Printf("  %s -> %s at t=%dms (value %.0fms)\n", tr.Rule, tr.State, tr.AtMS, tr.ValueMS)
+	}
 
 	// The registry holds simulator, YARN and stream series side by side —
 	// the same snapshot `sdchecker -serve` renders on /metrics.

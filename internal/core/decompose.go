@@ -7,10 +7,13 @@ import "fmt"
 // log messages were absent (e.g. an application that never ran a task).
 const Missing int64 = -1
 
-// ContainerDelay is one per-container delay observation.
+// ContainerDelay is one per-container delay observation. Node carries the
+// container's host binding so cluster-level aggregation can slice
+// per-node ("" when the logs held no binding).
 type ContainerDelay struct {
 	Container string
 	Instance  InstanceType
+	Node      string
 	MS        int64
 }
 
@@ -130,16 +133,16 @@ func Decompose(a *AppTrace) *Decomposition {
 	for _, c := range a.Containers {
 		id := c.ID.String()
 		if v := diff(c.Acquired, c.Allocated); v >= 0 {
-			d.Acquisitions = append(d.Acquisitions, ContainerDelay{id, c.Instance, v})
+			d.Acquisitions = append(d.Acquisitions, ContainerDelay{id, c.Instance, c.Node, v})
 		}
 		if v := diff(c.Scheduled, c.Localizing); v >= 0 {
-			d.Localizations = append(d.Localizations, ContainerDelay{id, c.Instance, v})
+			d.Localizations = append(d.Localizations, ContainerDelay{id, c.Instance, c.Node, v})
 		}
 		if v := diff(c.Running, c.Scheduled); v >= 0 && c.OppQueuedAt == 0 {
-			d.Launchings = append(d.Launchings, ContainerDelay{id, c.Instance, v})
+			d.Launchings = append(d.Launchings, ContainerDelay{id, c.Instance, c.Node, v})
 		}
 		if v := diff(c.LaunchInvoked, c.Scheduled); v >= 0 {
-			d.Queueings = append(d.Queueings, ContainerDelay{id, c.Instance, v})
+			d.Queueings = append(d.Queueings, ContainerDelay{id, c.Instance, c.Node, v})
 		}
 	}
 

@@ -51,6 +51,7 @@ const (
 	TaskFirstLog  // first log line of a non-Spark (MapReduce) container
 	AppSubmitted0 // submission summary line: application name/type/queue
 	ContLost      // RMContainerImpl KILLED — container lost to node failure
+	ContAssigned  // scheduler "Assigned container ... on host" — node binding
 )
 
 // kindNames indexes Kind for display.
@@ -77,6 +78,7 @@ var kindNames = map[Kind]string{
 	TaskFirstLog:      "FIRST_LOG(task)",
 	AppSubmitted0:     "APP_SUMMARY",
 	ContLost:          "LOST",
+	ContAssigned:      "ASSIGNED",
 }
 
 // String names the kind.
@@ -125,6 +127,10 @@ type Event struct {
 	// Name, AppType and Queue are set on APP_SUMMARY events, mined from
 	// the RM's submission line.
 	Name, AppType, Queue string
+	// Node is the host a container-level event was observed on: the
+	// scheduler's "Assigned container ... on host" binding for ASSIGNED
+	// events, or the NodeManager whose log file the event came from.
+	Node string
 }
 
 // String renders the event for debugging and graph dumps.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/digest"
 	"repro/internal/stats"
 )
 
@@ -39,6 +40,7 @@ th{background:#eee} td:first-child,th:first-child{text-align:left}
 	}
 
 	r.htmlSummaryTable(&b)
+	r.htmlClusterBreakdown(&b)
 	r.htmlCDFChart(&b)
 	r.htmlInstanceChart(&b)
 	r.htmlGantts(&b, maxGantt)
@@ -66,6 +68,72 @@ func (r *Report) htmlSummaryTable(b *strings.Builder) {
 			template.HTMLEscapeString(sm.Name), sm.Count, sm.Mean, sm.StdDev, sm.P50, sm.P95, sm.P99, sm.Max)
 	}
 	b.WriteString("</table>\n")
+}
+
+// htmlClusterBreakdown renders the fleet-level view: per-component
+// percentile rollups from the mergeable sketches, per-queue and per-node
+// tables for the headline components, and worst-queue / worst-node
+// callouts (the drift a production operator watches for).
+func (r *Report) htmlClusterBreakdown(b *strings.Builder) {
+	cb := r.Breakdown()
+	rows := cb.ComponentRows()
+	if len(rows) == 0 {
+		return
+	}
+	b.WriteString("<h2>Cluster breakdown (quantile sketches)</h2>\n")
+
+	writeRows := func(header string, rs []BreakdownRow, label func(BreakdownRow) string) {
+		fmt.Fprintf(b, "<table>\n<tr><th>%s</th><th>n</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n",
+			template.HTMLEscapeString(header))
+		for _, rw := range rs {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.1f</td><td>%.1f</td><td>%.1f</td><td>%.1f</td><td>%.1f</td></tr>\n",
+				template.HTMLEscapeString(label(rw)), rw.Count, rw.MeanMS, rw.P50MS, rw.P95MS, rw.P99MS, rw.MaxMS)
+		}
+		b.WriteString("</table>\n")
+	}
+	writeRows("component (ms)", rows, func(rw BreakdownRow) string { return rw.Component })
+
+	// Worst-node / worst-queue callouts over the headline components.
+	var callouts []string
+	for _, comp := range []string{"total", "localization", "launching"} {
+		if n, p99, ok := Worst(cb.ByNode(comp), 2); ok {
+			callouts = append(callouts, fmt.Sprintf("worst node for %s: <b>%s</b> (p99 %.0f ms)",
+				comp, template.HTMLEscapeString(n), p99))
+		}
+		if q, p99, ok := Worst(cb.ByQueue(comp), 2); ok {
+			callouts = append(callouts, fmt.Sprintf("worst queue for %s: <b>%s</b> (p99 %.0f ms)",
+				comp, template.HTMLEscapeString(q), p99))
+		}
+	}
+	if len(callouts) > 0 {
+		b.WriteString("<p>" + strings.Join(callouts, " &middot; ") + "</p>\n")
+	}
+
+	// Per-queue and per-node tables for the total scheduling delay.
+	dims := []struct {
+		title  string
+		groups map[string]*digest.Sketch
+	}{
+		{"queue (total delay, ms)", cb.ByQueue("total")},
+		{"node (localization delay, ms)", cb.ByNode("localization")},
+	}
+	for _, dim := range dims {
+		names := make([]string, 0, len(dim.groups))
+		for g := range dim.groups {
+			if g != "" {
+				names = append(names, g)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		sort.Strings(names)
+		grs := make([]BreakdownRow, 0, len(names))
+		for _, g := range names {
+			grs = append(grs, row("", "", g, "", dim.groups[g]))
+		}
+		writeRows(dim.title, grs, func(rw BreakdownRow) string { return rw.Node })
+	}
 }
 
 // cdfColors are the series colors of the Fig-4a-style chart.

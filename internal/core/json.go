@@ -45,6 +45,7 @@ type jsonSegment struct {
 type jsonContainer struct {
 	ID            string `json:"id"`
 	Instance      string `json:"instance,omitempty"`
+	Node          string `json:"node,omitempty"`
 	Allocated     int64  `json:"allocated_ms,omitempty"`
 	Acquired      int64  `json:"acquired_ms,omitempty"`
 	Localizing    int64  `json:"localizing_ms,omitempty"`
@@ -85,6 +86,7 @@ func (r *Report) JSON() (string, error) {
 			ja.Container = append(ja.Container, jsonContainer{
 				ID:            c.ID.String(),
 				Instance:      string(c.Instance),
+				Node:          c.Node,
 				Allocated:     c.Allocated,
 				Acquired:      c.Acquired,
 				Localizing:    c.Localizing,

@@ -82,7 +82,7 @@ func (w *warnSet) render() []string {
 var regexNames = []string{
 	"app_summary", "app_state", "rm_container", "nm_container",
 	"launch_invoked", "opp_queued", "register", "start_allo", "end_allo",
-	"first_task", "first_log",
+	"first_task", "first_log", "assigned",
 }
 
 // parserMetrics are the parser's observability hooks (shared across the
@@ -141,8 +141,14 @@ var (
 	reFirstTask = regexp.MustCompile(`Got assigned task (\d+)`)
 
 	reContainerInPath = regexp.MustCompile(`container_\d+_\d+_\d+_\d+`)
+	// reNodeInPath recovers the NodeManager host from its daemon log file
+	// name (yarn.NodeManager writes hadoop/yarn-nodemanager-<node>.log).
+	reNodeInPath = regexp.MustCompile(`yarn-nodemanager-(.+)\.log$`)
 
 	reAppSummary = regexp.MustCompile(`Application (application_\d+_\d+) submitted: name=(\S+) type=(\S+) queue=(\S+)`)
+	// reAssigned mines the scheduler's container-to-host binding, the only
+	// RM-side source of per-node attribution.
+	reAssigned = regexp.MustCompile(`Assigned container (container_\d+_\d+_\d+_\d+) .*on host (\S+)`)
 )
 
 // NewParser returns an empty parser.
@@ -232,6 +238,15 @@ func (p *Parser) parseDaemonLog(name string, r io.Reader) error {
 	return sc.Err()
 }
 
+// nodeFromPath derives the NodeManager host from a daemon log path, or
+// "" for RM/other logs.
+func nodeFromPath(name string) string {
+	if m := reNodeInPath.FindStringSubmatch(name); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
 func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 	msg := line.Message
 	if m := reAppSummary.FindStringSubmatch(msg); m != nil {
@@ -311,20 +326,27 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 		default:
 			return
 		}
-		p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: nodeFromPath(name)})
 		return
 	}
 	if m := reInvoke.FindStringSubmatch(msg); m != nil {
 		p.hit("launch_invoked")
 		if cid, err := ids.ParseContainerID(m[1]); err == nil {
-			p.emit(Event{Kind: LaunchInvoked, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+			p.emit(Event{Kind: LaunchInvoked, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: nodeFromPath(name)})
 		}
 		return
 	}
 	if m := reOppQueue.FindStringSubmatch(msg); m != nil {
 		p.hit("opp_queued")
 		if cid, err := ids.ParseContainerID(m[1]); err == nil {
-			p.emit(Event{Kind: OppQueued, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+			p.emit(Event{Kind: OppQueued, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: nodeFromPath(name)})
+		}
+		return
+	}
+	if m := reAssigned.FindStringSubmatch(msg); m != nil {
+		p.hit("assigned")
+		if cid, err := ids.ParseContainerID(m[1]); err == nil {
+			p.emit(Event{Kind: ContAssigned, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: m[2]})
 		}
 	}
 }

@@ -33,8 +33,16 @@ type Stream struct {
 	// decomposition (the Complete predicate), feeding the in-flight /
 	// completed gauges and the eviction policy.
 	completed map[ids.AppID]bool
-	met       *streamMetrics
-	pmet      *parserMetrics
+	// notified tracks apps whose completion hook already fired, so each
+	// application is delivered downstream exactly once even if later
+	// lines flip its Complete flag back and forth.
+	notified   map[ids.AppID]bool
+	onComplete func(*AppTrace)
+	// lastMS is the max event timestamp absorbed — the stream's event
+	// clock, which downstream SLO evaluation advances on.
+	lastMS int64
+	met    *streamMetrics
+	pmet   *parserMetrics
 }
 
 // streamMetrics are the stream's observability hooks; nil until
@@ -75,8 +83,18 @@ func NewStream() *Stream {
 		firstLogSeen: make(map[ids.ContainerID]bool),
 		eventsByApp:  make(map[ids.AppID][]Event),
 		completed:    make(map[ids.AppID]bool),
+		notified:     make(map[ids.AppID]bool),
 	}
 }
+
+// OnComplete registers a hook called the first time an application's
+// decomposition becomes fully observable (the Complete predicate) — the
+// feed point for cluster-level aggregation and SLO evaluation. The hook
+// runs synchronously inside Feed with the freshly rebuilt trace; it must
+// not call back into the stream. Each application is delivered at most
+// once, even if degraded later input turns its decomposition partial and
+// complete again. Pass nil to remove the hook.
+func (s *Stream) OnComplete(fn func(*AppTrace)) { s.onComplete = fn }
 
 // Feed consumes one raw log line from the given source path. Unparseable
 // lines are ignored, like the offline parser does. It returns true when
@@ -153,6 +171,9 @@ func (s *Stream) absorb(evs []Event) bool {
 		s.eventsByApp[e.App] = append(s.eventsByApp[e.App], e)
 		dirty[e.App] = true
 		s.total++
+		if e.TimeMS > s.lastMS {
+			s.lastMS = e.TimeMS
+		}
 	}
 	// Rebuild only the touched applications from their own buckets —
 	// feeds stay O(events of one app), independent of stream length.
@@ -161,6 +182,12 @@ func (s *Stream) absorb(evs []Event) bool {
 			Decompose(a)
 			s.apps[a.ID] = a
 			s.completed[a.ID] = s.Complete(a.ID)
+			if s.completed[a.ID] && !s.notified[a.ID] {
+				s.notified[a.ID] = true
+				if s.onComplete != nil {
+					s.onComplete(a)
+				}
+			}
 		}
 	}
 	if s.met != nil {
@@ -188,6 +215,10 @@ func (s *Stream) updateAppGauges() {
 
 // EventCount returns the number of scheduling events absorbed so far.
 func (s *Stream) EventCount() int { return s.total }
+
+// LastEventMS returns the latest event timestamp absorbed so far (0
+// before any event) — the stream's event clock.
+func (s *Stream) LastEventMS() int64 { return s.lastMS }
 
 // App returns the live trace for one application, or nil.
 func (s *Stream) App(id ids.AppID) *AppTrace { return s.apps[id] }
@@ -236,6 +267,7 @@ func (s *Stream) Forget(id ids.AppID) {
 	delete(s.apps, id)
 	delete(s.eventsByApp, id)
 	delete(s.completed, id)
+	delete(s.notified, id)
 	for cid := range s.firstLogSeen {
 		if cid.App == id {
 			delete(s.firstLogSeen, cid)

@@ -12,6 +12,15 @@ import (
 // timestamp order (as a live collector would see it).
 func streamFeedCorpus(t *testing.T, cs corpus) *Stream {
 	t.Helper()
+	s := NewStream()
+	streamFeedInto(t, s, cs)
+	return s
+}
+
+// streamFeedInto feeds the corpus into an existing stream (so tests can
+// register hooks before the first line arrives).
+func streamFeedInto(t *testing.T, s *Stream, cs corpus) {
+	t.Helper()
 	type stamped struct {
 		src  string
 		line string
@@ -28,11 +37,9 @@ func streamFeedCorpus(t *testing.T, cs corpus) *Stream {
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].ms < all[j].ms })
-	s := NewStream()
 	for _, e := range all {
 		s.Feed(e.src, e.line)
 	}
-	return s
 }
 
 func TestStreamMatchesOfflineAnalysis(t *testing.T) {
@@ -122,4 +129,37 @@ func mustAppID(t *testing.T, s string) ids.AppID {
 		t.Fatal(err)
 	}
 	return parsed
+}
+
+func TestStreamOnCompleteFiresOnce(t *testing.T) {
+	s := NewStream()
+	var got []*AppTrace
+	s.OnComplete(func(a *AppTrace) { got = append(got, a) })
+	streamFeedInto(t, s, buildSparkCorpus())
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times, want 1", len(got))
+	}
+	if d := got[0].Decomp; d == nil || !d.Complete {
+		t.Fatal("hook delivered an incomplete trace")
+	}
+	// Replaying lines rebuilds the app but must not re-deliver it.
+	streamFeedInto(t, s, buildSparkCorpus())
+	if len(got) != 1 {
+		t.Fatalf("hook fired %d times after replay, want 1", len(got))
+	}
+}
+
+func TestStreamOnCompleteAfterForget(t *testing.T) {
+	// Forget drops the delivery record: if the same app is fed again
+	// (e.g. a server restarted its scan), it is delivered again — the
+	// aggregation layer owns cross-restart dedup, not the stream.
+	s := NewStream()
+	fired := 0
+	s.OnComplete(func(*AppTrace) { fired++ })
+	streamFeedInto(t, s, buildSparkCorpus())
+	s.Forget(mustAppID(t, "application_1499000000000_0001"))
+	streamFeedInto(t, s, buildSparkCorpus())
+	if fired != 2 {
+		t.Fatalf("hook fired %d times across forget, want 2", fired)
+	}
 }

@@ -12,6 +12,10 @@ import (
 type ContainerTrace struct {
 	ID       ids.ContainerID
 	Instance InstanceType
+	// Node is the host the container was bound to, mined from the
+	// scheduler's ASSIGNED line or the NodeManager log the container's
+	// NM-side transitions appeared in ("" when neither was collected).
+	Node string
 
 	Allocated     int64 // RMContainerImpl -> ALLOCATED  (msg 4)
 	Acquired      int64 // RMContainerImpl -> ACQUIRED   (msg 5)
@@ -172,6 +176,9 @@ func Correlate(events []Event) []*AppTrace {
 		}
 		c := getC(a, e.Container)
 		c.Events = append(c.Events, e)
+		if c.Node == "" && e.Node != "" {
+			c.Node = e.Node
+		}
 		switch e.Kind {
 		case ContAllocated:
 			setOnce(&c.Allocated, e.TimeMS)

@@ -1,0 +1,73 @@
+package digest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The sketch sits on the per-completed-app hot path of -serve (every
+// component observation of every app lands in several keyed sketches),
+// so Add, Quantile, Merge and the wire encoding are benchmarked and kept
+// in CI's bench smoke step.
+
+func benchValues(n int) []float64 {
+	r := rand.New(rand.NewSource(1))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Exp(r.NormFloat64()*1.5 + 4)
+	}
+	return vals
+}
+
+func BenchmarkAdd(b *testing.B) {
+	vals := benchValues(1024)
+	s := New(DefaultAlpha)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vals[i&1023])
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	s := New(DefaultAlpha)
+	for _, v := range benchValues(100_000) {
+		s.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	shard := New(DefaultAlpha)
+	for _, v := range benchValues(10_000) {
+		shard.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := New(DefaultAlpha)
+		if err := acc.Merge(shard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalRoundtrip(b *testing.B) {
+	s := New(DefaultAlpha)
+	for _, v := range benchValues(10_000) {
+		s.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := s.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back Sketch
+		if err := back.UnmarshalBinary(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

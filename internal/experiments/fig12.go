@@ -14,10 +14,14 @@ import (
 // dfsIO map tasks, each writing 20 GB into HDFS.
 var Fig12Levels = []int{0, 25, 50, 100}
 
-// Fig12Row is one interference level's result (foreground queries only).
+// Fig12Row is one interference level's result (foreground queries
+// only). TotalP95Sec comes from the mergeable cluster sketch (same
+// source as the sweep table and /aggregate); the component Summaries
+// stay sample-exact.
 type Fig12Row struct {
 	InterferenceMaps int
 	Report           *core.Report
+	Breakdown        *core.ClusterBreakdown
 
 	TotalP95Sec  float64
 	InP95Sec     float64
@@ -51,10 +55,12 @@ func Fig12(queriesPerPoint int) []Fig12Row {
 		fg := rep.Filter(func(a *core.AppTrace) bool {
 			return a.ID.String() != interferenceID
 		})
+		bd := fg.Breakdown()
 		rows = append(rows, Fig12Row{
 			InterferenceMaps: maps,
 			Report:           fg,
-			TotalP95Sec:      msToSec(fg.Total.P95()),
+			Breakdown:        bd,
+			TotalP95Sec:      msToSec(bd.Component("total").Quantile(0.95)),
 			InP95Sec:         msToSec(fg.In.P95()),
 			OutP95Sec:        msToSec(fg.Out.P95()),
 			Localization:     fg.Localization.Summarize(fmt.Sprintf("local@%d", maps)),

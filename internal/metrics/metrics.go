@@ -36,6 +36,26 @@ const (
 // DefBuckets are general-purpose millisecond-latency bucket upper bounds.
 var DefBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
 
+// ExpBuckets returns n exponentially spaced bucket upper bounds:
+// start, start*factor, ..., start*factor^(n-1). DefBuckets bottoms out at
+// 1 ms, far too coarse for localization/launching delays that live in
+// the sub-millisecond range on a warm cluster; component-delay
+// histograms use e.g. ExpBuckets(0.25, 2, 20) to cover 0.25 ms .. ~2 min
+// with constant relative resolution. start must be > 0, factor > 1, and
+// n >= 1 (programming errors panic, matching the registry's style).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%v, %v, %d) out of domain", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
 // Counter is a monotonically increasing value.
 type Counter struct {
 	v atomic.Int64

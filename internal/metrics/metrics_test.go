@@ -173,3 +173,48 @@ func TestTypeMismatchPanics(t *testing.T) {
 	r.Counter("m")
 	r.Gauge("m")
 }
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.25, 2, 6)
+	want := []float64{0.25, 0.5, 1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len=%d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d]=%v want %v", i, got[i], want[i])
+		}
+	}
+	if one := ExpBuckets(5, 10, 1); len(one) != 1 || one[0] != 5 {
+		t.Errorf("n=1: %v", one)
+	}
+
+	// Sub-millisecond observations must be distinguishable, unlike with
+	// DefBuckets whose first bound is 1 ms.
+	r := NewRegistry()
+	h := r.Histogram("fine_ms", ExpBuckets(0.25, 2, 8))
+	h.Observe(0.3)
+	h.Observe(0.9)
+	snap := r.Snapshot()[0]
+	if snap.Buckets[1].Count != 1 || snap.Buckets[2].Count != 2 {
+		t.Errorf("sub-ms observations not separated: %+v", snap.Buckets)
+	}
+}
+
+func TestExpBucketsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		start, factor float64
+		n             int
+	}{
+		{0, 2, 4}, {-1, 2, 4}, {1, 1, 4}, {1, 0.5, 4}, {1, 2, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v,%v,%d) did not panic", tc.start, tc.factor, tc.n)
+				}
+			}()
+			ExpBuckets(tc.start, tc.factor, tc.n)
+		}()
+	}
+}
