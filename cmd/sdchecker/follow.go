@@ -7,26 +7,64 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/metrics"
 )
 
-// dirScanner tails a log directory tree into a core.Stream: each scan
+// ingestStream is the live-ingestion surface shared by the serial
+// core.Stream and the parallel core.ShardedStream, so -follow and
+// -serve run unchanged at any -workers setting.
+type ingestStream interface {
+	Feed(source, rawLine string) bool
+	Quiesce()
+	Close()
+	Report() *core.Report
+	Apps() []*core.AppTrace
+	App(id ids.AppID) *core.AppTrace
+	Complete(id ids.AppID) bool
+	EventCount() int
+	LastEventMS() int64
+	EvictCompleted(keep int) int
+	EvictOldest(max int) int
+	Forget(id ids.AppID)
+	OnComplete(fn func(*core.AppTrace))
+	Instrument(reg *metrics.Registry)
+}
+
+// newIngestStream picks the ingestion engine for a worker count: 0
+// means GOMAXPROCS, 1 means the serial stream, anything higher the
+// sharded stream. Both render byte-identical reports for the same
+// lines, so the choice is purely a throughput knob.
+func newIngestStream(workers int) ingestStream {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return core.NewStream()
+	}
+	return core.NewShardedStream(workers)
+}
+
+// dirScanner tails a log directory tree into an ingestStream: each scan
 // feeds bytes appended since the previous one (and any newly created
 // files). It is the shared ingestion engine of -follow and -serve.
 type dirScanner struct {
 	dir     string
-	st      *core.Stream
+	st      ingestStream
 	offsets map[string]int64
 }
 
-func newDirScanner(dir string, st *core.Stream) *dirScanner {
+func newDirScanner(dir string, st ingestStream) *dirScanner {
 	return &dirScanner{dir: dir, st: st, offsets: make(map[string]int64)}
 }
 
 // scan walks the tree once, feeding every new line. It reports whether
-// any line produced scheduling events.
+// any line was fed (with a sharded stream, absorption is asynchronous —
+// Quiesce and compare EventCount to learn whether events were produced).
 func (s *dirScanner) scan() (changed bool, err error) {
 	werr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -50,19 +88,24 @@ func (s *dirScanner) scan() (changed bool, err error) {
 }
 
 // followDir is the live mode: it scans the log tree once, then polls for
-// appended bytes and newly created files, feeding every new line into a
-// core.Stream and reprinting the summary whenever the picture changed.
-// It runs until the process is interrupted.
-func followDir(dir string) error {
-	sc := newDirScanner(dir, core.NewStream())
+// appended bytes and newly created files, feeding every new line into
+// the ingestion stream and reprinting the summary whenever new
+// scheduling events were absorbed. It runs until the process is
+// interrupted.
+func followDir(dir string, workers int) error {
+	st := newIngestStream(workers)
+	defer st.Close()
+	sc := newDirScanner(dir, st)
 	fmt.Printf("sdchecker: following %s (interrupt to stop)\n", dir)
+	lastEvents := -1
 	for {
-		changed, err := sc.scan()
-		if err != nil {
+		if _, err := sc.scan(); err != nil {
 			return err
 		}
-		if changed {
-			rep := sc.st.Report()
+		st.Quiesce()
+		if n := st.EventCount(); n != lastEvents {
+			lastEvents = n
+			rep := st.Report()
 			fmt.Printf("\n--- %s ---\n%s", time.Now().Format("15:04:05"), rep.Format())
 		}
 		time.Sleep(time.Second)
@@ -70,7 +113,7 @@ func followDir(dir string) error {
 }
 
 // drainFile feeds any bytes appended since the recorded offset. It
-// returns whether new scheduling events were produced.
+// reports whether any line was fed.
 func (s *dirScanner) drainFile(path, rel string) (bool, error) {
 	info, err := os.Stat(path)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 func main() {
 	var (
 		dir      = flag.String("dir", "", "log directory tree to analyze (required)")
+		workers  = flag.Int("workers", 0, "parse/ingest worker goroutines (0 = GOMAXPROCS, 1 = serial); output is byte-identical at any setting")
 		graph    = flag.Int("graph", 0, "print the scheduling graph (ASCII) for the app with this sequence number")
 		path     = flag.Int("path", 0, "print the scheduling critical path for the app with this sequence number")
 		dot      = flag.Int("dot", 0, "print the scheduling graph (Graphviz DOT) for the app with this sequence number")
@@ -71,7 +72,7 @@ func main() {
 	case outputModes > 1:
 		fmt.Fprintln(os.Stderr, "sdchecker: choose at most one output mode")
 	default:
-		run(*dir, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
+		run(*dir, *workers, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
 			*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps, *sloFile)
 		return
 	}
@@ -79,7 +80,7 @@ func main() {
 	os.Exit(2)
 }
 
-func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
+func run(dir string, workers, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
 	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int, sloFile string) {
 
 	if serve != "" {
@@ -97,26 +98,25 @@ func run(dir string, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bo
 				os.Exit(1)
 			}
 		}
-		if err := serveDir(serve, dir, retain, maxApps, rules); err != nil {
+		if err := serveDir(serve, dir, workers, retain, maxApps, rules); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if follow {
-		if err := followDir(dir); err != nil {
+		if err := followDir(dir, workers); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	checker := core.New()
-	if err := checker.AddDir(dir); err != nil {
+	rep, err := core.MineDir(dir, workers)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 		os.Exit(1)
 	}
-	rep := checker.Analyze()
 
 	if htmlOut != "" {
 		html := rep.HTMLReport("SDchecker report: "+dir, 8)

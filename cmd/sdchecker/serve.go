@@ -28,9 +28,8 @@ const healthFailThreshold = 5
 // (bounded) aggregate state, so evicting an app does not lose its delay
 // observations.
 type liveServer struct {
-	mu     sync.Mutex // guards st, sc and eng (none are thread-safe)
-	st     *core.Stream
-	eng    *slo.Engine
+	mu     sync.Mutex // guards st and sc; taken before obsMu when both are needed
+	st     ingestStream
 	sc     *dirScanner
 	reg    *metrics.Registry
 	retain int
@@ -40,19 +39,28 @@ type liveServer struct {
 	maxApps int
 	done    chan struct{}
 
-	// Poll health, for /healthz.
+	// obsMu guards eng. With -workers > 1 the completion hook runs on
+	// shard worker goroutines while HTTP handlers read the engine, so
+	// the engine needs its own lock — and one the hook can take without
+	// touching mu (pollOnce holds mu across Quiesce, which waits for
+	// those very hooks to finish).
+	obsMu sync.Mutex
+	eng   *slo.Engine
+
+	// Poll health, for /healthz (guarded by mu).
 	lastScanUnixMS int64
 	lastErr        string
 	consecFails    int
 
 	compHist map[string]*metrics.Histogram
+	scanDur  *metrics.Histogram
 	firing   *metrics.Gauge
 	ingested *metrics.Gauge
 }
 
-func newLiveServer(dir string, retain, maxApps int, rules []slo.Rule) *liveServer {
+func newLiveServer(dir string, workers, retain, maxApps int, rules []slo.Rule) *liveServer {
 	reg := metrics.NewRegistry()
-	st := core.NewStream()
+	st := newIngestStream(workers)
 	st.Instrument(reg)
 	s := &liveServer{
 		st:       st,
@@ -63,6 +71,8 @@ func newLiveServer(dir string, retain, maxApps int, rules []slo.Rule) *liveServe
 		maxApps:  maxApps,
 		done:     make(chan struct{}),
 		compHist: make(map[string]*metrics.Histogram, len(core.Components)),
+		scanDur: reg.Histogram("serve_scan_duration_ms",
+			metrics.ExpBuckets(1, 2, 16)),
 		firing:   reg.Gauge("slo_rules_firing"),
 		ingested: reg.Gauge("slo_apps_ingested"),
 	}
@@ -73,29 +83,38 @@ func newLiveServer(dir string, retain, maxApps int, rules []slo.Rule) *liveServe
 			metrics.ExpBuckets(1, 2, 20), "component", c)
 	}
 	// Completed decompositions flow into the SLO engine and the
-	// component histograms. The hook runs inside Feed, which only runs
-	// under s.mu (pollOnce), so no extra locking here.
+	// component histograms. With a sharded stream the hook runs on
+	// worker goroutines: histograms are thread-safe, the engine is
+	// guarded by obsMu.
 	st.OnComplete(func(a *core.AppTrace) {
 		for _, o := range core.Observations(a) {
 			s.compHist[o.Component].Observe(float64(o.MS))
 		}
+		s.obsMu.Lock()
 		s.eng.ObserveApp(a)
+		s.obsMu.Unlock()
 	})
 	return s
 }
 
-// pollOnce runs one ingestion pass: scan the tree, advance the SLO
-// engine's event clock to the newest log timestamp (so rules resolve
-// when their windows drain even with no new completions), evict
-// completed apps beyond the retention limit, then enforce the hard
-// memory bound.
+// pollOnce runs one ingestion pass: scan the tree, wait for the workers
+// to absorb everything, advance the SLO engine's event clock to the
+// newest log timestamp (so rules resolve when their windows drain even
+// with no new completions), evict completed apps beyond the retention
+// limit, then enforce the hard memory bound.
 func (s *liveServer) pollOnce() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
 	_, err := s.sc.scan()
-	s.eng.Advance(s.st.LastEventMS())
+	s.st.Quiesce()
+	s.scanDur.Observe(float64(time.Since(start).Milliseconds()))
+	clock := s.st.LastEventMS()
+	s.obsMu.Lock()
+	s.eng.Advance(clock)
 	s.firing.Set(int64(s.eng.FiringCount()))
 	s.ingested.Set(int64(s.eng.AppsIngested()))
+	s.obsMu.Unlock()
 	if s.retain >= 0 {
 		s.st.EvictCompleted(s.retain)
 	}
@@ -202,7 +221,7 @@ type worstSpot struct {
 // ?component=alloc query narrows both tables to one component.
 func (s *liveServer) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	comp := r.URL.Query().Get("component")
-	s.mu.Lock()
+	s.obsMu.Lock()
 	cb := s.eng.Breakdown()
 	doc := aggregateDoc{
 		Alpha:       cb.Alpha,
@@ -224,7 +243,7 @@ func (s *liveServer) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			doc.WorstQueues[c] = worstSpot{Name: q, P99MS: p99}
 		}
 	}
-	s.mu.Unlock()
+	s.obsMu.Unlock()
 	if comp != "" {
 		doc.Components = filterRows(doc.Components, comp)
 		doc.Rows = filterRows(doc.Rows, comp)
@@ -252,14 +271,14 @@ type sloDoc struct {
 }
 
 func (s *liveServer) handleSLO(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.obsMu.Lock()
 	doc := sloDoc{
 		NowMS:   s.eng.Now(),
 		Firing:  s.eng.FiringCount(),
 		Rules:   s.eng.Status(),
 		History: s.eng.History(),
 	}
-	s.mu.Unlock()
+	s.obsMu.Unlock()
 	writeJSON(w, doc)
 }
 
@@ -281,12 +300,14 @@ func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Status:         "ok",
 		Events:         s.st.EventCount(),
 		Apps:           len(s.st.Apps()),
-		AppsIngested:   s.eng.AppsIngested(),
 		LastScanUnixMS: s.lastScanUnixMS,
 		LastError:      s.lastErr,
 		ConsecFails:    s.consecFails,
 	}
 	s.mu.Unlock()
+	s.obsMu.Lock()
+	doc.AppsIngested = s.eng.AppsIngested()
+	s.obsMu.Unlock()
 	code := http.StatusOK
 	if doc.ConsecFails >= healthFailThreshold {
 		doc.Status = "unhealthy"
@@ -321,13 +342,18 @@ func (s *liveServer) start(addr string) (net.Listener, error) {
 	return ln, nil
 }
 
-// close stops the ingestion loop.
-func (s *liveServer) close() { close(s.done) }
+// close stops the ingestion loop and the stream's worker goroutines.
+func (s *liveServer) close() {
+	close(s.done)
+	s.mu.Lock()
+	s.st.Close()
+	s.mu.Unlock()
+}
 
 // serveDir is the -serve entry point: tail dir forever, serving the live
 // endpoints on addr.
-func serveDir(addr, dir string, retain, maxApps int, rules []slo.Rule) error {
-	srv := newLiveServer(dir, retain, maxApps, rules)
+func serveDir(addr, dir string, workers, retain, maxApps int, rules []slo.Rule) error {
+	srv := newLiveServer(dir, workers, retain, maxApps, rules)
 	ln, err := srv.start(addr)
 	if err != nil {
 		return err

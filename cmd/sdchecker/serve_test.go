@@ -59,7 +59,7 @@ func get(t *testing.T, url string) (int, string) {
 // endpoint while ingestion is live.
 func TestServeEndpoints(t *testing.T) {
 	dir := writeScenarioLogs(t)
-	srv := newLiveServer(dir, 1024, 16384, nil)
+	srv := newLiveServer(dir, 4, 1024, 16384, nil)
 	ln, err := srv.start(":0")
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +193,8 @@ func sloRules(t *testing.T, src string) []slo.Rule {
 func TestServeAggregateAndSLOLifecycle(t *testing.T) {
 	dir := writeScenarioLogs(t)
 	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
-	srv := newLiveServer(dir, 1024, 16384, rules)
+	srv := newLiveServer(dir, 4, 1024, 16384, rules)
+	defer srv.close()
 	if err := srv.pollOnce(); err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,8 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if err := os.Mkdir(gone, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	srv := newLiveServer(gone, 1024, 16384, nil)
+	srv := newLiveServer(gone, 4, 1024, 16384, nil)
+	defer srv.close()
 	if err := srv.pollOnce(); err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,8 @@ func TestServeHealthzDegraded(t *testing.T) {
 func TestServeConcurrentScrapes(t *testing.T) {
 	dir := writeScenarioLogs(t)
 	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
-	srv := newLiveServer(dir, 1024, 16384, rules)
+	srv := newLiveServer(dir, 4, 1024, 16384, rules)
+	defer srv.close()
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -436,5 +439,42 @@ func TestServeConcurrentScrapes(t *testing.T) {
 	}
 	if h.AppsIngested != 2 {
 		t.Fatalf("apps_ingested = %d, want 2", h.AppsIngested)
+	}
+}
+
+// TestServeWorkersByteIdentical pins the -workers contract end to end on
+// the serve scan loop: two servers tailing the same tree, one serial and
+// one with four shard workers, must expose byte-identical /apps JSON.
+func TestServeWorkersByteIdentical(t *testing.T) {
+	dir := writeScenarioLogs(t)
+	serial := newLiveServer(dir, 1, 1024, 16384, nil)
+	defer serial.close()
+	sharded := newLiveServer(dir, 4, 1024, 16384, nil)
+	defer sharded.close()
+	for _, srv := range []*liveServer{serial, sharded} {
+		if err := srv.pollOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts1 := httptest.NewServer(serial.handler())
+	defer ts1.Close()
+	ts4 := httptest.NewServer(sharded.handler())
+	defer ts4.Close()
+	_, body1 := get(t, ts1.URL+"/apps")
+	_, body4 := get(t, ts4.URL+"/apps")
+	if body1 != body4 {
+		t.Fatal("/apps diverges between -workers 1 and -workers 4")
+	}
+	if body1 == "" || body1 == "null\n" {
+		t.Fatalf("empty /apps body: %q", body1)
+	}
+
+	// The cumulative aggregates (fed through the completion hook on
+	// worker goroutines) must agree as well.
+	_, agg1 := get(t, ts1.URL+"/aggregate")
+	_, agg4 := get(t, ts4.URL+"/aggregate")
+	if agg1 != agg4 {
+		t.Fatal("/aggregate diverges between -workers 1 and -workers 4")
 	}
 }

@@ -50,6 +50,21 @@ func TestGolden(t *testing.T) {
 			if !bytes.Equal([]byte(got+"\n"), want) {
 				t.Errorf("%s: JSON output drifted from golden file; rerun with -update and review the diff", c.Name())
 			}
+			// The parallel miner must hit the same goldens byte for byte
+			// at any worker count.
+			for _, w := range []int{2, 5} {
+				prep, err := MineDir(filepath.Join(root, c.Name(), "input"), w)
+				if err != nil {
+					t.Fatalf("MineDir(workers=%d): %v", w, err)
+				}
+				pgot, err := prep.JSON()
+				if err != nil {
+					t.Fatalf("parallel JSON (workers=%d): %v", w, err)
+				}
+				if !bytes.Equal([]byte(pgot+"\n"), want) {
+					t.Errorf("%s: MineDir(workers=%d) JSON diverges from golden file", c.Name(), w)
+				}
+			}
 			// The faulted tree must mine into flagged partial
 			// decompositions, never silently complete ones.
 			if c.Name() == "faulted" {

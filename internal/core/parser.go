@@ -56,6 +56,21 @@ func (w *warnSet) add(msg string) {
 	w.count[msg] = 1
 }
 
+// absorb replays another set's occurrences into w in their original
+// order, so merging per-file warn sets file by file reproduces what one
+// serial parser over the same files would have kept. The only divergence
+// is a single file with more than maxDistinctWarnings distinct messages:
+// its own overflow was already collapsed into a suppression count, which
+// carries over as-is (display-only; reports never serialize warnings).
+func (w *warnSet) absorb(o *warnSet) {
+	for _, msg := range o.order {
+		for i := o.count[msg]; i > 0; i-- {
+			w.add(msg)
+		}
+	}
+	w.suppressed += o.suppressed
+}
+
 // render flattens the set back to display strings, annotating repeats
 // and the suppressed overflow.
 func (w *warnSet) render() []string {

@@ -57,14 +57,11 @@ type streamMetrics struct {
 	evicted   *metrics.Counter // apps forgotten/evicted
 }
 
-// Instrument registers the stream's line/event counters and app gauges in
-// reg, plus the shared parser counters every per-line parser reports to.
-// Call once, before feeding; a nil registry is a no-op.
-func (s *Stream) Instrument(reg *metrics.Registry) {
-	if reg == nil {
-		return
-	}
-	s.met = &streamMetrics{
+// newStreamMetrics registers the stream-level counters and gauges; the
+// serial Stream and the ShardedStream expose the same metric names so
+// dashboards work against either ingestion path.
+func newStreamMetrics(reg *metrics.Registry) *streamMetrics {
+	return &streamMetrics{
 		lines:     reg.Counter("core_stream_lines_total"),
 		matched:   reg.Counter("core_stream_lines_matched_total"),
 		dropped:   reg.Counter("core_stream_lines_dropped_total"),
@@ -73,6 +70,16 @@ func (s *Stream) Instrument(reg *metrics.Registry) {
 		completed: reg.Gauge("core_stream_apps_completed"),
 		evicted:   reg.Counter("core_stream_apps_evicted_total"),
 	}
+}
+
+// Instrument registers the stream's line/event counters and app gauges in
+// reg, plus the shared parser counters every per-line parser reports to.
+// Call once, before feeding; a nil registry is a no-op.
+func (s *Stream) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.met = newStreamMetrics(reg)
 	s.pmet = newParserMetrics(reg)
 }
 
@@ -128,6 +135,36 @@ func (s *Stream) feed(source, rawLine string) bool {
 		return false
 	}
 	return s.absorb(p.Events())
+}
+
+// absorbRouted ingests pre-parsed events routed to this stream by a
+// ShardedStream worker, applying the same stateful dedup rules feed
+// applies: one FIRST_LOG per container, one FIRST_TASK per container.
+// It returns how many events were absorbed after dedup.
+func (s *Stream) absorbRouted(evs []Event) int {
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		switch e.Kind {
+		case DriverFirstLog, ExecutorFirstLog, TaskFirstLog:
+			if !e.Container.IsZero() {
+				if s.firstLogSeen[e.Container] {
+					continue
+				}
+				s.firstLogSeen[e.Container] = true
+			}
+		case FirstTask:
+			if a := s.apps[e.App]; a != nil {
+				if c := a.Container(e.Container); c != nil && c.FirstTask != 0 {
+					continue
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	if !s.absorb(out) {
+		return 0
+	}
+	return len(out)
 }
 
 // feedContainerLine handles container stderr lines: the first parseable
@@ -223,25 +260,41 @@ func (s *Stream) LastEventMS() int64 { return s.lastMS }
 // App returns the live trace for one application, or nil.
 func (s *Stream) App(id ids.AppID) *AppTrace { return s.apps[id] }
 
-// Apps returns the live traces ordered by submission sequence.
+// Apps returns the live traces ordered by submission sequence (ties —
+// possible only when garbage input mints several cluster timestamps —
+// broken by cluster timestamp, so the order is deterministic).
 func (s *Stream) Apps() []*AppTrace {
 	out := make([]*AppTrace, 0, len(s.apps))
 	for _, a := range s.apps {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Seq < out[j].ID.Seq })
+	sortTracesBySeq(out)
 	return out
 }
 
+// Quiesce is a no-op on the serial stream — Feed absorbs synchronously.
+// It exists so Stream and ShardedStream satisfy the same ingestion
+// interface.
+func (s *Stream) Quiesce() {}
+
+// Close is a no-op on the serial stream — there are no worker
+// goroutines to stop. It exists for interface symmetry with
+// ShardedStream.
+func (s *Stream) Close() {}
+
 // Report snapshots the current state into a full report (aggregates +
-// bug detection), like Checker.Analyze but reusable mid-stream.
+// bug detection), like Checker.Analyze but reusable mid-stream. Events
+// are gathered per application in submission order and stable-sorted by
+// timestamp, so the report is deterministic for a given set of feeds —
+// and identical to what a ShardedStream fed the same lines reports.
 func (s *Stream) Report() *Report {
+	apps := s.Apps()
 	all := make([]Event, 0, s.total)
-	for _, evs := range s.eventsByApp {
-		all = append(all, evs...)
+	for _, a := range apps {
+		all = append(all, s.eventsByApp[a.ID]...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].TimeMS < all[j].TimeMS })
-	return ReportFrom(s.Apps(), all)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].TimeMS < all[j].TimeMS })
+	return ReportFrom(apps, all)
 }
 
 // Complete reports whether an application's headline decomposition is
@@ -296,7 +349,7 @@ func (s *Stream) EvictCompleted(keep int) int {
 	if len(done) <= keep {
 		return 0
 	}
-	sort.Slice(done, func(i, j int) bool { return done[i].Seq < done[j].Seq })
+	sortAppIDsBySeq(done)
 	victims := done[:len(done)-keep]
 	for _, id := range victims {
 		s.Forget(id)
@@ -317,10 +370,31 @@ func (s *Stream) EvictOldest(max int) int {
 	for id := range s.apps {
 		all = append(all, id)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	sortAppIDsBySeq(all)
 	victims := all[:len(all)-max]
 	for _, id := range victims {
 		s.Forget(id)
 	}
 	return len(victims)
+}
+
+// sortAppIDsBySeq orders application IDs by submission sequence, ties
+// (distinct cluster timestamps, garbage input only) by cluster timestamp.
+func sortAppIDsBySeq(a []ids.AppID) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].Seq != a[j].Seq {
+			return a[i].Seq < a[j].Seq
+		}
+		return a[i].ClusterTS < a[j].ClusterTS
+	})
+}
+
+// sortTracesBySeq orders traces the same way sortAppIDsBySeq orders IDs.
+func sortTracesBySeq(out []*AppTrace) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Seq != out[j].ID.Seq {
+			return out[i].ID.Seq < out[j].ID.Seq
+		}
+		return out[i].ID.ClusterTS < out[j].ID.ClusterTS
+	})
 }

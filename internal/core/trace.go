@@ -218,9 +218,11 @@ func Correlate(events []Event) []*AppTrace {
 
 	out := make([]*AppTrace, 0, len(apps))
 	for _, a := range apps {
-		sort.Slice(a.Containers, func(i, j int) bool { return a.Containers[i].ID.Num < a.Containers[j].ID.Num })
+		// Stable: containers sharing a number (AM retries across attempts)
+		// keep first-observation order, so output is deterministic.
+		sort.SliceStable(a.Containers, func(i, j int) bool { return a.Containers[i].ID.Num < a.Containers[j].ID.Num })
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Seq < out[j].ID.Seq })
+	sortTracesBySeq(out)
 	return out
 }

@@ -37,8 +37,12 @@ func Fig12(queriesPerPoint int) []Fig12Row {
 	if queriesPerPoint <= 0 {
 		queriesPerPoint = 120
 	}
-	rows := make([]Fig12Row, 0, len(Fig12Levels))
-	for _, maps := range Fig12Levels {
+	// Interference levels are independent simulations; run them
+	// concurrently, each writing its own row (interferenceID is
+	// per-iteration state, confined to that point's goroutine).
+	rows := make([]Fig12Row, len(Fig12Levels))
+	concurrently(len(Fig12Levels), func(i int) {
+		maps := Fig12Levels[i]
 		tr := DefaultTraceRun(queriesPerPoint)
 		tr.Seed = 61 + uint64(maps)
 		var interferenceID string
@@ -56,7 +60,7 @@ func Fig12(queriesPerPoint int) []Fig12Row {
 			return a.ID.String() != interferenceID
 		})
 		bd := fg.Breakdown()
-		rows = append(rows, Fig12Row{
+		rows[i] = Fig12Row{
 			InterferenceMaps: maps,
 			Report:           fg,
 			Breakdown:        bd,
@@ -66,8 +70,8 @@ func Fig12(queriesPerPoint int) []Fig12Row {
 			Localization:     fg.Localization.Summarize(fmt.Sprintf("local@%d", maps)),
 			Executor:         fg.Executor.Summarize(fmt.Sprintf("exec@%d", maps)),
 			AM:               fg.AM.Summarize(fmt.Sprintf("am@%d", maps)),
-		})
-	}
+		}
+	})
 	return rows
 }
 

@@ -40,8 +40,11 @@ func Fig5(queriesPerSize int) []Fig5Row {
 	if queriesPerSize <= 0 {
 		queriesPerSize = 200
 	}
-	rows := make([]Fig5Row, 0, len(Fig5Sizes))
-	for _, size := range Fig5Sizes {
+	// Sweep points are independent simulations; run them concurrently,
+	// each writing its own row so the table order stays fixed.
+	rows := make([]Fig5Row, len(Fig5Sizes))
+	concurrently(len(Fig5Sizes), func(i int) {
+		size := Fig5Sizes[i]
 		tr := DefaultTraceRun(queriesPerSize)
 		tr.DatasetMB = size
 		tr.Seed = 7 + uint64(size)
@@ -50,7 +53,7 @@ func Fig5(queriesPerSize int) []Fig5Row {
 		tr.DeadlineSec = int64(float64(queriesPerSize)*tr.MeanGapMs/1000 + 4*bodySec + 600)
 		_, rep := tr.Run()
 		bd := rep.Breakdown()
-		rows = append(rows, Fig5Row{
+		rows[i] = Fig5Row{
 			DatasetMB:    size,
 			Report:       rep,
 			Breakdown:    bd,
@@ -60,8 +63,8 @@ func Fig5(queriesPerSize int) []Fig5Row {
 			NormTotalP95: rep.TotalOverJob.P95(),
 			InP95Sec:     msToSec(rep.In.P95()),
 			OutP95Sec:    msToSec(rep.Out.P95()),
-		})
-	}
+		}
+	})
 	return rows
 }
 

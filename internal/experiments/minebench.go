@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/log4j"
+)
+
+// MineBenchRow is one worker count's wall-clock measurement over the
+// same log tree (best of several runs).
+type MineBenchRow struct {
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// MineBenchResult is the parallel-mining scaling table benchall emits as
+// bench_mine.json: how long SDchecker takes to mine one generated log
+// tree at increasing worker counts. Identical reports at every row is a
+// precondition (checked), so the table measures pure parsing
+// parallelism.
+type MineBenchResult struct {
+	Queries     int            `json:"queries"`
+	FilesParsed int            `json:"files_parsed"`
+	LinesParsed int            `json:"lines_parsed"`
+	Apps        int            `json:"apps"`
+	Rows        []MineBenchRow `json:"rows"`
+}
+
+// MineBench generates a TPC-H trace's log tree once, then times the
+// parallel miner over it at each worker count (nil = 1, 2, 4, 8),
+// verifying on the way that every parallel report is byte-identical to
+// the serial one. queries <= 0 uses a small default.
+func MineBench(queries int, workerCounts []int) *MineBenchResult {
+	if queries <= 0 {
+		queries = 60
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	tr := DefaultTraceRun(queries)
+	tr.Seed = 97
+	s, _ := tr.Run()
+
+	ref, refJSON := mineRef(s.Sink)
+	res := &MineBenchResult{Queries: queries, Apps: len(ref.Apps)}
+	res.FilesParsed, res.LinesParsed = ref.FilesParsed, ref.LinesParsed
+
+	var serialMS float64
+	for _, w := range workerCounts {
+		const reps = 3
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			rep, ms := timeMineMS(s.Sink, w)
+			if r == 0 {
+				got, err := rep.JSON()
+				if err != nil || got != refJSON {
+					panic(fmt.Sprintf("experiments: MineBench workers=%d diverges from serial report (err=%v)", w, err))
+				}
+			}
+			if r == 0 || ms < best {
+				best = ms
+			}
+		}
+		if w == workerCounts[0] {
+			serialMS = best
+		}
+		row := MineBenchRow{Workers: w, WallMS: best}
+		if serialMS > 0 {
+			row.Speedup = serialMS / best
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// mineRef produces the serial reference report and its rendered JSON.
+func mineRef(sink *log4j.Sink) (*core.Report, string) {
+	rep, err := core.MineSink(sink, 1)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: MineBench: %v", err))
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: MineBench JSON: %v", err))
+	}
+	return rep, out
+}
+
+func timeMineMS(sink *log4j.Sink, workers int) (*core.Report, float64) {
+	start := time.Now()
+	rep, err := core.MineSink(sink, workers)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: MineBench: %v", err))
+	}
+	return rep, float64(time.Since(start).Microseconds()) / 1000
+}
+
+// Format renders the scaling table.
+func (r *MineBenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel mining — %d queries, %d files, %d lines, %d apps (reports byte-identical at every worker count):\n",
+		r.Queries, r.FilesParsed, r.LinesParsed, r.Apps)
+	fmt.Fprintf(&b, "  %-8s %12s %10s\n", "workers", "wall (ms)", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8d %12.1f %9.2fx\n", row.Workers, row.WallMS, row.Speedup)
+	}
+	return b.String()
+}
+
+// JSON renders the result for bench_mine.json.
+func (r *MineBenchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchTree lazily generates one log tree on disk, shared by every
+// mining benchmark so they all measure the same input. A plain temp dir
+// rather than b.TempDir: the latter is torn down when the first
+// benchmark that created it returns, stranding the others.
+var benchTree struct {
+	once  sync.Once
+	dir   string
+	err   error
+	lines int
+}
+
+func benchTreeDir(b *testing.B) string {
+	benchTree.once.Do(func() {
+		tr := DefaultTraceRun(24)
+		tr.Seed = 97
+		s, _ := tr.Run()
+		dir, err := os.MkdirTemp("", "sdchecker-minebench-")
+		if err == nil {
+			err = s.Sink.WriteDir(dir)
+		}
+		benchTree.dir, benchTree.err = dir, err
+		benchTree.lines = s.Sink.TotalLines()
+	})
+	if benchTree.err != nil {
+		b.Fatalf("writing bench tree: %v", benchTree.err)
+	}
+	return benchTree.dir
+}
+
+func benchmarkMine(b *testing.B, workers int) {
+	dir := benchTreeDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.MineDir(dir, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Apps) == 0 {
+			b.Fatal("bench tree mined no applications")
+		}
+	}
+	b.ReportMetric(float64(benchTree.lines), "lines/op")
+}
+
+func BenchmarkMineSerial(b *testing.B)    { benchmarkMine(b, 1) }
+func BenchmarkMineParallel2(b *testing.B) { benchmarkMine(b, 2) }
+func BenchmarkMineParallel4(b *testing.B) { benchmarkMine(b, 4) }
+func BenchmarkMineParallel8(b *testing.B) { benchmarkMine(b, 8) }
+
+// TestMineBench smoke-tests the benchall scaling table on a tiny trace:
+// rows present, wall times positive, reports verified identical inside
+// MineBench itself (it panics on divergence).
+func TestMineBench(t *testing.T) {
+	res := MineBench(6, []int{1, 2})
+	if len(res.Rows) != 2 || res.Apps == 0 || res.LinesParsed == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	for _, r := range res.Rows {
+		if r.WallMS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	if _, err := res.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty format")
+	}
+}

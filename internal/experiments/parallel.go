@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// concurrently runs f(0) .. f(n-1) on up to GOMAXPROCS goroutines and
+// waits for all of them. Sweep points (Fig5 sizes, Fig12 interference
+// levels) are independent simulations, so they parallelize trivially;
+// each f writes only its own row, keeping output order deterministic.
+func concurrently(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -121,14 +121,15 @@ func (s *Scenario) Run(deadline sim.Time) sim.Time {
 	return s.Eng.RunUntil(deadline)
 }
 
-// Check runs SDchecker over everything the scenario logged.
+// Check runs SDchecker over everything the scenario logged, parsing log
+// files on GOMAXPROCS workers (byte-identical to a serial analysis).
 func (s *Scenario) Check() *core.Report {
-	c := core.New()
-	if err := c.AddSink(s.Sink); err != nil {
+	rep, err := core.MineSink(s.Sink, 0)
+	if err != nil {
 		// The sink is in-memory; a parse error here is a harness bug.
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	return c.Analyze()
+	return rep
 }
 
 // msToSec converts a millisecond stat to seconds for display.
