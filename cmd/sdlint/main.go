@@ -1,0 +1,149 @@
+// Command sdlint runs the repository's static-analysis suite: the
+// emitter↔miner log-vocabulary contract (Table I), simulation
+// determinism, lock ordering, Prometheus metric naming, and
+// completion-hook discipline. See internal/analysis.
+//
+//	sdlint ./...                 # analyze the whole tree
+//	sdlint -only logvocab ./...  # one analyzer
+//	sdlint -json ./...           # machine-readable findings
+//	sdlint -list                 # describe the suite
+//
+// Exit status is 1 when any unsuppressed finding remains, 2 on driver
+// errors; //lint:allow <analyzer> <reason> suppresses a reviewed
+// finding at its line (or the line above).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings and the summary as one JSON object")
+		only    = flag.String("only", "", "comma-separated analyzer subset (see -list)")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		dir     = flag.String("dir", ".", "module directory to analyze from")
+		vocab   = flag.String("vocab", "", "override the embedded vocab.json manifest (testing)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "sdlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	start := time.Now()
+	prog, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+		os.Exit(2)
+	}
+	unit := &analysis.Unit{Prog: prog, Analyzers: analyzers, VocabPath: *vocab}
+	findings := unit.Run()
+	errors := analysis.Errors(findings)
+
+	cwd, _ := os.Getwd()
+	rel := func(path string) string {
+		if cwd == "" {
+			return path
+		}
+		if r, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return path
+	}
+
+	if *jsonOut {
+		out := struct {
+			Packages   int                `json:"packages"`
+			Findings   []analysis.Finding `json:"findings"`
+			Errors     int                `json:"errors"`
+			Suppressed int                `json:"suppressed"`
+			OK         bool               `json:"ok"`
+		}{
+			Packages:   len(prog.Packages),
+			Findings:   findings,
+			Errors:     len(errors),
+			Suppressed: len(findings) - len(errors),
+			OK:         len(errors) == 0,
+		}
+		for i := range out.Findings {
+			out.Findings[i].File = rel(out.Findings[i].File)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
+			os.Exit(2)
+		}
+		if len(errors) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, f := range findings {
+		f.File = rel(f.File)
+		fmt.Println(f.String())
+	}
+
+	// benchall-style per-analyzer summary.
+	counts := make(map[string][2]int) // analyzer -> {errors, suppressed}
+	for _, f := range findings {
+		c := counts[f.Analyzer]
+		if f.Suppressed {
+			c[1]++
+		} else {
+			c[0]++
+		}
+		counts[f.Analyzer] = c
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := counts[name]
+		status := "ok"
+		if c[0] > 0 {
+			status = "FAIL"
+		}
+		fmt.Printf("=== %-12s %-4s  %d finding(s), %d suppressed\n", name, status, c[0], c[1])
+	}
+	fmt.Printf("sdlint: %d package(s), %d finding(s) (%d suppressed) in %.1fs\n",
+		len(prog.Packages), len(errors), len(findings)-len(errors), time.Since(start).Seconds())
+
+	if len(errors) > 0 {
+		os.Exit(1)
+	}
+}

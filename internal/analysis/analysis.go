@@ -1,0 +1,242 @@
+// Package analysis implements sdlint, a static-analysis suite that
+// enforces the contracts the compiler cannot see: the emitter↔miner log
+// vocabulary (Table I), simulation determinism, lock ordering, metric
+// naming, and completion-hook discipline.
+//
+// The design mirrors golang.org/x/tools/go/analysis — an Analyzer runs
+// over one type-checked package (a Pass) and reports Diagnostics — but is
+// built entirely on the standard library so the repository carries no
+// external dependency: packages are loaded with `go list -export` and
+// type-checked against the toolchain's export data (see loader.go).
+//
+// Two extensions over the x/tools model:
+//
+//   - Cross-package analyses. The log-vocabulary contract spans the
+//     emitting packages and the miner; an Analyzer may declare a Finish
+//     hook that runs once after every package's Run, with access to all
+//     passes, to do whole-program reporting.
+//
+//   - Source-level suppressions. A `//lint:allow <analyzer> <reason>`
+//     comment on the diagnosed line (or the line above it) marks a
+//     finding as reviewed-and-accepted; suppressed findings are counted
+//     but do not fail the build. The reason is mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run analyzes one package and reports package-local findings via
+	// pass.Reportf. It may return a value that Finish (if any) will see
+	// in Pass.Result — typically an extraction of the package's facts.
+	Run func(pass *Pass)
+
+	// Finish, if non-nil, runs once per analysis run after every
+	// package's Run completed, for whole-program checks (e.g. matching
+	// emitter templates against miner regexes across packages).
+	Finish func(unit *Unit)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	unit     *Unit
+
+	// Result stashes whatever Run wants Finish to see for this package.
+	Result any
+}
+
+// Fset returns the run-wide file set (positions are comparable across
+// packages).
+func (p *Pass) Fset() *token.FileSet { return p.unit.Prog.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type information. It is always
+// non-nil, but may be partial if the package had type errors.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.unit.report(p.Analyzer.Name, p.Pkg, p.Fset().Position(pos), fmt.Sprintf(format, args...))
+}
+
+// Unit is one whole analysis run: a loaded program crossed with a set of
+// analyzers, accumulating findings.
+type Unit struct {
+	Prog      *Program
+	Analyzers []*Analyzer
+
+	// VocabPath optionally overrides the embedded vocabulary manifest
+	// (fixtures carry their own vocab.json).
+	VocabPath string
+
+	passes   []*Pass
+	findings []Finding
+}
+
+// Finding is one reported diagnostic, resolved to a concrete position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+
+	// Suppressed marks findings acknowledged by a //lint:allow
+	// directive; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"suppress_reason,omitempty"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	return s
+}
+
+// Passes returns every pass of one analyzer (by name), in package load
+// order. Finish hooks use it to gather per-package extractions.
+func (u *Unit) Passes(analyzer string) []*Pass {
+	var out []*Pass
+	for _, p := range u.passes {
+		if p.Analyzer.Name == analyzer {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ReportAt records a whole-program finding at an explicit position (used
+// by Finish hooks; pos may name a non-Go file such as vocab.json).
+func (u *Unit) ReportAt(analyzer, file string, line int, format string, args ...any) {
+	u.report(analyzer, nil, token.Position{Filename: file, Line: line}, fmt.Sprintf(format, args...))
+}
+
+func (u *Unit) report(analyzer string, pkg *Package, pos token.Position, msg string) {
+	f := Finding{
+		Analyzer: analyzer,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Message:  msg,
+	}
+	if pkg != nil {
+		f.Package = pkg.PkgPath
+		if reason, ok := pkg.allowed(analyzer, pos); ok {
+			f.Suppressed, f.Reason = true, reason
+		}
+	}
+	u.findings = append(u.findings, f)
+}
+
+// Run executes every analyzer over every package, then the Finish hooks,
+// and returns the findings sorted by position.
+func (u *Unit) Run() []Finding {
+	for _, a := range u.Analyzers {
+		for _, pkg := range u.Prog.Packages {
+			pass := &Pass{Analyzer: a, Pkg: pkg, unit: u}
+			u.passes = append(u.passes, pass)
+			if a.Run != nil {
+				a.Run(pass)
+			}
+		}
+	}
+	for _, a := range u.Analyzers {
+		if a.Finish != nil {
+			a.Finish(u)
+		}
+	}
+	sort.SliceStable(u.findings, func(i, j int) bool {
+		a, b := u.findings[i], u.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return u.findings
+}
+
+// Errors returns the unsuppressed findings of a finished run.
+func Errors(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseAllowDirectives scans a file's comments for //lint:allow
+// directives. A directive with no reason is itself a finding (reported by
+// the driver as analyzer "lint"), so the map value keeps the raw text.
+func parseAllowDirectives(fset *token.FileSet, f *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+			if !ok {
+				continue
+			}
+			name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+			out = append(out, allowDirective{
+				line:     fset.Position(c.Pos()).Line,
+				analyzer: name,
+				reason:   strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+// allowed reports whether a finding of analyzer a at pos is covered by a
+// //lint:allow directive on the same line or the line immediately above.
+func (p *Package) allowed(analyzer string, pos token.Position) (string, bool) {
+	for _, d := range p.allows[pos.Filename] {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			reason := d.reason
+			if reason == "" {
+				reason = "(no reason given)"
+			}
+			return reason, true
+		}
+	}
+	return "", false
+}

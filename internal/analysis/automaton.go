@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"regexp/syntax"
+	"sort"
+	"strings"
+)
+
+// This file implements the shared token automaton behind the logvocab
+// analyzer. Both sides of the vocabulary contract are regular languages:
+//
+//   - an emitter template ("Invoking launch script for container %s")
+//     denotes the set of log messages the call site can produce, obtained
+//     by mapping each fmt verb to the sub-language of its renderings;
+//
+//   - a miner regex (reInvoke in internal/core/parser.go) denotes the set
+//     of messages SDchecker will extract, as a substring match.
+//
+// Compiling both to NFAs (regexp/syntax progs) and walking their product
+// decides, without running anything, whether a regex can ever fire on an
+// emitted line — the languages intersect — or whether drift has made one
+// side unreachable from the other.
+
+// verbLang maps a fmt verb to a regular expression over its possible
+// renderings. The mapping is deliberately broad (every actual rendering
+// must be inside the language; extra strings only make the intersection
+// test more permissive, never flakier).
+func verbLang(verb byte) string {
+	switch verb {
+	case 'd', 'b', 'o':
+		return `-?\d+`
+	case 'x', 'X':
+		return `-?[0-9a-fA-F]+`
+	case 'f', 'F', 'e', 'E', 'g', 'G':
+		return `-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?`
+	case 't':
+		return `(?:true|false)`
+	case 'c':
+		return `.`
+	default: // s, v, q, U, p, T and anything exotic
+		return `.+`
+	}
+}
+
+// TemplateToRegexp converts a fmt format string into an anchored regular
+// expression denoting every message the template can render. Literal text
+// is quoted; verbs become verbLang classes.
+func TemplateToRegexp(format string) string {
+	var b strings.Builder
+	b.WriteString(`\A(?s:`)
+	lit := func(s string) { b.WriteString(regexp.QuoteMeta(s)) }
+	for i := 0; i < len(format); {
+		c := format[i]
+		if c != '%' {
+			j := strings.IndexByte(format[i:], '%')
+			if j < 0 {
+				lit(format[i:])
+				i = len(format)
+				continue
+			}
+			lit(format[i : i+j])
+			i += j
+			continue
+		}
+		// Scan one verb: %[flags][width][.precision][verb].
+		j := i + 1
+		for j < len(format) && strings.IndexByte("+-# 0123456789.[]*", format[j]) >= 0 {
+			j++
+		}
+		if j >= len(format) {
+			lit(format[i:])
+			break
+		}
+		verb := format[j]
+		if verb == '%' {
+			lit("%")
+		} else {
+			b.WriteString("(?:")
+			b.WriteString(verbLang(verb))
+			b.WriteString(")")
+		}
+		i = j + 1
+	}
+	b.WriteString(`)\z`)
+	return b.String()
+}
+
+// Automaton is a compiled NFA over one regular language.
+type Automaton struct {
+	prog *syntax.Prog
+	src  string
+}
+
+// CompileTemplate builds the automaton of a fmt template's renderings
+// (anchored: the whole message).
+func CompileTemplate(format string) (*Automaton, error) {
+	return compileAutomaton(TemplateToRegexp(format))
+}
+
+// CompileMinerRegex builds the automaton of the messages a miner regex
+// fires on. Miner regexes search (regexp.MatchString semantics), so the
+// language is wrapped unanchored: any message containing a match.
+func CompileMinerRegex(expr string) (*Automaton, error) {
+	return compileAutomaton(`(?s:.*(?:` + expr + `).*)`)
+}
+
+func compileAutomaton(expr string) (*Automaton, error) {
+	re, err := syntax.Parse(expr, syntax.Perl)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: automaton: %v", err)
+	}
+	prog, err := syntax.Compile(re.Simplify())
+	if err != nil {
+		return nil, fmt.Errorf("analysis: automaton: %v", err)
+	}
+	return &Automaton{prog: prog, src: expr}, nil
+}
+
+// maxProductStates bounds the product walk. The miner regexes and
+// templates compile to a few dozen instructions each, so real products
+// stay tiny; on pathological blowup the test conservatively reports
+// "intersects" (no false alarm).
+const maxProductStates = 50_000
+
+// Intersects reports whether the two languages share at least one string
+// — the decision procedure behind both directions of the vocabulary
+// check. It walks the product of the two NFAs breadth-first, stepping
+// both sides with representative runes drawn from the boundaries of
+// their rune classes.
+func (a *Automaton) Intersects(b *Automaton) bool {
+	sa := a.closure(map[uint32]bool{uint32(a.prog.Start): true})
+	sb := b.closure(map[uint32]bool{uint32(b.prog.Start): true})
+
+	type pair struct{ ka, kb string }
+	start := pair{stateKey(sa), stateKey(sb)}
+	seen := map[pair]bool{start: true}
+	type node struct {
+		sa, sb map[uint32]bool
+	}
+	queue := []node{{sa, sb}}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if a.accepting(n.sa) && b.accepting(n.sb) {
+			return true
+		}
+		if len(seen) > maxProductStates {
+			return true // give up conservatively
+		}
+		for _, r := range representatives(a.runeInsts(n.sa), b.runeInsts(n.sb)) {
+			na := a.step(n.sa, r)
+			if len(na) == 0 {
+				continue
+			}
+			nb := b.step(n.sb, r)
+			if len(nb) == 0 {
+				continue
+			}
+			na, nb = a.closure(na), b.closure(nb)
+			p := pair{stateKey(na), stateKey(nb)}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, node{na, nb})
+			}
+		}
+	}
+	return false
+}
+
+// closure expands a state set across non-consuming instructions. Empty-
+// width assertions (^ $ \b) are treated as epsilon: the automaton
+// over-approximates, which can only make the vocabulary check more
+// lenient, never report a false mismatch.
+func (a *Automaton) closure(set map[uint32]bool) map[uint32]bool {
+	var stack []uint32
+	for pc := range set {
+		stack = append(stack, pc)
+	}
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		inst := &a.prog.Inst[pc]
+		push := func(next uint32) {
+			if !set[next] {
+				set[next] = true
+				stack = append(stack, next)
+			}
+		}
+		switch inst.Op {
+		case syntax.InstAlt, syntax.InstAltMatch:
+			push(inst.Out)
+			push(inst.Arg)
+		case syntax.InstCapture, syntax.InstNop, syntax.InstEmptyWidth:
+			push(inst.Out)
+		}
+	}
+	return set
+}
+
+func (a *Automaton) accepting(set map[uint32]bool) bool {
+	for pc := range set {
+		if a.prog.Inst[pc].Op == syntax.InstMatch {
+			return true
+		}
+	}
+	return false
+}
+
+// runeInsts returns the rune-consuming instructions live in a state set.
+func (a *Automaton) runeInsts(set map[uint32]bool) []*syntax.Inst {
+	var out []*syntax.Inst
+	for pc := range set {
+		inst := &a.prog.Inst[pc]
+		switch inst.Op {
+		case syntax.InstRune, syntax.InstRune1, syntax.InstRuneAny, syntax.InstRuneAnyNotNL:
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// step consumes one rune, returning the successor set (pre-closure).
+func (a *Automaton) step(set map[uint32]bool, r rune) map[uint32]bool {
+	next := make(map[uint32]bool)
+	for pc := range set {
+		inst := &a.prog.Inst[pc]
+		switch inst.Op {
+		case syntax.InstRune, syntax.InstRune1, syntax.InstRuneAny, syntax.InstRuneAnyNotNL:
+			if inst.MatchRune(r) {
+				next[inst.Out] = true
+			}
+		}
+	}
+	return next
+}
+
+// representatives picks candidate runes that partition the product's
+// alphabet: the lower and upper bound of every rune range on either
+// side. Any nonempty intersection of one class from each side contains
+// one of these bounds, so testing only them is exhaustive.
+func representatives(insts ...[]*syntax.Inst) []rune {
+	var cands []rune
+	add := func(r rune) {
+		if r >= 0 {
+			cands = append(cands, r)
+		}
+	}
+	for _, side := range insts {
+		for _, inst := range side {
+			switch inst.Op {
+			case syntax.InstRuneAny, syntax.InstRuneAnyNotNL:
+				add('a') // any printable representative
+				add('\n')
+			default:
+				for i := 0; i+1 < len(inst.Rune); i += 2 {
+					add(inst.Rune[i])
+					add(inst.Rune[i+1])
+				}
+				if len(inst.Rune) == 1 {
+					add(inst.Rune[0])
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	out := cands[:0]
+	var last rune = -1
+	for _, r := range cands {
+		if r != last {
+			out = append(out, r)
+			last = r
+		}
+	}
+	return out
+}
+
+// stateKey canonicalizes a state set for the visited map.
+func stateKey(set map[uint32]bool) string {
+	pcs := make([]uint32, 0, len(set))
+	for pc := range set {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	var b strings.Builder
+	for _, pc := range pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestTemplateToRegexp(t *testing.T) {
+	cases := []struct {
+		format  string
+		match   []string
+		nomatch []string
+	}{
+		{
+			format:  "Invoking launch script for container %s",
+			match:   []string{"Invoking launch script for container container_1_2_3_4"},
+			nomatch: []string{"Invoking launch script for container ", "launch script"},
+		},
+		{
+			format:  "queue depth %d",
+			match:   []string{"queue depth 0", "queue depth -17"},
+			nomatch: []string{"queue depth x", "queue depth 1.5"},
+		},
+		{
+			format:  "ratio %.2f done",
+			match:   []string{"ratio 0.25 done", "ratio -3 done"},
+			nomatch: []string{"ratio abc done"},
+		},
+		{
+			format:  "100%% complete",
+			match:   []string{"100% complete"},
+			nomatch: []string{"100%% complete"},
+		},
+		{
+			format:  "flag %t set",
+			match:   []string{"flag true set", "flag false set"},
+			nomatch: []string{"flag maybe set"},
+		},
+		{
+			format:  "no verbs at all",
+			match:   []string{"no verbs at all"},
+			nomatch: []string{"no verbs at all!", "prefix no verbs at all"},
+		},
+	}
+	for _, c := range cases {
+		re, err := regexp.Compile(TemplateToRegexp(c.format))
+		if err != nil {
+			t.Fatalf("%q: %v", c.format, err)
+		}
+		for _, s := range c.match {
+			if !re.MatchString(s) {
+				t.Errorf("template %q: rendering %q not in language %q", c.format, s, re)
+			}
+		}
+		for _, s := range c.nomatch {
+			if re.MatchString(s) {
+				t.Errorf("template %q: non-rendering %q in language %q", c.format, s, re)
+			}
+		}
+	}
+}
+
+func TestAutomatonIntersects(t *testing.T) {
+	cases := []struct {
+		name     string
+		template string
+		regex    string
+		want     bool
+	}{
+		{"verbatim", "Invoking launch script for container %s",
+			`Invoking launch script for container (container_\d+_\d+_\d+_\d+)`, true},
+		{"numeric verb feeds digit class", "queue depth %d", `queue depth (\d+)`, true},
+		// A trailing %s renders to any suffix, so a renamed template with
+		// %s still (correctly) intersects a substring regex — the verbatim
+		// template check, not the automaton, catches renames. A %d verb
+		// pins the suffix shape and the intersection vanishes.
+		{"renamed template", "Starting launch script for container %d",
+			`Invoking launch script for container (container_\d+_\d+_\d+_\d+)`, false},
+		{"disjoint literal", "cache warm", `cache (\d+) warm`, false},
+		{"wording drift", "queue depth %d", `queue size (\d+)`, false},
+		{"substring semantics", "prefix: job %d finished (ok)", `job (\d+) finished`, true},
+		{"flexible %s produces anything", "note: %s", `job (\d+) finished`, true},
+		{"anchored template rejects embedded", "job %d", `job (\d+) finished`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ta, err := CompileTemplate(c.template)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra, err := CompileMinerRegex(c.regex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ta.Intersects(ra); got != c.want {
+				t.Errorf("template %q vs regex %q: Intersects=%v, want %v", c.template, c.regex, got, c.want)
+			}
+		})
+	}
+}
+
+// TestIntersectsRealVocabulary pins the production manifest: every
+// non-positional message's template/regex pair must intersect with the
+// real patterns from internal/core. A regression here means the
+// automaton construction broke, independent of tree state.
+func TestIntersectsRealVocabulary(t *testing.T) {
+	vocab, err := DefaultVocab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror of the miner's declarations (kept honest by the logvocab
+	// self-check, which compares the real tree against the manifest).
+	if len(vocab.Messages) == 0 {
+		t.Fatal("empty manifest")
+	}
+	for _, m := range vocab.Messages {
+		if m.Positional() {
+			continue
+		}
+		ta, err := CompileTemplate(m.Template)
+		if err != nil {
+			t.Fatalf("%s: template: %v", m.Name, err)
+		}
+		// The example is one concrete rendering: the anchored template
+		// language must contain something the example's shape allows.
+		ra, err := CompileMinerRegex(regexp.QuoteMeta(m.Example))
+		if err != nil {
+			t.Fatalf("%s: example: %v", m.Name, err)
+		}
+		if !ta.Intersects(ra) {
+			t.Errorf("%s: example %q is not a rendering of template %q", m.Name, m.Example, m.Template)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Determinism bans nondeterminism sources inside the simulation and
+// mining packages, whose entire value rests on bit-reproducibility: the
+// DiffOracle demands byte-identical reports across seeds and worker
+// counts, so wall-clock reads, the global math/rand stream, and
+// map-iteration-ordered output are all defects there. Only the engine
+// clock (sim.Engine.Now) and the seeded internal/rng sources are
+// legitimate time/randomness.
+var Determinism = &Analyzer{
+	Name: determinismName,
+	Doc:  "ban wall-clock time, global math/rand, and map-ordered output in simulation/mining packages",
+	Run:  determinismRun,
+}
+
+// deterministicPkgs are the packages under the reproducibility contract.
+var deterministicPkgs = []string{
+	"internal/sim", "internal/yarn", "internal/spark", "internal/mapreduce",
+	"internal/hdfs", "internal/docker", "internal/rng", "internal/workload",
+}
+
+// bannedTimeFuncs are the time package entry points that read or wait on
+// the wall clock. time.Since is included even though it takes an
+// argument: it reads time.Now internally.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock; use the engine clock (sim.Engine.Now)",
+	"Since":     "reads the wall clock; subtract engine timestamps instead",
+	"Sleep":     "blocks on the wall clock; schedule an engine event instead",
+	"After":     "fires on the wall clock; schedule an engine event instead",
+	"Tick":      "fires on the wall clock; use sim.Ticker",
+	"NewTimer":  "fires on the wall clock; schedule an engine event instead",
+	"NewTicker": "fires on the wall clock; use sim.Ticker",
+	"AfterFunc": "fires on the wall clock; schedule an engine event instead",
+}
+
+func determinismRun(pass *Pass) {
+	if pass.Pkg.Fixture != determinismName && !matchesAny(pass.Pkg.PkgPath, deterministicPkgs) {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		// Global math/rand streams are unseeded (or process-seeded)
+		// shared state; even seeded use belongs in internal/rng where
+		// streams can be forked per component.
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in a deterministic package; use the seeded internal/rng sources", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClockCall(pass, info, n)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, info, n, f)
+			}
+			return true
+		})
+	}
+}
+
+// checkWallClockCall flags calls into the banned time package surface.
+func checkWallClockCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	reason, banned := bannedTimeFuncs[sel.Sel.Name]
+	if !banned {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.%s %s", sel.Sel.Name, reason)
+}
+
+// checkMapRangeOutput flags map iterations whose order can leak into
+// output: emitting log lines from inside the loop, or accumulating into
+// an outer slice that is never deterministically sorted afterwards.
+func checkMapRangeOutput(pass *Pass, info *types.Info, rng *ast.RangeStmt, file *ast.File) {
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// Emission inside the loop: line order in the log becomes map order.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isEmitCall(info, call) {
+			pass.Reportf(call.Pos(),
+				"log emission inside a map iteration: line order becomes map order; iterate a sorted key slice")
+		}
+		return true
+	})
+
+	// Accumulation into an outer slice: find `v = append(v, ...)` where
+	// v is declared outside the loop, then require a later sort touching
+	// v in the same function.
+	for _, v := range outerAppendTargets(info, rng) {
+		if !sortedLater(info, file, rng, v) {
+			pass.Reportf(rng.Pos(),
+				"map iteration appends to %q without a deterministic sort afterwards; sort the result or iterate sorted keys", v.Name())
+		}
+	}
+}
+
+// outerAppendTargets returns variables declared outside the range body
+// that the body grows via v = append(v, ...).
+func outerAppendTargets(info *types.Info, rng *ast.RangeStmt) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || i >= len(as.Lhs) {
+				continue
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := info.Uses[lhs].(*types.Var)
+			if !ok && info.Defs[lhs] != nil {
+				v, ok = info.Defs[lhs].(*types.Var)
+			}
+			if !ok || v == nil || seen[v] {
+				continue
+			}
+			// Declared inside the loop body: per-iteration, harmless.
+			if v.Pos() >= rng.Body.Pos() && v.Pos() <= rng.Body.End() {
+				continue
+			}
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedLater reports whether, after the range statement, the function
+// calls into package sort (or slices.Sort*) with the variable in its
+// arguments — the idiomatic "gather then order" pattern.
+func sortedLater(info *types.Info, file *ast.File, rng *ast.RangeStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[pkgIdent].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			used := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == v {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

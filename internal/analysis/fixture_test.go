@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a fixture: a finding of the
+// analyzer under test whose message matches re, at file:line (line 0
+// matches manifest-level findings from want.txt, keyed by file only).
+type want struct {
+	file string // base name ("bad.go", "vocab.json")
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses `// want `regex“ comments from the fixture's .go
+// files and whole-line regexes from an optional want.txt sidecar
+// (expectations against non-Go files such as the vocab manifest).
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".go"):
+			f, err := os.Open(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for line := 1; sc.Scan(); line++ {
+				text := sc.Text()
+				i := strings.Index(text, "// want `")
+				if i < 0 {
+					continue
+				}
+				expr := text[i+len("// want `"):]
+				j := strings.LastIndex(expr, "`")
+				if j < 0 {
+					t.Fatalf("%s:%d: unterminated want expression", e.Name(), line)
+				}
+				wants = append(wants, &want{file: e.Name(), line: line, re: regexp.MustCompile(expr[:j])})
+			}
+			f.Close()
+		case e.Name() == "want.txt":
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+				if l = strings.TrimSpace(l); l != "" {
+					wants = append(wants, &want{file: "vocab.json", re: regexp.MustCompile(l)})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package and runs one analyzer over it.
+func runFixture(t *testing.T, a *Analyzer, sub string) []Finding {
+	t.Helper()
+	rel := filepath.Join("testdata", "src", a.Name, sub)
+	prog, err := Load("../..", "./internal/analysis/"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	unit := &Unit{Prog: prog, Analyzers: []*Analyzer{a}}
+	if a == LogVocab {
+		unit.VocabPath = filepath.Join(rel, "vocab.json")
+	}
+	return unit.Run()
+}
+
+// TestFixtures drives every analyzer over its good (zero findings) and
+// bad (each finding matched by a want, each want hit) packages —
+// the analysistest protocol, minus x/tools.
+func TestFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name+"/good", func(t *testing.T) {
+			for _, f := range Errors(runFixture(t, a, "good")) {
+				t.Errorf("unexpected finding: %s", f)
+			}
+		})
+		t.Run(a.Name+"/bad", func(t *testing.T) {
+			findings := runFixture(t, a, "bad")
+			wants := collectWants(t, filepath.Join("testdata", "src", a.Name, "bad"))
+			if len(wants) == 0 {
+				t.Fatal("bad fixture has no want expectations")
+			}
+			for _, f := range findings {
+				if f.Suppressed {
+					continue
+				}
+				if !consume(wants, f) {
+					t.Errorf("unmatched finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("want not found: %s:%d: %s", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// consume marks the first unhit want matching the finding.
+func consume(wants []*want, f Finding) bool {
+	base := filepath.Base(f.File)
+	for _, w := range wants {
+		if w.hit || w.file != base {
+			continue
+		}
+		if w.line != 0 && w.line != f.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestSuppressionDirective pins the //lint:allow path: the reviewed
+// wall-clock read in the determinism fixture must surface as a
+// suppressed finding, not an error.
+func TestSuppressionDirective(t *testing.T) {
+	findings := runFixture(t, Determinism, "bad")
+	for _, f := range findings {
+		if f.Suppressed {
+			if f.Reason == "" {
+				t.Errorf("suppressed finding lost its reason: %s", f)
+			}
+			return
+		}
+	}
+	t.Error("determinism/bad fixture produced no suppressed finding; the //lint:allow directive was not honoured")
+}
+
+// TestSelfCheck runs the full suite over the repository itself: the tree
+// this test ships with must be lint-clean (suppressions allowed). This is
+// the same bar CI enforces via cmd/sdlint.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	unit := &Unit{Prog: prog, Analyzers: Analyzers()}
+	findings := unit.Run()
+	for _, f := range Errors(findings) {
+		t.Errorf("repository is not lint-clean: %s", f)
+	}
+	if len(prog.Packages) < 10 {
+		t.Errorf("self-check loaded only %d packages; pattern ./... no longer covers the tree", len(prog.Packages))
+	}
+}
+
+// TestListAndDocs keeps the suite's registry coherent for cmd/sdlint.
+func TestListAndDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}

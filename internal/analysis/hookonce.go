@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HookOnce polices the completion-hook discipline in the miner and the
+// live server: OnComplete/sink callbacks must fire exactly once per
+// application and must not escape onto untracked goroutines.
+//
+//   - a hook invoked from a `go` function literal escapes Quiesce
+//     accounting unless the launching function raises a pending counter
+//     or WaitGroup first: Quiesce could observe zero in-flight work
+//     while the hook still runs;
+//   - a hook invoked at more than one syntactic site in the same
+//     function can fire twice for one application; the exactly-once
+//     pattern routes every fire through a single guarded site;
+//   - a hook field invoked without a nil guard crashes when no hook is
+//     installed.
+var HookOnce = &Analyzer{
+	Name: hookonceName,
+	Doc:  "flag completion hooks that can fire twice, escape goroutines without Quiesce accounting, or fire unguarded",
+	Run:  hookonceRun,
+}
+
+var hookOncePkgs = []string{"internal/core", "cmd/sdchecker"}
+
+func hookonceRun(pass *Pass) {
+	if pass.Pkg.Fixture != hookonceName && !matchesAny(pass.Pkg.PkgPath, hookOncePkgs) {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHookEscapes(pass, fd.Body)
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkHookFires(pass, body)
+			})
+		}
+	}
+}
+
+// hookCallsIn collects hook invocations lexically inside n (including
+// nested function literals when deep is true).
+func hookCallsIn(info *types.Info, n ast.Node, aliases map[string]bool, deep bool) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && !deep && m != n {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if _, ok := calleeHookName(info, call, aliases); ok {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHookEscapes flags `go func() { ... hook(...) ... }()` launched
+// from a function that never raises Quiesce accounting (a pending
+// counter increment or a WaitGroup/pending Add) beforehand.
+func checkHookEscapes(pass *Pass, body *ast.BlockStmt) {
+	aliases := hookAliasNames(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		calls := hookCallsIn(pass.TypesInfo(), lit.Body, aliases, true)
+		if len(calls) == 0 {
+			return true
+		}
+		if !hasAccountingBefore(body, gs) {
+			pass.Reportf(gs.Pos(),
+				"hook escapes onto a goroutine without Quiesce accounting (no pending counter or WaitGroup Add before the go statement)")
+		}
+		return true
+	})
+}
+
+// hasAccountingBefore reports whether, before the go statement, the
+// function increments a pending counter (`x.pending++`) or calls Add on
+// a WaitGroup-ish receiver (wg, pending, work).
+func hasAccountingBefore(body *ast.BlockStmt, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || (n != nil && n.Pos() >= gs.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if name := trailingName(n.X); name == "pending" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				switch trailingName(sel.X) {
+				case "wg", "pending", "work":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// trailingName returns the last identifier of a selector chain (s.wg →
+// "wg", pending → "pending").
+func trailingName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// checkHookFires enforces single-site, nil-guarded hook invocation per
+// function body.
+func checkHookFires(pass *Pass, body *ast.BlockStmt) {
+	aliases := hookAliasNames(body)
+	sites := make(map[string][]*ast.CallExpr)
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested literals are their own bodies via forEachFuncBody.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := calleeHookName(pass.TypesInfo(), call, aliases); ok {
+			sites[name] = append(sites[name], call)
+			if !nilGuarded(body, call, name) {
+				pass.Reportf(call.Pos(), "hook %s invoked without a nil guard", name)
+			}
+		}
+		return true
+	})
+	for name, calls := range sites {
+		for _, call := range calls[1:] {
+			pass.Reportf(call.Pos(),
+				"hook %s invoked at %d sites in one function; a hook that can fire twice per application breaks the exactly-once contract — route fires through a single guarded site",
+				name, len(calls))
+		}
+	}
+}
+
+// nilGuarded reports whether the call is inside an if whose condition
+// (or init) mentions the callee name together with nil.
+func nilGuarded(body *ast.BlockStmt, call *ast.CallExpr, name string) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if call.Pos() < ifs.Body.Pos() || call.End() > ifs.Body.End() {
+			return true
+		}
+		mentionsName, mentionsNil := false, false
+		check := func(e ast.Node) {
+			if e == nil {
+				return
+			}
+			ast.Inspect(e, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if id.Name == name {
+						mentionsName = true
+					}
+					if id.Name == "nil" {
+						mentionsNil = true
+					}
+				}
+				if sel, ok := m.(*ast.SelectorExpr); ok && sel.Sel.Name == name {
+					mentionsName = true
+				}
+				return true
+			})
+		}
+		check(ifs.Cond)
+		if ifs.Init != nil {
+			check(ifs.Init)
+		}
+		if mentionsName && mentionsNil {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}

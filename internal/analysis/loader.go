@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// TypeErrors collects type-checker complaints. Analysis proceeds on
+	// partial information; the driver surfaces these separately.
+	TypeErrors []error
+
+	// Fixture is the analyzer name this package is a test fixture for
+	// (derived from a testdata/src/<analyzer>/... path), or "". Analyzers
+	// that normally restrict themselves to specific package paths treat
+	// their own fixtures as in scope.
+	Fixture string
+
+	allows map[string][]allowDirective
+}
+
+// Program is a loaded set of packages sharing one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// ModuleDir is the filesystem root of the main module, where
+	// vocab.json and go.mod live.
+	ModuleDir string
+
+	// ModulePath is the main module's import path prefix.
+	ModulePath string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Module     *struct {
+		Path string
+		Dir  string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// Load lists patterns with the go tool (run in dir), parses the matched
+// packages, and type-checks them against the toolchain's export data.
+// Dependencies — including the standard library — are imported from the
+// compiled export files `go list -export` produces, so loading needs no
+// network and no GOPATH layout.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	prog := &Program{Fset: token.NewFileSet()}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			if lp.Error != nil {
+				return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			targets = append(targets, lp)
+			if lp.Module != nil && prog.ModuleDir == "" {
+				prog.ModuleDir = lp.Module.Dir
+				prog.ModulePath = lp.Module.Path
+			}
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(prog.Fset, "gc", lookup)
+
+	for _, t := range targets {
+		pkg := &Package{
+			PkgPath: t.ImportPath,
+			Name:    t.Name,
+			Dir:     t.Dir,
+			Fixture: fixtureOf(t.ImportPath),
+			allows:  make(map[string][]allowDirective),
+		}
+		for _, gf := range t.GoFiles {
+			path := filepath.Join(t.Dir, gf)
+			f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			pkg.Files = append(pkg.Files, f)
+			pkg.allows[path] = parseAllowDirectives(prog.Fset, f)
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		// Check returns an error on the first problem, but the Error
+		// handler keeps it going; a partially-typed package is still
+		// analyzable.
+		pkg.Types, _ = conf.Check(t.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// fixtureOf extracts the analyzer name from a fixture import path of the
+// form .../testdata/src/<analyzer>/... ("" for regular packages).
+func fixtureOf(importPath string) string {
+	const marker = "/testdata/src/"
+	i := strings.Index(importPath, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := importPath[i+len(marker):]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
+// PathHasSuffix reports whether an import path ends with suffix at a
+// path-segment boundary (e.g. "repro/internal/core" has suffix
+// "internal/core" but not "ternal/core").
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockOrder verifies the documented mutex acquisition orders and the
+// hook-under-lock ban:
+//
+//   - cmd/sdchecker documents "mu is taken before obsMu when both are
+//     needed" (liveServer): acquiring mu while obsMu is held inverts the
+//     order and can deadlock against pollOnce;
+//   - internal/core's sharded stream serializes completion hooks with
+//     hookMu while workers hold their shard's stMu, so acquiring stMu
+//     while holding hookMu inverts that order;
+//   - completion hooks must never be invoked while a shard queue lock
+//     (qMu, workMu) is held — Quiesce waits on those locks for the very
+//     hooks to finish;
+//   - re-locking a mutex already held in the same function is flagged
+//     (sync.Mutex is not reentrant).
+//
+// The analysis is intra-procedural and tracks the held set through each
+// function body in source order, honouring defer'd unlocks.
+var LockOrder = &Analyzer{
+	Name: lockorderName,
+	Doc:  "verify documented mutex acquisition orders (mu→obsMu, stMu→hookMu) and the hook-under-shard-lock ban",
+	Run:  lockorderRun,
+}
+
+// lockPair documents "before must be acquired before after": acquiring
+// `before` while `after` is held is an inversion.
+type lockPair struct{ before, after string }
+
+var lockPairs = []lockPair{
+	{"mu", "obsMu"},
+	{"stMu", "hookMu"},
+}
+
+// shardLocks are the locks the worker queues and the Quiesce counter
+// live behind; user hooks must not run under them.
+var shardLocks = map[string]bool{"qMu": true, "workMu": true}
+
+var lockOrderPkgs = []string{"cmd/sdchecker", "internal/core"}
+
+// lockEvent is one ordered occurrence inside a function body.
+type lockEvent struct {
+	pos  token.Pos
+	kind int // evLock, evUnlock, evDeferUnlock, evHookCall
+	name string
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evHookCall
+)
+
+func lockorderRun(pass *Pass) {
+	if pass.Pkg.Fixture != lockorderName && !matchesAny(pass.Pkg.PkgPath, lockOrderPkgs) {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				checkLockBody(pass, body)
+			})
+		}
+	}
+}
+
+// forEachFuncBody visits body and every function-literal body inside it,
+// each as an independent scope (a goroutine or callback body holds no
+// locks from its lexical context at its own call time... or holds them
+// unknowably — either way its acquisition order is judged on its own).
+func forEachFuncBody(body *ast.BlockStmt, fn func(*ast.BlockStmt)) {
+	fn(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			forEachFuncBody(lit.Body, fn)
+			return false
+		}
+		return true
+	})
+}
+
+// lockSelName extracts the lock's field name from a Lock/Unlock receiver
+// chain (s.obsMu.Lock → "obsMu"); "" when the callee is not a mutex op.
+func lockSelName(call *ast.CallExpr) (name string, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, op
+	case *ast.Ident:
+		return x.Name, op
+	}
+	return "", ""
+}
+
+// hookNameRE matches identifiers that conventionally hold completion or
+// sink callbacks.
+var hookNameRE = regexp.MustCompile(`(?i)^(hook|oncomplete|ondone|onfinish|callback|cb)$`)
+
+// collectLockEvents linearizes a body's lock operations and hook
+// invocations in source order. Function literals are skipped (they're
+// separate scopes, walked by forEachFuncBody).
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	hookVars := hookAliasNames(body)
+	var evs []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if name, op := lockSelName(n.Call); op == "unlock" {
+				evs = append(evs, lockEvent{pos: n.Pos(), kind: evDeferUnlock, name: name})
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if name, op := lockSelName(n); name != "" {
+				kind := evLock
+				if op == "unlock" {
+					kind = evUnlock
+				}
+				evs = append(evs, lockEvent{pos: n.Pos(), kind: kind, name: name})
+				return true
+			}
+			if name, ok := calleeHookName(info, n, hookVars); ok {
+				evs = append(evs, lockEvent{pos: n.Pos(), kind: evHookCall, name: name})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	return evs
+}
+
+// calleeHookName reports whether a call fires a hook-named field,
+// variable, or alias of one. Method calls are excluded: st.OnComplete(f)
+// registers a hook, while s.hook(a) — a func-valued field — fires one;
+// the type checker's selection kind tells them apart.
+func calleeHookName(info *types.Info, call *ast.CallExpr, aliases map[string]bool) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if !hookNameRE.MatchString(fun.Sel.Name) {
+			return "", false
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return "", false // registration/method, not a fire
+		}
+		return fun.Sel.Name, true
+	case *ast.Ident:
+		if hookNameRE.MatchString(fun.Name) || aliases[fun.Name] {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+// hookAliasNames finds local variables bound from hook-named selectors
+// (`h := s.hook`, `if h := ss.hook; ...`), so calling the alias counts
+// as a hook invocation.
+func hookAliasNames(body *ast.BlockStmt) map[string]bool {
+	aliases := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			sel, ok := rhs.(*ast.SelectorExpr)
+			if !ok || !hookNameRE.MatchString(sel.Sel.Name) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				aliases[id.Name] = true
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// checkLockBody runs the held-set simulation over one function body.
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	held := make(map[string]bool)
+	heldOrder := func() string {
+		var names []string
+		for n := range held {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return strings.Join(names, ", ")
+	}
+	for _, ev := range collectLockEvents(pass.TypesInfo(), body) {
+		switch ev.kind {
+		case evLock:
+			if held[ev.name] {
+				pass.Reportf(ev.pos, "%s.Lock() while %s is already held in this function (sync.Mutex is not reentrant)", ev.name, ev.name)
+			}
+			for _, p := range lockPairs {
+				if ev.name == p.before && held[p.after] {
+					pass.Reportf(ev.pos, "acquiring %s while holding %s inverts the documented %s→%s order", ev.name, p.after, p.before, p.after)
+				}
+			}
+			held[ev.name] = true
+		case evUnlock, evDeferUnlock:
+			if ev.kind == evUnlock {
+				delete(held, ev.name)
+			}
+			// A defer'd unlock keeps the lock held to function end:
+			// nothing to remove.
+		case evHookCall:
+			for name := range held {
+				if shardLocks[name] {
+					pass.Reportf(ev.pos, "hook %s invoked while holding shard lock %s (held: %s); Quiesce waits on that lock for hooks to finish", ev.name, name, heldOrder())
+				}
+			}
+		}
+	}
+}

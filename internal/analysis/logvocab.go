@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LogVocab statically enforces the emitter↔miner vocabulary contract of
+// Table I: the log4j emit call sites across the simulated frameworks and
+// the extraction regexes in internal/core must both agree with the
+// checked-in manifest (vocab.json). Five checks:
+//
+//  1. every manifest template appears verbatim as an emit-site format
+//     string (catches: renaming/retiring an emitted message);
+//  2. every manifest regex_var exists in the miner and its compiled
+//     pattern matches the manifest example (catches: regex drift);
+//  3. every miner message regex is referenced by the manifest or listed
+//     as a helper (catches: regexes added without updating the contract);
+//  4. every manifest regex can fire on a line some emitter produces —
+//     decided on the product of the regex and template automata
+//     (catches: a miner pattern no emitter can satisfy);
+//  5. each message's template language intersects its regex language
+//     (catches: template and regex drifting apart in a matched pair).
+//
+// A violation names the exact message type broken.
+var LogVocab = &Analyzer{
+	Name:   logvocabName,
+	Doc:    "enforce the Table I emitter↔miner log-vocabulary manifest (vocab.json)",
+	Run:    logvocabRun,
+	Finish: logvocabFinish,
+}
+
+// emitterPkgs are the packages whose log4j emit sites form the
+// vocabulary's production side.
+var emitterPkgs = []string{
+	"internal/yarn", "internal/spark", "internal/mapreduce",
+	"internal/docker", "internal/hdfs",
+}
+
+// minerPkgs hold the extraction regexes (the consumption side).
+var minerPkgs = []string{"internal/core"}
+
+// tmplFact is one extracted emit-site format string.
+type tmplFact struct {
+	format string
+	pos    token.Pos
+}
+
+// regexFact is one extracted package-level regexp.MustCompile pattern.
+type regexFact struct {
+	name    string
+	pattern string
+	pos     token.Pos
+}
+
+// vocabFacts is the per-package extraction handed to Finish.
+type vocabFacts struct {
+	emitter   bool
+	miner     bool
+	templates []tmplFact
+	regexes   []regexFact
+}
+
+func logvocabRun(pass *Pass) {
+	facts := &vocabFacts{
+		emitter: pass.Pkg.Fixture == logvocabName || matchesAny(pass.Pkg.PkgPath, emitterPkgs),
+		miner:   pass.Pkg.Fixture == logvocabName || matchesAny(pass.Pkg.PkgPath, minerPkgs),
+	}
+	pass.Result = facts
+	if facts.emitter {
+		facts.templates = collectEmitTemplates(pass)
+	}
+	if facts.miner {
+		facts.regexes = collectMinerRegexes(pass)
+	}
+}
+
+func matchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if PathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isEmitCall reports whether a call expression is a log4j-style emit:
+// a method named Infof/Warnf/Errorf with signature (string, ...any).
+// Both *log4j.Logger and the AM-side Logger interfaces match.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Infof", "Warnf", "Errorf":
+	default:
+		return false
+	}
+	// Require a method selection (rules out fmt.Errorf and friends).
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() != 2 {
+		return false
+	}
+	basic, ok := sig.Params().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+// constString resolves an expression to a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func collectEmitTemplates(pass *Pass) []tmplFact {
+	var out []tmplFact
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isEmitCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if format, ok := constString(info, call.Args[0]); ok {
+				out = append(out, tmplFact{format: format, pos: call.Args[0].Pos()})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectMinerRegexes extracts package-level `var x = regexp.MustCompile(lit)`
+// declarations — the miner's vocabulary surface.
+func collectMinerRegexes(pass *Pass) []regexFact {
+	var out []regexFact
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, val := range vs.Values {
+					call, ok := val.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						continue
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "MustCompile" {
+						continue
+					}
+					if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "regexp" {
+						continue
+					}
+					pattern, ok := constString(info, call.Args[0])
+					if !ok {
+						continue
+					}
+					out = append(out, regexFact{
+						name:    vs.Names[i].Name,
+						pattern: pattern,
+						pos:     vs.Names[i].Pos(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func logvocabFinish(unit *Unit) {
+	type tmplSite struct {
+		tmplFact
+		pass *Pass
+	}
+	var (
+		templates []tmplSite
+		regexes   []regexFact
+		rexPass   = map[string]*Pass{}
+		sawMiner  bool
+		sawEmit   bool
+	)
+	for _, p := range unit.Passes(logvocabName) {
+		facts, _ := p.Result.(*vocabFacts)
+		if facts == nil {
+			continue
+		}
+		sawMiner = sawMiner || (facts.miner && len(facts.regexes) > 0)
+		sawEmit = sawEmit || (facts.emitter && len(facts.templates) > 0)
+		for _, t := range facts.templates {
+			templates = append(templates, tmplSite{t, p})
+		}
+		for _, r := range facts.regexes {
+			regexes = append(regexes, r)
+			rexPass[r.name] = p
+		}
+	}
+	// The contract spans both sides; analyzing a partial tree (a single
+	// package) must not fabricate "missing emitter" noise.
+	if !sawMiner || !sawEmit {
+		return
+	}
+
+	vocab, err := loadUnitVocab(unit)
+	if err != nil {
+		unit.ReportAt(logvocabName, "vocab.json", 1, "cannot load vocabulary manifest: %v", err)
+		return
+	}
+
+	regexByName := make(map[string]regexFact, len(regexes))
+	for _, r := range regexes {
+		regexByName[r.name] = r
+	}
+	templateSet := make(map[string][]tmplSite)
+	for _, t := range templates {
+		templateSet[t.format] = append(templateSet[t.format], t)
+	}
+
+	// Compile every emitted template's automaton once (check 4 unions
+	// them; check 5 indexes them).
+	tmplAutomata := make(map[string]*Automaton, len(templateSet))
+	for format := range templateSet {
+		a, err := CompileTemplate(format)
+		if err != nil {
+			continue // unparseable rendering language: skip, broad by design
+		}
+		tmplAutomata[format] = a
+	}
+
+	referenced := make(map[string]bool)
+	for _, m := range vocab.Messages {
+		if m.Positional() {
+			continue
+		}
+		line := vocab.LineOf(m.Name)
+
+		// Check 1: template emitted verbatim somewhere.
+		sites := templateSet[m.Template]
+		if len(sites) == 0 {
+			unit.ReportAt(logvocabName, vocab.Path, line,
+				"message %s (Table I row %d): no emit call site uses template %q — the emitter vocabulary drifted from the manifest",
+				m.Name, m.Table1Row, m.Template)
+		}
+
+		// Check 2: regex exists and fires on the example.
+		referenced[m.RegexVar] = true
+		rex, ok := regexByName[m.RegexVar]
+		if !ok {
+			unit.ReportAt(logvocabName, vocab.Path, line,
+				"message %s: regex variable %s is not declared in the miner", m.Name, m.RegexVar)
+			continue
+		}
+		re, err := regexp.Compile(rex.pattern)
+		if err != nil {
+			rexPass[rex.name].Reportf(rex.pos, "message %s: regex %s does not compile: %v", m.Name, rex.name, err)
+			continue
+		}
+		if !re.MatchString(m.Example) {
+			rexPass[rex.name].Reportf(rex.pos,
+				"message %s: regex %s no longer matches the manifest example %q — the miner vocabulary drifted",
+				m.Name, rex.name, m.Example)
+			continue
+		}
+
+		// Check 5: the matched pair's languages must still intersect.
+		if ta := tmplAutomata[m.Template]; ta != nil && len(sites) > 0 {
+			ra, err := CompileMinerRegex(rex.pattern)
+			if err == nil && !ta.Intersects(ra) {
+				sites[0].pass.Reportf(sites[0].pos,
+					"message %s: no rendering of template %q can match regex %s (%q) — emitter and miner drifted apart",
+					m.Name, m.Template, rex.name, rex.pattern)
+			}
+		}
+	}
+
+	// Check 3: every miner regex is in the contract.
+	for _, r := range regexes {
+		if vocab.IsHelper(r.name) || referenced[r.name] {
+			continue
+		}
+		rexPass[r.name].Reportf(r.pos,
+			"regex %s is not referenced by the vocabulary manifest (add a message entry or list it under helpers)", r.name)
+	}
+
+	// Check 4: every referenced regex is producible by some emitter.
+	for name := range referenced {
+		rex, ok := regexByName[name]
+		if !ok {
+			continue // reported by check 2
+		}
+		ra, err := CompileMinerRegex(rex.pattern)
+		if err != nil {
+			continue
+		}
+		producible := false
+		for _, ta := range tmplAutomata {
+			if ta.Intersects(ra) {
+				producible = true
+				break
+			}
+		}
+		if !producible {
+			var names []string
+			for _, m := range vocab.ByRegexVar(name) {
+				names = append(names, m.Name)
+			}
+			rexPass[rex.name].Reportf(rex.pos,
+				"regex %s (message types %s) cannot match any line the emitters produce",
+				rex.name, strings.Join(names, ", "))
+		}
+	}
+}
+
+// loadUnitVocab picks the fixture override or the embedded manifest.
+func loadUnitVocab(unit *Unit) (*Vocab, error) {
+	if unit.VocabPath != "" {
+		return LoadVocab(unit.VocabPath)
+	}
+	return DefaultVocab()
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricNames enforces Prometheus naming and label conventions at every
+// metrics.Registry registration call site (Counter/Gauge/Histogram):
+//
+//   - metric names are compile-time constants in snake_case
+//     (^[a-z][a-z0-9_]*$, no __ runs, no trailing _) — the exposition
+//     endpoint is scraped by name, so dynamic or misspelled names
+//     silently fork a series;
+//   - counters end in _total; gauges and histograms must not (the
+//     suffix promises monotonicity);
+//   - histogram base names must not collide with the generated
+//     _bucket/_sum/_count series and should carry a unit suffix
+//     (_ms, _seconds, _bytes);
+//   - label arguments come in key/value pairs whose keys are constant
+//     snake_case strings and avoid the reserved le/quantile/__name__.
+var MetricNames = &Analyzer{
+	Name: metricnamesName,
+	Doc:  "enforce Prometheus naming and label conventions at metrics.Registry registration sites",
+	Run:  metricnamesRun,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	unitSuffixes = []string{"_ms", "_seconds", "_bytes"}
+	// reservedLabels are generated or scrape-internal label names.
+	reservedLabels = map[string]bool{"le": true, "quantile": true, "__name__": true}
+)
+
+func metricnamesRun(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryCall(pass, info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, info, call, method)
+			checkMetricLabels(pass, info, call, method)
+			return true
+		})
+	}
+}
+
+// registryCall reports whether the call is Counter/Gauge/Histogram on a
+// metrics.Registry receiver, and which. Fixture packages may use any
+// receiver exposing those method names.
+func registryCall(pass *Pass, info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" {
+		return "", false
+	}
+	if obj.Pkg() != nil && PathHasSuffix(obj.Pkg().Path(), "internal/metrics") {
+		return method, true
+	}
+	// Fixtures declare their own Registry stand-in.
+	if pass.Pkg.Fixture == metricnamesName {
+		return method, true
+	}
+	return "", false
+}
+
+func checkMetricName(pass *Pass, info *types.Info, call *ast.CallExpr, method string) {
+	nameArg := call.Args[0]
+	name, ok := constString(info, nameArg)
+	if !ok {
+		pass.Reportf(nameArg.Pos(),
+			"%s registration with a non-constant metric name; dynamic names fork series silently — use constant names and put variance in labels", method)
+		return
+	}
+	switch {
+	case !metricNameRE.MatchString(name):
+		pass.Reportf(nameArg.Pos(), "metric name %q is not snake_case (want ^[a-z][a-z0-9_]*$)", name)
+		return
+	case strings.Contains(name, "__"):
+		pass.Reportf(nameArg.Pos(), "metric name %q contains a __ run (reserved for generated names)", name)
+		return
+	case strings.HasSuffix(name, "_"):
+		pass.Reportf(nameArg.Pos(), "metric name %q has a trailing underscore", name)
+		return
+	}
+	switch method {
+	case "Counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(nameArg.Pos(), "counter %q must end in _total", name)
+		}
+	case "Gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(nameArg.Pos(), "gauge %q must not end in _total (the suffix promises a monotone counter)", name)
+		}
+	case "Histogram":
+		switch {
+		case strings.HasSuffix(name, "_total"):
+			pass.Reportf(nameArg.Pos(), "histogram %q must not end in _total (the suffix promises a monotone counter)", name)
+		case strings.HasSuffix(name, "_bucket"), strings.HasSuffix(name, "_sum"), strings.HasSuffix(name, "_count"):
+			pass.Reportf(nameArg.Pos(), "histogram %q collides with its own generated _bucket/_sum/_count series", name)
+		case !hasUnitSuffix(name):
+			pass.Reportf(nameArg.Pos(), "histogram %q should end in a unit suffix (%s)", name, strings.Join(unitSuffixes, ", "))
+		}
+	}
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMetricLabels validates the trailing key/value label arguments.
+// Histogram's second argument is the bucket slice, not a label.
+func checkMetricLabels(pass *Pass, info *types.Info, call *ast.CallExpr, method string) {
+	labels := call.Args[1:]
+	if method == "Histogram" {
+		if len(labels) == 0 {
+			return
+		}
+		labels = labels[1:]
+	}
+	if len(labels)%2 != 0 {
+		pass.Reportf(call.Pos(), "%s registration with %d label arguments; labels come in key/value pairs", method, len(labels))
+		return
+	}
+	for i := 0; i < len(labels); i += 2 {
+		key, ok := constString(info, labels[i])
+		if !ok {
+			pass.Reportf(labels[i].Pos(), "label key must be a compile-time constant string")
+			continue
+		}
+		switch {
+		case reservedLabels[key]:
+			pass.Reportf(labels[i].Pos(), "label key %q is reserved by the exposition format", key)
+		case !metricNameRE.MatchString(key):
+			pass.Reportf(labels[i].Pos(), "label key %q is not snake_case (want ^[a-z][a-z0-9_]*$)", key)
+		}
+	}
+}

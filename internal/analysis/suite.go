@@ -1,0 +1,34 @@
+package analysis
+
+// Analyzers returns the full sdlint suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LogVocab,
+		Determinism,
+		LockOrder,
+		MetricNames,
+		HookOnce,
+	}
+}
+
+// ByName resolves a subset selection (cmd/sdlint -only); nil for an
+// unknown name.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Analyzer name constants, shared by the Analyzer declarations and
+// their run functions (a direct X.Name reference would be an
+// initialization cycle).
+const (
+	logvocabName    = "logvocab"
+	determinismName = "determinism"
+	lockorderName   = "lockorder"
+	metricnamesName = "metricnames"
+	hookonceName    = "hookonce"
+)

@@ -1,0 +1,52 @@
+// Package bad violates every determinism rule; each // want comment is
+// matched against sdlint findings by the fixture runner.
+package bad
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic package; use the seeded internal/rng sources`
+	"time"
+)
+
+type logger struct{}
+
+func (logger) Infof(format string, args ...any) {}
+
+var log logger
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixMilli() // want `time\.Now reads the wall clock`
+}
+
+// Nap blocks on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+}
+
+// Roll uses the global math/rand stream.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Dump emits log lines in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		log.Infof("entry %s=%d", k, v) // want `log emission inside a map iteration`
+	}
+}
+
+// Gather accumulates in map order and never sorts.
+func Gather(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration appends to "out" without a deterministic sort afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Allowed documents a reviewed wall-clock read; the directive keeps it
+// out of the error count.
+func Allowed() int64 {
+	//lint:allow determinism fixture: reviewed wall-clock read
+	return time.Now().UnixMilli()
+}

@@ -1,0 +1,45 @@
+// Package good stays inside the determinism rules: injected clocks,
+// sorted map iteration, gather-then-sort accumulation.
+package good
+
+import "sort"
+
+type logger struct{}
+
+func (logger) Infof(format string, args ...any) {}
+
+var log logger
+
+// Stamp takes the clock as an input instead of reading the wall clock.
+func Stamp(nowMS int64) int64 { return nowMS }
+
+// Dump iterates a sorted key slice, so line order is deterministic.
+func Dump(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		log.Infof("entry %s=%d", k, m[k])
+	}
+}
+
+// Gather accumulates in map order but sorts before returning.
+func Gather(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count only reduces over the map; order cannot leak.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+// Package bad violates the completion-hook discipline: escapes to
+// untracked goroutines, double fires, and unguarded fires.
+package bad
+
+type stream struct {
+	pending int
+	hook    func(int)
+	cb      func(int)
+}
+
+// Escape launches the hook on a goroutine without raising any Quiesce
+// accounting first.
+func (s *stream) Escape(v int) {
+	go func() { // want `hook escapes onto a goroutine without Quiesce accounting`
+		if s.hook != nil {
+			s.hook(v)
+		}
+	}()
+}
+
+// DoubleFire can invoke the hook twice for one value.
+func (s *stream) DoubleFire(v int) {
+	if s.hook != nil {
+		s.hook(v)
+	}
+	if s.hook != nil {
+		s.hook(v + 1) // want `hook hook invoked at 2 sites in one function`
+	}
+}
+
+// Unguarded fires without a nil check and crashes when no hook is set.
+func (s *stream) Unguarded(v int) {
+	s.cb(v) // want `hook cb invoked without a nil guard`
+}

@@ -1,0 +1,34 @@
+// Package good follows the completion-hook discipline: accounted
+// goroutines, a single guarded fire site, alias snapshots.
+package good
+
+type stream struct {
+	pending int
+	hook    func(int)
+}
+
+// Accounted raises the pending counter before the goroutine, so Quiesce
+// observes the in-flight hook.
+func (s *stream) Accounted(v int) {
+	s.pending++
+	go func() {
+		if s.hook != nil {
+			s.hook(v)
+		}
+		s.pending--
+	}()
+}
+
+// SingleFire routes every fire through one guarded site.
+func (s *stream) SingleFire(v int) {
+	if s.hook != nil {
+		s.hook(v)
+	}
+}
+
+// AliasFire snapshots the hook and fires the alias under a nil guard.
+func (s *stream) AliasFire(v int) {
+	if h := s.hook; h != nil {
+		h(v)
+	}
+}

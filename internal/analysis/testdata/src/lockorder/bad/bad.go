@@ -1,0 +1,56 @@
+// Package bad violates the lock-order rules: re-entrant locking, the
+// documented mu→obsMu order, and hooks fired under shard locks.
+package bad
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	obsMu sync.Mutex
+	qMu   sync.Mutex
+	hook  func(int)
+}
+
+// Relock acquires a mutex it already holds.
+func (s *server) Relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `mu\.Lock\(\) while mu is already held in this function`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// Inverted takes obsMu before mu, against the documented order.
+func (s *server) Inverted() {
+	s.obsMu.Lock()
+	s.mu.Lock() // want `acquiring mu while holding obsMu inverts the documented mu→obsMu order`
+	s.mu.Unlock()
+	s.obsMu.Unlock()
+}
+
+// DeferHeld keeps mu held via defer, so a later obsMu→mu acquisition in
+// the same body still inverts.
+func (s *server) DeferHeld() {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	s.mu.Lock() // want `acquiring mu while holding obsMu inverts the documented mu→obsMu order`
+	s.mu.Unlock()
+}
+
+// FireUnderShardLock invokes the completion hook while holding a shard
+// queue lock that Quiesce waits on.
+func (s *server) FireUnderShardLock(v int) {
+	s.qMu.Lock()
+	if s.hook != nil {
+		s.hook(v) // want `hook hook invoked while holding shard lock qMu`
+	}
+	s.qMu.Unlock()
+}
+
+// AliasUnderShardLock fires through a local alias; still under the lock.
+func (s *server) AliasUnderShardLock(v int) {
+	s.qMu.Lock()
+	defer s.qMu.Unlock()
+	if h := s.hook; h != nil {
+		h(v) // want `hook h invoked while holding shard lock qMu`
+	}
+}

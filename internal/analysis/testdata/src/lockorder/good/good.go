@@ -1,0 +1,50 @@
+// Package good follows the lock discipline: mu before obsMu, hooks
+// fired only after shard locks are released.
+package good
+
+import "sync"
+
+type server struct {
+	mu    sync.Mutex
+	obsMu sync.Mutex
+	qMu   sync.Mutex
+	hook  func(int)
+}
+
+// Ordered takes the documented mu→obsMu order.
+func (s *server) Ordered() {
+	s.mu.Lock()
+	s.obsMu.Lock()
+	s.obsMu.Unlock()
+	s.mu.Unlock()
+}
+
+// Sequential reacquisition after release is not re-entrant locking.
+func (s *server) Sequential() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// FireOutsideLock snapshots under the shard lock, releases it, then
+// fires the hook.
+func (s *server) FireOutsideLock(v int) {
+	s.qMu.Lock()
+	h := s.hook
+	s.qMu.Unlock()
+	if h != nil {
+		h(v)
+	}
+}
+
+// EarlyReturn unlocks on the fast path before returning; the later
+// re-acquisition is a fresh hold, not a re-entrant one.
+func (s *server) EarlyReturn(fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+// Package bad drifts from its fixture manifest in every direction the
+// logvocab analyzer distinguishes: a retired template (M_GONE), a
+// missing regex variable (M_NOVAR), a regex that no longer matches its
+// example (M_DRIFT), emitter/miner pairs whose languages are disjoint
+// (M_QUEUE, M_ORPHAN), and an uncontracted regex (reExtra). The
+// manifest-level findings land in vocab.json and are matched by the
+// want.txt sidecar.
+package bad
+
+import "regexp"
+
+type logger struct{}
+
+func (logger) Infof(format string, args ...any) {}
+
+var log logger
+
+var (
+	reOK     = regexp.MustCompile(`accepted job (\d+)`)
+	reGone   = regexp.MustCompile(`worker (\w+) retired`) // want `regex reGone \(message types M_GONE\) cannot match any line the emitters produce`
+	reDrift  = regexp.MustCompile(`job (\d+) finished`)   // want `message M_DRIFT: regex reDrift no longer matches the manifest example`
+	reQueue  = regexp.MustCompile(`queue size (\d+)`)     // want `regex reQueue \(message types M_QUEUE\) cannot match any line the emitters produce`
+	reOrphan = regexp.MustCompile(`cache (\d+) warm`)     // want `regex reOrphan \(message types M_ORPHAN\) cannot match any line the emitters produce`
+	reExtra  = regexp.MustCompile(`spurious (\w+)`)       // want `regex reExtra is not referenced by the vocabulary manifest`
+)
+
+// Emit produces the package's (drifted) vocabulary.
+func Emit(job int) {
+	log.Infof("accepted job %d", job)
+	log.Infof("never mind %d", job)
+	log.Infof("job %d finished", job)
+	log.Infof("queue depth %d", job) // want `message M_QUEUE: no rendering of template "queue depth %d" can match regex reQueue`
+	log.Infof("cache warm")          // want `message M_ORPHAN: no rendering of template "cache warm" can match regex reOrphan`
+}
+
+// Mine consumes lines with the declared regexes.
+func Mine(line string) bool {
+	return reOK.MatchString(line) || reGone.MatchString(line) ||
+		reDrift.MatchString(line) || reQueue.MatchString(line) ||
+		reOrphan.MatchString(line) || reExtra.MatchString(line)
+}

@@ -1,0 +1,27 @@
+// Package good keeps the emitter, the miner, and the fixture manifest
+// in agreement: the one message template is emitted verbatim, its regex
+// matches the example, and the extra regex is a declared helper.
+package good
+
+import "regexp"
+
+type logger struct{}
+
+func (logger) Infof(format string, args ...any) {}
+
+var log logger
+
+var (
+	reA      = regexp.MustCompile(`accepted job (\d+)`)
+	reHelper = regexp.MustCompile(`job_\d+`)
+)
+
+// Emit produces the manifest's vocabulary.
+func Emit(job int) {
+	log.Infof("accepted job %d", job)
+}
+
+// Mine consumes a line with the declared regexes.
+func Mine(line string) bool {
+	return reA.MatchString(line) || reHelper.MatchString(line)
+}

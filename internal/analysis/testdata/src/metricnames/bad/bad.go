@@ -1,0 +1,23 @@
+// Package bad violates the Prometheus naming and label conventions at
+// registration sites of its Registry stand-in.
+package bad
+
+// Registry mimics metrics.Registry's registration surface.
+type Registry struct{}
+
+func (r *Registry) Counter(name string, kv ...string) *int                { return nil }
+func (r *Registry) Gauge(name string, kv ...string) *int                  { return nil }
+func (r *Registry) Histogram(name string, b []float64, kv ...string) *int { return nil }
+
+func register(r *Registry, which string) {
+	r.Counter("events")                    // want `counter "events" must end in _total`
+	r.Gauge("queue_total")                 // want `gauge "queue_total" must not end in _total`
+	r.Histogram("lat", nil)                // want `histogram "lat" should end in a unit suffix`
+	r.Histogram("lat_sum", nil)            // want `histogram "lat_sum" collides with its own generated _bucket/_sum/_count series`
+	r.Counter("Bad-Name_total")            // want `metric name "Bad-Name_total" is not snake_case`
+	r.Counter("a__b_total")                // want `metric name "a__b_total" contains a __ run`
+	r.Counter(which)                       // want `Counter registration with a non-constant metric name`
+	r.Counter("odd_total", "k")            // want `Counter registration with 1 label arguments`
+	r.Counter("res_total", "le", "0.5")    // want `label key "le" is reserved by the exposition format`
+	r.Counter("key_total", "Bad Key", "v") // want `label key "Bad Key" is not snake_case`
+}

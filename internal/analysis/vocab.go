@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The vocabulary manifest is the single source of truth for the
+// emitter↔miner contract: the logvocab analyzer checks the static tree
+// against it at build time, and internal/core's unit tests drive the
+// live parser with the same examples (see internal/core/vocab_test.go).
+
+//go:embed vocab.json
+var vocabFS embed.FS
+
+// VocabMessage is one message type of the vocabulary.
+type VocabMessage struct {
+	// Name labels the message type in diagnostics; Table I types reuse
+	// the paper's labels (which are also core.Kind display names).
+	Name string `json:"name"`
+
+	// Table1Row is the paper's Table I row (1-14), 0 for extensions.
+	Table1Row int `json:"table1_row"`
+
+	// Class is the log4j logging class that emits the message.
+	Class string `json:"class"`
+
+	// Source says which log the message appears in: "rm", "nm",
+	// "container" (stderr body), or "positional" (defined by file
+	// position, not shape — the FIRST_LOG rows).
+	Source string `json:"source"`
+
+	// RegexVar names the extraction regex variable in
+	// internal/core/parser.go ("" for positional messages).
+	RegexVar string `json:"regex_var"`
+
+	// Metric is the `regex` label value on core_parser_hits_total.
+	Metric string `json:"metric"`
+
+	// Template is the emitter's format string, byte-for-byte as it
+	// appears at the emit call site ("" for positional messages).
+	Template string `json:"template"`
+
+	// Example is a concrete message instance: it must match the
+	// compiled RegexVar pattern and drive the parser to Kind.
+	Example string `json:"example"`
+
+	// Kind is the core.Kind display name the parser mines from Example.
+	Kind string `json:"kind"`
+}
+
+// Positional reports whether the message is defined by file position
+// (FIRST_LOG) rather than by a template/regex pair.
+func (m VocabMessage) Positional() bool { return m.Source == "positional" }
+
+// Vocab is the parsed manifest.
+type Vocab struct {
+	Version int `json:"version"`
+
+	// Helpers lists regex variables in the miner that are not message
+	// extractors (ID/path recognition); they are exempt from the
+	// producibility checks.
+	Helpers []string `json:"helpers"`
+
+	Messages []VocabMessage `json:"messages"`
+
+	// Path is where the manifest was loaded from (for diagnostics);
+	// raw keeps the bytes for line-number lookups.
+	Path string `json:"-"`
+	raw  []byte
+}
+
+// DefaultVocab parses the embedded manifest.
+func DefaultVocab() (*Vocab, error) {
+	raw, err := vocabFS.ReadFile("vocab.json")
+	if err != nil {
+		return nil, err
+	}
+	return parseVocab(raw, "internal/analysis/vocab.json")
+}
+
+// LoadVocab parses a manifest file (fixtures carry their own).
+func LoadVocab(path string) (*Vocab, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseVocab(raw, path)
+}
+
+func parseVocab(raw []byte, path string) (*Vocab, error) {
+	v := &Vocab{raw: raw, Path: path}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", path, err)
+	}
+	seen := make(map[string]bool)
+	for _, m := range v.Messages {
+		if m.Name == "" {
+			return nil, fmt.Errorf("analysis: %s: message with empty name", path)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("analysis: %s: duplicate message %q", path, m.Name)
+		}
+		seen[m.Name] = true
+		if m.Positional() != (m.Template == "" && m.RegexVar == "") {
+			return nil, fmt.Errorf("analysis: %s: message %q: exactly the positional messages omit template and regex_var", path, m.Name)
+		}
+	}
+	return v, nil
+}
+
+// IsHelper reports whether a miner regex variable is a declared helper.
+func (v *Vocab) IsHelper(varName string) bool {
+	for _, h := range v.Helpers {
+		if h == varName {
+			return true
+		}
+	}
+	return false
+}
+
+// ByRegexVar returns the messages extracted by one regex variable.
+func (v *Vocab) ByRegexVar(varName string) []VocabMessage {
+	var out []VocabMessage
+	for _, m := range v.Messages {
+		if m.RegexVar == varName {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// LineOf returns the 1-based line in the manifest file where a message
+// is declared (the line of its "name" field), or 1 if not found — so
+// manifest-keyed findings point into vocab.json.
+func (v *Vocab) LineOf(name string) int {
+	needle := []byte(fmt.Sprintf("%q: %q", "name", name))
+	i := bytes.Index(v.raw, needle)
+	if i < 0 {
+		return 1
+	}
+	return 1 + bytes.Count(v.raw[:i], []byte("\n"))
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultVocab(t *testing.T) {
+	v, err := DefaultVocab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version < 1 {
+		t.Errorf("version %d", v.Version)
+	}
+	rows := map[int]bool{}
+	for _, m := range v.Messages {
+		if m.Table1Row > 0 {
+			rows[m.Table1Row] = true
+		}
+	}
+	for r := 1; r <= 14; r++ {
+		if !rows[r] {
+			t.Errorf("Table I row %d missing from the manifest", r)
+		}
+	}
+	if !v.IsHelper("reContainerInPath") {
+		t.Error("reContainerInPath should be a helper")
+	}
+	if v.IsHelper("reInvoke") {
+		t.Error("reInvoke is a message regex, not a helper")
+	}
+	if got := v.ByRegexVar("reNMCont"); len(got) < 3 {
+		t.Errorf("reNMCont extracts %d messages, want >=3 (LOCALIZING/SCHEDULED/RUNNING)", len(got))
+	}
+}
+
+func TestVocabLineOf(t *testing.T) {
+	v, err := DefaultVocab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := v.LineOf(v.Messages[0].Name)
+	if first <= 1 {
+		t.Errorf("LineOf(%q) = %d, want a line inside the file", v.Messages[0].Name, first)
+	}
+	last := v.LineOf(v.Messages[len(v.Messages)-1].Name)
+	if last <= first {
+		t.Errorf("LineOf is not monotone with declaration order: first=%d last=%d", first, last)
+	}
+	if v.LineOf("NO_SUCH_MESSAGE") != 1 {
+		t.Error("unknown message should fall back to line 1")
+	}
+}
+
+func TestParseVocabValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string // error substring, "" for ok
+	}{
+		{"ok", `{"version":1,"messages":[{"name":"A","source":"rm","regex_var":"reA","template":"x %d"}]}`, ""},
+		{"empty name", `{"version":1,"messages":[{"name":"","source":"rm","regex_var":"reA","template":"x"}]}`, "empty name"},
+		{"duplicate", `{"version":1,"messages":[{"name":"A","source":"rm","regex_var":"reA","template":"x"},{"name":"A","source":"rm","regex_var":"reB","template":"y"}]}`, "duplicate"},
+		{"positional with template", `{"version":1,"messages":[{"name":"A","source":"positional","regex_var":"","template":"x"}]}`, "positional"},
+		{"rm without regex", `{"version":1,"messages":[{"name":"A","source":"rm","regex_var":"","template":""}]}`, "positional"},
+		{"bad json", `{`, "unexpected end"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseVocab([]byte(c.raw), "test.json")
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

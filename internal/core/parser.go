@@ -97,7 +97,7 @@ func (w *warnSet) render() []string {
 var regexNames = []string{
 	"app_summary", "app_state", "rm_container", "nm_container",
 	"launch_invoked", "opp_queued", "register", "start_allo", "end_allo",
-	"first_task", "first_log", "assigned",
+	"first_task", "first_log", "assigned", "opp_assigned",
 }
 
 // parserMetrics are the parser's observability hooks (shared across the
@@ -164,6 +164,9 @@ var (
 	// reAssigned mines the scheduler's container-to-host binding, the only
 	// RM-side source of per-node attribution.
 	reAssigned = regexp.MustCompile(`Assigned container (container_\d+_\d+_\d+_\d+) .*on host (\S+)`)
+	// reOppAssigned mines the same binding for opportunistic containers,
+	// which the distributed allocator announces with its own phrasing.
+	reOppAssigned = regexp.MustCompile(`Allocated opportunistic container (container_\d+_\d+_\d+_\d+) on host (\S+)`)
 )
 
 // NewParser returns an empty parser.
@@ -360,6 +363,13 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 	}
 	if m := reAssigned.FindStringSubmatch(msg); m != nil {
 		p.hit("assigned")
+		if cid, err := ids.ParseContainerID(m[1]); err == nil {
+			p.emit(Event{Kind: ContAssigned, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: m[2]})
+		}
+		return
+	}
+	if m := reOppAssigned.FindStringSubmatch(msg); m != nil {
+		p.hit("opp_assigned")
 		if cid, err := ids.ParseContainerID(m[1]); err == nil {
 			p.emit(Event{Kind: ContAssigned, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: m[2]})
 		}

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/log4j"
+	"repro/internal/metrics"
+)
+
+// TestVocabExamplesDriveParser closes the dynamic half of the vocabulary
+// contract: the same vocab.json the logvocab analyzer checks statically
+// (templates emitted, regexes declared) is replayed here through the live
+// parser — every example line must mine the manifest's Kind and bump the
+// manifest's per-regex hit counter. A regex that matches the example but
+// routes to the wrong Kind, or a metric label that drifts from
+// regexNames, fails here even though the static checks pass.
+func TestVocabExamplesDriveParser(t *testing.T) {
+	vocab, err := analysis.DefaultVocab()
+	if err != nil {
+		t.Fatalf("DefaultVocab: %v", err)
+	}
+	if len(vocab.Messages) < 14 {
+		t.Fatalf("manifest has %d messages, want at least the 14 Table I rows", len(vocab.Messages))
+	}
+	for _, m := range vocab.Messages {
+		t.Run(m.Name, func(t *testing.T) {
+			var name string
+			switch m.Source {
+			case "rm":
+				name = "hadoop/yarn-resourcemanager.log"
+			case "nm":
+				name = "hadoop/yarn-nodemanager-node1.log"
+			case "container", "positional":
+				name = "containers/application_1499000000000_0001/container_1499000000000_0001_01_000002/stderr"
+			default:
+				t.Fatalf("unknown source %q", m.Source)
+			}
+			raw := log4j.Line{
+				TimeMS:  1499000000123,
+				Level:   log4j.Info,
+				Class:   m.Class,
+				Message: m.Example,
+			}.Format()
+
+			p := core.NewParser()
+			reg := metrics.NewRegistry()
+			p.Instrument(reg)
+			if err := p.ParseReader(name, strings.NewReader(raw+"\n")); err != nil {
+				t.Fatalf("ParseReader: %v", err)
+			}
+
+			found := false
+			var kinds []string
+			for _, e := range p.Events() {
+				kinds = append(kinds, e.Kind.String())
+				if e.Kind.String() == m.Kind {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("example %q mined kinds %v, want %s", m.Example, kinds, m.Kind)
+			}
+			if m.Metric != "" {
+				if got := reg.Counter("core_parser_hits_total", "regex", m.Metric).Value(); got == 0 {
+					t.Errorf("example %q did not increment core_parser_hits_total{regex=%q}", m.Example, m.Metric)
+				}
+			}
+		})
+	}
+}

@@ -150,6 +150,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	var wallStart time.Time
 	if e.met.sliceWallMS != nil {
+		//lint:allow determinism sim_run_slice_wall_ms deliberately measures host wall time per run slice; it never feeds simulation state or reports
 		wallStart = time.Now()
 	}
 	for len(e.pq) > 0 && !e.stopped {
@@ -169,6 +170,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	}
 	e.met.pending.Set(int64(len(e.pq)))
 	if e.met.sliceWallMS != nil {
+		//lint:allow determinism observability-only wall-time histogram; simulation state and reports derive solely from the virtual clock
 		e.met.sliceWallMS.Observe(float64(time.Since(wallStart)) / float64(time.Millisecond))
 	}
 	return e.now

@@ -41,9 +41,9 @@ type NodeManager struct {
 
 	freeVCores int // cached totalVCores - reservedVCores, read by the RM
 
-	cache     *localCache // localized public resources (LRU)
-	oppQueue  []*containerRun
-	running   map[ids.ContainerID]*containerRun
+	cache    *localCache // localized public resources (LRU)
+	oppQueue []*containerRun
+	running  map[ids.ContainerID]*containerRun
 	// localizing tracks containers between StartContainer and launch (or
 	// queueing), so a crash can account for them too.
 	localizing map[ids.ContainerID]*containerRun
