@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ingestStream is the live-ingestion surface shared by the serial
@@ -33,6 +34,8 @@ type ingestStream interface {
 	Forget(id ids.AppID)
 	OnComplete(fn func(*core.AppTrace))
 	Instrument(reg *metrics.Registry)
+	ObservePipeline(p *obs.Pipeline)
+	ShardStats() []core.ShardStat
 }
 
 // newIngestStream picks the ingestion engine for a worker count: 0
@@ -56,6 +59,9 @@ type dirScanner struct {
 	dir     string
 	st      ingestStream
 	offsets map[string]int64
+	// pl, when set, times each scan's read phase (walk + drain) as one
+	// StageRead batch — per scan, never per line.
+	pl *obs.Pipeline
 }
 
 func newDirScanner(dir string, st ingestStream) *dirScanner {
@@ -66,6 +72,8 @@ func newDirScanner(dir string, st ingestStream) *dirScanner {
 // any line was fed (with a sharded stream, absorption is asynchronous —
 // Quiesce and compare EventCount to learn whether events were produced).
 func (s *dirScanner) scan() (changed bool, err error) {
+	t := s.pl.Begin()
+	fed := 0
 	werr := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
@@ -75,16 +83,17 @@ func (s *dirScanner) scan() (changed bool, err error) {
 			rel = path
 		}
 		rel = filepath.ToSlash(rel)
-		grew, ferr := s.drainFile(path, rel)
+		n, ferr := s.drainFile(path, rel)
 		if ferr != nil {
 			return ferr
 		}
-		if grew {
-			changed = true
-		}
+		fed += n
 		return nil
 	})
-	return changed, werr
+	if fed > 0 {
+		s.pl.StageBatch(obs.StageRead, -1, t, fed)
+	}
+	return fed > 0, werr
 }
 
 // followDir is the live mode: it scans the log tree once, then polls for
@@ -113,35 +122,35 @@ func followDir(dir string, workers int) error {
 }
 
 // drainFile feeds any bytes appended since the recorded offset. It
-// reports whether any line was fed.
-func (s *dirScanner) drainFile(path, rel string) (bool, error) {
+// returns how many lines were fed.
+func (s *dirScanner) drainFile(path, rel string) (int, error) {
 	info, err := os.Stat(path)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	off := s.offsets[rel]
 	if info.Size() <= off {
-		return false, nil
+		return 0, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
 	defer f.Close()
 	if _, err := f.Seek(off, io.SeekStart); err != nil {
-		return false, err
+		return 0, err
 	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	changed := false
+	fed := 0
 	read := off
 	for sc.Scan() {
 		line := sc.Text()
 		read += int64(len(line)) + 1
 		if s.st.Feed(rel, line) {
-			changed = true
+			fed++
 		}
 	}
 	s.offsets[rel] = read
-	return changed, sc.Err()
+	return fed, sc.Err()
 }

@@ -35,20 +35,20 @@ func TestDrainFileIncremental(t *testing.T) {
 	sc := newDirScanner(dir, core.NewStream())
 
 	writeLines(t, rm, mkLine(100, "x.RMAppImpl", app+" State change from NEW_SAVING to SUBMITTED on event = APP_NEW_SAVED"))
-	changed, err := sc.drainFile(rm, "rm.log")
-	if err != nil || !changed {
-		t.Fatalf("first drain: changed=%v err=%v", changed, err)
+	fed, err := sc.drainFile(rm, "rm.log")
+	if err != nil || fed != 1 {
+		t.Fatalf("first drain: fed=%v err=%v", fed, err)
 	}
 	// No growth: nothing new.
-	changed, err = sc.drainFile(rm, "rm.log")
-	if err != nil || changed {
-		t.Fatalf("idle drain reported change: %v %v", changed, err)
+	fed, err = sc.drainFile(rm, "rm.log")
+	if err != nil || fed != 0 {
+		t.Fatalf("idle drain reported change: %v %v", fed, err)
 	}
 	// Append: only the new line is consumed.
 	writeLines(t, rm, mkLine(5000, "x.RMAppImpl", app+" State change from ACCEPTED to RUNNING on event = ATTEMPT_REGISTERED"))
-	changed, err = sc.drainFile(rm, "rm.log")
-	if err != nil || !changed {
-		t.Fatalf("append drain: changed=%v err=%v", changed, err)
+	fed, err = sc.drainFile(rm, "rm.log")
+	if err != nil || fed != 1 {
+		t.Fatalf("append drain: fed=%v err=%v", fed, err)
 	}
 	if sc.st.EventCount() != 2 {
 		t.Fatalf("events=%d, want 2 (no re-reads)", sc.st.EventCount())
@@ -68,12 +68,12 @@ func TestDrainFileContainerLog(t *testing.T) {
 	}
 	sc := newDirScanner(dir, core.NewStream())
 	writeLines(t, abs, mkLine(7000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Started daemon"))
-	if changed, err := sc.drainFile(abs, rel); err != nil || !changed {
-		t.Fatalf("container drain: %v %v", changed, err)
+	if fed, err := sc.drainFile(abs, rel); err != nil || fed != 1 {
+		t.Fatalf("container drain: %v %v", fed, err)
 	}
 	writeLines(t, abs, mkLine(9000, "org.apache.spark.executor.CoarseGrainedExecutorBackend", "Got assigned task 0"))
-	if changed, err := sc.drainFile(abs, rel); err != nil || !changed {
-		t.Fatalf("container append drain: %v %v", changed, err)
+	if fed, err := sc.drainFile(abs, rel); err != nil || fed != 1 {
+		t.Fatalf("container append drain: %v %v", fed, err)
 	}
 	c := sc.st.Apps()[0].Containers[0]
 	if c.FirstLog == 0 || c.FirstTask == 0 {

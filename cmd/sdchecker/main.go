@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/slo"
 )
 
@@ -42,6 +43,8 @@ func main() {
 		retain   = flag.Int("retain", 4096, "with -serve: keep at most this many completed applications in memory (-1 = unlimited)")
 		maxApps  = flag.Int("max-apps", 16384, "with -serve: hard cap on tracked applications, complete or not — degraded logs can mint unbounded IDs (-1 = unlimited)")
 		sloFile  = flag.String("slo", "", "with -serve: SLO rule file (one `name: p99(component[, queue=Q][, node=N]) < 500ms over 5m [burn 1m]` per line)")
+		selfSLO  = flag.String("self-slo", "", "with -serve: self-SLO rule file over the pipeline's own stages (read|parse|forward|decompose|aggregate|scan); default is `pipeline-scan-p99: p99(scan) < 10000ms over 5m`")
+		debug    = flag.Bool("debug", false, "with -serve: expose net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -62,43 +65,69 @@ func main() {
 			outputModes++
 		}
 	}
-	switch {
-	case *follow && *serve != "":
-		fmt.Fprintln(os.Stderr, "sdchecker: -follow and -serve are mutually exclusive")
-	case (*follow || *serve != "") && outputModes > 0:
-		fmt.Fprintln(os.Stderr, "sdchecker: live modes (-follow, -serve) cannot be combined with output flags")
-	case *sloFile != "" && *serve == "":
-		fmt.Fprintln(os.Stderr, "sdchecker: -slo requires -serve")
-	case outputModes > 1:
-		fmt.Fprintln(os.Stderr, "sdchecker: choose at most one output mode")
-	default:
-		run(*dir, *workers, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
-			*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps, *sloFile)
-		return
+	if msg := modeConflict(*follow, *serve, outputModes, *sloFile, *selfSLO, *debug); msg != "" {
+		fmt.Fprintln(os.Stderr, "sdchecker: "+msg)
+		flag.Usage()
+		os.Exit(2)
 	}
-	flag.Usage()
-	os.Exit(2)
+	run(*dir, *workers, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
+		*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps, *sloFile, *selfSLO, *debug)
+}
+
+// modeConflict validates the flag combination, returning a diagnostic
+// for the first conflict found or "" when the combination is legal.
+// Output modes are mutually exclusive, and none of them combine with
+// the live modes (-follow tails a terminal, -serve tails HTTP); the
+// serve-only knobs require -serve.
+func modeConflict(follow bool, serve string, outputModes int, sloFile, selfSLOFile string, debug bool) string {
+	switch {
+	case follow && serve != "":
+		return "-follow and -serve are mutually exclusive"
+	case (follow || serve != "") && outputModes > 0:
+		return "live modes (-follow, -serve) cannot be combined with output flags"
+	case sloFile != "" && serve == "":
+		return "-slo requires -serve"
+	case selfSLOFile != "" && serve == "":
+		return "-self-slo requires -serve"
+	case debug && serve == "":
+		return "-debug requires -serve"
+	case outputModes > 1:
+		return "choose at most one output mode"
+	}
+	return ""
+}
+
+// parseRuleFile loads an SLO rule file with the given component
+// vocabulary, exiting with a diagnostic on failure.
+func parseRuleFile(path string, components []string) []slo.Rule {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+		os.Exit(1)
+	}
+	rules, err := slo.ParseRulesFor(f, components)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdchecker: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rules
 }
 
 func run(dir string, workers, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
-	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int, sloFile string) {
+	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int,
+	sloFile, selfSLOFile string, debug bool) {
 
 	if serve != "" {
-		var rules []slo.Rule
+		o := defaultServeOptions(workers)
+		o.retain, o.maxApps, o.debug = retain, maxApps, debug
 		if sloFile != "" {
-			f, err := os.Open(sloFile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
-				os.Exit(1)
-			}
-			rules, err = slo.ParseRules(f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "sdchecker: %s: %v\n", sloFile, err)
-				os.Exit(1)
-			}
+			o.rules = parseRuleFile(sloFile, core.Components)
 		}
-		if err := serveDir(serve, dir, workers, retain, maxApps, rules); err != nil {
+		if selfSLOFile != "" {
+			o.selfRules = parseRuleFile(selfSLOFile, obs.Stages)
+		}
+		if err := serveDir(serve, dir, o); err != nil {
 			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
 			os.Exit(1)
 		}

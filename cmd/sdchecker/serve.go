@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/slo"
 )
 
@@ -20,13 +23,76 @@ import (
 // sustained run means the tree is gone or unreadable.
 const healthFailThreshold = 5
 
+// Self-observability defaults: the watchdog declares a stall after
+// defaultStallAfterMS without scan or shard progress (well above the
+// one-second poll cadence), checking every defaultWatchdogTickMS; the
+// shipped self-SLO objective is a scan p99 under defaultScanP99MS.
+const (
+	defaultStallAfterMS   = 30_000
+	defaultWatchdogTickMS = 1_000
+	defaultScanP99MS      = 10_000
+)
+
+// warnBurstThreshold is how many newly dropped (unmatched) lines between
+// two scans count as a warning burst worth a flight-recorder event.
+const warnBurstThreshold = 64
+
+// defaultSelfRules builds the shipped self-SLO: the serve loop's own
+// scan latency, fed back through the same engine that evaluates mined
+// delays — the checker dogfooding its SLO machinery.
+func defaultSelfRules(thresholdMS int64) []slo.Rule {
+	r, err := slo.ParseRuleFor(
+		fmt.Sprintf("pipeline-scan-p99: p99(scan) < %dms over 5m", thresholdMS), obs.Stages)
+	if err != nil {
+		panic("sdchecker: default self-SLO rule: " + err.Error())
+	}
+	return []slo.Rule{r}
+}
+
+// serveOptions configures a liveServer. The zero value is not useful;
+// start from defaultServeOptions.
+type serveOptions struct {
+	workers int
+	retain  int
+	maxApps int
+	rules   []slo.Rule // mined-delay SLOs (-slo)
+	// selfRules are the pipeline self-SLOs; nil ships the default
+	// scan-p99 rule.
+	selfRules []slo.Rule
+	// debug exposes net/http/pprof under /debug/pprof/ (the -debug flag).
+	debug bool
+	// stallAfterMS / watchdogTickMS tune the stall detector (0 = defaults).
+	stallAfterMS   int64
+	watchdogTickMS int64
+	// clock, when set, replaces the pipeline's wall clock (tests; makes
+	// flight dumps deterministic).
+	clock func() int64
+	// scanGate, when set, runs at the top of every pollOnce before any
+	// lock is taken — the stall-injection point for watchdog tests.
+	scanGate func()
+}
+
+func defaultServeOptions(workers int) serveOptions {
+	return serveOptions{
+		workers:        workers,
+		retain:         4096,
+		maxApps:        16384,
+		stallAfterMS:   defaultStallAfterMS,
+		watchdogTickMS: defaultWatchdogTickMS,
+	}
+}
+
 // liveServer runs the -follow tailer behind an HTTP endpoint: the log
 // tree is polled in the background while /metrics, /apps, /trace/<seq>,
-// /aggregate, /slo and /healthz expose the stream's current picture.
-// Completed applications beyond the retention limit are evicted so the
-// server can tail a cluster indefinitely; the SLO engine keeps its own
-// (bounded) aggregate state, so evicting an app does not lose its delay
-// observations.
+// /trace/pipeline, /aggregate, /slo, /debug/flight and /healthz expose
+// the stream's current picture. Completed applications beyond the
+// retention limit are evicted so the server can tail a cluster
+// indefinitely; the SLO engine keeps its own (bounded) aggregate state,
+// so evicting an app does not lose its delay observations.
+//
+// The server also observes itself: a pipeline (internal/obs) carries
+// stage spans, the flight recorder, and self-observations; a watchdog
+// goroutine checks for stalls and flips /healthz to degraded.
 type liveServer struct {
 	mu     sync.Mutex // guards st and sc; taken before obsMu when both are needed
 	st     ingestStream
@@ -47,35 +113,82 @@ type liveServer struct {
 	obsMu sync.Mutex
 	eng   *slo.Engine
 
+	// selfMu guards selfEng, the engine evaluating the pipeline's own
+	// stage latencies. Never nested inside obsMu or vice versa; pollOnce
+	// takes it briefly after releasing neither (it holds mu only).
+	selfMu  sync.Mutex
+	selfEng *slo.Engine
+
+	// Self-observability: pipeline, watchdog, runtime collector.
+	pl       *obs.Pipeline
+	wd       *obs.Watchdog
+	rt       *obs.RuntimeCollector
+	debug    bool
+	wdTickMS int64
+	scanGate func()
+
 	// Poll health, for /healthz (guarded by mu).
 	lastScanUnixMS int64
 	lastErr        string
 	consecFails    int
+	lastDropped    int64
 
-	compHist map[string]*metrics.Histogram
-	scanDur  *metrics.Histogram
-	firing   *metrics.Gauge
-	ingested *metrics.Gauge
+	compHist   map[string]*metrics.Histogram
+	scanDur    *metrics.Histogram
+	firing     *metrics.Gauge
+	ingested   *metrics.Gauge
+	selfFiring *metrics.Gauge
+	dropped    *metrics.Counter
 }
 
-func newLiveServer(dir string, workers, retain, maxApps int, rules []slo.Rule) *liveServer {
+func newLiveServer(dir string, o serveOptions) *liveServer {
+	if o.stallAfterMS <= 0 {
+		o.stallAfterMS = defaultStallAfterMS
+	}
+	if o.watchdogTickMS <= 0 {
+		o.watchdogTickMS = defaultWatchdogTickMS
+	}
+	if o.selfRules == nil {
+		o.selfRules = defaultSelfRules(defaultScanP99MS)
+	}
 	reg := metrics.NewRegistry()
-	st := newIngestStream(workers)
+	st := newIngestStream(o.workers)
 	st.Instrument(reg)
+	var plOpts []obs.Option
+	if o.clock != nil {
+		plOpts = append(plOpts, obs.WithClock(o.clock))
+	}
+	pl := obs.New(reg, plOpts...)
+	st.ObservePipeline(pl)
 	s := &liveServer{
 		st:       st,
-		eng:      slo.NewEngine(rules),
+		eng:      slo.NewEngine(o.rules),
+		selfEng:  slo.NewEngine(o.selfRules),
 		sc:       newDirScanner(dir, st),
 		reg:      reg,
-		retain:   retain,
-		maxApps:  maxApps,
+		retain:   o.retain,
+		maxApps:  o.maxApps,
 		done:     make(chan struct{}),
-		compHist: make(map[string]*metrics.Histogram, len(core.Components)),
+		pl:       pl,
+		wd:       obs.NewWatchdog(pl, reg, o.stallAfterMS),
+		rt:       obs.NewRuntimeCollector(reg),
+		debug:    o.debug,
+		wdTickMS: o.watchdogTickMS,
+		scanGate: o.scanGate,
+		compHist: map[string]*metrics.Histogram{},
 		scanDur: reg.Histogram("serve_scan_duration_ms",
 			metrics.ExpBuckets(1, 2, 16)),
-		firing:   reg.Gauge("slo_rules_firing"),
-		ingested: reg.Gauge("slo_apps_ingested"),
+		firing:     reg.Gauge("slo_rules_firing"),
+		ingested:   reg.Gauge("slo_apps_ingested"),
+		selfFiring: reg.Gauge("slo_self_rules_firing"),
+		dropped:    reg.Counter("core_stream_lines_dropped_total"),
 	}
+	s.sc.pl = pl
+	// The automatic snapshot is kept by the watchdog (served at
+	// /debug/flight?snapshot=last); the hook just announces it.
+	s.wd.OnSnapshot(func(dump []byte) {
+		fmt.Printf("sdchecker: watchdog stall: flight recorder snapshot taken (%d bytes)\n", len(dump))
+	})
 	// Component-delay histograms: exponential buckets from 1ms to ~9min
 	// cover the paper's sub-second tail and the worst degraded runs.
 	for _, c := range core.Components {
@@ -85,14 +198,18 @@ func newLiveServer(dir string, workers, retain, maxApps int, rules []slo.Rule) *
 	// Completed decompositions flow into the SLO engine and the
 	// component histograms. With a sharded stream the hook runs on
 	// worker goroutines: histograms are thread-safe, the engine is
-	// guarded by obsMu.
+	// guarded by obsMu. The whole fold is the pipeline's aggregate
+	// stage, timed per application (a batch, not a line).
 	st.OnComplete(func(a *core.AppTrace) {
-		for _, o := range core.Observations(a) {
+		t := s.pl.Begin()
+		observations := core.Observations(a)
+		for _, o := range observations {
 			s.compHist[o.Component].Observe(float64(o.MS))
 		}
 		s.obsMu.Lock()
 		s.eng.ObserveApp(a)
 		s.obsMu.Unlock()
+		s.pl.StageBatch(obs.StageAggregate, -1, t, len(observations))
 	})
 	return s
 }
@@ -101,10 +218,16 @@ func newLiveServer(dir string, workers, retain, maxApps int, rules []slo.Rule) *
 // to absorb everything, advance the SLO engine's event clock to the
 // newest log timestamp (so rules resolve when their windows drain even
 // with no new completions), evict completed apps beyond the retention
-// limit, then enforce the hard memory bound.
+// limit, then enforce the hard memory bound. The pass is bracketed for
+// the watchdog and recorded as the pipeline's scan stage; buffered
+// stage latencies drain into the self-SLO engine at the end.
 func (s *liveServer) pollOnce() error {
+	if gate := s.scanGate; gate != nil {
+		gate()
+	}
+	t := s.pl.Begin()
+	s.wd.ScanBegin(t.MS)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	start := time.Now()
 	_, err := s.sc.scan()
 	s.st.Quiesce()
@@ -121,6 +244,12 @@ func (s *liveServer) pollOnce() error {
 	if s.maxApps >= 0 {
 		s.st.EvictOldest(s.maxApps)
 	}
+	if d := s.dropped.Value(); d-s.lastDropped >= warnBurstThreshold {
+		s.pl.RecordWarnBurst(d - s.lastDropped)
+		s.lastDropped = d
+	} else {
+		s.lastDropped = d
+	}
 	if err != nil {
 		s.consecFails++
 		s.lastErr = err.Error()
@@ -129,7 +258,27 @@ func (s *liveServer) pollOnce() error {
 		s.lastErr = ""
 		s.lastScanUnixMS = time.Now().UnixMilli()
 	}
+	s.mu.Unlock()
+	s.pl.StageBatch(obs.StageScan, -1, t, 1)
+	s.wd.ScanEnd(s.pl.Begin().MS)
+	s.feedSelfSLO()
 	return err
+}
+
+// feedSelfSLO drains the pipeline's buffered stage latencies into the
+// self-SLO engine, each at its own event time (sub-millisecond stage
+// batches round up to 1ms so they register against the windows).
+func (s *liveServer) feedSelfSLO() {
+	samples := s.pl.DrainSelf()
+	if len(samples) == 0 {
+		return
+	}
+	s.selfMu.Lock()
+	for _, sm := range samples {
+		s.selfEng.ObserveAt([]core.Observation{{Component: sm.Stage, MS: (sm.DurUS + 999) / 1000}}, sm.AtMS)
+	}
+	s.selfFiring.Set(int64(s.selfEng.FiringCount()))
+	s.selfMu.Unlock()
 }
 
 // ingest polls until the server is closed. Scan errors are transient
@@ -148,18 +297,56 @@ func (s *liveServer) ingest() {
 	}
 }
 
+// watchdogLoop is the independent checker: it runs on its own ticker so
+// a scan loop stuck inside pollOnce is still detected. Each tick
+// samples shard progress, evaluates the stall conditions, and refreshes
+// the runtime self-metrics.
+func (s *liveServer) watchdogLoop() {
+	tick := time.Duration(s.wdTickMS) * time.Millisecond
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-time.After(tick):
+		}
+		now := s.pl.Begin().MS
+		if stats := s.st.ShardStats(); len(stats) > 0 {
+			queued := make([]int, len(stats))
+			processed := make([]int64, len(stats))
+			for i, st := range stats {
+				queued[i] = st.Queued
+				processed[i] = st.Processed
+			}
+			s.wd.ObserveShards(queued, processed, now)
+		}
+		s.wd.Check(now)
+		s.rt.Collect()
+	}
+}
+
 func (s *liveServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/apps", s.handleApps)
 	mux.HandleFunc("/trace/", s.handleTrace)
+	mux.HandleFunc("/trace/pipeline", s.handleTracePipeline)
 	mux.HandleFunc("/aggregate", s.handleAggregate)
 	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	if s.debug {
+		// Off by default: profiles expose call stacks and flag values.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 func (s *liveServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.rt.Collect() // runtime gauges are as fresh as the scrape
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -184,7 +371,7 @@ func (s *liveServer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	seqStr := strings.TrimPrefix(r.URL.Path, "/trace/")
 	seq, err := strconv.Atoi(seqStr)
 	if err != nil || seq <= 0 {
-		http.Error(w, "usage: /trace/<application sequence number>", http.StatusBadRequest)
+		http.Error(w, "usage: /trace/<application sequence number> or /trace/pipeline", http.StatusBadRequest)
 		return
 	}
 	s.mu.Lock()
@@ -196,6 +383,44 @@ func (s *liveServer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)
+}
+
+// handleTracePipeline renders the pipeline's own stage spans as a
+// Perfetto track group next to every mined application timeline: shard
+// imbalance and scan cadence are visible in the same trace UI as the
+// scheduling delays they produced.
+func (s *liveServer) handleTracePipeline(w http.ResponseWriter, _ *http.Request) {
+	spans := s.pl.Spans()
+	s.mu.Lock()
+	rep := s.st.Report()
+	s.mu.Unlock()
+	for _, a := range rep.Apps {
+		spans = append(spans, core.AppSpans(a)...)
+	}
+	out, err := sim.ChromeTrace(spans, 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// handleFlight dumps the flight recorder. ?snapshot=last returns the
+// automatic dump the watchdog took when it last declared a stall.
+func (s *liveServer) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("snapshot") == "last" {
+		d := s.wd.LastDump()
+		if d == nil {
+			http.Error(w, "no automatic snapshot taken", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(d)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.pl.FlightDump().JSON())
 }
 
 // aggregateDoc is the /aggregate response: cumulative percentile tables
@@ -262,12 +487,16 @@ func filterRows(rows []core.BreakdownRow, component string) []core.BreakdownRow 
 }
 
 // sloDoc is the /slo response: every rule's current evaluation plus the
-// recorded firing/resolved transitions, all on the event clock.
+// recorded firing/resolved transitions, all on the event clock — and
+// the self-applied rules over the pipeline's own stage latencies.
 type sloDoc struct {
-	NowMS   int64            `json:"now_ms"`
-	Firing  int              `json:"firing"`
-	Rules   []slo.RuleStatus `json:"rules"`
-	History []slo.Transition `json:"history"`
+	NowMS       int64            `json:"now_ms"`
+	Firing      int              `json:"firing"`
+	Rules       []slo.RuleStatus `json:"rules"`
+	History     []slo.Transition `json:"history"`
+	SelfFiring  int              `json:"self_firing"`
+	SelfRules   []slo.RuleStatus `json:"self_rules"`
+	SelfHistory []slo.Transition `json:"self_history,omitempty"`
 }
 
 func (s *liveServer) handleSLO(w http.ResponseWriter, _ *http.Request) {
@@ -279,19 +508,30 @@ func (s *liveServer) handleSLO(w http.ResponseWriter, _ *http.Request) {
 		History: s.eng.History(),
 	}
 	s.obsMu.Unlock()
+	s.selfMu.Lock()
+	doc.SelfFiring = s.selfEng.FiringCount()
+	doc.SelfRules = s.selfEng.Status()
+	doc.SelfHistory = s.selfEng.History()
+	s.selfMu.Unlock()
 	writeJSON(w, doc)
 }
 
-// healthDoc is the /healthz body. Status is "ok" until
-// healthFailThreshold consecutive scans fail, then "unhealthy" with 503.
+// healthDoc is the /healthz body. Status is "ok" until either
+// healthFailThreshold consecutive scans fail ("unhealthy", 503) or the
+// pipeline watchdog declares a stall ("degraded", 503 with the reason
+// and the automatic flight-snapshot count).
 type healthDoc struct {
-	Status         string `json:"status"`
-	Events         int    `json:"events"`
-	Apps           int    `json:"apps"`
-	AppsIngested   uint64 `json:"apps_ingested"`
-	LastScanUnixMS int64  `json:"last_scan_unix_ms,omitempty"`
-	LastError      string `json:"last_error,omitempty"`
-	ConsecFails    int    `json:"consecutive_failures,omitempty"`
+	Status          string `json:"status"`
+	Events          int    `json:"events"`
+	Apps            int    `json:"apps"`
+	AppsIngested    uint64 `json:"apps_ingested"`
+	LastScanUnixMS  int64  `json:"last_scan_unix_ms,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+	ConsecFails     int    `json:"consecutive_failures,omitempty"`
+	Watchdog        string `json:"watchdog,omitempty"`
+	SelfSLOFiring   int    `json:"self_slo_firing"`
+	FlightRecorded  uint64 `json:"flight_events_recorded"`
+	FlightSnapshots int64  `json:"flight_snapshots"`
 }
 
 func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -308,9 +548,20 @@ func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.obsMu.Lock()
 	doc.AppsIngested = s.eng.AppsIngested()
 	s.obsMu.Unlock()
+	s.selfMu.Lock()
+	doc.SelfSLOFiring = s.selfEng.FiringCount()
+	s.selfMu.Unlock()
+	doc.FlightRecorded = s.pl.Flight().Recorded()
+	doc.FlightSnapshots = s.wd.Snapshots()
+	stalled, reason := s.wd.Stalled()
 	code := http.StatusOK
-	if doc.ConsecFails >= healthFailThreshold {
+	switch {
+	case doc.ConsecFails >= healthFailThreshold:
 		doc.Status = "unhealthy"
+		code = http.StatusServiceUnavailable
+	case stalled:
+		doc.Status = "degraded"
+		doc.Watchdog = reason
 		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -329,15 +580,16 @@ func writeJSON(w http.ResponseWriter, doc any) {
 	w.Write(append(b, '\n'))
 }
 
-// start listens on addr, launches the background ingestion loop, and
-// serves HTTP. It returns the bound listener so callers (and tests) can
-// learn the actual address when addr is ":0".
+// start listens on addr, launches the background ingestion loop and the
+// watchdog checker, and serves HTTP. It returns the bound listener so
+// callers (and tests) can learn the actual address when addr is ":0".
 func (s *liveServer) start(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	go s.ingest()
+	go s.watchdogLoop()
 	go http.Serve(ln, s.handler())
 	return ln, nil
 }
@@ -352,14 +604,18 @@ func (s *liveServer) close() {
 
 // serveDir is the -serve entry point: tail dir forever, serving the live
 // endpoints on addr.
-func serveDir(addr, dir string, workers, retain, maxApps int, rules []slo.Rule) error {
-	srv := newLiveServer(dir, workers, retain, maxApps, rules)
+func serveDir(addr, dir string, o serveOptions) error {
+	srv := newLiveServer(dir, o)
 	ln, err := srv.start(addr)
 	if err != nil {
 		return err
 	}
 	defer srv.close()
-	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /aggregate /slo /healthz; %d SLO rules)\n",
-		dir, ln.Addr(), len(rules))
+	extra := ""
+	if o.debug {
+		extra = " /debug/pprof/*"
+	}
+	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /trace/pipeline /aggregate /slo /healthz /debug/flight%s; %d SLO rules, %d self rules)\n",
+		dir, ln.Addr(), extra, len(o.rules), len(srv.selfEng.Rules()))
 	select {} // run until interrupted
 }

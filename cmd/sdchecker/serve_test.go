@@ -40,6 +40,15 @@ func writeScenarioLogs(t *testing.T) string {
 	return dir
 }
 
+// testServeOptions is the standard test configuration: small retention,
+// the given workers and rules, everything else at defaults.
+func testServeOptions(workers int, rules []slo.Rule) serveOptions {
+	o := defaultServeOptions(workers)
+	o.retain = 1024
+	o.rules = rules
+	return o
+}
+
 func get(t *testing.T, url string) (int, string) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -59,7 +68,7 @@ func get(t *testing.T, url string) (int, string) {
 // endpoint while ingestion is live.
 func TestServeEndpoints(t *testing.T) {
 	dir := writeScenarioLogs(t)
-	srv := newLiveServer(dir, 4, 1024, 16384, nil)
+	srv := newLiveServer(dir, testServeOptions(4, nil))
 	ln, err := srv.start(":0")
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +202,7 @@ func sloRules(t *testing.T, src string) []slo.Rule {
 func TestServeAggregateAndSLOLifecycle(t *testing.T) {
 	dir := writeScenarioLogs(t)
 	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
-	srv := newLiveServer(dir, 4, 1024, 16384, rules)
+	srv := newLiveServer(dir, testServeOptions(4, rules))
 	defer srv.close()
 	if err := srv.pollOnce(); err != nil {
 		t.Fatal(err)
@@ -322,7 +331,7 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if err := os.Mkdir(gone, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	srv := newLiveServer(gone, 4, 1024, 16384, nil)
+	srv := newLiveServer(gone, testServeOptions(4, nil))
 	defer srv.close()
 	if err := srv.pollOnce(); err != nil {
 		t.Fatal(err)
@@ -377,13 +386,16 @@ func TestServeHealthzDegraded(t *testing.T) {
 func TestServeConcurrentScrapes(t *testing.T) {
 	dir := writeScenarioLogs(t)
 	rules := sloRules(t, "tight-total: p50(total) < 1ms over 5m\n")
-	srv := newLiveServer(dir, 4, 1024, 16384, rules)
+	o := testServeOptions(4, rules)
+	o.watchdogTickMS = 5 // hammer the watchdog/runtime sampler too
+	srv := newLiveServer(dir, o)
 	defer srv.close()
+	go srv.watchdogLoop() // exits when srv.close() closes done
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
 	var wg sync.WaitGroup
-	errc := make(chan error, 8)
+	errc := make(chan error, 12)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -394,7 +406,7 @@ func TestServeConcurrentScrapes(t *testing.T) {
 			}
 		}
 	}()
-	for _, ep := range []string{"/metrics", "/aggregate", "/slo", "/apps"} {
+	for _, ep := range []string{"/metrics", "/aggregate", "/slo", "/apps", "/debug/flight", "/trace/pipeline"} {
 		wg.Add(1)
 		go func(ep string) {
 			defer wg.Done()
@@ -447,9 +459,9 @@ func TestServeConcurrentScrapes(t *testing.T) {
 // one with four shard workers, must expose byte-identical /apps JSON.
 func TestServeWorkersByteIdentical(t *testing.T) {
 	dir := writeScenarioLogs(t)
-	serial := newLiveServer(dir, 1, 1024, 16384, nil)
+	serial := newLiveServer(dir, testServeOptions(1, nil))
 	defer serial.close()
-	sharded := newLiveServer(dir, 4, 1024, 16384, nil)
+	sharded := newLiveServer(dir, testServeOptions(4, nil))
 	defer sharded.close()
 	for _, srv := range []*liveServer{serial, sharded} {
 		if err := srv.pollOnce(); err != nil {

@@ -119,7 +119,7 @@ func lockSelName(call *ast.CallExpr) (name string, op string) {
 
 // hookNameRE matches identifiers that conventionally hold completion or
 // sink callbacks.
-var hookNameRE = regexp.MustCompile(`(?i)^(hook|oncomplete|ondone|onfinish|callback|cb)$`)
+var hookNameRE = regexp.MustCompile(`(?i)^(hook|oncomplete|ondone|onfinish|onsnapshot|callback|cb)$`)
 
 // collectLockEvents linearizes a body's lock operations and hook
 // invocations in source order. Function literals are skipped (they're

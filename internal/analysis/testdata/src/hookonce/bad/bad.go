@@ -32,3 +32,24 @@ func (s *stream) DoubleFire(v int) {
 func (s *stream) Unguarded(v int) {
 	s.cb(v) // want `hook cb invoked without a nil guard`
 }
+
+type watchdog struct {
+	onSnapshot func([]byte)
+}
+
+// DoubleSnapshot can hand the same stall's dump to the snapshot hook
+// twice — the exactly-once contract the real watchdog keeps with its
+// snapped flag.
+func (w *watchdog) DoubleSnapshot(d []byte) {
+	if w.onSnapshot != nil {
+		w.onSnapshot(d)
+	}
+	if w.onSnapshot != nil {
+		w.onSnapshot(d) // want `hook onSnapshot invoked at 2 sites in one function`
+	}
+}
+
+// UnguardedSnapshot crashes when no snapshot hook is registered.
+func (w *watchdog) UnguardedSnapshot(d []byte) {
+	w.onSnapshot(d) // want `hook onSnapshot invoked without a nil guard`
+}

@@ -32,3 +32,15 @@ func (s *stream) AliasFire(v int) {
 		h(v)
 	}
 }
+
+type watchdog struct {
+	onSnapshot func([]byte)
+}
+
+// SnapshotFire mirrors the watchdog's exactly-once snapshot hook: a
+// single alias fire site under a nil guard.
+func (w *watchdog) SnapshotFire(dump []byte) {
+	if h := w.onSnapshot; h != nil {
+		h(dump)
+	}
+}

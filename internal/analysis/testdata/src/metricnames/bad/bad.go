@@ -21,3 +21,11 @@ func register(r *Registry, which string) {
 	r.Counter("res_total", "le", "0.5")    // want `label key "le" is reserved by the exposition format`
 	r.Counter("key_total", "Bad Key", "v") // want `label key "Bad Key" is not snake_case`
 }
+
+// registerSelfObservability gets the self-metric conventions wrong.
+func registerSelfObservability(r *Registry) {
+	r.Gauge("obs_watchdog_stalls_total")     // want `gauge "obs_watchdog_stalls_total" must not end in _total`
+	r.Histogram("obs_stage_duration", nil)   // want `histogram "obs_stage_duration" should end in a unit suffix`
+	r.Counter("go_gc_cycles")                // want `counter "go_gc_cycles" must end in _total`
+	r.Histogram("go_gc_pause_ms_count", nil) // want `histogram "go_gc_pause_ms_count" collides with its own generated _bucket/_sum/_count series`
+}

@@ -16,3 +16,16 @@ func register(r *Registry, shard string) {
 	r.Histogram("alloc_latency_ms", []float64{1, 5, 25})
 	r.Histogram("payload_bytes", nil, "kind", "snapshot")
 }
+
+// registerSelfObservability mirrors the pipeline self-metrics and the
+// runtime collector's vocabulary.
+func registerSelfObservability(r *Registry, stage string) {
+	r.Histogram("obs_stage_duration_ms", []float64{1, 2, 4}, "stage", stage)
+	r.Counter("obs_stage_items_total", "stage", stage)
+	r.Counter("obs_flight_events_total")
+	r.Gauge("obs_watchdog_stalled")
+	r.Gauge("go_goroutines")
+	r.Gauge("go_heap_alloc_bytes")
+	r.Counter("go_gc_cycles_total")
+	r.Histogram("go_gc_pause_ms", nil)
+}

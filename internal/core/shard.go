@@ -6,9 +6,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // reAppInLine finds the first application or container ID in a raw log
@@ -51,6 +53,11 @@ type ShardedStream struct {
 	pmet     *parserMetrics
 	met      *streamMetrics
 	forwards *metrics.Counter
+
+	// pl, when set, receives per-batch stage timings and flight events.
+	// Timing is batched: one clock read pair per grabbed batch, never per
+	// line, so the unobserved hot path is untouched.
+	pl *obs.Pipeline
 }
 
 // streamShard is one worker: an input queue (raw lines routed here plus
@@ -71,7 +78,13 @@ type streamShard struct {
 	st   *Stream
 	bd   *ClusterBreakdown
 
+	// processed counts work units (lines + routed batches) this worker
+	// has fully absorbed — the watchdog's per-shard progress signal.
+	processed atomic.Int64
+
 	linesTotal *metrics.Counter
+	depth      *metrics.Gauge   // core_shard_queue_depth{shard=i}
+	batches    *metrics.Counter // core_shard_batches_total{shard=i}
 }
 
 type shardLine struct{ source, raw string }
@@ -124,7 +137,36 @@ func (ss *ShardedStream) Instrument(reg *metrics.Registry) {
 	ss.forwards = reg.Counter("core_shard_forwarded_events_total")
 	for _, sh := range ss.shards {
 		sh.linesTotal = reg.Counter("core_shard_lines_total", "shard", strconv.Itoa(sh.i))
+		sh.depth = reg.Gauge("core_shard_queue_depth", "shard", strconv.Itoa(sh.i))
+		sh.batches = reg.Counter("core_shard_batches_total", "shard", strconv.Itoa(sh.i))
 	}
+}
+
+// ObservePipeline attaches the self-observability pipeline: workers
+// record per-batch stage timings (parse, forward, decompose), Quiesce
+// boundaries land in the flight recorder, and each shard's Stream
+// reports hook fires and evictions. Attach before feeding; nil keeps
+// the stream unobserved.
+func (ss *ShardedStream) ObservePipeline(p *obs.Pipeline) {
+	ss.pl = p
+	for _, sh := range ss.shards {
+		sh.stMu.Lock()
+		sh.st.ObservePipeline(p)
+		sh.stMu.Unlock()
+	}
+}
+
+// ShardStats samples every worker's queue depth and progress counter
+// for the pipeline watchdog.
+func (ss *ShardedStream) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(ss.shards))
+	for i, sh := range ss.shards {
+		sh.qMu.Lock()
+		q := len(sh.lines) + len(sh.routed)
+		sh.qMu.Unlock()
+		out[i] = ShardStat{Queued: q, Processed: sh.processed.Load()}
+	}
+	return out
 }
 
 // shardOf hashes an application ID onto a shard.
@@ -186,25 +228,28 @@ func (ss *ShardedStream) Feed(source, rawLine string) bool {
 	sh := ss.route(source, rawLine)
 	sh.qMu.Lock()
 	sh.lines = append(sh.lines, shardLine{source, rawLine})
+	sh.depth.Set(int64(len(sh.lines) + len(sh.routed)))
 	sh.qCond.Signal()
 	sh.qMu.Unlock()
 	return true
 }
 
-// forward hands events parsed on one shard to the shard owning their
+// forward hands events parsed on shard `from` to the shard owning their
 // application. The pending count is raised before the originating line's
 // unit is released, so Quiesce cannot observe zero while a forwarded
 // batch is still in flight.
-func (ss *ShardedStream) forward(j int, evs []Event) {
+func (ss *ShardedStream) forward(from, j int, evs []Event) {
 	ss.workMu.Lock()
 	ss.pending++
 	ss.workMu.Unlock()
 	if ss.forwards != nil {
 		ss.forwards.Add(int64(len(evs)))
 	}
+	ss.pl.RecordForward(from, j, len(evs))
 	sh := ss.shards[j]
 	sh.qMu.Lock()
 	sh.routed = append(sh.routed, evs)
+	sh.depth.Set(int64(len(sh.lines) + len(sh.routed)))
 	sh.qCond.Signal()
 	sh.qMu.Unlock()
 }
@@ -223,10 +268,15 @@ func (ss *ShardedStream) done() {
 // refreshes the app gauges.
 func (ss *ShardedStream) Quiesce() {
 	ss.workMu.Lock()
+	entering := ss.pending
+	ss.workMu.Unlock()
+	ss.pl.RecordQuiesce(true, entering)
+	ss.workMu.Lock()
 	for ss.pending > 0 {
 		ss.workCond.Wait()
 	}
 	ss.workMu.Unlock()
+	ss.pl.RecordQuiesce(false, 0)
 	ss.updateAppGauges()
 }
 
@@ -263,17 +313,61 @@ func (sh *streamShard) run() {
 		}
 		lines, routed := sh.lines, sh.routed
 		sh.lines, sh.routed = nil, nil
+		sh.depth.Set(0)
 		sh.qMu.Unlock()
 
+		if pl := sh.ss.pl; pl != nil {
+			sh.runObserved(pl, lines, routed)
+		} else {
+			for _, evs := range routed {
+				sh.absorb(evs)
+				sh.ss.done()
+			}
+			for _, ln := range lines {
+				sh.process(ln)
+				sh.ss.done()
+			}
+		}
+		sh.processed.Add(int64(len(lines) + len(routed)))
+		sh.batches.Inc()
+	}
+}
+
+// runObserved is the instrumented batch path: the same work as the
+// loops in run, but bracketed by one clock read per phase — forwarded
+// batches, then the whole line batch's parse, then its absorb — so
+// stage timing costs O(1) per batch, not O(lines).
+func (sh *streamShard) runObserved(pl *obs.Pipeline, lines []shardLine, routed [][]Event) {
+	if len(routed) > 0 {
+		t := pl.Begin()
+		n := 0
 		for _, evs := range routed {
+			n += len(evs)
 			sh.absorb(evs)
 			sh.ss.done()
 		}
-		for _, ln := range lines {
-			sh.process(ln)
-			sh.ss.done()
-		}
+		pl.StageBatch(obs.StageForward, sh.i, t, n)
 	}
+	if len(lines) == 0 {
+		return
+	}
+	t := pl.Begin()
+	batch := make([][]Event, len(lines))
+	for i, ln := range lines {
+		if sh.linesTotal != nil {
+			sh.linesTotal.Inc()
+		}
+		batch[i] = parseLineEvents(sh.ss.pmet, ln.source, ln.raw)
+	}
+	mid := pl.Begin()
+	for i := range lines {
+		sh.routeAndAbsorb(batch[i])
+		sh.ss.done()
+	}
+	// Parsing and absorbing (correlate + decompose) share the middle
+	// clock read; splitting the phases costs no extra reads.
+	pl.StageSpan(obs.StageParse, sh.i, t, mid, len(lines))
+	pl.StageBatch(obs.StageDecompose, sh.i, mid, len(lines))
 }
 
 // onComplete is installed on every shard's Stream: it folds the
@@ -295,7 +389,13 @@ func (sh *streamShard) process(ln shardLine) {
 	if sh.linesTotal != nil {
 		sh.linesTotal.Inc()
 	}
-	evs := parseLineEvents(sh.ss.pmet, ln.source, ln.raw)
+	sh.routeAndAbsorb(parseLineEvents(sh.ss.pmet, ln.source, ln.raw))
+}
+
+// routeAndAbsorb splits one line's events into shard-local and foreign,
+// forwards the foreign batches, absorbs the rest, and maintains the
+// matched/dropped line counters.
+func (sh *streamShard) routeAndAbsorb(evs []Event) {
 	matched := false
 	if len(evs) > 0 {
 		own := evs[:0]
@@ -312,7 +412,7 @@ func (sh *streamShard) process(ln shardLine) {
 			foreign[j] = append(foreign[j], e)
 		}
 		for j, f := range foreign {
-			sh.ss.forward(j, f)
+			sh.ss.forward(sh.i, j, f)
 			matched = true
 		}
 		if sh.absorb(own) > 0 {

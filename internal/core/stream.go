@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // singleLine wraps one raw line as a reader for the offline parser.
@@ -43,7 +44,29 @@ type Stream struct {
 	lastMS int64
 	met    *streamMetrics
 	pmet   *parserMetrics
+	// pl, when set, receives flight-recorder events (hook fires,
+	// evictions). The serial stream has no batch boundaries of its own, so
+	// stage timing lives with the callers that batch (dirScanner, miner).
+	pl *obs.Pipeline
 }
+
+// ObservePipeline attaches the self-observability pipeline: completion
+// hook fires and evictions are recorded in its flight recorder. Attach
+// before feeding; a nil pipeline keeps the stream unobserved (the calls
+// are nil-safe no-ops).
+func (s *Stream) ObservePipeline(p *obs.Pipeline) { s.pl = p }
+
+// ShardStat is one worker's progress sample for the pipeline watchdog:
+// its current queue depth and its cumulative processed-batch count.
+type ShardStat struct {
+	Queued    int
+	Processed int64
+}
+
+// ShardStats returns nil on the serial stream — there are no worker
+// queues to stall. It exists so Stream and ShardedStream satisfy the
+// same ingestion interface.
+func (s *Stream) ShardStats() []ShardStat { return nil }
 
 // streamMetrics are the stream's observability hooks; nil until
 // Instrument is called.
@@ -222,6 +245,7 @@ func (s *Stream) absorb(evs []Event) bool {
 			if s.completed[a.ID] && !s.notified[a.ID] {
 				s.notified[a.ID] = true
 				if s.onComplete != nil {
+					s.pl.RecordHook(a.ID.String())
 					s.onComplete(a)
 				}
 			}
@@ -326,6 +350,7 @@ func (s *Stream) Forget(id ids.AppID) {
 			delete(s.firstLogSeen, cid)
 		}
 	}
+	s.pl.RecordEvict(id.String())
 	if s.met != nil {
 		s.met.evicted.Inc()
 		s.updateAppGauges()

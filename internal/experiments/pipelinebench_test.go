@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPipelineBench(t *testing.T) {
+	res := PipelineBench(20)
+	if res.Apps != 20 || res.LinesParsed == 0 {
+		t.Fatalf("bench header %+v", res)
+	}
+	if res.BaselineMS <= 0 || res.ObservedMS <= 0 {
+		t.Fatalf("timings missing: %+v", res)
+	}
+	if res.FlightEvents == 0 || res.SelfSamples == 0 {
+		t.Fatalf("ingest pass recorded nothing: %+v", res)
+	}
+
+	// Every stage row present, and the stages the ingest pass exercises
+	// actually recorded batches (forward only fires on adversarial
+	// input, so it may legitimately be zero).
+	if len(res.Stages) != len(obs.Stages) {
+		t.Fatalf("stage rows = %d, want %d", len(res.Stages), len(obs.Stages))
+	}
+	byStage := map[string]obs.StageStat{}
+	for _, s := range res.Stages {
+		byStage[s.Stage] = s
+	}
+	for _, st := range []string{obs.StageRead, obs.StageParse, obs.StageDecompose, obs.StageAggregate, obs.StageScan} {
+		if byStage[st].Batches == 0 {
+			t.Errorf("stage %q recorded no batches: %+v", st, byStage[st])
+		}
+	}
+	if byStage[obs.StageScan].Batches != 4 {
+		t.Errorf("scan batches = %d, want 4 cycles", byStage[obs.StageScan].Batches)
+	}
+
+	// The JSON artifact round-trips with the fields CI's smoke step
+	// greps for.
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PipelineBenchResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OverheadPct != res.OverheadPct || len(back.Stages) != len(res.Stages) {
+		t.Fatal("bench_pipeline JSON does not round-trip")
+	}
+	if !strings.Contains(string(b), `"overhead_pct"`) {
+		t.Fatal("JSON missing overhead_pct")
+	}
+
+	out := res.Format()
+	for _, want := range []string{"overhead", "budget 5%", "aggregate", "scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -153,6 +153,52 @@ func (h *Histogram) Count() uint64 {
 	return h.total
 }
 
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket holding the target rank, the same estimate
+// Prometheus' histogram_quantile computes from the exposition. Values
+// in the +Inf overflow bucket are clamped to the largest finite bound.
+// Returns 0 on an empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if cum >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if h.counts[i] == 0 {
+				return b
+			}
+			return lower + (b-lower)*float64(rank-prev)/float64(h.counts[i])
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Bucket is one cumulative histogram bucket in a snapshot.
 type Bucket struct {
 	UpperBound float64 // +Inf for the overflow bucket

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Flight event kinds: the closed vocabulary of the flight recorder.
+// Everything an operator needs to reconstruct "what was the pipeline
+// doing just before the anomaly" is one of these.
+const (
+	KindStage        = "stage"            // one stage batch completed
+	KindForward      = "forward"          // events forwarded across shards
+	KindHook         = "hook_fired"       // completion hook delivered one app
+	KindEvict        = "evict"            // one application evicted
+	KindWarnBurst    = "warn_burst"       // burst of unmatched/dropped lines
+	KindQuiesceBegin = "quiesce_begin"    // Quiesce entered (N = pending units)
+	KindQuiesceEnd   = "quiesce_end"      // Quiesce returned
+	KindStall        = "watchdog_stall"   // watchdog flipped to stalled
+	KindRecover      = "watchdog_recover" // watchdog recovered
+	KindSnapshot     = "flight_snapshot"  // automatic dump taken on anomaly
+)
+
+// Event is one flight-recorder entry. Shard is the worker index or -1
+// when the event is not shard-scoped. Fields are fixed-size except
+// Detail, which producers keep short (an app ID, a reason).
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	AtMS   int64  `json:"at_ms"`
+	Kind   string `json:"kind"`
+	Stage  string `json:"stage,omitempty"`
+	Shard  int    `json:"shard"`
+	N      int64  `json:"n,omitempty"`
+	DurUS  int64  `json:"dur_us,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultFlightSize is the default ring capacity. At one stage event
+// per batch and one scan per second this holds well over an hour of
+// serve-loop history in a few hundred kilobytes.
+const DefaultFlightSize = 4096
+
+// Flight is the fixed-size flight recorder: a preallocated ring of
+// recent Events. Record is allocation-free beyond the Detail strings
+// its callers build; overwriting the oldest entry is the design, not a
+// failure mode. All methods are nil-safe.
+type Flight struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   uint64 // total events ever recorded
+	events *metrics.Counter
+}
+
+func newFlight(reg *metrics.Registry, size int) *Flight {
+	return &Flight{buf: make([]Event, 0, size), events: reg.Counter("obs_flight_events_total")}
+}
+
+// resize replaces the ring (only sensible before any Record).
+func (f *Flight) resize(size int) {
+	f.mu.Lock()
+	f.buf = make([]Event, 0, size)
+	f.next = 0
+	f.mu.Unlock()
+}
+
+// Record appends one event, assigning its sequence number. The ring
+// overwrites the oldest entry when full.
+func (f *Flight) Record(e Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	e.Seq = f.next
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, e)
+	} else if cap(f.buf) > 0 {
+		f.buf[f.next%uint64(cap(f.buf))] = e
+	}
+	f.next++
+	f.mu.Unlock()
+	f.events.Inc()
+}
+
+// Dump is a point-in-time snapshot of the ring: the events still held,
+// oldest first, plus how many were ever recorded (Recorded - len(Events)
+// have been overwritten).
+type Dump struct {
+	Cap      int     `json:"cap"`
+	Recorded uint64  `json:"recorded"`
+	Events   []Event `json:"events"`
+}
+
+// Dump snapshots the recorder. The result is deterministic for a
+// deterministic event sequence: events come out in sequence order.
+func (f *Flight) Dump() Dump {
+	if f == nil {
+		return Dump{}
+	}
+	f.mu.Lock()
+	d := Dump{Cap: cap(f.buf), Recorded: f.next, Events: make([]Event, 0, len(f.buf))}
+	if n := uint64(len(f.buf)); f.next > n && cap(f.buf) > 0 {
+		start := f.next % uint64(cap(f.buf))
+		d.Events = append(d.Events, f.buf[start:]...)
+		d.Events = append(d.Events, f.buf[:start]...)
+	} else {
+		d.Events = append(d.Events, f.buf...)
+	}
+	f.mu.Unlock()
+	return d
+}
+
+// Recorded returns how many events were ever recorded.
+func (f *Flight) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+// JSON renders the dump as stable, indented JSON (the /debug/flight
+// body): identical event sequences yield identical bytes.
+func (d Dump) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		// Dump contains only plain fields; this cannot happen.
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}

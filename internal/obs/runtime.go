@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// RuntimeCollector exports the Go runtime's own vitals on the shared
+// registry: goroutine count, heap gauges, and a GC pause histogram.
+// Collect is called from the serve loop (once per watchdog tick), so
+// /metrics always carries a recent reading without a dedicated
+// goroutine.
+type RuntimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+
+	goroutines  *metrics.Gauge     // go_goroutines
+	heapAlloc   *metrics.Gauge     // go_heap_alloc_bytes
+	heapSys     *metrics.Gauge     // go_heap_sys_bytes
+	heapObjects *metrics.Gauge     // go_heap_objects
+	gcCycles    *metrics.Counter   // go_gc_cycles_total
+	gcPause     *metrics.Histogram // go_gc_pause_ms
+}
+
+// gcPauseBuckets covers 1µs .. ~0.5s stop-the-world pauses.
+var gcPauseBuckets = metrics.ExpBuckets(0.001, 2, 20)
+
+// NewRuntimeCollector registers the runtime metric families in reg
+// (which may be nil).
+func NewRuntimeCollector(reg *metrics.Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		goroutines:  reg.Gauge("go_goroutines"),
+		heapAlloc:   reg.Gauge("go_heap_alloc_bytes"),
+		heapSys:     reg.Gauge("go_heap_sys_bytes"),
+		heapObjects: reg.Gauge("go_heap_objects"),
+		gcCycles:    reg.Counter("go_gc_cycles_total"),
+		gcPause:     reg.Histogram("go_gc_pause_ms", gcPauseBuckets),
+	}
+}
+
+// Collect takes one reading: gauges are overwritten, and every GC pause
+// since the previous call is folded into the pause histogram (the
+// runtime keeps the last 256 pauses; a collector polled every second
+// never misses one).
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+	c.heapSys.Set(int64(ms.HeapSys))
+	c.heapObjects.Set(int64(ms.HeapObjects))
+
+	c.mu.Lock()
+	last := c.lastNumGC
+	cur := ms.NumGC
+	if cur > last {
+		fresh := cur - last
+		if fresh > uint32(len(ms.PauseNs)) {
+			fresh = uint32(len(ms.PauseNs))
+		}
+		c.gcCycles.Add(int64(cur - last))
+		for i := uint32(0); i < fresh; i++ {
+			pause := ms.PauseNs[(cur-i+255)%256]
+			c.gcPause.Observe(float64(pause) / 1e6)
+		}
+		c.lastNumGC = cur
+	}
+	c.mu.Unlock()
+}

@@ -38,6 +38,10 @@ type TraceSpan struct {
 	Name    string
 	Start   Time
 	End     Time
+	// Args, when non-nil, annotate the rendered trace event (shown in
+	// the Perfetto detail pane). Keys render in sorted order, keeping
+	// exports byte-deterministic.
+	Args map[string]string
 }
 
 // Recorder collects ground-truth spans from instrumented components. All
@@ -171,6 +175,7 @@ func ChromeTrace(spans []TraceSpan, epochMS int64) ([]byte, error) {
 			Dur:  &dur,
 			PID:  pid,
 			TID:  tid,
+			Args: s.Args,
 		})
 	}
 	return json.MarshalIndent(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")

@@ -57,17 +57,19 @@ var reRule = regexp.MustCompile(
 
 var reSelector = regexp.MustCompile(`([a-z]+)\s*=\s*([^,()\s]+)`)
 
-var validComponent = func() map[string]bool {
-	m := make(map[string]bool, len(core.Components))
-	for _, c := range core.Components {
-		m[c] = true
-	}
-	return m
-}()
-
 // ParseRule parses one rule line (comments and surrounding space already
-// stripped).
+// stripped) against the scheduling-delay component vocabulary
+// (core.Components).
 func ParseRule(s string) (Rule, error) {
+	return ParseRuleFor(s, core.Components)
+}
+
+// ParseRuleFor parses one rule line validating its component against an
+// explicit vocabulary. The engine itself is vocabulary-agnostic (rules
+// match observations by string), so the same grammar and machinery
+// evaluate both mined delay components and the pipeline's own stage
+// latencies (obs.Stages) — the checker's self-SLOs.
+func ParseRuleFor(s string, components []string) (Rule, error) {
 	m := reRule.FindStringSubmatch(s)
 	if m == nil {
 		return Rule{}, fmt.Errorf("slo: cannot parse rule %q (want `name: p99(component[, queue=Q][, node=N]) < 500ms over 5m [burn 1m] [min 3]`)", s)
@@ -78,9 +80,16 @@ func ParseRule(s string) (Rule, error) {
 		return Rule{}, fmt.Errorf("slo: rule %s: quantile p%s out of (0,100)", r.Name, m[2])
 	}
 	r.Quantile = pct / 100
-	if !validComponent[r.Component] {
+	valid := false
+	for _, c := range components {
+		if c == r.Component {
+			valid = true
+			break
+		}
+	}
+	if !valid {
 		return Rule{}, fmt.Errorf("slo: rule %s: unknown component %q (have %s)",
-			r.Name, r.Component, strings.Join(core.Components, ", "))
+			r.Name, r.Component, strings.Join(components, ", "))
 	}
 	for _, sel := range reSelector.FindAllStringSubmatch(m[4], -1) {
 		switch sel[1] {
@@ -126,6 +135,12 @@ func ParseRule(s string) (Rule, error) {
 // ParseRules reads a rule file: one rule per line, '#' comments and blank
 // lines ignored. Duplicate rule names are rejected.
 func ParseRules(rd io.Reader) ([]Rule, error) {
+	return ParseRulesFor(rd, core.Components)
+}
+
+// ParseRulesFor is ParseRules with an explicit component vocabulary
+// (see ParseRuleFor).
+func ParseRulesFor(rd io.Reader, components []string) ([]Rule, error) {
 	var out []Rule
 	seen := make(map[string]bool)
 	sc := bufio.NewScanner(rd)
@@ -138,7 +153,7 @@ func ParseRules(rd io.Reader) ([]Rule, error) {
 		if s == "" {
 			continue
 		}
-		r, err := ParseRule(s)
+		r, err := ParseRuleFor(s, components)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
