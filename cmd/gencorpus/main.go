@@ -6,7 +6,9 @@
 //     regenerating to refresh the expected JSON);
 //   - testdata/corpus/ — seed files for the FuzzParseReader /
 //     FuzzStreamFeed fuzz targets, including degraded (torn, truncated,
-//     skewed) variants.
+//     skewed) variants and RM logs replayed from the model checker's
+//     minimized counterexample traces (internal/mc/testdata/cx), whose
+//     crash/expiry/resync interleavings no random workload reproduces.
 //
 // The inputs are checked in; rerun this tool only when the simulator's
 // log vocabulary changes.
@@ -24,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/log4j"
+	"repro/internal/mc"
 	"repro/internal/sim"
 	"repro/internal/spark"
 	"repro/internal/workload"
@@ -32,7 +35,16 @@ import (
 
 func main() {
 	out := flag.String("out", "internal/core/testdata", "output directory")
+	cxDir := flag.String("cx", "internal/mc/testdata/cx", "model-checker counterexample traces to replay into corpus seeds")
+	mcOnly := flag.Bool("mc-only", false, "regenerate only the model-checker corpus seeds (leave golden trees untouched)")
 	flag.Parse()
+
+	if *mcOnly {
+		corpus := filepath.Join(*out, "corpus")
+		must(os.MkdirAll(corpus, 0o755))
+		writeMCSeeds(corpus, *cxDir)
+		return
+	}
 
 	pristine := runScenario(3, yarn.FaultSchedule{}, log4j.DegradeConfig{})
 	writeTree(pristine, filepath.Join(*out, "golden", "pristine", "input"))
@@ -67,6 +79,30 @@ func main() {
 		if !errDone && strings.HasSuffix(f, "/stderr") {
 			writeSeed(corpus, "stderr.log", degraded, f)
 			errDone = true
+		}
+	}
+	writeMCSeeds(corpus, *cxDir)
+}
+
+// writeMCSeeds replays each checked-in model-checker counterexample and
+// writes the resulting RM log as a fuzz seed. One extra seed replays the
+// stale-epoch trace with the NM epoch guard chaos-disabled: its log shows
+// containers resurrected across NM incarnations — exactly the torn
+// lifecycle shapes the stream parser must survive.
+func writeMCSeeds(corpus, cxDir string) {
+	files, err := filepath.Glob(filepath.Join(cxDir, "*.json"))
+	must(err)
+	for _, file := range files {
+		cx, err := mc.ReadCounterexample(file)
+		must(err)
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		w, _ := mc.Replay(cx.Config, cx.Trace)
+		writeSeed(corpus, "mc-"+name+".log", w.RM().Sink, yarn.RMLogFile)
+		if name == "stale-epoch-reservation" {
+			chaos := cx.Config
+			chaos.BreakEpochGuard = true
+			w, _ = mc.Replay(chaos, cx.Trace)
+			writeSeed(corpus, "mc-"+name+"-chaos.log", w.RM().Sink, yarn.RMLogFile)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+// Command sdmc runs the small-scope model checker over the simulated
+// YARN control plane (internal/mc): it exhaustively explores event
+// interleavings for a tiny configuration, checks the invariant oracles,
+// and writes minimized, replayable counterexamples for any violation.
+//
+// Usage:
+//
+//	sdmc [flags]              explore; exit 1 if any invariant is violated
+//	sdmc -smoke               CI-sized bounded exploration (fails on violation)
+//	sdmc -replay cx.json      re-execute a serialized counterexample
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mc"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 2, "cluster size (1..4)")
+		apps       = flag.Int("apps", 2, "applications to submit (1..3)")
+		faults     = flag.Int("faults", 1, "crash budget (0 or 1)")
+		workers    = flag.Int("workers", 1, "worker containers per app (1..2)")
+		scheduler  = flag.String("scheduler", "capacity", "capacity or opportunistic")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		window     = flag.Int("window", 96, "exploration horizon in engine events")
+		stride     = flag.Int("stride", 12, "spacing of external-choice insertion points")
+		maxClose   = flag.Int("max-close", 8000, "event budget for closing each branch to quiescence")
+		smoke      = flag.Bool("smoke", false, "CI preset: 2 nodes, 2 apps, no fault, small window")
+		breakGuard = flag.Bool("break-epoch-guard", false, "chaos self-test: disable the NM epoch guard")
+		out        = flag.String("out", "", "directory for minimized counterexample JSON files")
+		replay     = flag.String("replay", "", "replay a serialized counterexample file and exit")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	cfg := mc.Config{
+		Nodes:           *nodes,
+		Apps:            *apps,
+		Faults:          *faults,
+		WorkersPerApp:   *workers,
+		Scheduler:       *scheduler,
+		Seed:            *seed,
+		Window:          *window,
+		Stride:          *stride,
+		MaxCloseEvents:  *maxClose,
+		BreakEpochGuard: *breakGuard,
+	}
+	if *smoke {
+		// The preset is a baseline, not an override: flags the user set
+		// explicitly still apply on top (e.g. -smoke -scheduler opportunistic).
+		base := mc.SmokeConfig()
+		base.BreakEpochGuard = *breakGuard
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "nodes":
+				base.Nodes = *nodes
+			case "apps":
+				base.Apps = *apps
+			case "faults":
+				base.Faults = *faults
+			case "workers":
+				base.WorkersPerApp = *workers
+			case "scheduler":
+				base.Scheduler = *scheduler
+			case "seed":
+				base.Seed = *seed
+			case "window":
+				base.Window = *window
+			case "stride":
+				base.Stride = *stride
+			case "max-close":
+				base.MaxCloseEvents = *maxClose
+			}
+		})
+		cfg = base
+	}
+	res, err := mc.Explore(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdmc:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("sdmc: nodes=%d apps=%d faults=%d window=%d stride=%d scheduler=%s\n",
+		res.Config.Nodes, res.Config.Apps, res.Config.Faults, res.Config.Window, res.Config.Stride, res.Config.Scheduler)
+	fmt.Printf("sdmc: %d states visited, %d branches closed to quiescence, %d deduped\n",
+		res.StatesVisited, res.Branches, res.Deduped)
+	if len(res.Violations) == 0 {
+		fmt.Println("sdmc: no invariant violations")
+		return
+	}
+	for _, cx := range res.Violations {
+		min := mc.Minimize(cx)
+		fmt.Printf("sdmc: VIOLATION %s (%d hits)\n", min.Violation.String(), res.Counts[cx.Violation.Invariant])
+		fmt.Printf("sdmc:   trace minimized %d -> %d choices: %v\n", min.MinimizedFrom, len(min.Trace), min.Trace)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "sdmc:", err)
+				os.Exit(2)
+			}
+			path := filepath.Join(*out, "cx-"+cx.Violation.Invariant+".json")
+			if err := mc.WriteCounterexample(path, min); err != nil {
+				fmt.Fprintln(os.Stderr, "sdmc:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("sdmc:   wrote %s\n", path)
+		}
+	}
+	os.Exit(1)
+}
+
+// runReplay re-executes a counterexample and reports whether the
+// recorded violation reproduces. Exit 0 when it does, 1 otherwise.
+func runReplay(path string) int {
+	cx, err := mc.ReadCounterexample(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdmc:", err)
+		return 2
+	}
+	_, v := mc.Replay(cx.Config, cx.Trace)
+	if v == nil {
+		fmt.Printf("sdmc: %s: no violation on replay (recorded %s)\n", path, cx.Violation.Invariant)
+		return 1
+	}
+	if v.Invariant != cx.Violation.Invariant {
+		fmt.Printf("sdmc: %s: replay hit %s, recorded %s\n", path, v.Invariant, cx.Violation.Invariant)
+		return 1
+	}
+	fmt.Printf("sdmc: %s: reproduced %s\n", path, v.String())
+	return 0
+}

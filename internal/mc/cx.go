@@ -1,0 +1,60 @@
+package mc
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Replay rebuilds a world, applies the trace, and — if the trace alone
+// does not reach a violation — closes the run to quiescence the way the
+// explorer would. It returns the final world and the violation found, if
+// any. Traces that have become illegal (e.g. after minimization removed a
+// crash that a restart depended on) reproduce nothing and return nil.
+func Replay(cfg Config, trace []string) (*World, *Violation) {
+	cfg = cfg.withDefaults()
+	w := NewWorld(cfg)
+	for _, c := range trace {
+		if err := w.Apply(c); err != nil {
+			return w, nil
+		}
+		if v := w.Violation(); v != nil {
+			return w, v
+		}
+	}
+	if v := closeWorld(w, cfg.MaxCloseEvents); v != nil {
+		return w, v
+	}
+	return w, w.CheckFinal()
+}
+
+// WriteCounterexample serializes a counterexample to path as indented
+// JSON, one file per violation, replayable by cmd/sdmc -replay and by
+// ReadCounterexample.
+func WriteCounterexample(path string, cx *Counterexample) error {
+	data, err := json.MarshalIndent(cx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mc: marshal counterexample: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCounterexample loads and validates a serialized counterexample.
+func ReadCounterexample(path string) (*Counterexample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cx Counterexample
+	if err := json.Unmarshal(data, &cx); err != nil {
+		return nil, fmt.Errorf("mc: %s: %w", path, err)
+	}
+	if cx.Version != 1 {
+		return nil, fmt.Errorf("mc: %s: unsupported version %d", path, cx.Version)
+	}
+	cx.Config = cx.Config.withDefaults()
+	if err := cx.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("mc: %s: %w", path, err)
+	}
+	return &cx, nil
+}

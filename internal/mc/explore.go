@@ -1,0 +1,173 @@
+package mc
+
+import (
+	"fmt"
+)
+
+// Result summarizes one exploration.
+type Result struct {
+	Config Config
+	// Branches counts interleavings driven all the way to quiescence.
+	Branches int
+	// StatesVisited counts distinct state fingerprints expanded; Deduped
+	// counts branches pruned because their fingerprint was already seen.
+	StatesVisited int
+	Deduped       int
+	// Violations holds the first counterexample found per invariant
+	// (unminimized — run Minimize on each); Counts tallies every hit.
+	Violations []*Counterexample
+	Counts     map[string]int
+}
+
+// Explore exhaustively drives the configured small scope: a DFS over
+// choice traces where externals (submits, crashes, restarts) are injected
+// at stride-spaced insertion points within the first Window engine
+// events, and every branch is then closed deterministically to
+// quiescence with the oracles checked at each event boundary.
+func Explore(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &explorer{
+		cfg:     cfg,
+		visited: make(map[string]bool),
+		firstCx: make(map[string]*Counterexample),
+		res:     &Result{Config: cfg, Counts: make(map[string]int)},
+	}
+	e.explore(nil)
+	return e.res, nil
+}
+
+type explorer struct {
+	cfg     Config
+	visited map[string]bool
+	firstCx map[string]*Counterexample
+	res     *Result
+}
+
+// replay rebuilds the world at a trace prefix. Prefixes handed to replay
+// are violation-free by construction, so any failure is an explorer bug.
+func (e *explorer) replay(trace []string) *World {
+	w := NewWorld(e.cfg)
+	for _, c := range trace {
+		if err := w.Apply(c); err != nil {
+			panic(fmt.Sprintf("mc: replaying known-good prefix %v: %v", trace, err))
+		}
+		if v := w.Violation(); v != nil {
+			panic(fmt.Sprintf("mc: known-good prefix %v violates %s", trace, v.Invariant))
+		}
+	}
+	return w
+}
+
+func (e *explorer) explore(trace []string) {
+	w := e.replay(trace)
+	choices := e.childChoices(w)
+	if len(choices) == 0 {
+		e.closeBranch(w)
+		return
+	}
+	for _, c := range choices {
+		cw := e.replay(trace)
+		if err := cw.Apply(c); err != nil {
+			panic(fmt.Sprintf("mc: enabled choice %q failed: %v", c, err))
+		}
+		if v := cw.Violation(); v != nil {
+			e.record(cw, v)
+			continue
+		}
+		fp := cw.Fingerprint()
+		if e.visited[fp] {
+			e.res.Deduped++
+			continue
+		}
+		e.visited[fp] = true
+		e.res.StatesVisited++
+		e.explore(append(append([]string(nil), trace...), c))
+	}
+}
+
+// childChoices enumerates the branch points at the current state: the
+// enabled externals when the event count sits on a stride boundary, plus
+// "tick". An empty result means the branch should be closed — either the
+// window is exhausted or no external could ever be placed again.
+func (e *explorer) childChoices(w *World) []string {
+	if w.Ticks() >= e.cfg.Window || !w.PendingExternals() {
+		return nil
+	}
+	var out []string
+	if w.Ticks()%e.cfg.Stride == 0 {
+		out = append(out, w.EnabledExternals()...)
+	}
+	return append(out, choiceTick)
+}
+
+// closeBranch force-places any submissions the window never made (the
+// configuration must be realized on every branch; unused crash budget and
+// never-restarted nodes are legitimate outcomes) and then runs the world
+// to quiescence, oracles checked at every event.
+func (e *explorer) closeBranch(w *World) {
+	if v := closeWorld(w, e.cfg.MaxCloseEvents); v != nil {
+		e.record(w, v)
+		return
+	}
+	if v := w.CheckFinal(); v != nil {
+		e.record(w, v)
+		return
+	}
+	e.res.Branches++
+}
+
+// closeWorld is the shared closing run used by the explorer and by
+// counterexample replay: force remaining submissions, then tick until
+// quiescence or the event budget runs out.
+func closeWorld(w *World, maxEvents int) *Violation {
+	for i := range w.submitted {
+		if w.submitted[i] {
+			continue
+		}
+		if err := w.Apply(choiceSubmit(i)); err != nil {
+			return &Violation{Invariant: "explorer-internal",
+				Detail: fmt.Sprintf("forced %s failed: %v", choiceSubmit(i), err), Step: len(w.trace)}
+		}
+		if v := w.Violation(); v != nil {
+			return v
+		}
+	}
+	for steps := 0; !w.Quiescent(); steps++ {
+		if steps >= maxEvents {
+			v := &Violation{Invariant: "no-quiescence",
+				Detail: fmt.Sprintf("not quiescent after %d closing events: %s; charged=%v",
+					maxEvents, w.RM().DumpState(), w.RM().ChargedContainers())}
+			w.fail(v)
+			return v
+		}
+		if err := w.Apply(choiceTick); err != nil {
+			v := &Violation{Invariant: "engine-drained",
+				Detail: "event queue drained before quiescence: " + w.RM().DumpState()}
+			w.fail(v)
+			return v
+		}
+		if v := w.Violation(); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// record keeps the first counterexample per invariant and tallies all.
+func (e *explorer) record(w *World, v *Violation) {
+	e.res.Counts[v.Invariant]++
+	if e.firstCx[v.Invariant] != nil {
+		return
+	}
+	cx := &Counterexample{
+		Version:   1,
+		Config:    e.cfg,
+		Trace:     append([]string(nil), w.Trace()...),
+		Violation: *v,
+	}
+	e.firstCx[v.Invariant] = cx
+	e.res.Violations = append(e.res.Violations, cx)
+}

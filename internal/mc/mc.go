@@ -1,0 +1,197 @@
+// Package mc is a small-scope model checker for the simulated YARN
+// control plane (internal/yarn). It drives the RMApp / RMContainer / NM
+// container state machines through the event interleavings a tiny
+// configuration (<= 4 nodes, <= 3 apps, <= 1 injected fault) can
+// produce, checking invariant oracles at every event boundary:
+//
+//   - queue-charge conservation: each leaf queue's usedMemMB equals the
+//     sum over containers still holding a charge;
+//   - node-reservation conservation: each live NM incarnation's
+//     reserved counters equal the sum over reservations made against
+//     that incarnation — no lost or doubly-returned reservations across
+//     crash/restart epochs;
+//   - container/app lifecycle: the RM- and NM-side transition logs form
+//     legal state-machine walks with at most one terminal disposition
+//     per container and exactly one FINISHED per app;
+//   - log-vocabulary conformance: every RM/NM daemon line matches one of
+//     the declared emitter templates (compiled with
+//     analysis.TemplateToRegexp, the same NFA machinery SDchecker uses).
+//
+// The explorer (Explore) is a bounded DFS over a choice trace: "tick"
+// fires exactly one engine event (sim.Engine.Step), and external choices
+// ("submit:i", "crash:j", "restart:j") are injected at stride-spaced
+// insertion points within a window of the first Window events. After the
+// externals are placed, each branch is closed by running deterministically
+// to quiescence. Because the simulation is a pure function of (seed,
+// choice trace), Restore is replay: any state is rebuilt exactly by
+// re-applying its trace to a fresh world, which is also what makes
+// counterexamples serializable and replayable (cmd/sdmc).
+//
+// Scope bounds (documented approximations): interleavings are explored at
+// event granularity only inside the window, externals land only on stride
+// boundaries, and the visited-state fingerprint (domain snapshot + rng
+// states + relative pending-event times) is a pruning heuristic — two
+// merged states could in principle differ in un-fingerprinted closure
+// state. The bounds trade exhaustiveness for a state space a unit test
+// can exhaust.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/yarn"
+)
+
+// Config bounds one exploration. The zero value is not valid; start from
+// DefaultConfig or SmokeConfig.
+type Config struct {
+	// Nodes, Apps and Faults set the small scope: cluster size, number of
+	// toy applications, and the crash budget (0 or 1). Faults > 0
+	// requires Nodes >= 2, so that expiry/retry can always re-place work
+	// and quiescence stays reachable on the no-restart branches.
+	Nodes  int `json:"nodes"`
+	Apps   int `json:"apps"`
+	Faults int `json:"faults"`
+	// WorkersPerApp is how many worker containers each toy AM runs.
+	WorkersPerApp int `json:"workers_per_app"`
+	// Scheduler is "capacity" (default) or "opportunistic".
+	Scheduler string `json:"scheduler,omitempty"`
+	Seed      uint64 `json:"seed"`
+	// Window is the exploration horizon in engine events: external
+	// choices may only be injected among the first Window events. Stride
+	// spaces the insertion points (externals land when the number of
+	// fired events is a multiple of Stride).
+	Window int `json:"window"`
+	Stride int `json:"stride"`
+	// MaxCloseEvents caps the deterministic closing run of each branch;
+	// exceeding it without reaching quiescence is itself a violation
+	// (leaked charges and stuck containers surface this way).
+	MaxCloseEvents int `json:"max_close_events"`
+	// Node shape and toy workload timing.
+	NodeVCores   int   `json:"node_vcores"`
+	NodeMemMB    int   `json:"node_mem_mb"`
+	WorkerLifeMs int64 `json:"worker_life_ms"`
+	// BreakEpochGuard disables the NM's epoch guard (yarn.SetChaos) so
+	// the checker can demonstrate the class of bug the guard exists to
+	// prevent: orphaned pre-restart callback chains resurrecting
+	// containers on the new incarnation. Self-test only.
+	BreakEpochGuard bool `json:"break_epoch_guard,omitempty"`
+}
+
+// DefaultConfig is the standard full exploration: 2 nodes, 2 apps, one
+// crash/restart fault.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:          2,
+		Apps:           2,
+		Faults:         1,
+		WorkersPerApp:  1,
+		Scheduler:      "capacity",
+		Seed:           1,
+		Window:         96,
+		Stride:         12,
+		MaxCloseEvents: 8000,
+		NodeVCores:     4,
+		NodeMemMB:      4096,
+		WorkerLifeMs:   120,
+	}
+}
+
+// SmokeConfig is the CI-sized exploration: 2 nodes, 2 apps, no fault,
+// small window. It must stay fast enough to run on every push.
+func SmokeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Faults = 0
+	cfg.Window = 48
+	return cfg
+}
+
+// withDefaults fills unset tuning fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.WorkersPerApp == 0 {
+		c.WorkersPerApp = d.WorkersPerApp
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = d.Scheduler
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Window == 0 {
+		c.Window = d.Window
+	}
+	if c.Stride == 0 {
+		c.Stride = d.Stride
+	}
+	if c.MaxCloseEvents == 0 {
+		c.MaxCloseEvents = d.MaxCloseEvents
+	}
+	if c.NodeVCores == 0 {
+		c.NodeVCores = d.NodeVCores
+	}
+	if c.NodeMemMB == 0 {
+		c.NodeMemMB = d.NodeMemMB
+	}
+	if c.WorkerLifeMs == 0 {
+		c.WorkerLifeMs = d.WorkerLifeMs
+	}
+	return c
+}
+
+// Validate rejects configurations outside the checker's small scope.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1 || c.Nodes > 4:
+		return fmt.Errorf("mc: Nodes %d out of [1,4]", c.Nodes)
+	case c.Apps < 1 || c.Apps > 3:
+		return fmt.Errorf("mc: Apps %d out of [1,3]", c.Apps)
+	case c.Faults < 0 || c.Faults > 1:
+		return fmt.Errorf("mc: Faults %d out of [0,1]", c.Faults)
+	case c.Faults > 0 && c.Nodes < 2:
+		return fmt.Errorf("mc: Faults > 0 requires Nodes >= 2 (a lone crashed node can strand the workload forever)")
+	case c.WorkersPerApp < 1 || c.WorkersPerApp > 2:
+		return fmt.Errorf("mc: WorkersPerApp %d out of [1,2]", c.WorkersPerApp)
+	case c.Scheduler != "capacity" && c.Scheduler != "opportunistic":
+		return fmt.Errorf("mc: Scheduler %q (want capacity or opportunistic)", c.Scheduler)
+	case c.Window < 1 || c.Window > 400:
+		return fmt.Errorf("mc: Window %d out of [1,400]", c.Window)
+	case c.Stride < 1 || c.Stride > c.Window:
+		return fmt.Errorf("mc: Stride %d out of [1,Window]", c.Stride)
+	case c.MaxCloseEvents < 100:
+		return fmt.Errorf("mc: MaxCloseEvents %d < 100", c.MaxCloseEvents)
+	case (c.Apps*(c.WorkersPerApp+1))*1024 > c.Nodes*c.NodeMemMB:
+		return fmt.Errorf("mc: workload cannot fit the cluster even fully packed")
+	}
+	return nil
+}
+
+func (c Config) schedulerType() yarn.SchedulerType {
+	if c.Scheduler == "opportunistic" {
+		return yarn.SchedOpportunistic
+	}
+	return yarn.SchedCapacity
+}
+
+// Violation is one invariant breach, anchored to the choice-trace step
+// (1-based index of the last applied choice) where the oracle fired.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+	Step      int    `json:"step"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s at step %d: %s", v.Invariant, v.Step, v.Detail)
+}
+
+// Counterexample is a serializable, replayable violation witness: the
+// configuration plus the exact choice trace that reaches the violation.
+type Counterexample struct {
+	Version   int       `json:"version"`
+	Config    Config    `json:"config"`
+	Trace     []string  `json:"trace"`
+	Violation Violation `json:"violation"`
+	// MinimizedFrom, when non-zero, is the pre-shrinking trace length.
+	MinimizedFrom int `json:"minimized_from,omitempty"`
+}

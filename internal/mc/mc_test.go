@@ -1,0 +1,164 @@
+package mc
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"too many nodes", func(c *Config) { c.Nodes = 5 }, "Nodes"},
+		{"too many apps", func(c *Config) { c.Apps = 4 }, "Apps"},
+		{"fault budget", func(c *Config) { c.Faults = 2 }, "Faults"},
+		{"fault needs spare node", func(c *Config) { c.Nodes = 1; c.Faults = 1 }, "Faults"},
+		{"bad scheduler", func(c *Config) { c.Scheduler = "fifo" }, "Scheduler"},
+		{"stride over window", func(c *Config) { c.Stride = 1000 }, "Stride"},
+		{"workload too big", func(c *Config) { c.NodeMemMB = 1024; c.Apps = 3 }, "fit"},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		c.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.want)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := SmokeConfig().Validate(); err != nil {
+		t.Errorf("smoke config invalid: %v", err)
+	}
+}
+
+func TestSmokeExploreIsClean(t *testing.T) {
+	res, err := Explore(SmokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("smoke exploration found violations: %v", res.Violations[0].Violation)
+	}
+	if res.Branches == 0 || res.StatesVisited == 0 {
+		t.Fatalf("exploration did no work: %d states, %d branches", res.StatesVisited, res.Branches)
+	}
+}
+
+func TestFaultExploreIsClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Apps = 1
+	cfg.Window = 60
+	cfg.Stride = 6
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("fault exploration found violations: %v", res.Violations[0].Violation)
+	}
+}
+
+// TestRegressionTracesStayClean replays the checked-in counterexamples
+// that the explorer minimized against earlier, buggy control-plane code
+// (stale-epoch reservations, expiry-race double terminals, orphaned
+// opportunistic grants). Each must now replay to quiescence without any
+// violation; a reappearance means the corresponding fix regressed.
+func TestRegressionTracesStayClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "cx", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no regression traces found: %v (%d files)", err, len(files))
+	}
+	for _, file := range files {
+		cx, err := ReadCounterexample(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if _, v := Replay(cx.Config, cx.Trace); v != nil {
+			t.Errorf("%s: recorded violation %q resurfaced as: %v",
+				filepath.Base(file), cx.Violation.Invariant, v)
+		}
+	}
+}
+
+// TestBreakEpochGuardProducesCounterexample is the chaos self-test from
+// the acceptance criteria: disabling the NM epoch guard must make the
+// explorer find a violation, minimize it, and produce a counterexample
+// that replays. It also proves the oracles are alive — an exploration
+// that can never fail verifies nothing.
+func TestBreakEpochGuardProducesCounterexample(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Apps = 1
+	cfg.Window = 60
+	cfg.Stride = 6
+	cfg.BreakEpochGuard = true
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cx *Counterexample
+	for _, c := range res.Violations {
+		if c.Violation.Invariant == "nm-reserve-conservation" {
+			cx = c
+		}
+	}
+	if cx == nil {
+		t.Fatalf("breaking the epoch guard surfaced no nm-reserve-conservation violation (got %v)", res.Counts)
+	}
+
+	min := Minimize(cx)
+	if len(min.Trace) > len(cx.Trace) {
+		t.Fatalf("minimization grew the trace: %d -> %d", len(cx.Trace), len(min.Trace))
+	}
+	if min.Violation.Invariant != "nm-reserve-conservation" {
+		t.Fatalf("minimized trace violates %q, want nm-reserve-conservation", min.Violation.Invariant)
+	}
+
+	// Serialize, reload, and replay: the round-tripped counterexample must
+	// still reproduce the recorded invariant.
+	path := filepath.Join(t.TempDir(), "cx.json")
+	if err := WriteCounterexample(path, min); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCounterexample(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Trace, min.Trace) {
+		t.Fatal("trace did not survive the JSON round trip")
+	}
+	if _, v := Replay(loaded.Config, loaded.Trace); v == nil || v.Invariant != min.Violation.Invariant {
+		t.Fatalf("round-tripped counterexample does not reproduce: %v", v)
+	}
+}
+
+// TestReplayIsDeterministic replays one fixture twice and requires
+// identical final fingerprints — the Restore half of the
+// Step/Snapshot/Restore seam depends on it.
+func TestReplayIsDeterministic(t *testing.T) {
+	cx, err := ReadCounterexample(filepath.Join("testdata", "cx", "stale-epoch-reservation.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := Replay(cx.Config, cx.Trace)
+	w2, _ := Replay(cx.Config, cx.Trace)
+	if w1.Fingerprint() != w2.Fingerprint() {
+		t.Fatal("identical traces produced different final states")
+	}
+}
+
+func TestReadCounterexampleRejectsBadVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCounterexample(path); err == nil {
+		t.Fatal("version 2 accepted")
+	}
+}

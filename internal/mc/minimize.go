@@ -1,0 +1,57 @@
+package mc
+
+import "strings"
+
+// Minimize greedily shrinks a counterexample trace while preserving the
+// violated invariant (ddmin-style: remove chunks of halving size, then
+// single choices). Because Replay closes every candidate run to
+// quiescence, trailing ticks collapse automatically and the minimized
+// trace keeps only the external placements and the inter-event spacing
+// the violation actually needs.
+func Minimize(cx *Counterexample) *Counterexample {
+	cfg := cx.Config.withDefaults()
+	target := cx.Violation.Invariant
+	cache := make(map[string]bool)
+	reproduces := func(trace []string) bool {
+		key := strings.Join(trace, "|")
+		if hit, ok := cache[key]; ok {
+			return hit
+		}
+		_, v := Replay(cfg, trace)
+		ok := v != nil && v.Invariant == target
+		cache[key] = ok
+		return ok
+	}
+
+	cur := append([]string(nil), cx.Trace...)
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		if chunk == 1 && len(cur) > 160 {
+			// A trace still this long is dominated by ticks the closing
+			// run will re-execute anyway; per-choice passes are not worth
+			// their quadratic replay cost.
+			break
+		}
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append([]string(nil), cur[:start]...), cur[start+chunk:]...)
+			if reproduces(cand) {
+				cur = cand
+			} else {
+				start += chunk
+			}
+		}
+	}
+
+	_, v := Replay(cfg, cur)
+	if v == nil {
+		// Cannot happen (cur reproduced during shrinking); keep the
+		// original rather than return a broken witness.
+		return cx
+	}
+	return &Counterexample{
+		Version:       1,
+		Config:        cx.Config,
+		Trace:         cur,
+		Violation:     *v,
+		MinimizedFrom: len(cx.Trace),
+	}
+}

@@ -1,0 +1,312 @@
+package mc
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/log4j"
+	"repro/internal/yarn"
+)
+
+// The oracles run after every applied choice (World.check) and once more
+// at quiescence (World.CheckFinal). They look only at observable state:
+// the canonical snapshot and the daemon logs — the same logs SDchecker
+// mines — never at simulator internals.
+
+// Transition-line shapes, in the real daemons' vocabulary.
+var (
+	rmAppTransRe  = regexp.MustCompile(`^(\S+) State change from (\S+) to (\S+) on event = (\S+)$`)
+	rmContTransRe = regexp.MustCompile(`^(\S+) Container Transitioned from (\S+) to (\S+)$`)
+	nmContTransRe = regexp.MustCompile(`^Container (\S+) transitioned from (\S+) to (\S+)$`)
+)
+
+// Legal RMContainerImpl transition lines. The logged from-state is the
+// reporter's view: the RM hardcodes "RUNNING" when a lost or completed
+// container is reported, even if it only ever reached ALLOCATED/ACQUIRED
+// (the NM report, not the RM, is what promotes a container to running).
+var rmContEdges = map[string][]string{
+	"NEW":       {"ALLOCATED"},
+	"ALLOCATED": {"ACQUIRED", "RELEASED", "KILLED"},
+	"ACQUIRED":  {"RELEASED", "COMPLETED"},
+	"RUNNING":   {"KILLED", "COMPLETED"},
+}
+
+var rmContTerminal = map[string]bool{"RELEASED": true, "KILLED": true, "COMPLETED": true}
+
+// Legal RMAppImpl transitions. ACCEPTED -> RUNNING may repeat: a
+// relaunched AppMaster re-registers its attempt (the Spark driver does),
+// and the RM logs the registration transition again.
+var rmAppEdges = map[string]string{
+	"NEW":          "NEW_SAVING",
+	"NEW_SAVING":   "SUBMITTED",
+	"SUBMITTED":    "ACCEPTED",
+	"ACCEPTED":     "RUNNING",
+	"RUNNING":      "FINAL_SAVING",
+	"FINAL_SAVING": "FINISHED",
+}
+
+// Legal NM-side ContainerImpl transitions. NM chains have no promotions:
+// the logged from-state must match the tracked state exactly. A chain may
+// stop anywhere (a crash truncates it); it must never continue past a
+// terminal state.
+var nmContEdges = map[string][]string{
+	"NEW":        {"LOCALIZING"},
+	"LOCALIZING": {"SCHEDULED"},
+	"SCHEDULED":  {"RUNNING", "EXITED_WITH_FAILURE"},
+	"RUNNING":    {"EXITED_WITH_SUCCESS", "KILLING"},
+}
+
+var nmContTerminal = map[string]bool{
+	"EXITED_WITH_SUCCESS": true,
+	"EXITED_WITH_FAILURE": true,
+	"KILLING":             true,
+}
+
+// check runs every step oracle, recording the first violation.
+func (w *World) check() {
+	if w.violation != nil {
+		return
+	}
+	if v := w.scanLogs(); v != nil {
+		w.fail(v)
+		return
+	}
+	if v := w.checkSnapshot(); v != nil {
+		w.fail(v)
+	}
+}
+
+func (w *World) fail(v *Violation) {
+	v.Step = len(w.trace)
+	w.violation = v
+}
+
+// scanLogs consumes every daemon log line appended since the last check,
+// verifying vocabulary conformance and feeding the lifecycle watchers.
+// Container stderr files belong to the toy processes and are skipped.
+func (w *World) scanLogs() *Violation {
+	for _, file := range w.bed.Sink.Files() {
+		lines := w.bed.Sink.Lines(file)
+		start := w.cursors[file]
+		w.cursors[file] = len(lines)
+		if !strings.HasPrefix(file, "hadoop/") {
+			continue
+		}
+		for _, raw := range lines[start:] {
+			ln, err := log4j.ParseLine(raw)
+			if err != nil {
+				return &Violation{Invariant: "log-vocabulary",
+					Detail: fmt.Sprintf("%s: unparseable line %q: %v", file, raw, err)}
+			}
+			if v := w.matchVocab(file, ln); v != nil {
+				return v
+			}
+			if v := w.watchLine(file, ln); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// watchLine routes one parsed daemon line to its lifecycle watcher.
+func (w *World) watchLine(file string, ln log4j.Line) *Violation {
+	switch ln.Class {
+	case yarn.ClassRMAppImpl:
+		if m := rmAppTransRe.FindStringSubmatch(ln.Message); m != nil {
+			return w.watchRMApp(m[1], m[2], m[3])
+		}
+	case yarn.ClassRMContainerImpl:
+		if m := rmContTransRe.FindStringSubmatch(ln.Message); m != nil {
+			return w.watchRMCont(m[1], m[2], m[3])
+		}
+	case yarn.ClassContainerImpl:
+		if m := nmContTransRe.FindStringSubmatch(ln.Message); m != nil {
+			return w.watchNMCont(file+"|"+m[1], m[1], m[2], m[3])
+		}
+	}
+	return nil
+}
+
+func (w *World) watchRMCont(cid, from, to string) *Violation {
+	t := w.rmConts[cid]
+	if t == nil {
+		if from != "NEW" || to != "ALLOCATED" {
+			return &Violation{Invariant: "container-lifecycle",
+				Detail: fmt.Sprintf("%s: first RM transition is %s->%s, want NEW->ALLOCATED", cid, from, to)}
+		}
+		w.rmConts[cid] = &contTrack{state: "ALLOCATED"}
+		return nil
+	}
+	if rmContTerminal[t.state] {
+		return &Violation{Invariant: "container-accounting",
+			Detail: fmt.Sprintf("%s: RM transition %s->%s after terminal %s (duplicated disposition)", cid, from, to, t.state)}
+	}
+	promoted := from == "RUNNING" && (t.state == "ALLOCATED" || t.state == "ACQUIRED")
+	if from != t.state && !promoted {
+		return &Violation{Invariant: "container-lifecycle",
+			Detail: fmt.Sprintf("%s: RM transition %s->%s but tracked state is %s", cid, from, to, t.state)}
+	}
+	if !containsStr(rmContEdges[from], to) {
+		return &Violation{Invariant: "container-lifecycle",
+			Detail: fmt.Sprintf("%s: illegal RM transition %s->%s", cid, from, to)}
+	}
+	t.state = to
+	return nil
+}
+
+func (w *World) watchRMApp(aid, from, to string) *Violation {
+	t := w.rmApps[aid]
+	if t == nil {
+		t = &contTrack{state: "NEW"}
+		w.rmApps[aid] = t
+	}
+	if t.state == "FINISHED" {
+		return &Violation{Invariant: "app-lifecycle",
+			Detail: fmt.Sprintf("%s: transition %s->%s after FINISHED (completion must be exactly-once)", aid, from, to)}
+	}
+	reRegister := from == "ACCEPTED" && to == "RUNNING" && t.state == "RUNNING"
+	if from != t.state && !reRegister {
+		return &Violation{Invariant: "app-lifecycle",
+			Detail: fmt.Sprintf("%s: transition %s->%s but tracked state is %s", aid, from, to, t.state)}
+	}
+	if rmAppEdges[from] != to {
+		return &Violation{Invariant: "app-lifecycle",
+			Detail: fmt.Sprintf("%s: illegal transition %s->%s", aid, from, to)}
+	}
+	t.state = to
+	return nil
+}
+
+func (w *World) watchNMCont(key, cid, from, to string) *Violation {
+	t := w.nmConts[key]
+	if t == nil {
+		if from != "NEW" || to != "LOCALIZING" {
+			return &Violation{Invariant: "container-lifecycle",
+				Detail: fmt.Sprintf("%s: first NM transition is %s->%s, want NEW->LOCALIZING", cid, from, to)}
+		}
+		w.nmConts[key] = &contTrack{state: "LOCALIZING"}
+		return nil
+	}
+	if nmContTerminal[t.state] {
+		return &Violation{Invariant: "container-accounting",
+			Detail: fmt.Sprintf("%s: NM transition %s->%s after terminal %s", cid, from, to, t.state)}
+	}
+	if from != t.state {
+		return &Violation{Invariant: "container-lifecycle",
+			Detail: fmt.Sprintf("%s: NM transition %s->%s but tracked state is %s", cid, from, to, t.state)}
+	}
+	if !containsStr(nmContEdges[from], to) {
+		return &Violation{Invariant: "container-lifecycle",
+			Detail: fmt.Sprintf("%s: illegal NM transition %s->%s", cid, from, to)}
+	}
+	t.state = to
+	return nil
+}
+
+// checkSnapshot verifies the conservation invariants over the canonical
+// snapshot: queue charges and node reservations must each equal the sum
+// over the containers that hold them.
+func (w *World) checkSnapshot() *Violation {
+	s := w.bed.RM.Snapshot()
+
+	chargedByQueue := make(map[string]int)
+	for _, a := range s.Apps {
+		for _, c := range a.Conts {
+			if c.Charged {
+				chargedByQueue[c.Queue] += c.MemMB
+			}
+		}
+	}
+	for _, q := range s.Queues {
+		if q.UsedMemMB != chargedByQueue[q.Name] {
+			return &Violation{Invariant: "queue-charge-conservation",
+				Detail: fmt.Sprintf("queue %s usedMemMB=%d but charged containers sum to %d",
+					q.Name, q.UsedMemMB, chargedByQueue[q.Name])}
+		}
+		if q.UsedMemMB < 0 || q.UsedMemMB > q.LimitMemMB {
+			return &Violation{Invariant: "queue-charge-bounds",
+				Detail: fmt.Sprintf("queue %s usedMemMB=%d outside [0,%d]", q.Name, q.UsedMemMB, q.LimitMemMB)}
+		}
+	}
+
+	type reserved struct{ mem, vcores int }
+	expect := make(map[string]reserved)
+	epochByNode := make(map[string]int, len(s.Nodes))
+	for _, n := range s.Nodes {
+		epochByNode[n.Name] = n.Epoch
+	}
+	for _, a := range s.Apps {
+		for _, c := range a.Conts {
+			if c.Type == "G" && c.Reserved && c.NMEpoch == epochByNode[c.Node] {
+				r := expect[c.Node]
+				r.mem += c.MemMB
+				r.vcores += c.VCores
+				expect[c.Node] = r
+			}
+		}
+	}
+	for _, n := range s.Nodes {
+		if n.Down {
+			// A dead incarnation's counters are off the books until restart.
+			continue
+		}
+		if n.OppMemMB < 0 || n.OppVCores < 0 {
+			return &Violation{Invariant: "nm-reserve-conservation",
+				Detail: fmt.Sprintf("node %s negative opportunistic usage mem=%d vcores=%d", n.Name, n.OppMemMB, n.OppVCores)}
+		}
+		r := expect[n.Name]
+		if n.ReservedMemMB != r.mem || n.ReservedVCores != r.vcores {
+			return &Violation{Invariant: "nm-reserve-conservation",
+				Detail: fmt.Sprintf("node %s (epoch %d) reserved mem=%d vcores=%d but live reservations sum to mem=%d vcores=%d",
+					n.Name, n.Epoch, n.ReservedMemMB, n.ReservedVCores, r.mem, r.vcores)}
+		}
+		if n.ReservedMemMB > n.TotalMemMB {
+			return &Violation{Invariant: "nm-reserve-conservation",
+				Detail: fmt.Sprintf("node %s overcommitted: reserved %d MB of %d", n.Name, n.ReservedMemMB, n.TotalMemMB)}
+		}
+	}
+	return nil
+}
+
+// CheckFinal runs the quiescence-time oracles: exactly-once completion
+// hooks and a terminal disposition for every container the RM ever
+// allocated (no lost containers).
+func (w *World) CheckFinal() *Violation {
+	if w.violation != nil {
+		return w.violation
+	}
+	for i, am := range w.ams {
+		if am.finishCalls != 1 {
+			v := &Violation{Invariant: "finish-hook-exactly-once",
+				Detail: fmt.Sprintf("app %d fired its completion hook %d times, want 1", i, am.finishCalls)}
+			w.fail(v)
+			return v
+		}
+	}
+	cids := make([]string, 0, len(w.rmConts))
+	for cid := range w.rmConts {
+		cids = append(cids, cid)
+	}
+	sort.Strings(cids)
+	for _, cid := range cids {
+		if !rmContTerminal[w.rmConts[cid].state] {
+			v := &Violation{Invariant: "container-accounting",
+				Detail: fmt.Sprintf("%s has no terminal disposition at quiescence (stuck in %s)", cid, w.rmConts[cid].state)}
+			w.fail(v)
+			return v
+		}
+	}
+	return nil
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+package mc
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/log4j"
+	"repro/internal/yarn"
+)
+
+// The log-vocabulary oracle declares, per daemon logging class, every fmt
+// template the yarn package may emit, and requires each observed RM/NM
+// log line to match one of them. Templates are compiled into anchored
+// regular expressions with analysis.TemplateToRegexp — the same machinery
+// SDchecker's miner-automaton cross-checks use — so the oracle's notion
+// of "a rendering of this template" is identical to the analysis layer's.
+//
+// vocab_test.go keeps this list honest: it parses the yarn package
+// sources and asserts the set of Infof format literals equals the set
+// declared here. Extending yarn's log surface without extending (and
+// re-reviewing) the vocabulary is a test failure, not a silent drift.
+var emitterTemplates = map[string][]string{
+	yarn.ClassRMAppImpl: {
+		"%s State change from %s to %s on event = %s",
+		"Application %s submitted: name=%s type=%s queue=%s",
+	},
+	yarn.ClassRMContainerImpl: {
+		"%s Container Transitioned from %s to %s",
+		"%s completed with exit status -100. Diagnostics: Container released on a *lost* node",
+		"%s completed with exit status 1: launch failure",
+	},
+	// The scheduler logger's class is picked once per config (capacity vs
+	// opportunistic), but both allocation paths log through it, so both
+	// classes share the full scheduler template set.
+	yarn.ClassCapacitySched: {
+		"Assigned container %s of capacity <memory:%d, vCores:%d> on host %s",
+		"Allocated opportunistic container %s on host %s",
+	},
+	yarn.ClassOpportunistic: {
+		"Assigned container %s of capacity <memory:%d, vCores:%d> on host %s",
+		"Allocated opportunistic container %s on host %s",
+	},
+	yarn.ClassRMNodeImpl: {
+		"Deactivating Node %s as it is now LOST",
+		"%s Node Transitioned from RUNNING to LOST",
+		"%s:8041 Node Transitioned from NEW to RUNNING",
+	},
+	yarn.ClassLivelinessMon: {
+		"Expired:%s Timed out after %d secs",
+	},
+	yarn.ClassContainerImpl: {
+		"Container %s transitioned from NEW to LOCALIZING",
+		"Container %s transitioned from LOCALIZING to SCHEDULED",
+		"Container %s transitioned from SCHEDULED to RUNNING",
+		"Container %s transitioned from RUNNING to EXITED_WITH_SUCCESS",
+		"Container %s transitioned from SCHEDULED to EXITED_WITH_FAILURE",
+		"Container %s transitioned from RUNNING to KILLING",
+	},
+	yarn.ClassContainerLaunch: {
+		"Invoking launch script for container %s",
+		"Opportunistic container %s queued at %s",
+		"Preempting opportunistic container %s for a guaranteed container",
+		"Container %s exit code 1: launch script failed",
+	},
+	yarn.ClassNodeStatusUpd: {
+		"Registering with RM using containers from previous attempt",
+	},
+}
+
+// vocabTemplate is one compiled emitter template.
+type vocabTemplate struct {
+	template string
+	re       *regexp.Regexp
+}
+
+var (
+	vocabOnce     sync.Once
+	vocabCompiled map[string][]*vocabTemplate
+)
+
+// emitterVocab compiles the declared templates once and returns the
+// shared class -> templates table.
+func emitterVocab() map[string][]*vocabTemplate {
+	vocabOnce.Do(func() {
+		vocabCompiled = make(map[string][]*vocabTemplate, len(emitterTemplates))
+		for class, templates := range emitterTemplates {
+			for _, tpl := range templates {
+				re := regexp.MustCompile(analysis.TemplateToRegexp(tpl))
+				vocabCompiled[class] = append(vocabCompiled[class], &vocabTemplate{template: tpl, re: re})
+			}
+		}
+	})
+	return vocabCompiled
+}
+
+// matchVocab checks one parsed daemon line against the declared
+// vocabulary for its logging class.
+func (w *World) matchVocab(file string, ln log4j.Line) *Violation {
+	templates, ok := w.vocab[ln.Class]
+	if !ok {
+		return &Violation{Invariant: "log-vocabulary",
+			Detail: fmt.Sprintf("%s: line from undeclared class %s: %q", file, ln.Class, ln.Message)}
+	}
+	for _, t := range templates {
+		if t.re.MatchString(ln.Message) {
+			return nil
+		}
+	}
+	return &Violation{Invariant: "log-vocabulary",
+		Detail: fmt.Sprintf("%s: message matches no declared %s template: %q", file, ln.Class, ln.Message)}
+}

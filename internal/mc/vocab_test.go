@@ -1,0 +1,75 @@
+package mc
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestVocabularyMatchesYarnSources keeps emitterTemplates honest against
+// the yarn package itself: the set of Infof format literals in the yarn
+// daemon sources must equal the set of templates the oracle declares.
+// Growing yarn's log surface without re-reviewing the vocabulary (or
+// declaring a template nothing emits) fails here, not silently at
+// exploration time.
+func TestVocabularyMatchesYarnSources(t *testing.T) {
+	emitted := map[string]bool{}
+	files, err := filepath.Glob(filepath.Join("..", "yarn", "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing yarn sources: %v (%d files)", err, len(files))
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", file, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Infof" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				t.Errorf("%s: Infof with a non-literal format; the vocabulary oracle cannot account for it",
+					fset.Position(call.Pos()))
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				t.Fatalf("unquote %s: %v", lit.Value, err)
+			}
+			emitted[s] = true
+			return true
+		})
+	}
+
+	declared := map[string]bool{}
+	for _, templates := range emitterTemplates {
+		for _, tpl := range templates {
+			declared[tpl] = true
+		}
+	}
+
+	for s := range emitted {
+		if !declared[s] {
+			t.Errorf("yarn emits %q but the oracle vocabulary does not declare it", s)
+		}
+	}
+	for s := range declared {
+		if !emitted[s] {
+			t.Errorf("oracle vocabulary declares %q but nothing in yarn emits it", s)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/ids"
+	"repro/internal/sim"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+// amProfile / workerProfile are the container shapes the toy workload
+// uses; small enough that the whole workload packs onto one node, so a
+// crash never strands the cluster without capacity.
+var (
+	amProfile     = yarn.Profile{VCores: 1, MemoryMB: 1024}
+	workerProfile = yarn.Profile{VCores: 1, MemoryMB: 1024}
+)
+
+// World is one executable instance of the model: a testbed plus the toy
+// applications, the choice trace applied so far, and the oracle state.
+// Worlds are single-use — Restore is building a fresh World and
+// re-applying a trace.
+type World struct {
+	Cfg Config
+
+	bed       *testkit.Bed
+	ams       []*toyAM
+	submitted []bool
+	crashes   int
+	ticks     int
+	trace     []string
+
+	violation *Violation
+
+	// Oracle state: per-file read cursors into the sink, and the tracked
+	// state-machine positions reconstructed from the transition logs.
+	cursors map[string]int
+	rmConts map[string]*contTrack
+	rmApps  map[string]*contTrack
+	nmConts map[string]*contTrack
+	vocab   map[string][]*vocabTemplate
+}
+
+// contTrack is one tracked state-machine position (shared by the RM
+// container, RM app, and NM container watchers).
+type contTrack struct {
+	state string
+}
+
+// NewWorld builds a fresh world for the configuration. The caller is
+// responsible for validating cfg first.
+func NewWorld(cfg Config) *World {
+	yarn.SetChaos(yarn.ChaosFlags{DisableNMEpochGuard: cfg.BreakEpochGuard})
+	bed := testkit.New(testkit.Options{
+		Workers: cfg.Nodes,
+		Seed:    cfg.Seed,
+		Cluster: func(c *cluster.Config) {
+			c.Node.VCores = cfg.NodeVCores
+			c.Node.MemoryMB = cfg.NodeMemMB
+		},
+		Yarn: func(y *yarn.Config) {
+			y.Scheduler = cfg.schedulerType()
+			// Tight timers keep the interesting interplay — heartbeats,
+			// AM pulls, liveness expiry — inside a window a DFS can
+			// exhaust.
+			y.NMHeartbeatMs = 100
+			y.AMHeartbeatMs = 100
+			y.NodeExpiryMs = 400
+			y.LocalityDelayMaxBeats = 2
+			y.AMProfile = amProfile
+		},
+	})
+	w := &World{
+		Cfg:       cfg,
+		bed:       bed,
+		submitted: make([]bool, cfg.Apps),
+		cursors:   make(map[string]int),
+		rmConts:   make(map[string]*contTrack),
+		rmApps:    make(map[string]*contTrack),
+		nmConts:   make(map[string]*contTrack),
+		vocab:     emitterVocab(),
+	}
+	for i := 0; i < cfg.Apps; i++ {
+		w.ams = append(w.ams, &toyAM{w: w, idx: i, want: cfg.WorkersPerApp, mine: make(map[string]bool)})
+	}
+	return w
+}
+
+// Eng exposes the engine (read-only use: Now, NextAt).
+func (w *World) Eng() *sim.Engine { return w.bed.Eng }
+
+// RM exposes the ResourceManager for oracles and tests.
+func (w *World) RM() *yarn.RM { return w.bed.RM }
+
+// NMs exposes the NodeManagers.
+func (w *World) NMs() []*yarn.NodeManager { return w.bed.NMs }
+
+// Trace returns the choices applied so far.
+func (w *World) Trace() []string { return w.trace }
+
+// Ticks returns how many "tick" choices have been applied.
+func (w *World) Ticks() int { return w.ticks }
+
+// Violation returns the first invariant breach observed, or nil.
+func (w *World) Violation() *Violation { return w.violation }
+
+// Choice vocabulary.
+const choiceTick = "tick"
+
+func choiceSubmit(i int) string  { return "submit:" + strconv.Itoa(i) }
+func choiceCrash(j int) string   { return "crash:" + strconv.Itoa(j) }
+func choiceRestart(j int) string { return "restart:" + strconv.Itoa(j) }
+
+// Apply executes one choice and then runs every step oracle. It returns
+// an error only for malformed or currently-disabled choices; invariant
+// breaches are reported through Violation.
+func (w *World) Apply(choice string) error {
+	switch {
+	case choice == choiceTick:
+		if !w.bed.Eng.Step() {
+			return errors.New("mc: tick with an empty event queue")
+		}
+		w.ticks++
+	case strings.HasPrefix(choice, "submit:"):
+		i, err := strconv.Atoi(choice[len("submit:"):])
+		if err != nil || i < 0 || i >= w.Cfg.Apps {
+			return fmt.Errorf("mc: bad choice %q", choice)
+		}
+		if w.submitted[i] {
+			return fmt.Errorf("mc: app %d already submitted", i)
+		}
+		w.submit(i)
+	case strings.HasPrefix(choice, "crash:"):
+		j, err := strconv.Atoi(choice[len("crash:"):])
+		if err != nil || j < 0 || j >= w.Cfg.Nodes {
+			return fmt.Errorf("mc: bad choice %q", choice)
+		}
+		if w.crashes >= w.Cfg.Faults {
+			return errors.New("mc: crash budget exhausted")
+		}
+		if w.bed.NMs[j].Down() {
+			return fmt.Errorf("mc: node %d already down", j)
+		}
+		w.bed.NMs[j].Crash()
+		w.crashes++
+	case strings.HasPrefix(choice, "restart:"):
+		j, err := strconv.Atoi(choice[len("restart:"):])
+		if err != nil || j < 0 || j >= w.Cfg.Nodes {
+			return fmt.Errorf("mc: bad choice %q", choice)
+		}
+		if !w.bed.NMs[j].Down() {
+			return fmt.Errorf("mc: node %d is not down", j)
+		}
+		w.bed.NMs[j].Restart()
+	default:
+		return fmt.Errorf("mc: unknown choice %q", choice)
+	}
+	w.trace = append(w.trace, choice)
+	w.check()
+	return nil
+}
+
+func (w *World) submit(i int) {
+	am := w.ams[i]
+	spec := yarn.AppSpec{
+		Name:     fmt.Sprintf("mcapp-%02d", i),
+		Type:     "SPARK",
+		AMLaunch: yarn.LaunchSpec{Instance: yarn.InstSparkDriver, Process: am},
+	}
+	am.appID = w.bed.RM.Submit(spec)
+	w.submitted[i] = true
+}
+
+// EnabledExternals lists the external choices legal right now.
+func (w *World) EnabledExternals() []string {
+	var out []string
+	for i, done := range w.submitted {
+		if !done {
+			out = append(out, choiceSubmit(i))
+		}
+	}
+	for j, nm := range w.bed.NMs {
+		if nm.Down() {
+			out = append(out, choiceRestart(j))
+		} else if w.crashes < w.Cfg.Faults {
+			out = append(out, choiceCrash(j))
+		}
+	}
+	return out
+}
+
+// PendingExternals reports whether any external choice could still be
+// placed later (unsubmitted apps, unused crash budget, or a node that
+// could be restarted).
+func (w *World) PendingExternals() bool {
+	for _, done := range w.submitted {
+		if !done {
+			return true
+		}
+	}
+	if w.crashes < w.Cfg.Faults {
+		return true
+	}
+	for _, nm := range w.bed.NMs {
+		if nm.Down() {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiescent reports whether the world has fully drained: every app
+// submitted, finished, and FINISHED; no live containers, charges, asks,
+// or NM-side work anywhere.
+func (w *World) Quiescent() bool {
+	for i, done := range w.submitted {
+		if !done || !w.ams[i].finished {
+			return false
+		}
+	}
+	s := w.bed.RM.Snapshot()
+	for _, a := range s.Apps {
+		if a.State != "FINISHED" || !a.Finished || len(a.Conts) > 0 {
+			return false
+		}
+	}
+	if len(s.Asks) > 0 {
+		return false
+	}
+	for _, n := range s.Nodes {
+		if n.Down {
+			continue
+		}
+		if n.ReservedMemMB != 0 || n.ReservedVCores != 0 || n.OppMemMB != 0 || n.OppVCores != 0 ||
+			n.Running != 0 || n.Localizing != 0 || n.OppQueued != 0 || n.CompletedPending != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint renders the full explorer-visible state: the canonical
+// domain snapshot, the engine's pending-event times relative to now, and
+// the toy applications' framework state. Used as the DFS visited key.
+func (w *World) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(w.bed.RM.Snapshot().Fingerprint())
+	now := w.bed.Eng.Now()
+	b.WriteString("|ev")
+	for _, t := range w.bed.Eng.PendingTimes() {
+		fmt.Fprintf(&b, ",%d", int64(t-now))
+	}
+	for i, am := range w.ams {
+		fmt.Fprintf(&b, "|A%d:%v:%d/%d/%d/%d:%v:%v:%v",
+			i, w.submitted[i], am.want, am.done, am.alive, am.requested,
+			am.dead, am.finished, am.pull != nil)
+		owned := make([]string, 0, len(am.mine))
+		for cid := range am.mine {
+			owned = append(owned, cid)
+		}
+		sort.Strings(owned)
+		b.WriteString(strings.Join(owned, ","))
+	}
+	fmt.Fprintf(&b, "|X%d", w.crashes)
+	return b.String()
+}
+
+// toyAM is the model's ApplicationMaster: it registers, asks for
+// WorkersPerApp worker containers, starts grants on its heartbeat, and
+// unregisters exactly once when every worker has completed. It survives
+// crash/relaunch the way the Spark driver does: the same Process value is
+// relaunched by the RM, with its durable counters intact.
+type toyAM struct {
+	w     *World
+	idx   int
+	appID ids.AppID
+
+	env  *yarn.ProcessEnv
+	pull *sim.Ticker
+
+	want      int
+	done      int             // workers that exited successfully
+	alive     int             // workers granted and not yet done
+	requested int             // asks outstanding (not yet granted)
+	mine      map[string]bool // container IDs of granted workers
+	dead      bool            // container killed with its node, awaiting relaunch
+	finished  bool            // FinishApp called (the exactly-once hook)
+
+	finishCalls int // how many times finish fired; oracle-checked <= 1
+}
+
+// Launched is called by the NM for the first launch and for every
+// RM-driven relaunch after a crash.
+func (p *toyAM) Launched(env *yarn.ProcessEnv) {
+	p.env = env
+	p.dead = false
+	// The dead attempt's asks and unpulled grants were dropped by
+	// requeueAM; the books start from what is still known to be alive.
+	p.requested = 0
+	env.MarkFirstLog()
+	rm := p.w.bed.RM
+	rm.RegisterAttempt(p.appID)
+	rm.SetFailureHandler(p.appID, p.onFailure)
+	if p.done >= p.want {
+		// Every worker finished while the AM was being relaunched.
+		p.finish()
+		return
+	}
+	if need := p.want - p.done - p.alive; need > 0 {
+		p.ask(need)
+	}
+	if p.w.Cfg.schedulerType() == yarn.SchedCapacity {
+		if p.pull != nil {
+			p.pull.Stop()
+		}
+		period := p.w.bed.RM.Cfg.AMHeartbeatMs
+		p.pull = sim.NewTicker(env.Eng, period, period, p.onPull)
+	}
+}
+
+// Killed marks the AM dead with its node; the RM relaunches it.
+func (p *toyAM) Killed() {
+	if p.finished {
+		return
+	}
+	p.dead = true
+	if p.pull != nil {
+		p.pull.Stop()
+		p.pull = nil
+	}
+}
+
+func (p *toyAM) ask(n int) {
+	p.requested += n
+	rm := p.w.bed.RM
+	if p.w.Cfg.schedulerType() == yarn.SchedOpportunistic {
+		rm.AskOpportunistic(p.appID, n, workerProfile, func(allocs []*yarn.Allocation) {
+			for _, al := range allocs {
+				p.requested--
+				p.alive++
+				p.mine[al.Container.String()] = true
+				al.Node.StartContainer(al, p.workerSpec())
+			}
+		})
+		return
+	}
+	rm.Ask(p.appID, n, workerProfile)
+}
+
+func (p *toyAM) onPull() {
+	if p.dead || p.finished {
+		return
+	}
+	for _, al := range p.w.bed.RM.Pull(p.appID) {
+		p.requested--
+		p.alive++
+		p.mine[al.Container.String()] = true
+		al.Node.StartContainer(al, p.workerSpec())
+	}
+}
+
+func (p *toyAM) workerSpec() yarn.LaunchSpec {
+	return yarn.LaunchSpec{Instance: yarn.InstSparkExecutor, Process: &toyWorker{am: p}}
+}
+
+// onFailure is the RM's report that one of the app's containers was lost
+// or failed to launch. The books are always corrected; a replacement is
+// requested only by a live attempt (a relaunching AM recomputes its needs
+// in Launched).
+func (p *toyAM) onFailure(al *yarn.Allocation) {
+	cid := al.Container.String()
+	if p.mine[cid] {
+		delete(p.mine, cid)
+		p.alive--
+	} else {
+		p.requested--
+	}
+	if p.finished || p.dead {
+		return
+	}
+	p.ask(1)
+}
+
+func (p *toyAM) workerDone(al *yarn.Allocation) {
+	cid := al.Container.String()
+	if !p.mine[cid] {
+		return
+	}
+	delete(p.mine, cid)
+	p.alive--
+	p.done++
+	if p.done >= p.want && !p.dead && !p.finished {
+		p.finish()
+	}
+}
+
+func (p *toyAM) finish() {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	p.finishCalls++
+	if p.pull != nil {
+		p.pull.Stop()
+		p.pull = nil
+	}
+	p.w.bed.RM.FinishApp(p.appID)
+	p.env.Exit()
+}
+
+// toyWorker runs for WorkerLifeMs and exits, reporting back to its AM.
+type toyWorker struct {
+	am *toyAM
+}
+
+func (p *toyWorker) Launched(env *yarn.ProcessEnv) {
+	env.MarkFirstLog()
+	env.Eng.After(p.am.w.Cfg.WorkerLifeMs, func() {
+		if env.Exited() { // died with its node; the RM reports the loss
+			return
+		}
+		env.Exit()
+		p.am.workerDone(env.Alloc)
+	})
+}

@@ -22,6 +22,12 @@ func New(seed uint64) *Source {
 	return &Source{state: seed}
 }
 
+// State exposes the generator's current internal state. The model checker
+// folds it into canonical state fingerprints: two simulation states that
+// agree on all domain fields but hold different generator states must not
+// be merged, because their futures diverge.
+func (s *Source) State() uint64 { return s.state }
+
 // Fork derives an independent child source from this one, keyed by id.
 // Forking with the same id twice yields the same child; distinct ids yield
 // decorrelated streams. The parent's state is not advanced.

@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
@@ -141,6 +142,50 @@ func (e *Engine) Stop() { e.stopped = true }
 // the virtual time of the last event executed.
 func (e *Engine) Run() Time {
 	return e.RunUntil(MaxTime)
+}
+
+// Step fires exactly the next pending event, advancing the clock to its
+// timestamp, and reports whether an event fired. It is the single-step
+// seam the small-scope model checker (internal/mc) drives: an explorer
+// that owns the event granularity can interleave external commands
+// (submissions, faults) between any two internal events.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	next := e.pq[0]
+	heap.Pop(&e.pq)
+	next.index = -1
+	e.now = next.at
+	fn := next.fn
+	next.fn = nil
+	e.fired++
+	e.met.fired.Inc()
+	e.met.pending.Set(int64(len(e.pq)))
+	fn()
+	return true
+}
+
+// NextAt returns the timestamp of the next pending event, or MaxTime when
+// the queue is empty.
+func (e *Engine) NextAt() Time {
+	if len(e.pq) == 0 {
+		return MaxTime
+	}
+	return e.pq[0].at
+}
+
+// PendingTimes returns the sorted timestamps of every pending event. The
+// model checker folds them (relative to Now) into its canonical state
+// fingerprint: two states with identical domain state but different
+// pending-timer structure must not be merged.
+func (e *Engine) PendingTimes() []Time {
+	out := make([]Time, len(e.pq))
+	for i, ev := range e.pq {
+		out[i] = ev.at
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // RunUntil executes events with timestamps <= deadline. The clock is left

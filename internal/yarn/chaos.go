@@ -1,0 +1,21 @@
+package yarn
+
+// ChaosFlags deliberately disable internal safety guards. They exist so
+// the model checker's self-tests (internal/mc, cmd/sdmc -break-epoch-guard)
+// can prove that removing a guard is *observable*: the small-scope
+// explorer must produce a minimized counterexample the moment a guard is
+// gone. Production code never sets these.
+type ChaosFlags struct {
+	// DisableNMEpochGuard makes containerRun.stale ignore the NodeManager
+	// incarnation check: localization/launch callback chains scheduled
+	// before a crash resume against the restarted NM as if nothing
+	// happened, resurrecting containers the RM already declared lost.
+	DisableNMEpochGuard bool
+}
+
+var chaos ChaosFlags
+
+// SetChaos installs (or, with the zero value, clears) the chaos flags.
+// Tests that set chaos must restore the zero value before returning; the
+// flags are process-global and deliberately crude.
+func SetChaos(c ChaosFlags) { chaos = c }

@@ -1,0 +1,161 @@
+package yarn_test
+
+// Table-driven tests for the leaf-queue charge lifecycle: every way a
+// guaranteed container can end — normal completion, launch failure, node
+// loss, release before acquisition, AM requeue — must return its memory
+// charge, leaving queue usage at zero and no container charged. These
+// are the code paths behind the model checker's queue-charge-conservation
+// oracle; run them under -race in CI like the rest of the suite.
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+func TestChargeLifecycleReturnsEveryCharge(t *testing.T) {
+	cases := []struct {
+		name string
+		// drive runs the scenario each time the AM (re)launches; attempt
+		// counts launches, so relaunch-aware scenarios can arm only once.
+		drive func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int)
+		// runSeconds gives slow scenarios (expiry, relaunch) room to settle.
+		runSeconds int
+	}{
+		{
+			name: "normal completion",
+			drive: func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int) {
+				app := env.Alloc.Container.App
+				b.RM.Ask(app, 2, yarn.Profile{VCores: 1, MemoryMB: 2048})
+				sim.NewTicker(env.Eng, 300, 100, func() {
+					for _, g := range b.RM.Pull(app) {
+						g.Node.StartContainer(g, execSpec(&stubProc{lifeMs: 500}))
+					}
+				})
+			},
+		},
+		{
+			name: "release before acquisition",
+			drive: func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int) {
+				app := env.Alloc.Container.App
+				b.RM.Ask(app, 2, yarn.Profile{VCores: 1, MemoryMB: 2048})
+				sim.NewTicker(env.Eng, 300, 100, func() {
+					if grants := b.RM.Pull(app); len(grants) > 0 {
+						b.RM.ReleaseGrants(app, grants)
+					}
+				})
+			},
+		},
+		{
+			name: "node loss while running",
+			drive: func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int) {
+				app := env.Alloc.Container.App
+				b.RM.Ask(app, 1, yarn.Profile{VCores: 1, MemoryMB: 2048})
+				sim.NewTicker(env.Eng, 300, 100, func() {
+					for _, g := range b.RM.Pull(app) {
+						node := g.Node
+						g.Node.StartContainer(g, execSpec(&stubProc{lifeMs: 600_000}))
+						// Kill the worker's node shortly after launch; the
+						// charge must come back via the lost-container path.
+						env.Eng.After(2000, node.Crash)
+					}
+				})
+			},
+			runSeconds: 60,
+		},
+		{
+			name: "launch failure",
+			drive: func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int) {
+				app := env.Alloc.Container.App
+				b.RM.Ask(app, 1, yarn.Profile{VCores: 1, MemoryMB: 2048})
+				sim.NewTicker(env.Eng, 300, 100, func() {
+					for _, g := range b.RM.Pull(app) {
+						node := g.Node
+						// Crash and restart the node before the launch
+						// arrives: launching against the new incarnation may
+						// fail or re-reserve, but either way the charge is
+						// returned when the container reaches its terminal.
+						node.Crash()
+						node.Restart()
+						g.Node.StartContainer(g, execSpec(&stubProc{lifeMs: 500}))
+					}
+				})
+			},
+			runSeconds: 60,
+		},
+		{
+			name: "AM requeue drops grant charges",
+			drive: func(t *testing.T, b *testkit.Bed, env *yarn.ProcessEnv, attempt int) {
+				app := env.Alloc.Container.App
+				if attempt > 1 {
+					// Relaunched after the crash below: the dead attempt's
+					// pending charges were returned by requeueAM; wrap up.
+					env.Eng.After(500, func() {
+						b.RM.FinishApp(app)
+						env.Exit()
+					})
+					return
+				}
+				// Two grants left pending (never pulled), then the AM's own
+				// node dies: requeueAM must return the pending charges, and
+				// the relaunched AM (same durable stubProc) finishes the app.
+				b.RM.Ask(app, 2, yarn.Profile{VCores: 1, MemoryMB: 2048})
+				env.Eng.After(3000, func() {
+					idx := nodeIndexByName(b, env.Node.Name)
+					b.NMs[idx].Crash()
+					env.Eng.After(1000, b.NMs[idx].Restart)
+				})
+			},
+			runSeconds: 120,
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := testkit.New(testkit.Options{
+				Workers: 2,
+				Yarn: func(cfg *yarn.Config) {
+					cfg.NMHeartbeatMs = 100
+					cfg.NodeExpiryMs = 4000
+					cfg.LocalityDelayMaxBeats = 0
+				},
+			})
+			b.Prewarm(map[string]float64{"/pkg": 100})
+			attempt := 0
+			am := &stubProc{lifeMs: 20_000, onLaunch: func(env *yarn.ProcessEnv) {
+				attempt++
+				b.RM.RegisterAttempt(env.Alloc.Container.App)
+				c.drive(t, b, env, attempt)
+			}}
+			b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+			secs := int64(c.runSeconds)
+			if secs == 0 {
+				secs = 30
+			}
+			b.Run(secs)
+
+			if charged := b.RM.ChargedContainers(); len(charged) != 0 {
+				t.Fatalf("containers still charged after drain: %v", charged)
+			}
+			if u := b.RM.QueueUsage(yarn.DefaultQueueName); u != 0 {
+				t.Fatalf("queue usage %.4f after drain, want 0", u)
+			}
+			for _, n := range b.RM.Snapshot().Nodes {
+				if n.ReservedMemMB < 0 || n.ReservedVCores < 0 {
+					t.Fatalf("node %s counters negative: mem=%d vcores=%d",
+						n.Name, n.ReservedMemMB, n.ReservedVCores)
+				}
+			}
+		})
+	}
+}
+
+func execSpec(proc yarn.Process) yarn.LaunchSpec {
+	return yarn.LaunchSpec{
+		Resources: []yarn.LocalResource{{Path: "/pkg", SizeMB: 50, Public: true}},
+		Instance:  yarn.InstSparkExecutor,
+		Process:   proc,
+	}
+}

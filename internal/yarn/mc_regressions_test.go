@@ -1,0 +1,192 @@
+package yarn_test
+
+// Regression tests for invariant violations surfaced by the small-scope
+// model checker (internal/mc, cmd/sdmc). Each test is a direct, minimized
+// re-enactment of a counterexample trace; the mc package additionally
+// replays the original serialized counterexamples in its own tests.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/testkit"
+	"repro/internal/yarn"
+)
+
+// TestPendingGrantSurvivesNMRestart re-enacts the minimized
+// nm-reserve-conservation counterexample: a guaranteed container is
+// granted (reserving capacity on its node) but not yet pulled by the AM;
+// the node crashes and restarts — zeroing its reservation counters —
+// before the launch arrives. Launching the grant on the new incarnation
+// must re-reserve against it; otherwise the exit-time unreserve returns
+// memory the incarnation never set aside and drives the node's counters
+// negative.
+func TestPendingGrantSurvivesNMRestart(t *testing.T) {
+	b := testkit.New(testkit.Options{
+		Workers: 2,
+		Cluster: func(c *cluster.Config) {
+			c.Node.MemoryMB = 5000 // AM (2048) + worker (4096) cannot share a node
+			c.Node.VCores = 8
+		},
+		Yarn: func(c *yarn.Config) {
+			c.NMHeartbeatMs = 100
+			c.NodeExpiryMs = 600_000 // keep liveness expiry out of this scenario
+			c.LocalityDelayMaxBeats = 0
+			c.AMProfile = yarn.Profile{VCores: 1, MemoryMB: 2048}
+		},
+	})
+	b.Prewarm(map[string]float64{"/pkg": 100})
+
+	workerRan := false
+	worker := yarn.LaunchSpec{
+		Resources: []yarn.LocalResource{{Path: "/pkg", SizeMB: 50, Public: true}},
+		Instance:  yarn.InstSparkExecutor,
+		Process:   &stubProc{lifeMs: 200, onLaunch: func(*yarn.ProcessEnv) { workerRan = true }},
+	}
+	am := &stubProc{lifeMs: 600_000, onLaunch: func(env *yarn.ProcessEnv) {
+		app := env.Alloc.Container.App
+		b.RM.RegisterAttempt(app)
+		// The worker only fits on the node the AM is NOT on.
+		b.RM.Ask(app, 1, yarn.Profile{VCores: 1, MemoryMB: 4096})
+		env.Eng.After(3000, func() {
+			// By now the grant is pending (deliberately never pulled).
+			var grantNode = -1
+			for _, a := range b.RM.Snapshot().Apps {
+				for _, c := range a.Conts {
+					if c.Where == "pending" {
+						grantNode = nodeIndexByName(b, c.Node)
+					}
+				}
+			}
+			if grantNode < 0 {
+				t.Error("no pending grant found before the crash")
+				return
+			}
+			// Crash and immediately restart the grant's node: the new
+			// incarnation starts with zeroed reservation counters, and the
+			// RM still holds the grant made against the old epoch.
+			b.NMs[grantNode].Crash()
+			b.NMs[grantNode].Restart()
+			env.Eng.After(500, func() {
+				for _, g := range b.RM.Pull(app) {
+					g.Node.StartContainer(g, worker)
+				}
+			})
+		})
+	}}
+	b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+	b.Run(30)
+
+	if !workerRan {
+		t.Fatal("worker never launched on the restarted node")
+	}
+	for _, n := range b.RM.Snapshot().Nodes {
+		if n.ReservedMemMB < 0 || n.ReservedVCores < 0 {
+			t.Fatalf("node %s reservation counters went negative: mem=%d vcores=%d",
+				n.Name, n.ReservedMemMB, n.ReservedVCores)
+		}
+		if n.Name != amNodeName(b) && (n.ReservedMemMB != 0 || n.ReservedVCores != 0) {
+			t.Fatalf("node %s holds a stale reservation after the worker exited: mem=%d vcores=%d",
+				n.Name, n.ReservedMemMB, n.ReservedVCores)
+		}
+	}
+}
+
+// TestLostContainerReportNotDoubleTerminated re-enacts the
+// container-accounting counterexample: the RM declares a node's
+// containers lost (liveness expiry), but the NM was only silent — it is
+// still running them and later reports a normal completion. The RM must
+// drop reports for containers it already terminated; the RMContainerImpl
+// log must show exactly one terminal transition per container.
+func TestLostContainerReportNotDoubleTerminated(t *testing.T) {
+	b := testkit.New(testkit.Options{
+		Workers: 2,
+		Yarn: func(c *yarn.Config) {
+			c.NMHeartbeatMs = 100
+			c.NodeExpiryMs = 400
+			c.LocalityDelayMaxBeats = 0
+		},
+	})
+	b.Prewarm(map[string]float64{"/pkg": 100})
+
+	started := false
+	am := &stubProc{lifeMs: 600_000, onLaunch: func(env *yarn.ProcessEnv) {
+		app := env.Alloc.Container.App
+		b.RM.RegisterAttempt(app)
+		b.RM.Ask(app, 1, yarn.Profile{VCores: 1, MemoryMB: 1024})
+		env.Eng.After(2000, func() {
+			for _, g := range b.RM.Pull(app) {
+				g.Node.StartContainer(g, yarn.LaunchSpec{
+					Resources: []yarn.LocalResource{{Path: "/pkg", SizeMB: 50, Public: true}},
+					Instance:  yarn.InstSparkExecutor,
+					// Lives past the expiry the test forces below.
+					Process: &stubProc{lifeMs: 3000, onLaunch: func(wenv *yarn.ProcessEnv) {
+						started = true
+						// Partition the worker's NM: the RM expires the node
+						// while the container keeps running, then the (live)
+						// NM reports a normal exit after the partition heals.
+						wenv.NM.Partition()
+						wenv.Eng.After(5000, wenv.NM.Heal)
+					}},
+				})
+			}
+		})
+	}}
+	b.RM.Submit(yarn.AppSpec{Name: "t", AMLaunch: amSpec(am)})
+	b.Run(30)
+
+	if !started {
+		t.Fatal("worker never started")
+	}
+	rmLog := logText(b, yarn.RMLogFile)
+	killed := strings.Count(rmLog, "Transitioned from RUNNING to KILLED")
+	completedAfter := false
+	for _, line := range strings.Split(rmLog, "\n") {
+		if killed > 0 && strings.Contains(line, "Transitioned from RUNNING to COMPLETED") {
+			// Any RUNNING->COMPLETED for the killed container would follow
+			// its KILLED line; pin it down by container ID below.
+			completedAfter = true
+		}
+	}
+	if killed == 0 {
+		t.Fatal("expiry never declared the container lost; scenario did not arm")
+	}
+	// Extract the killed container's ID and assert it has exactly one
+	// terminal transition in the whole log.
+	for _, line := range strings.Split(rmLog, "\n") {
+		i := strings.Index(line, " Container Transitioned from RUNNING to KILLED")
+		if i < 0 {
+			continue
+		}
+		fields := strings.Fields(line[:i])
+		cid := fields[len(fields)-1]
+		terms := strings.Count(rmLog, cid+" Container Transitioned from RUNNING to KILLED") +
+			strings.Count(rmLog, cid+" Container Transitioned from RUNNING to COMPLETED") +
+			strings.Count(rmLog, cid+" Container Transitioned from ACQUIRED to COMPLETED")
+		if terms != 1 {
+			t.Fatalf("container %s has %d terminal transitions, want exactly 1", cid, terms)
+		}
+	}
+	_ = completedAfter
+}
+
+func nodeIndexByName(b *testkit.Bed, name string) int {
+	for i, nm := range b.NMs {
+		if nm.Node.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func amNodeName(b *testkit.Bed) string {
+	for _, a := range b.RM.Snapshot().Apps {
+		for _, c := range a.Conts {
+			if c.ForAM {
+				return c.Node
+			}
+		}
+	}
+	return ""
+}

@@ -87,8 +87,13 @@ type containerRun struct {
 }
 
 // stale reports whether this container belongs to a dead NM incarnation.
+// The epoch half of the guard can be chaos-disabled so the model checker
+// can demonstrate what breaks without it (see chaos.go).
 func (run *containerRun) stale(nm *NodeManager) bool {
-	return nm.down || run.epoch != nm.epoch
+	if nm.down {
+		return true
+	}
+	return !chaos.DisableNMEpochGuard && run.epoch != nm.epoch
 }
 
 // NewNodeManager creates the NM for node and registers it with the RM.
@@ -213,6 +218,21 @@ func (nm *NodeManager) StartContainer(al *Allocation, spec LaunchSpec) {
 		// the RM's expiry timer finds it through the app's running set.
 		nm.lostAtCrash = append(nm.lostAtCrash, al)
 		return
+	}
+	if al.Type == Guaranteed && al.nmEpoch != nm.epoch {
+		// The reservation was made against an incarnation that crashed
+		// before the launch arrived; the restart zeroed those counters.
+		// Re-reserve against the live incarnation — otherwise the exit
+		// path would return memory this incarnation never set aside,
+		// driving its counters negative. If the fresh node can't take the
+		// container (capacity re-promised since the restart), it fails
+		// like any launch failure and the AM re-requests.
+		if !nm.reserve(al.Profile) {
+			nm.rm.containerLaunchFailed(al)
+			return
+		}
+		al.nmEpoch = nm.epoch
+		al.reserved = true
 	}
 	run := &containerRun{alloc: al, spec: spec, localizingAt: nm.Eng.Now(), epoch: nm.epoch}
 	nm.localizing[al.Container] = run
@@ -398,6 +418,7 @@ func (nm *NodeManager) containerFailed(run *containerRun) {
 		nm.oppMemMB -= run.alloc.Profile.MemoryMB
 	} else {
 		nm.unreserve(run.alloc.Profile)
+		run.alloc.reserved = false
 	}
 	nm.rm.containerLaunchFailed(run.alloc)
 	nm.drainOppQueue()
@@ -418,6 +439,7 @@ func (nm *NodeManager) containerExited(run *containerRun) {
 		nm.oppMemMB -= run.alloc.Profile.MemoryMB
 	} else {
 		nm.unreserve(run.alloc.Profile)
+		run.alloc.reserved = false
 	}
 	nm.completed = append(nm.completed, run.alloc)
 	nm.drainOppQueue()
@@ -434,7 +456,11 @@ func (nm *NodeManager) drainOppQueue() {
 }
 
 // Shutdown stops the heartbeat ticker (used when tearing down scenarios).
-func (nm *NodeManager) Shutdown() { nm.hb.Stop() }
+func (nm *NodeManager) Shutdown() {
+	if nm.hb != nil {
+		nm.hb.Stop()
+	}
+}
 
 // Down reports whether the NM is currently crashed.
 func (nm *NodeManager) Down() bool { return nm.down }
@@ -450,7 +476,10 @@ func (nm *NodeManager) Crash() {
 		return
 	}
 	nm.down = true
-	nm.hb.Stop()
+	if nm.hb != nil { // nil while partitioned
+		nm.hb.Stop()
+		nm.hb = nil
+	}
 	nm.Node.Fail()
 	for _, al := range nm.completed {
 		nm.rm.containerFinished(al)
@@ -514,6 +543,31 @@ func (nm *NodeManager) Restart() {
 	nm.lostAtCrash = nil
 	for _, al := range lost {
 		nm.rm.containerLost(al)
+	}
+	period := nm.cfg.NMHeartbeatMs
+	offset := 50 + nm.rng.Int63n(int64(period))
+	nm.hb = sim.NewTicker(nm.Eng, period, offset, nm.heartbeat)
+}
+
+// Partition cuts the NM off from the RM without killing anything on the
+// node: heartbeats stop but every hosted container keeps running. The RM
+// cannot tell a partition from a crash — silence is silence — so it will
+// expire the node and declare its containers lost while they are in fact
+// alive, the exact ambiguity behind the RM's idempotent handling of
+// late completion reports. Idempotent while partitioned or down.
+func (nm *NodeManager) Partition() {
+	if nm.down || nm.hb == nil {
+		return
+	}
+	nm.hb.Stop()
+	nm.hb = nil
+}
+
+// Heal resumes heartbeating after a Partition; the first beat
+// re-registers the node if the RM expired it meanwhile. Idempotent.
+func (nm *NodeManager) Heal() {
+	if nm.down || nm.hb != nil {
+		return
 	}
 	period := nm.cfg.NMHeartbeatMs
 	offset := 50 + nm.rng.Int63n(int64(period))

@@ -74,6 +74,13 @@ type RM struct {
 	queue  []*ask
 	queues *queueSet
 
+	// inflight holds allocations between the reserve+charge taken on a
+	// node heartbeat and the serialized decision event that routes them
+	// (finalizeAllocation). Snapshots must see them: their queue charge
+	// and node reservation are already live, so conservation oracles
+	// would otherwise observe charges with no owning container.
+	inflight []*Allocation
+
 	// liveTick drives the node liveliness monitor (AbstractLivelinessMonitor):
 	// nodes whose heartbeat is older than Cfg.NodeExpiryMs are expired and
 	// their containers declared LOST. Started lazily with the first NM.
@@ -159,7 +166,19 @@ func (rm *RM) registerNM(nm *NodeManager) {
 func (rm *RM) checkLiveness() {
 	now := rm.Eng.Now()
 	for _, nm := range rm.nms {
-		if nm.expired || int64(now-nm.lastBeat) <= rm.Cfg.NodeExpiryMs {
+		if nm.expired {
+			// Still LOST. Allocations can land on an expired node after
+			// its expiry sweep (the distributed scheduler samples nodes
+			// with no global view — a grant can target a dead node), and
+			// if the node never returns, no resync will ever report them.
+			// Re-sweep so such stragglers are declared lost on the next
+			// liveness tick; containerLost is idempotent.
+			for _, al := range rm.allocationsOn(nm) {
+				rm.containerLost(al)
+			}
+			continue
+		}
+		if int64(now-nm.lastBeat) <= rm.Cfg.NodeExpiryMs {
 			continue
 		}
 		rm.expireNode(nm)
@@ -258,6 +277,7 @@ func (rm *RM) safeUnreserve(al *Allocation) {
 	if al.Type == Guaranteed && !al.Node.down && al.Node.epoch == al.nmEpoch {
 		al.Node.unreserve(al.Profile)
 	}
+	al.reserved = false
 }
 
 // releaseUnacquired releases every grant the AM never pulled: queue charge
@@ -537,8 +557,14 @@ func (rm *RM) SetFailureHandler(appID ids.AppID, fn func(*Allocation)) {
 	}
 }
 
-// containerLaunchFailed is the NM's report of a launch failure.
+// containerLaunchFailed is the NM's report of a launch failure. Reports
+// for containers the RM already declared lost are dropped: node expiry
+// can race a live NM's report (the node was only silent, not dead), and
+// the container must not get a second terminal transition.
 func (rm *RM) containerLaunchFailed(al *Allocation) {
+	if al.lost {
+		return
+	}
 	rm.contState(al.Container, "ACQUIRED", "COMPLETED")
 	rm.logs.cont.Infof("%s completed with exit status 1: launch failure", al.Container)
 	if al.queue != nil {
@@ -566,8 +592,13 @@ func (rm *RM) containerLaunchFailed(al *Allocation) {
 	}
 }
 
-// containerFinished is the NM's report of a completed container.
+// containerFinished is the NM's report of a completed container. Like
+// containerLaunchFailed, reports for already-lost containers are dropped
+// so an expiry/heartbeat race cannot produce a duplicate terminal.
 func (rm *RM) containerFinished(al *Allocation) {
+	if al.lost {
+		return
+	}
 	rm.contState(al.Container, "RUNNING", "COMPLETED")
 	if al.queue != nil {
 		rm.queues.uncharge(al.queue, al.Profile.MemoryMB)
@@ -624,7 +655,8 @@ func (rm *RM) nodeUpdate(nm *NodeManager) {
 			assigned++
 			rm.queues.charge(q.app.queue, q.profile.MemoryMB)
 			cid := rm.IDs.NewContainer(q.app.ID)
-			al := &Allocation{Container: cid, Node: nm, Profile: q.profile, Type: Guaranteed, queue: q.app.queue, nmEpoch: nm.epoch}
+			al := &Allocation{Container: cid, Node: nm, Profile: q.profile, Type: Guaranteed, queue: q.app.queue, nmEpoch: nm.epoch, reserved: true}
+			rm.inflight = append(rm.inflight, al)
 			rm.decisionClockUS += rm.Cfg.RMDecisionMicros
 			at := sim.Time((rm.decisionClockUS + 999) / 1000)
 			rm.met.allocated(float64(at - q.asked))
@@ -652,6 +684,19 @@ func (rm *RM) nodeUpdate(nm *NodeManager) {
 // finalizeAllocation logs the allocation at the serialized decision
 // instant and routes the grant: AM containers are launched by the RM's
 // AMLauncher; executor containers wait for the AM's next Pull.
+// dropInflight removes an allocation from the in-flight set once it has
+// been routed somewhere observable (an app's running/pendingGrants sets)
+// or its charge has been returned.
+func (rm *RM) dropInflight(al *Allocation) {
+	still := rm.inflight[:0]
+	for _, x := range rm.inflight {
+		if x != al {
+			still = append(still, x)
+		}
+	}
+	rm.inflight = still
+}
+
 func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 	al.AllocTime = rm.Eng.Now()
 	al.forAM = forAM
@@ -661,6 +706,7 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 	rm.contState(al.Container, "NEW", "ALLOCATED")
 	if a.finished {
 		// App finished while the decision was in flight; release quietly.
+		rm.dropInflight(al)
 		rm.contState(al.Container, "ALLOCATED", "RELEASED")
 		rm.safeUnreserve(al)
 		if al.queue != nil {
@@ -673,6 +719,7 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 		// The node died between reservation and the serialized decision:
 		// kill the container before anything launches. No unreserve — the
 		// NM's counters reset when (if) it restarts.
+		rm.dropInflight(al)
 		al.lost = true
 		rm.contState(al.Container, "ALLOCATED", "KILLED")
 		rm.logs.cont.Infof("%s completed with exit status -100. Diagnostics: Container released on a *lost* node", al.Container)
@@ -696,6 +743,7 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 		// AMLauncher: acquire and start the AM container directly.
 		d := int64(rm.rng.Uniform(25, 80))
 		rm.Eng.After(d, func() {
+			rm.dropInflight(al)
 			rm.contState(al.Container, "ALLOCATED", "ACQUIRED")
 			a.running[al.Container] = al
 			rm.Tracer.Record(sim.TraceSpan{
@@ -706,6 +754,7 @@ func (rm *RM) finalizeAllocation(a *App, al *Allocation, forAM bool) {
 		})
 		return
 	}
+	rm.dropInflight(al)
 	a.pendingGrants = append(a.pendingGrants, al)
 }
 

@@ -1,0 +1,244 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the Snapshot half of the Step/Snapshot/Restore seam the
+// small-scope model checker (internal/mc) drives. A Snapshot is a
+// canonical, side-effect-free capture of every piece of RM/NM domain
+// state that either (a) an invariant oracle needs to check, or (b) can
+// influence future behavior and therefore must separate states in the
+// explorer's fingerprint map. Restore is deterministic replay: the
+// simulation is a pure function of (seed, choice trace), so rebuilding a
+// world and re-applying a trace reproduces any state exactly.
+
+// ContSnap captures one live allocation.
+type ContSnap struct {
+	ID      string
+	AppSeq  int
+	Num     int
+	Type    string // "G" or "O"
+	MemMB   int
+	VCores  int
+	Node    string
+	Where   string // "running" or "pending" (granted, awaiting AM pull)
+	Charged bool   // still holds a leaf-queue memory charge
+	Queue   string // charged queue name ("" when uncharged)
+	Lost    bool
+	// Reserved means the allocation holds a guaranteed-capacity node
+	// reservation; NMEpoch is the NM incarnation it was made against. A
+	// reservation only counts toward the node's live accounting when
+	// NMEpoch matches the node's current epoch (restarts zero counters).
+	Reserved bool
+	NMEpoch  int
+	ForAM    bool
+}
+
+// AskSnap captures one pending centralized request.
+type AskSnap struct {
+	AppSeq    int
+	Remaining int
+	WaitBeats int
+	MemMB     int
+	VCores    int
+	ForAM     bool
+}
+
+// AppSnap captures one RMApp.
+type AppSnap struct {
+	ID       string
+	Seq      int
+	State    string
+	Finished bool
+	Queue    string
+	Conts    []ContSnap // running then pending, each sorted by container number
+}
+
+// QueueSnap captures one leaf queue's accounting.
+type QueueSnap struct {
+	Name       string
+	UsedMemMB  int
+	LimitMemMB int // elastic ceiling in MB
+}
+
+// NodeSnap captures one NodeManager.
+type NodeSnap struct {
+	Name             string
+	Index            int
+	Down             bool
+	Expired          bool
+	Epoch            int
+	ReservedVCores   int
+	ReservedMemMB    int
+	OppVCores        int
+	OppMemMB         int
+	TotalVCores      int
+	TotalMemMB       int
+	Running          int
+	Localizing       int
+	OppQueued        int
+	CompletedPending int // exited, report riding the next heartbeat
+	LostAtCrash      int // killed by a crash, awaiting restart resync
+	SilenceMS        int64
+}
+
+// Snapshot is one canonical capture of the YARN control plane.
+type Snapshot struct {
+	Now            int64
+	Apps           []AppSnap
+	Queues         []QueueSnap
+	Nodes          []NodeSnap
+	Asks           []AskSnap
+	AllocatedTotal int
+
+	// Generator states: domain-equal states with different generator
+	// positions have different futures and must not be merged.
+	RMRng    uint64
+	NodeRngs []uint64
+}
+
+// Snapshot captures the current control-plane state. It allocates but
+// never mutates; taking a snapshot is safe at any event boundary.
+func (rm *RM) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Now:            int64(rm.Eng.Now()),
+		AllocatedTotal: rm.AllocatedTotal,
+		RMRng:          rm.rng.State(),
+	}
+
+	contSnap := func(al *Allocation, where string) ContSnap {
+		typ := "G"
+		if al.Type == Opportunistic {
+			typ = "O"
+		}
+		qname := ""
+		if al.queue != nil {
+			qname = al.queue.cfg.Name
+		}
+		return ContSnap{
+			ID:       al.Container.String(),
+			AppSeq:   al.Container.App.Seq,
+			Num:      al.Container.Num,
+			Type:     typ,
+			MemMB:    al.Profile.MemoryMB,
+			VCores:   al.Profile.VCores,
+			Node:     al.Node.Node.Name,
+			Where:    where,
+			Charged:  al.queue != nil,
+			Queue:    qname,
+			Lost:     al.lost,
+			Reserved: al.reserved,
+			NMEpoch:  al.nmEpoch,
+			ForAM:    al.forAM,
+		}
+	}
+
+	seqs := make([]int, 0, len(rm.apps))
+	bySeq := make(map[int]*App, len(rm.apps))
+	for id, a := range rm.apps {
+		seqs = append(seqs, id.Seq)
+		bySeq[id.Seq] = a
+	}
+	sort.Ints(seqs)
+	posBySeq := make(map[int]int, len(seqs))
+	for _, seq := range seqs {
+		a := bySeq[seq]
+		as := AppSnap{ID: a.ID.String(), Seq: seq, State: a.State, Finished: a.finished, Queue: a.queue.cfg.Name}
+		running := make([]ContSnap, 0, len(a.running))
+		for _, al := range a.running {
+			running = append(running, contSnap(al, "running"))
+		}
+		sort.Slice(running, func(i, j int) bool { return running[i].Num < running[j].Num })
+		as.Conts = append(as.Conts, running...)
+		for _, al := range a.pendingGrants {
+			as.Conts = append(as.Conts, contSnap(al, "pending"))
+		}
+		posBySeq[seq] = len(s.Apps)
+		s.Apps = append(s.Apps, as)
+	}
+	// Allocations whose serialized scheduling decision is still in flight
+	// (created on a heartbeat, not yet routed by finalizeAllocation)
+	// already hold their queue charge and node reservation.
+	for _, al := range rm.inflight {
+		pos := posBySeq[al.Container.App.Seq]
+		s.Apps[pos].Conts = append(s.Apps[pos].Conts, contSnap(al, "inflight"))
+	}
+
+	for _, name := range rm.queues.order {
+		q := rm.queues.byName[name]
+		s.Queues = append(s.Queues, QueueSnap{
+			Name:       name,
+			UsedMemMB:  q.usedMemMB,
+			LimitMemMB: int(q.cfg.MaxCapacity * float64(rm.queues.totalMemMB)),
+		})
+	}
+
+	for _, nm := range rm.nms {
+		s.Nodes = append(s.Nodes, NodeSnap{
+			Name:             nm.Node.Name,
+			Index:            nm.Node.Index,
+			Down:             nm.down,
+			Expired:          nm.expired,
+			Epoch:            nm.epoch,
+			ReservedVCores:   nm.reservedVCores,
+			ReservedMemMB:    nm.reservedMemMB,
+			OppVCores:        nm.oppVCores,
+			OppMemMB:         nm.oppMemMB,
+			TotalVCores:      nm.totalVCores,
+			TotalMemMB:       nm.totalMemMB,
+			Running:          len(nm.running),
+			Localizing:       len(nm.localizing),
+			OppQueued:        len(nm.oppQueue),
+			CompletedPending: len(nm.completed),
+			LostAtCrash:      len(nm.lostAtCrash),
+			SilenceMS:        int64(rm.Eng.Now() - nm.lastBeat),
+		})
+		s.NodeRngs = append(s.NodeRngs, nm.rng.State())
+	}
+
+	for _, q := range rm.queue {
+		s.Asks = append(s.Asks, AskSnap{
+			AppSeq:    q.app.ID.Seq,
+			Remaining: q.remaining,
+			WaitBeats: q.waitBeats,
+			MemMB:     q.profile.MemoryMB,
+			VCores:    q.profile.VCores,
+			ForAM:     q.forAM,
+		})
+	}
+	return s
+}
+
+// Fingerprint renders the snapshot as one canonical string. Absolute time
+// is deliberately excluded (per-node heartbeat silence is kept, since
+// liveness expiry depends on it); the model checker appends the engine's
+// pending-event structure and uses the result as its visited-state key.
+func (s *Snapshot) Fingerprint() string {
+	var b strings.Builder
+	for _, a := range s.Apps {
+		fmt.Fprintf(&b, "a%d:%s:%v:%s", a.Seq, a.State, a.Finished, a.Queue)
+		for _, c := range a.Conts {
+			fmt.Fprintf(&b, "{%d.%d%s@%s:%s:c%v:%s:l%v:r%v:e%d:am%v:%dx%d}",
+				c.AppSeq, c.Num, c.Type, c.Node, c.Where, c.Charged, c.Queue,
+				c.Lost, c.Reserved, c.NMEpoch, c.ForAM, c.MemMB, c.VCores)
+		}
+		b.WriteByte(';')
+	}
+	for _, q := range s.Queues {
+		fmt.Fprintf(&b, "q%s:%d/%d;", q.Name, q.UsedMemMB, q.LimitMemMB)
+	}
+	for i, n := range s.Nodes {
+		fmt.Fprintf(&b, "n%d:d%v:x%v:e%d:r%d/%d:o%d/%d:run%d:loc%d:oq%d:cp%d:lac%d:s%d:g%x;",
+			n.Index, n.Down, n.Expired, n.Epoch, n.ReservedVCores, n.ReservedMemMB,
+			n.OppVCores, n.OppMemMB, n.Running, n.Localizing, n.OppQueued,
+			n.CompletedPending, n.LostAtCrash, n.SilenceMS, s.NodeRngs[i])
+	}
+	for _, k := range s.Asks {
+		fmt.Fprintf(&b, "k%d:%d:%d:%v:%dx%d;", k.AppSeq, k.Remaining, k.WaitBeats, k.ForAM, k.MemMB, k.VCores)
+	}
+	fmt.Fprintf(&b, "t%d;g%x", s.AllocatedTotal, s.RMRng)
+	return b.String()
+}

@@ -123,10 +123,11 @@ type Allocation struct {
 	Type      ContainerType
 	AllocTime sim.Time
 
-	queue   *queueState // leaf queue charged for this container (guaranteed only)
-	forAM   bool        // allocated to run the ApplicationMaster
-	lost    bool        // terminally accounted (lost or released); dedupes expiry vs resync
-	nmEpoch int         // NM incarnation the reservation was made against
+	queue    *queueState // leaf queue charged for this container (guaranteed only)
+	forAM    bool        // allocated to run the ApplicationMaster
+	lost     bool        // terminally accounted (lost or released); dedupes expiry vs resync
+	nmEpoch  int         // NM incarnation the reservation was made against
+	reserved bool        // currently holds a node reservation (guaranteed only)
 }
 
 // Config holds the tunables of the YARN deployment.
