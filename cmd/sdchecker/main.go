@@ -37,9 +37,11 @@ func main() {
 		cdfCSV   = flag.Bool("cdf-csv", false, "emit the Fig-4a CDF series as CSV")
 		compCSV  = flag.String("component-csv", "", "emit one per-container component as CSV (acquisition|localization|launching|queueing)")
 		validate = flag.Bool("validate", false, "check traces for temporal consistency (clock skew, missing files)")
+		explain  = flag.String("explain", "", "print the tail-attribution report for this delay component (e.g. total, alloc): the cells, heavy-hitter apps, and exemplars dominating the target quantile")
+		quant    = flag.Float64("q", 0.99, "with -explain: target quantile in (0, 1]")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML report (SVG CDFs + per-app Gantt timelines) to this file")
 		follow   = flag.Bool("follow", false, "keep watching the directory for appended lines and new files, reprinting the summary on change")
-		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq>, /aggregate, /slo and /healthz on while tailing the directory")
+		serve    = flag.String("serve", "", "address (e.g. :8080) to serve live /metrics, /apps, /trace/<seq>, /aggregate, /explain, /slo and /healthz on while tailing the directory")
 		retain   = flag.Int("retain", 4096, "with -serve: keep at most this many completed applications in memory (-1 = unlimited)")
 		maxApps  = flag.Int("max-apps", 16384, "with -serve: hard cap on tracked applications, complete or not — degraded logs can mint unbounded IDs (-1 = unlimited)")
 		sloFile  = flag.String("slo", "", "with -serve: SLO rule file (one `name: p99(component[, queue=Q][, node=N]) < 500ms over 5m [burn 1m]` per line)")
@@ -59,19 +61,25 @@ func main() {
 	outputModes := 0
 	for _, set := range []bool{
 		*graph > 0, *path > 0, *dot > 0, *bugs, *perApp, *csv, *jsonOut,
-		*cdfCSV, *compCSV != "", *validate, *htmlOut != "",
+		*cdfCSV, *compCSV != "", *validate, *htmlOut != "", *explain != "",
 	} {
 		if set {
 			outputModes++
 		}
 	}
-	if msg := modeConflict(*follow, *serve, outputModes, *sloFile, *selfSLO, *debug); msg != "" {
+	qSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "q" {
+			qSet = true
+		}
+	})
+	if msg := modeConflict(*follow, *serve, outputModes, *sloFile, *selfSLO, *debug, *explain, qSet); msg != "" {
 		fmt.Fprintln(os.Stderr, "sdchecker: "+msg)
 		flag.Usage()
 		os.Exit(2)
 	}
 	run(*dir, *workers, *graph, *path, *dot, *bugs, *perApp, *csv, *jsonOut, *cdfCSV,
-		*compCSV, *validate, *htmlOut, *follow, *serve, *retain, *maxApps, *sloFile, *selfSLO, *debug)
+		*compCSV, *validate, *htmlOut, *explain, *quant, *follow, *serve, *retain, *maxApps, *sloFile, *selfSLO, *debug)
 }
 
 // modeConflict validates the flag combination, returning a diagnostic
@@ -79,7 +87,7 @@ func main() {
 // Output modes are mutually exclusive, and none of them combine with
 // the live modes (-follow tails a terminal, -serve tails HTTP); the
 // serve-only knobs require -serve.
-func modeConflict(follow bool, serve string, outputModes int, sloFile, selfSLOFile string, debug bool) string {
+func modeConflict(follow bool, serve string, outputModes int, sloFile, selfSLOFile string, debug bool, explain string, qSet bool) string {
 	switch {
 	case follow && serve != "":
 		return "-follow and -serve are mutually exclusive"
@@ -91,10 +99,42 @@ func modeConflict(follow bool, serve string, outputModes int, sloFile, selfSLOFi
 		return "-self-slo requires -serve"
 	case debug && serve == "":
 		return "-debug requires -serve"
+	case qSet && explain == "":
+		return "-q requires -explain"
 	case outputModes > 1:
 		return "choose at most one output mode"
 	}
 	return ""
+}
+
+// explainReport renders the offline tail-attribution report: the mined
+// report's breakdown (attribution on) explained for one component, with
+// every exemplar resolved against the report's own traces.
+func explainReport(rep *core.Report, component string, q float64) (string, error) {
+	known := false
+	for _, c := range core.Components {
+		if c == component {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return "", fmt.Errorf("-explain %q: unknown component (one of %s)", component, strings.Join(core.Components, "|"))
+	}
+	if !(q > 0 && q <= 1) {
+		return "", fmt.Errorf("-q %v: quantile must be in (0, 1]", q)
+	}
+	apps := make(map[string]*core.AppTrace, len(rep.Apps))
+	for _, a := range rep.Apps {
+		apps[a.ID.String()] = a
+	}
+	doc := rep.Breakdown().Explain(component, q, core.DefaultExplainCells, func(app string) (*core.AppSummary, bool) {
+		if a := apps[app]; a != nil {
+			return core.SummarizeApp(a), false
+		}
+		return nil, false
+	})
+	return doc.Format(), nil
 }
 
 // parseRuleFile loads an SLO rule file with the given component
@@ -115,7 +155,8 @@ func parseRuleFile(path string, components []string) []slo.Rule {
 }
 
 func run(dir string, workers, graph, path, dot int, bugs, perApp, csv, jsonOut, cdfCSV bool,
-	compCSV string, validate bool, htmlOut string, follow bool, serve string, retain, maxApps int,
+	compCSV string, validate bool, htmlOut string, explain string, quant float64,
+	follow bool, serve string, retain, maxApps int,
 	sloFile, selfSLOFile string, debug bool) {
 
 	if serve != "" {
@@ -158,6 +199,13 @@ func run(dir string, workers, graph, path, dot int, bugs, perApp, csv, jsonOut, 
 	}
 
 	switch {
+	case explain != "":
+		out, err := explainReport(rep, explain, quant)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdchecker: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
 	case path > 0:
 		for _, a := range rep.Apps {
 			if a.ID.Seq != path {

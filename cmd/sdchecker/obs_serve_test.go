@@ -331,6 +331,8 @@ func TestModeConflict(t *testing.T) {
 		slo     string
 		selfSLO string
 		debug   bool
+		explain string
+		qSet    bool
 		want    string
 	}{
 		{name: "plain mine", want: ""},
@@ -341,9 +343,14 @@ func TestModeConflict(t *testing.T) {
 		{name: "self-slo without serve", selfSLO: "s.slo", want: "-self-slo requires -serve"},
 		{name: "debug without serve", debug: true, want: "-debug requires -serve"},
 		{name: "two outputs", modes: 2, want: "choose at most one output mode"},
+		{name: "explain alone", modes: 1, explain: "total", want: ""},
+		{name: "explain with q", modes: 1, explain: "alloc", qSet: true, want: ""},
+		{name: "q without explain", qSet: true, want: "-q requires -explain"},
+		{name: "explain with serve", serve: ":0", modes: 1, explain: "total", want: "live modes (-follow, -serve) cannot be combined with output flags"},
+		{name: "explain plus json", modes: 2, explain: "total", want: "choose at most one output mode"},
 	}
 	for _, c := range cases {
-		if got := modeConflict(c.follow, c.serve, c.modes, c.slo, c.selfSLO, c.debug); got != c.want {
+		if got := modeConflict(c.follow, c.serve, c.modes, c.slo, c.selfSLO, c.debug, c.explain, c.qSet); got != c.want {
 			t.Errorf("%s: modeConflict = %q, want %q", c.name, got, c.want)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -105,13 +106,19 @@ type liveServer struct {
 	maxApps int
 	done    chan struct{}
 
-	// obsMu guards eng. With -workers > 1 the completion hook runs on
-	// shard worker goroutines while HTTP handlers read the engine, so
-	// the engine needs its own lock — and one the hook can take without
-	// touching mu (pollOnce holds mu across Quiesce, which waits for
-	// those very hooks to finish).
+	// obsMu guards eng and pinned. With -workers > 1 the completion hook
+	// runs on shard worker goroutines while HTTP handlers read the
+	// engine, so the engine needs its own lock — and one the hook can
+	// take without touching mu (pollOnce holds mu across Quiesce, which
+	// waits for those very hooks to finish).
 	obsMu sync.Mutex
 	eng   *slo.Engine
+	// pinned maps exemplar-referenced app IDs to their minimal summaries
+	// so /explain keeps resolving decompositions and trace links after
+	// -retain eviction drops the full trace. Synced each scan to exactly
+	// the apps the exemplar reservoirs reference, so it is bounded by
+	// the (bounded) reservoir population.
+	pinned map[string]*core.AppSummary
 
 	// selfMu guards selfEng, the engine evaluating the pipeline's own
 	// stage latencies. Never nested inside obsMu or vice versa; pollOnce
@@ -139,6 +146,13 @@ type liveServer struct {
 	ingested   *metrics.Gauge
 	selfFiring *metrics.Gauge
 	dropped    *metrics.Counter
+
+	// Attribution-layer metrics: offered exemplar observations, current
+	// reservoir/top-k footprint, pinned summaries.
+	exOffered   *metrics.Counter // attr_exemplars_total
+	exTracked   *metrics.Gauge   // attr_exemplars_tracked
+	topkEntries *metrics.Gauge   // attr_topk_entries
+	pinnedApps  *metrics.Gauge   // attr_pinned_apps
 }
 
 func newLiveServer(dir string, o serveOptions) *liveServer {
@@ -178,12 +192,27 @@ func newLiveServer(dir string, o serveOptions) *liveServer {
 		compHist: map[string]*metrics.Histogram{},
 		scanDur: reg.Histogram("serve_scan_duration_ms",
 			metrics.ExpBuckets(1, 2, 16)),
-		firing:     reg.Gauge("slo_rules_firing"),
-		ingested:   reg.Gauge("slo_apps_ingested"),
-		selfFiring: reg.Gauge("slo_self_rules_firing"),
-		dropped:    reg.Counter("core_stream_lines_dropped_total"),
+		firing:      reg.Gauge("slo_rules_firing"),
+		ingested:    reg.Gauge("slo_apps_ingested"),
+		selfFiring:  reg.Gauge("slo_self_rules_firing"),
+		dropped:     reg.Counter("core_stream_lines_dropped_total"),
+		pinned:      map[string]*core.AppSummary{},
+		exOffered:   reg.Counter("attr_exemplars_total"),
+		exTracked:   reg.Gauge("attr_exemplars_tracked"),
+		topkEntries: reg.Gauge("attr_topk_entries"),
+		pinnedApps:  reg.Gauge("attr_pinned_apps"),
 	}
 	s.sc.pl = pl
+	// SLO alert edges land in the flight recorder so stall snapshots show
+	// fire/resolve transitions in context. The engines invoke the hook
+	// under the locks that already serialize them (obsMu / selfMu);
+	// RecordSLOTransition only touches the thread-safe recorder.
+	s.eng.OnTransition(func(tr slo.Transition) {
+		s.pl.RecordSLOTransition(tr.Rule, tr.State == slo.StateFiring.String(), len(tr.Exemplars))
+	})
+	s.selfEng.OnTransition(func(tr slo.Transition) {
+		s.pl.RecordSLOTransition(tr.Rule, tr.State == slo.StateFiring.String(), len(tr.Exemplars))
+	})
 	// The automatic snapshot is kept by the watchdog (served at
 	// /debug/flight?snapshot=last); the hook just announces it.
 	s.wd.OnSnapshot(func(dump []byte) {
@@ -209,6 +238,7 @@ func newLiveServer(dir string, o serveOptions) *liveServer {
 		s.obsMu.Lock()
 		s.eng.ObserveApp(a)
 		s.obsMu.Unlock()
+		s.exOffered.Add(int64(len(observations)))
 		s.pl.StageBatch(obs.StageAggregate, -1, t, len(observations))
 	})
 	return s
@@ -237,6 +267,13 @@ func (s *liveServer) pollOnce() error {
 	s.eng.Advance(clock)
 	s.firing.Set(int64(s.eng.FiringCount()))
 	s.ingested.Set(int64(s.eng.AppsIngested()))
+	// Pin exemplar-referenced app summaries BEFORE eviction below, while
+	// the full traces are still live in the stream.
+	s.syncPinned()
+	ex, tk := s.eng.Breakdown().AttrStats()
+	s.exTracked.Set(int64(ex))
+	s.topkEntries.Set(int64(tk))
+	s.pinnedApps.Set(int64(len(s.pinned)))
 	s.obsMu.Unlock()
 	if s.retain >= 0 {
 		s.st.EvictCompleted(s.retain)
@@ -263,6 +300,31 @@ func (s *liveServer) pollOnce() error {
 	s.wd.ScanEnd(s.pl.Begin().MS)
 	s.feedSelfSLO()
 	return err
+}
+
+// syncPinned reconciles the pinned-summary map with the set of apps the
+// exemplar reservoirs currently reference: newly referenced live apps
+// are summarized, no-longer-referenced ones dropped. The caller must
+// hold BOTH mu (stream lookups) and obsMu (engine breakdown + pinned).
+func (s *liveServer) syncPinned() {
+	refs := s.eng.Breakdown().ExemplarApps()
+	for app := range s.pinned {
+		if !refs[app] {
+			delete(s.pinned, app)
+		}
+	}
+	for app := range refs {
+		if _, ok := s.pinned[app]; ok {
+			continue
+		}
+		id, err := ids.ParseAppID(app)
+		if err != nil {
+			continue
+		}
+		if a := s.st.App(id); a != nil {
+			s.pinned[app] = core.SummarizeApp(a)
+		}
+	}
 }
 
 // feedSelfSLO drains the pipeline's buffered stage latencies into the
@@ -331,6 +393,7 @@ func (s *liveServer) handler() http.Handler {
 	mux.HandleFunc("/trace/", s.handleTrace)
 	mux.HandleFunc("/trace/pipeline", s.handleTracePipeline)
 	mux.HandleFunc("/aggregate", s.handleAggregate)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
@@ -486,6 +549,94 @@ func filterRows(rows []core.BreakdownRow, component string) []core.BreakdownRow 
 	return out
 }
 
+// explainFlightContext is how many flight events either side of an
+// exemplar's completion-hook event the /explain response includes.
+const explainFlightContext = 4
+
+// handleExplain serves the ranked tail-attribution report: which cells
+// dominate ?component='s tail at ?q= (default total, 0.99), their
+// heavy-hitter apps, and every exemplar resolved to its decomposition,
+// /trace/<seq> deep link, and the flight-recorder slice around its
+// completion. Exemplars of evicted apps resolve through the pinned
+// summaries.
+func (s *liveServer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	comp := r.URL.Query().Get("component")
+	if comp == "" {
+		comp = "total"
+	}
+	known := false
+	for _, c := range core.Components {
+		if c == comp {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.Error(w, "unknown component (one of "+strings.Join(core.Components, "|")+")", http.StatusBadRequest)
+		return
+	}
+	q := 0.99
+	if qs := r.URL.Query().Get("q"); qs != "" {
+		v, err := strconv.ParseFloat(qs, 64)
+		if err != nil || !(v > 0 && v <= 1) {
+			http.Error(w, "q must be a quantile in (0, 1]", http.StatusBadRequest)
+			return
+		}
+		q = v
+	}
+	// Lock order: mu before obsMu, as everywhere else.
+	s.mu.Lock()
+	s.obsMu.Lock()
+	doc := s.eng.Breakdown().Explain(comp, q, core.DefaultExplainCells, func(app string) (*core.AppSummary, bool) {
+		if id, err := ids.ParseAppID(app); err == nil {
+			if a := s.st.App(id); a != nil {
+				return core.SummarizeApp(a), false
+			}
+		}
+		if sum := s.pinned[app]; sum != nil {
+			return sum, true
+		}
+		return nil, false
+	})
+	s.obsMu.Unlock()
+	s.mu.Unlock()
+	attachFlightSlices(doc, s.pl.FlightDump())
+	writeJSON(w, doc)
+}
+
+// attachFlightSlices fills each exemplar's Flight field with the events
+// around its application's hook_fired entry — what the pipeline was
+// doing when that app completed — when the flight ring still holds it.
+func attachFlightSlices(doc *core.ExplainDoc, d obs.Dump) {
+	idx := make(map[string]int)
+	for i, e := range d.Events {
+		if e.Kind == obs.KindHook {
+			idx[e.Detail] = i
+		}
+	}
+	if len(idx) == 0 {
+		return
+	}
+	for ci := range doc.Cells {
+		for ei := range doc.Cells[ci].Exemplars {
+			ex := &doc.Cells[ci].Exemplars[ei]
+			i, ok := idx[ex.App]
+			if !ok {
+				continue
+			}
+			lo := i - explainFlightContext
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + explainFlightContext + 1
+			if hi > len(d.Events) {
+				hi = len(d.Events)
+			}
+			ex.Flight = append([]obs.Event(nil), d.Events[lo:hi]...)
+		}
+	}
+}
+
 // sloDoc is the /slo response: every rule's current evaluation plus the
 // recorded firing/resolved transitions, all on the event clock — and
 // the self-applied rules over the pipeline's own stage latencies.
@@ -521,17 +672,22 @@ func (s *liveServer) handleSLO(w http.ResponseWriter, _ *http.Request) {
 // pipeline watchdog declares a stall ("degraded", 503 with the reason
 // and the automatic flight-snapshot count).
 type healthDoc struct {
-	Status          string `json:"status"`
-	Events          int    `json:"events"`
-	Apps            int    `json:"apps"`
-	AppsIngested    uint64 `json:"apps_ingested"`
-	LastScanUnixMS  int64  `json:"last_scan_unix_ms,omitempty"`
-	LastError       string `json:"last_error,omitempty"`
-	ConsecFails     int    `json:"consecutive_failures,omitempty"`
-	Watchdog        string `json:"watchdog,omitempty"`
-	SelfSLOFiring   int    `json:"self_slo_firing"`
-	FlightRecorded  uint64 `json:"flight_events_recorded"`
-	FlightSnapshots int64  `json:"flight_snapshots"`
+	Status         string `json:"status"`
+	Events         int    `json:"events"`
+	Apps           int    `json:"apps"`
+	AppsIngested   uint64 `json:"apps_ingested"`
+	LastScanUnixMS int64  `json:"last_scan_unix_ms,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
+	ConsecFails    int    `json:"consecutive_failures,omitempty"`
+	Watchdog       string `json:"watchdog,omitempty"`
+	// WatchdogEpisodes counts distinct stall episodes ever declared;
+	// LastSnapshotSeq is the flight seq of the latest automatic snapshot
+	// event, so operators can line /healthz up against /debug/flight.
+	WatchdogEpisodes int64  `json:"watchdog_episodes"`
+	LastSnapshotSeq  uint64 `json:"last_flight_snapshot_seq,omitempty"`
+	SelfSLOFiring    int    `json:"self_slo_firing"`
+	FlightRecorded   uint64 `json:"flight_events_recorded"`
+	FlightSnapshots  int64  `json:"flight_snapshots"`
 }
 
 func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -553,6 +709,8 @@ func (s *liveServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.selfMu.Unlock()
 	doc.FlightRecorded = s.pl.Flight().Recorded()
 	doc.FlightSnapshots = s.wd.Snapshots()
+	doc.WatchdogEpisodes = s.wd.Episodes()
+	doc.LastSnapshotSeq = s.wd.LastSnapshotSeq()
 	stalled, reason := s.wd.Stalled()
 	code := http.StatusOK
 	switch {
@@ -615,7 +773,7 @@ func serveDir(addr, dir string, o serveOptions) error {
 	if o.debug {
 		extra = " /debug/pprof/*"
 	}
-	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /trace/pipeline /aggregate /slo /healthz /debug/flight%s; %d SLO rules, %d self rules)\n",
+	fmt.Printf("sdchecker: serving %s on http://%s (endpoints: /metrics /apps /trace/<seq> /trace/pipeline /aggregate /explain /slo /healthz /debug/flight%s; %d SLO rules, %d self rules)\n",
 		dir, ln.Addr(), extra, len(o.rules), len(srv.selfEng.Rules()))
 	select {} // run until interrupted
 }

@@ -23,7 +23,7 @@ var Determinism = &Analyzer{
 var deterministicPkgs = []string{
 	"internal/sim", "internal/yarn", "internal/spark", "internal/mapreduce",
 	"internal/hdfs", "internal/docker", "internal/rng", "internal/workload",
-	"internal/mc",
+	"internal/mc", "internal/attr",
 }
 
 // bannedTimeFuncs are the time package entry points that read or wait on

@@ -24,7 +24,7 @@ var HookOnce = &Analyzer{
 	Run:  hookonceRun,
 }
 
-var hookOncePkgs = []string{"internal/core", "internal/obs", "cmd/sdchecker"}
+var hookOncePkgs = []string{"internal/core", "internal/obs", "internal/slo", "cmd/sdchecker"}
 
 func hookonceRun(pass *Pass) {
 	if pass.Pkg.Fixture != hookonceName && !matchesAny(pass.Pkg.PkgPath, hookOncePkgs) {

@@ -45,7 +45,7 @@ var lockPairs = []lockPair{
 // live behind; user hooks must not run under them.
 var shardLocks = map[string]bool{"qMu": true, "workMu": true}
 
-var lockOrderPkgs = []string{"cmd/sdchecker", "internal/core"}
+var lockOrderPkgs = []string{"cmd/sdchecker", "internal/core", "internal/slo"}
 
 // lockEvent is one ordered occurrence inside a function body.
 type lockEvent struct {
@@ -119,7 +119,7 @@ func lockSelName(call *ast.CallExpr) (name string, op string) {
 
 // hookNameRE matches identifiers that conventionally hold completion or
 // sink callbacks.
-var hookNameRE = regexp.MustCompile(`(?i)^(hook|oncomplete|ondone|onfinish|onsnapshot|callback|cb)$`)
+var hookNameRE = regexp.MustCompile(`(?i)^(hook|oncomplete|ondone|onfinish|onsnapshot|ontransition|callback|cb)$`)
 
 // collectLockEvents linearizes a body's lock operations and hook
 // invocations in source order. Function literals are skipped (they're

@@ -53,3 +53,23 @@ func (w *watchdog) DoubleSnapshot(d []byte) {
 func (w *watchdog) UnguardedSnapshot(d []byte) {
 	w.onSnapshot(d) // want `hook onSnapshot invoked without a nil guard`
 }
+
+type engine struct {
+	onTransition func(string)
+}
+
+// DoubleTransition can deliver one alert edge twice — the SLO engine
+// routes every edge through a single guarded site instead.
+func (e *engine) DoubleTransition(rule string) {
+	if e.onTransition != nil {
+		e.onTransition(rule)
+	}
+	if e.onTransition != nil {
+		e.onTransition(rule) // want `hook onTransition invoked at 2 sites in one function`
+	}
+}
+
+// UnguardedTransition crashes when no transition hook is installed.
+func (e *engine) UnguardedTransition(rule string) {
+	e.onTransition(rule) // want `hook onTransition invoked without a nil guard`
+}

@@ -44,3 +44,15 @@ func (w *watchdog) SnapshotFire(dump []byte) {
 		h(dump)
 	}
 }
+
+type engine struct {
+	onTransition func(string)
+}
+
+// TransitionFire mirrors the SLO engine's alert-edge hook: exactly one
+// alias fire site, nil-guarded, per evaluated transition.
+func (e *engine) TransitionFire(rule string) {
+	if h := e.onTransition; h != nil {
+		h(rule)
+	}
+}

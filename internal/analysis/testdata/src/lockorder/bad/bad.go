@@ -54,3 +54,18 @@ func (s *server) AliasUnderShardLock(v int) {
 		h(v) // want `hook h invoked while holding shard lock qMu`
 	}
 }
+
+type engine struct {
+	qMu          sync.Mutex
+	onTransition func(string)
+}
+
+// TransitionUnderShardLock delivers an alert edge while holding a shard
+// lock Quiesce waits on.
+func (e *engine) TransitionUnderShardLock(rule string) {
+	e.qMu.Lock()
+	if e.onTransition != nil {
+		e.onTransition(rule) // want `hook onTransition invoked while holding shard lock qMu`
+	}
+	e.qMu.Unlock()
+}

@@ -48,3 +48,19 @@ func (s *server) EarlyReturn(fast bool) {
 	}
 	s.mu.Unlock()
 }
+
+type engine struct {
+	qMu          sync.Mutex
+	onTransition func(string)
+}
+
+// TransitionOutsideLock snapshots the alert-edge hook under the shard
+// lock, releases it, then fires — the SLO fire path's discipline.
+func (e *engine) TransitionOutsideLock(rule string) {
+	e.qMu.Lock()
+	h := e.onTransition
+	e.qMu.Unlock()
+	if h != nil {
+		h(rule)
+	}
+}

@@ -29,3 +29,11 @@ func registerSelfObservability(r *Registry) {
 	r.Counter("go_gc_cycles")                // want `counter "go_gc_cycles" must end in _total`
 	r.Histogram("go_gc_pause_ms_count", nil) // want `histogram "go_gc_pause_ms_count" collides with its own generated _bucket/_sum/_count series`
 }
+
+// registerAttribution gets the drill-down families wrong in both
+// directions: a counter without _total, a bounded gauge with it.
+func registerAttribution(r *Registry) {
+	r.Counter("attr_exemplars")       // want `counter "attr_exemplars" must end in _total`
+	r.Gauge("attr_topk_total")        // want `gauge "attr_topk_total" must not end in _total`
+	r.Gauge("attr_pinned_apps_total") // want `gauge "attr_pinned_apps_total" must not end in _total`
+}

@@ -29,3 +29,12 @@ func registerSelfObservability(r *Registry, stage string) {
 	r.Counter("go_gc_cycles_total")
 	r.Histogram("go_gc_pause_ms", nil)
 }
+
+// registerAttribution mirrors the drill-down layer's metric families:
+// offered exemplars are a counter, the bounded footprints are gauges.
+func registerAttribution(r *Registry) {
+	r.Counter("attr_exemplars_total")
+	r.Gauge("attr_exemplars_tracked")
+	r.Gauge("attr_topk_entries")
+	r.Gauge("attr_pinned_apps")
+}

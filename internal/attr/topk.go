@@ -1,0 +1,144 @@
+// Package attr provides the bounded heavy-hitter summaries behind the
+// tail-attribution layer: space-saving top-k counters keyed by
+// application or node, weighted by contributed delay. Like the digest
+// sketches they sit next to, summaries are mergeable — a fleet of
+// sharded ingesters can each keep its own and the aggregator combines
+// them — and deterministic: contents are a function of the offered
+// multiset, never of offer or merge order, as long as the number of
+// distinct keys stays within capacity (the exact regime; see DESIGN.md
+// for the bounded-error regime beyond it).
+package attr
+
+import "sort"
+
+// DefaultTopK is the heavy-hitter capacity used across the repo: large
+// enough that test and scenario workloads stay in the exact regime,
+// small enough that a fleet-wide merge stays trivially cheap.
+const DefaultTopK = 32
+
+// Entry is one heavy hitter: a key (app ID or node name) with the total
+// delay milliseconds attributed to it. Err is the maximum undercount
+// introduced by space-saving evictions or merge truncation; it is 0 in
+// the exact regime.
+type Entry struct {
+	Key   string  `json:"key"`
+	SumMS float64 `json:"sum_ms"`
+	ErrMS float64 `json:"err_ms,omitempty"`
+}
+
+// TopK is a space-saving (Metwally et al.) heavy-hitter summary over a
+// weighted key stream. Not safe for concurrent use.
+type TopK struct {
+	cap int
+	m   map[string]*Entry
+}
+
+// NewTopK returns an empty summary holding at most cap keys (cap <= 0
+// uses DefaultTopK).
+func NewTopK(cap int) *TopK {
+	if cap <= 0 {
+		cap = DefaultTopK
+	}
+	return &TopK{cap: cap, m: make(map[string]*Entry, cap)}
+}
+
+// Cap returns the summary's key capacity.
+func (t *TopK) Cap() int { return t.cap }
+
+// Len returns the number of keys currently tracked.
+func (t *TopK) Len() int { return len(t.m) }
+
+// Offer attributes amount (delay ms, clamped at 0) to key. While
+// distinct keys fit within capacity this is an exact per-key sum; at
+// capacity the minimum entry is evicted space-saving style — the new
+// key inherits the evicted sum as its error bound — so the true top
+// keys by weight are retained within a bounded undercount.
+func (t *TopK) Offer(key string, amount float64) {
+	if key == "" {
+		return
+	}
+	if amount < 0 {
+		amount = 0
+	}
+	if e := t.m[key]; e != nil {
+		e.SumMS += amount
+		return
+	}
+	if len(t.m) < t.cap {
+		t.m[key] = &Entry{Key: key, SumMS: amount}
+		return
+	}
+	// Evict the minimum under (SumMS asc, Key desc) — the mirror of the
+	// reporting order, so eviction choice is deterministic too.
+	var min *Entry
+	for _, e := range t.m {
+		if min == nil || e.SumMS < min.SumMS || (e.SumMS == min.SumMS && e.Key > min.Key) {
+			min = e
+		}
+	}
+	delete(t.m, min.Key)
+	t.m[key] = &Entry{Key: key, SumMS: min.SumMS + amount, ErrMS: min.SumMS}
+}
+
+// Merge folds other into t: per-key sums and error bounds add, then the
+// union is truncated back to capacity keeping the largest entries. The
+// receiving capacity grows to the larger of the two. Below capacity the
+// merge is exact and order-insensitive; beyond it, truncation keeps the
+// deterministic top entries.
+func (t *TopK) Merge(other *TopK) {
+	if other == nil {
+		return
+	}
+	if other.cap > t.cap {
+		t.cap = other.cap
+	}
+	for k, oe := range other.m {
+		if e := t.m[k]; e != nil {
+			e.SumMS += oe.SumMS
+			e.ErrMS += oe.ErrMS
+		} else {
+			t.m[k] = &Entry{Key: k, SumMS: oe.SumMS, ErrMS: oe.ErrMS}
+		}
+	}
+	if len(t.m) > t.cap {
+		es := t.Entries()
+		for _, e := range es[t.cap:] {
+			delete(t.m, e.Key)
+		}
+	}
+}
+
+// Clone returns an independent deep copy.
+func (t *TopK) Clone() *TopK {
+	c := NewTopK(t.cap)
+	for k, e := range t.m {
+		ce := *e
+		c.m[k] = &ce
+	}
+	return c
+}
+
+// Entries returns the tracked keys sorted heaviest first (SumMS desc,
+// Key asc on ties).
+func (t *TopK) Entries() []Entry {
+	out := make([]Entry, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SumMS != out[j].SumMS {
+			return out[i].SumMS > out[j].SumMS
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Top returns up to n heaviest entries.
+func (t *TopK) Top(n int) []Entry {
+	es := t.Entries()
+	if n >= 0 && len(es) > n {
+		es = es[:n]
+	}
+	return es
+}

@@ -1,0 +1,158 @@
+package attr
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestTopKExactBelowCapacity: under capacity the summary is exact — every
+// key's true contribution, zero error, sorted by contribution.
+func TestTopKExactBelowCapacity(t *testing.T) {
+	k := NewTopK(4)
+	k.Offer("b", 10)
+	k.Offer("a", 5)
+	k.Offer("b", 7)
+	k.Offer("c", 30)
+	got := k.Entries()
+	want := []Entry{{Key: "c", SumMS: 30}, {Key: "b", SumMS: 17}, {Key: "a", SumMS: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Entries() = %+v, want %+v", got, want)
+	}
+	for _, e := range got {
+		if e.ErrMS != 0 {
+			t.Errorf("exact regime has error bound %+v", e)
+		}
+	}
+}
+
+// TestTopKEviction: over capacity the space-saving rule applies — the
+// minimum entry is evicted, the newcomer inherits its sum as both floor
+// and error bound, and the structure never exceeds its capacity.
+func TestTopKEviction(t *testing.T) {
+	k := NewTopK(2)
+	k.Offer("a", 100)
+	k.Offer("b", 10)
+	k.Offer("c", 5) // evicts b(10): c enters at 10+5 with err 10
+	if k.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", k.Len())
+	}
+	got := k.Entries()
+	want := []Entry{{Key: "a", SumMS: 100}, {Key: "c", SumMS: 15, ErrMS: 10}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Entries() = %+v, want %+v", got, want)
+	}
+}
+
+// TestTopKOfferEdgeCases: empty keys are dropped, negative amounts clamp
+// to zero (an app cannot remove delay mass).
+func TestTopKOfferEdgeCases(t *testing.T) {
+	k := NewTopK(4)
+	k.Offer("", 50)
+	if k.Len() != 0 {
+		t.Fatal("empty key was admitted")
+	}
+	k.Offer("a", -5)
+	if got := k.Entries(); len(got) != 1 || got[0].SumMS != 0 {
+		t.Errorf("negative amount not clamped: %+v", got)
+	}
+}
+
+// TestTopKMergeOrderInsensitive: in the exact regime (distinct keys ≤
+// capacity) any partition of the offers into shards, merged in any
+// order, yields identical entries — the worker-count invariant.
+func TestTopKMergeOrderInsensitive(t *testing.T) {
+	type offer struct {
+		key string
+		amt float64
+	}
+	var offers []offer
+	seed := uint64(99)
+	for i := 0; i < 100; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		offers = append(offers, offer{
+			key: fmt.Sprintf("app_%02d", seed%20),
+			amt: float64(seed % 10_000),
+		})
+	}
+	ref := NewTopK(32)
+	for _, o := range offers {
+		ref.Offer(o.key, o.amt)
+	}
+	for _, parts := range []int{2, 3, 5} {
+		shards := make([]*TopK, parts)
+		for i := range shards {
+			shards[i] = NewTopK(32)
+		}
+		for i, o := range offers {
+			shards[i%parts].Offer(o.key, o.amt)
+		}
+		for _, reversed := range []bool{false, true} {
+			m := NewTopK(32)
+			for i := range shards {
+				j := i
+				if reversed {
+					j = parts - 1 - i
+				}
+				m.Merge(shards[j].Clone())
+			}
+			if !reflect.DeepEqual(m.Entries(), ref.Entries()) {
+				t.Errorf("parts=%d reversed=%v: merged entries diverge from serial\n got %+v\nwant %+v",
+					parts, reversed, m.Entries(), ref.Entries())
+			}
+		}
+	}
+}
+
+// TestTopKMergeBounded: merging two full summaries stays within the
+// larger capacity and keeps the heaviest keys.
+func TestTopKMergeBounded(t *testing.T) {
+	a, b := NewTopK(2), NewTopK(2)
+	a.Offer("x", 100)
+	a.Offer("y", 50)
+	b.Offer("z", 200)
+	b.Offer("x", 30)
+	a.Merge(b)
+	if a.Len() > 2 {
+		t.Fatalf("merge exceeded capacity: %d", a.Len())
+	}
+	got := a.Entries()
+	want := []Entry{{Key: "z", SumMS: 200}, {Key: "x", SumMS: 130}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Entries() = %+v, want %+v", got, want)
+	}
+}
+
+// TestTopKCloneIndependent: mutating a clone must not leak back.
+func TestTopKCloneIndependent(t *testing.T) {
+	a := NewTopK(4)
+	a.Offer("x", 10)
+	c := a.Clone()
+	c.Offer("x", 90)
+	if got := a.Entries()[0].SumMS; got != 10 {
+		t.Errorf("clone mutation leaked into original: %v", got)
+	}
+}
+
+// TestTopKTop truncates without mutating.
+func TestTopKTop(t *testing.T) {
+	k := NewTopK(8)
+	for i, key := range []string{"a", "b", "c", "d"} {
+		k.Offer(key, float64(10*(i+1)))
+	}
+	top := k.Top(2)
+	want := []Entry{{Key: "d", SumMS: 40}, {Key: "c", SumMS: 30}}
+	if !reflect.DeepEqual(top, want) {
+		t.Errorf("Top(2) = %+v, want %+v", top, want)
+	}
+	if k.Len() != 4 {
+		t.Errorf("Top mutated the summary: %d", k.Len())
+	}
+}
+
+// TestTopKDefaultCap: non-positive capacities fall back to DefaultTopK.
+func TestTopKDefaultCap(t *testing.T) {
+	if got := NewTopK(0).Cap(); got != DefaultTopK {
+		t.Errorf("NewTopK(0).Cap() = %d, want %d", got, DefaultTopK)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/attr"
 	"repro/internal/digest"
 )
 
@@ -25,13 +26,18 @@ var Components = []string{
 // Observation is one delay measurement bound to its cluster coordinates.
 // Queue comes from the application's submission summary; Node and
 // Instance are set on components with per-container (or AM-host)
-// attribution and empty otherwise.
+// attribution and empty otherwise. App and AtMS carry drill-down
+// identity — the application the delay belongs to and its event time
+// (completion in cluster time) — consumed by the attribution layer;
+// observations with an empty App aggregate without attribution.
 type Observation struct {
 	Component string
 	Queue     string
 	Node      string
 	Instance  InstanceType
 	MS        int64
+	App       string
+	AtMS      int64
 }
 
 // Observations extracts every observed delay component of one decomposed
@@ -49,10 +55,17 @@ func Observations(a *AppTrace) []Observation {
 		amNode = am.Node
 		amInst = am.Instance
 	}
+	// Event time for every component of this app: completion in cluster
+	// time, matching the SLO engine's clock.
+	appID := a.ID.String()
+	atMS := a.Submitted
+	if d.Total >= 0 {
+		atMS += d.Total
+	}
 	out := make([]Observation, 0, 8+len(d.Acquisitions)+len(d.Localizations)+len(d.Launchings)+len(d.Queueings))
 	app := func(component string, ms int64, node string, inst InstanceType) {
 		if ms >= 0 {
-			out = append(out, Observation{Component: component, Queue: a.Queue, Node: node, Instance: inst, MS: ms})
+			out = append(out, Observation{Component: component, Queue: a.Queue, Node: node, Instance: inst, MS: ms, App: appID, AtMS: atMS})
 		}
 	}
 	app("total", d.Total, "", "")
@@ -62,7 +75,7 @@ func Observations(a *AppTrace) []Observation {
 	app("alloc", d.Alloc, amNode, amInst)
 	perCont := func(component string, cds []ContainerDelay) {
 		for _, cd := range cds {
-			out = append(out, Observation{Component: component, Queue: a.Queue, Node: cd.Node, Instance: cd.Instance, MS: cd.MS})
+			out = append(out, Observation{Component: component, Queue: a.Queue, Node: cd.Node, Instance: cd.Instance, MS: cd.MS, App: appID, AtMS: atMS})
 		}
 	}
 	perCont("acquisition", d.Acquisitions)
@@ -95,49 +108,138 @@ type BreakdownRow struct {
 	MaxMS     float64 `json:"max_ms"`
 }
 
+// DefaultExemplarCap is the per-cell exemplar reservoir capacity used
+// when attribution is enabled: enough to name the worst offenders of a
+// cell without letting drill-down state dominate sketch memory.
+const DefaultExemplarCap = 8
+
+// BreakdownAttr is the drill-down state of a ClusterBreakdown: per-cell
+// heavy hitters by contributed delay (worst apps per exact key) and
+// per-component worst nodes, alongside the exemplar reservoirs living
+// inside each cell sketch. Like the sketches it decorates, all of it is
+// bounded and mergeable. Origin is a free-form shard label stamped on
+// exemplars for the future multi-ingester fleet; it stays "" for
+// in-process shards so reports remain byte-identical at any -workers.
+type BreakdownAttr struct {
+	ResCap int    // exemplar reservoir capacity per cell sketch
+	TopCap int    // heavy-hitter capacity per top-k summary
+	Origin string // shard label for exemplars ("" in-process)
+
+	Apps  map[BreakdownKey]*attr.TopK // worst apps per (component, queue, node, instance)
+	Nodes map[string]*attr.TopK       // worst nodes per component
+}
+
+func newBreakdownAttr() *BreakdownAttr {
+	return &BreakdownAttr{
+		ResCap: DefaultExemplarCap,
+		TopCap: attr.DefaultTopK,
+		Apps:   make(map[BreakdownKey]*attr.TopK),
+		Nodes:  make(map[string]*attr.TopK),
+	}
+}
+
 // ClusterBreakdown holds one quantile sketch per observed
 // (component, queue, node, instance) combination. Rollups — one
 // component across the fleet, one component per queue, per node — are
 // computed by merging the exact-key sketches, which is lossless
 // (digest.Merge is exact), so every view shares the same error bound.
+// When Attr is non-nil (the default), cells additionally track exemplars
+// and heavy hitters for drill-down; set Attr to nil before observing to
+// measure or run the pre-attribution pipeline.
 type ClusterBreakdown struct {
 	Alpha    float64
 	Sketches map[BreakdownKey]*digest.Sketch
+	Attr     *BreakdownAttr
 }
 
 // NewClusterBreakdown returns an empty breakdown at the repo's default
-// sketch accuracy.
+// sketch accuracy, with attribution enabled.
 func NewClusterBreakdown() *ClusterBreakdown {
-	return &ClusterBreakdown{Alpha: digest.DefaultAlpha, Sketches: make(map[BreakdownKey]*digest.Sketch)}
+	return &ClusterBreakdown{
+		Alpha:    digest.DefaultAlpha,
+		Sketches: make(map[BreakdownKey]*digest.Sketch),
+		Attr:     newBreakdownAttr(),
+	}
 }
 
 // Observe folds one application's observations in.
 func (cb *ClusterBreakdown) Observe(a *AppTrace) {
 	for _, o := range Observations(a) {
-		cb.add(o)
+		cb.Add(o)
 	}
 }
 
-func (cb *ClusterBreakdown) add(o Observation) {
+// Add folds one observation in.
+func (cb *ClusterBreakdown) Add(o Observation) {
 	k := BreakdownKey{Component: o.Component, Queue: o.Queue, Node: o.Node, Instance: o.Instance}
 	s := cb.Sketches[k]
 	if s == nil {
 		s = digest.New(cb.Alpha)
+		if cb.Attr != nil {
+			s.TrackExemplars(cb.Attr.ResCap)
+		}
 		cb.Sketches[k] = s
 	}
-	s.Add(float64(o.MS))
+	ms := float64(o.MS)
+	if cb.Attr == nil || o.App == "" {
+		s.Add(ms)
+		return
+	}
+	s.AddExemplar(ms, o.App, o.AtMS, cb.Attr.Origin)
+	tk := cb.Attr.Apps[k]
+	if tk == nil {
+		tk = attr.NewTopK(cb.Attr.TopCap)
+		cb.Attr.Apps[k] = tk
+	}
+	tk.Offer(o.App, ms)
+	if o.Node != "" {
+		nk := cb.Attr.Nodes[o.Component]
+		if nk == nil {
+			nk = attr.NewTopK(cb.Attr.TopCap)
+			cb.Attr.Nodes[o.Component] = nk
+		}
+		nk.Offer(o.Node, ms)
+	}
 }
 
-// Merge folds another breakdown (e.g. one shard's) into cb.
+// Merge folds another breakdown (e.g. one shard's) into cb. Attribution
+// state merges alongside the sketches; if either side carries it, the
+// result does.
 func (cb *ClusterBreakdown) Merge(other *ClusterBreakdown) error {
 	for k, s := range other.Sketches {
 		dst := cb.Sketches[k]
 		if dst == nil {
 			dst = digest.New(cb.Alpha)
+			if cb.Attr != nil {
+				dst.TrackExemplars(cb.Attr.ResCap)
+			}
 			cb.Sketches[k] = dst
 		}
 		if err := dst.Merge(s); err != nil {
 			return fmt.Errorf("core: breakdown key %+v: %w", k, err)
+		}
+	}
+	if other.Attr != nil {
+		if cb.Attr == nil {
+			cb.Attr = newBreakdownAttr()
+			cb.Attr.ResCap = other.Attr.ResCap
+			cb.Attr.TopCap = other.Attr.TopCap
+		}
+		for k, tk := range other.Attr.Apps {
+			dst := cb.Attr.Apps[k]
+			if dst == nil {
+				dst = attr.NewTopK(cb.Attr.TopCap)
+				cb.Attr.Apps[k] = dst
+			}
+			dst.Merge(tk)
+		}
+		for c, tk := range other.Attr.Nodes {
+			dst := cb.Attr.Nodes[c]
+			if dst == nil {
+				dst = attr.NewTopK(cb.Attr.TopCap)
+				cb.Attr.Nodes[c] = dst
+			}
+			dst.Merge(tk)
 		}
 	}
 	return nil

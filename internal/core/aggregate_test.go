@@ -156,7 +156,7 @@ func TestWorstGroup(t *testing.T) {
 	cb := NewClusterBreakdown()
 	addObs := func(node string, ms int64, n int) {
 		for i := 0; i < n; i++ {
-			cb.add(Observation{Component: "localization", Node: node, MS: ms})
+			cb.Add(Observation{Component: "localization", Node: node, MS: ms})
 		}
 	}
 	addObs("node01", 100, 5)

@@ -49,6 +49,11 @@ type Sketch struct {
 	sum     float64
 	min     float64
 	max     float64
+
+	// Tail-biased exemplar reservoir (see exemplar.go). exCap == 0 means
+	// tracking is off and the sketch behaves exactly as before.
+	exCap int
+	ex    []Exemplar // sorted by exemplarLess, len <= exCap
 }
 
 // New returns an empty sketch with the given relative accuracy alpha
@@ -187,6 +192,23 @@ func (s *Sketch) Quantile(p float64) float64 {
 	return out
 }
 
+// CountAbove returns how many observations were recorded at or above v,
+// at bucket granularity: a bucket contributes when its representative
+// value is >= v, so the answer carries the same relative-error bound as
+// Quantile. v <= 0 counts everything.
+func (s *Sketch) CountAbove(v float64) uint64 {
+	if v <= 0 {
+		return s.count
+	}
+	var n uint64
+	for k, c := range s.buckets {
+		if s.value(k) >= v {
+			n += c
+		}
+	}
+	return n
+}
+
 func (s *Sketch) sortedKeys() []int32 {
 	keys := make([]int32, 0, len(s.buckets))
 	for k := range s.buckets {
@@ -218,6 +240,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other.max > s.max {
 		s.max = other.max
 	}
+	s.mergeExemplars(other)
 	return nil
 }
 
@@ -228,10 +251,15 @@ func (s *Sketch) Clone() *Sketch {
 	for k, n := range s.buckets {
 		c.buckets[k] = n
 	}
+	if s.ex != nil {
+		c.ex = make([]Exemplar, len(s.ex))
+		copy(c.ex, s.ex)
+	}
 	return &c
 }
 
-// Reset empties the sketch, keeping its accuracy.
+// Reset empties the sketch, keeping its accuracy and its exemplar
+// capacity (a recycled window bucket keeps tracking).
 func (s *Sketch) Reset() {
 	s.buckets = make(map[int32]uint64)
 	s.zero = 0
@@ -239,6 +267,7 @@ func (s *Sketch) Reset() {
 	s.sum = 0
 	s.min = math.Inf(1)
 	s.max = math.Inf(-1)
+	s.ex = nil
 }
 
 // Serialization: a compact binary frame so per-shard sketches can be
@@ -280,6 +309,7 @@ func (s *Sketch) MarshalBinary() ([]byte, error) {
 		buf = binary.AppendUvarint(buf, s.buckets[k])
 		prev = int64(k)
 	}
+	buf = appendExemplarSection(buf, s)
 	return buf, nil
 }
 
@@ -349,6 +379,9 @@ func (s *Sketch) UnmarshalBinary(data []byte) error {
 	}
 	if total+ns.zero != ns.count {
 		return ErrCorrupt
+	}
+	if err := decodeExemplarSection(data, ns); err != nil {
+		return err
 	}
 	*s = *ns
 	return nil

@@ -39,7 +39,7 @@ func oracleScenario(t *testing.T, opts Options, queries int, trace bool) (*Scena
 // byte-identical to their serial counterparts, and the merged breakdown
 // sketches must match exactly.
 func TestDiffOracleMatrix(t *testing.T) {
-	oracle := testkit.DiffOracle{Workers: []int{1, 2, 3, 8}}
+	oracle := testkit.DiffOracle{Workers: []int{1, 2, 3, 4, 8}}
 	for _, seed := range []uint64{11, 23} {
 		seed := seed
 

@@ -21,6 +21,8 @@ const (
 	KindStall        = "watchdog_stall"   // watchdog flipped to stalled
 	KindRecover      = "watchdog_recover" // watchdog recovered
 	KindSnapshot     = "flight_snapshot"  // automatic dump taken on anomaly
+	KindSLOFire      = "slo_fire"         // SLO rule transitioned to firing
+	KindSLOResolve   = "slo_resolve"      // SLO rule resolved back to ok
 )
 
 // Event is one flight-recorder entry. Shard is the worker index or -1
@@ -65,11 +67,12 @@ func (f *Flight) resize(size int) {
 	f.mu.Unlock()
 }
 
-// Record appends one event, assigning its sequence number. The ring
-// overwrites the oldest entry when full.
-func (f *Flight) Record(e Event) {
+// Record appends one event and returns its assigned sequence number
+// (0 on a nil recorder). The ring overwrites the oldest entry when
+// full.
+func (f *Flight) Record(e Event) uint64 {
 	if f == nil {
-		return
+		return 0
 	}
 	f.mu.Lock()
 	e.Seq = f.next
@@ -81,6 +84,7 @@ func (f *Flight) Record(e Event) {
 	f.next++
 	f.mu.Unlock()
 	f.events.Inc()
+	return e.Seq
 }
 
 // Dump is a point-in-time snapshot of the ring: the events still held,

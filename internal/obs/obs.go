@@ -302,6 +302,22 @@ func (p *Pipeline) RecordWarnBurst(n int64) {
 	p.flight.Record(Event{AtMS: p.Begin().MS, Kind: KindWarnBurst, Shard: -1, N: n})
 }
 
+// RecordSLOTransition notes one SLO alert edge: rule is the rule name,
+// firing selects slo_fire vs slo_resolve, and apps is the number of
+// exemplar applications captured at fire time. The serve loop installs
+// this as the engine's transition hook so stall snapshots show alert
+// edges in context.
+func (p *Pipeline) RecordSLOTransition(rule string, firing bool, apps int) {
+	if p == nil {
+		return
+	}
+	kind := KindSLOResolve
+	if firing {
+		kind = KindSLOFire
+	}
+	p.flight.Record(Event{AtMS: p.Begin().MS, Kind: kind, Shard: -1, N: int64(apps), Detail: rule})
+}
+
 // RecordQuiesce notes a Quiesce boundary; begin events carry the
 // pending work count at entry.
 func (p *Pipeline) RecordQuiesce(begin bool, pending int) {

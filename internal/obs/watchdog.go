@@ -34,6 +34,7 @@ type Watchdog struct {
 	reason         string
 	snapped        bool // snapshot already taken this episode
 	lastDump       []byte
+	lastSnapSeq    uint64 // flight seq of the last flight_snapshot event
 	onSnapshot     func([]byte)
 
 	stalledG  *metrics.Gauge   // obs_watchdog_stalled
@@ -153,7 +154,7 @@ func (w *Watchdog) Check(nowMS int64) (stalled bool, reason string) {
 		if !w.snapped {
 			w.snapped = true
 			w.lastDump = w.pl.FlightDump().JSON()
-			w.pl.Flight().Record(Event{AtMS: nowMS, Kind: KindSnapshot, Shard: -1, N: int64(len(w.lastDump))})
+			w.lastSnapSeq = w.pl.Flight().Record(Event{AtMS: nowMS, Kind: KindSnapshot, Shard: -1, N: int64(len(w.lastDump))})
 			w.snapshots.Inc()
 			if h := w.onSnapshot; h != nil {
 				h(w.lastDump)
@@ -184,6 +185,26 @@ func (w *Watchdog) Snapshots() int64 {
 		return 0
 	}
 	return w.snapshots.Value()
+}
+
+// Episodes returns how many distinct stall episodes the watchdog has
+// declared (the healthy→stalled edge count).
+func (w *Watchdog) Episodes() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.stalls.Value()
+}
+
+// LastSnapshotSeq returns the flight-recorder sequence number of the
+// most recent automatic snapshot event (0 when none was taken yet).
+func (w *Watchdog) LastSnapshotSeq() uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSnapSeq
 }
 
 // LastDump returns the most recent automatic flight snapshot (nil when

@@ -20,27 +20,34 @@ func (s State) String() string {
 	return "ok"
 }
 
-// Transition is one recorded alert edge (ok->firing or firing->ok).
+// Transition is one recorded alert edge (ok->firing or firing->ok). A
+// firing edge captures the long window's exemplar set at fire time —
+// the worst observations still inside the window, i.e. the applications
+// that pushed the quantile over the threshold.
 type Transition struct {
-	Rule        string  `json:"rule"`
-	State       string  `json:"state"`
-	AtMS        int64   `json:"at_ms"`
-	ValueMS     float64 `json:"value_ms"`
-	BurnValueMS float64 `json:"burn_value_ms,omitempty"`
-	ThresholdMS float64 `json:"threshold_ms"`
-	WindowCount uint64  `json:"window_count"`
+	Rule        string            `json:"rule"`
+	State       string            `json:"state"`
+	AtMS        int64             `json:"at_ms"`
+	ValueMS     float64           `json:"value_ms"`
+	BurnValueMS float64           `json:"burn_value_ms,omitempty"`
+	ThresholdMS float64           `json:"threshold_ms"`
+	WindowCount uint64            `json:"window_count"`
+	Exemplars   []digest.Exemplar `json:"exemplars,omitempty"`
 }
 
 // RuleStatus is one rule's current evaluation, the /slo endpoint row.
+// Exemplars names the current window's worst observations while the
+// rule is firing.
 type RuleStatus struct {
-	Name        string  `json:"name"`
-	Expr        string  `json:"expr"`
-	State       string  `json:"state"`
-	SinceMS     int64   `json:"since_ms,omitempty"`
-	ValueMS     float64 `json:"value_ms"`
-	BurnValueMS float64 `json:"burn_value_ms,omitempty"`
-	ThresholdMS float64 `json:"threshold_ms"`
-	WindowCount uint64  `json:"window_count"`
+	Name        string            `json:"name"`
+	Expr        string            `json:"expr"`
+	State       string            `json:"state"`
+	SinceMS     int64             `json:"since_ms,omitempty"`
+	ValueMS     float64           `json:"value_ms"`
+	BurnValueMS float64           `json:"burn_value_ms,omitempty"`
+	ThresholdMS float64           `json:"threshold_ms"`
+	WindowCount uint64            `json:"window_count"`
+	Exemplars   []digest.Exemplar `json:"exemplars,omitempty"`
 }
 
 type ruleState struct {
@@ -82,6 +89,7 @@ type Engine struct {
 	nowMS        int64
 	history      []Transition
 	appsIngested uint64
+	onTransition func(Transition)
 }
 
 // NewEngine builds an engine evaluating the given rules (none is valid:
@@ -107,6 +115,12 @@ func (e *Engine) SetMaxKeys(n int) {
 	}
 }
 
+// OnTransition registers a hook invoked synchronously for every
+// recorded alert edge (fire and resolve), after the engine's own state
+// is updated. At most one hook; nil clears it. The serve loop uses it
+// to land slo_fire/slo_resolve events in the flight recorder.
+func (e *Engine) OnTransition(fn func(Transition)) { e.onTransition = fn }
+
 // ObserveApp folds one decomposed application in, stamped at its event
 // time (submission plus total delay, i.e. when its first task ran — the
 // moment the delays became knowable), then re-evaluates every rule.
@@ -129,9 +143,9 @@ func (e *Engine) ObserveAt(obs []core.Observation, atMS int64) {
 			if !rs.rule.Matches(o) {
 				continue
 			}
-			rs.long.add(v, atMS)
+			rs.long.add(v, atMS, o.App)
 			if rs.burn != nil {
-				rs.burn.add(v, atMS)
+				rs.burn.add(v, atMS, o.App)
 			}
 		}
 	}
@@ -141,15 +155,10 @@ func (e *Engine) ObserveAt(obs []core.Observation, atMS int64) {
 func (e *Engine) addCumulative(o core.Observation) {
 	k := core.BreakdownKey{Component: o.Component, Queue: o.Queue, Node: o.Node, Instance: o.Instance}
 	if _, ok := e.agg.Sketches[k]; !ok && len(e.agg.Sketches) >= e.maxKeys {
-		k = core.BreakdownKey{Component: o.Component, Queue: Overflow, Node: Overflow}
+		o.Queue, o.Node, o.Instance = Overflow, Overflow, ""
 		e.overflowObs++
 	}
-	s := e.agg.Sketches[k]
-	if s == nil {
-		s = digest.New(e.agg.Alpha)
-		e.agg.Sketches[k] = s
-	}
-	s.Add(float64(o.MS))
+	e.agg.Add(o)
 }
 
 // Advance moves the event clock forward (it never goes back) and
@@ -165,32 +174,41 @@ func (e *Engine) Advance(nowMS int64) {
 
 func (e *Engine) evaluate() {
 	for _, rs := range e.rules {
-		v, burnV, count, want := e.eval(rs)
+		v, burnV, count, exs, want := e.eval(rs)
 		if want == rs.state {
 			continue
 		}
 		rs.state = want
 		rs.sinceMS = e.nowMS
-		e.history = append(e.history, Transition{
+		tr := Transition{
 			Rule: rs.rule.Name, State: want.String(), AtMS: e.nowMS,
 			ValueMS: v, BurnValueMS: burnV,
 			ThresholdMS: rs.rule.ThresholdMS, WindowCount: count,
-		})
+		}
+		if want == StateFiring {
+			tr.Exemplars = exs
+		}
+		e.history = append(e.history, tr)
 		if len(e.history) > historyCap {
 			e.history = e.history[len(e.history)-historyCap:]
+		}
+		if h := e.onTransition; h != nil {
+			h(tr)
 		}
 	}
 }
 
-// eval computes one rule's current window value(s) and desired state.
-// With a burn window configured, firing needs BOTH windows in violation
-// (the multi-window burn-rate pattern): the long window proves the
-// breach is sustained, the short one proves it is still happening — so
-// recovery resolves the alert as soon as the short window is clean.
-func (e *Engine) eval(rs *ruleState) (v, burnV float64, count uint64, want State) {
+// eval computes one rule's current window value(s), the window's
+// exemplar set, and the desired state. With a burn window configured,
+// firing needs BOTH windows in violation (the multi-window burn-rate
+// pattern): the long window proves the breach is sustained, the short
+// one proves it is still happening — so recovery resolves the alert as
+// soon as the short window is clean.
+func (e *Engine) eval(rs *ruleState) (v, burnV float64, count uint64, exs []digest.Exemplar, want State) {
 	long := rs.long.merged(e.nowMS)
 	count = long.Count()
 	v = long.Quantile(rs.rule.Quantile)
+	exs = long.Exemplars()
 	violated := count >= rs.rule.MinCount && !rs.rule.satisfied(v)
 	if rs.burn != nil {
 		short := rs.burn.merged(e.nowMS)
@@ -198,9 +216,9 @@ func (e *Engine) eval(rs *ruleState) (v, burnV float64, count uint64, want State
 		violated = violated && short.Count() > 0 && !rs.rule.satisfied(burnV)
 	}
 	if violated {
-		return v, burnV, count, StateFiring
+		return v, burnV, count, exs, StateFiring
 	}
-	return v, burnV, count, StateOK
+	return v, burnV, count, exs, StateOK
 }
 
 // Now returns the engine's event clock (0 before any observation).
@@ -230,13 +248,17 @@ func (e *Engine) Rules() []Rule {
 func (e *Engine) Status() []RuleStatus {
 	out := make([]RuleStatus, 0, len(e.rules))
 	for _, rs := range e.rules {
-		v, burnV, count, _ := e.eval(rs)
-		out = append(out, RuleStatus{
+		v, burnV, count, exs, _ := e.eval(rs)
+		st := RuleStatus{
 			Name: rs.rule.Name, Expr: rs.rule.String(),
 			State: rs.state.String(), SinceMS: rs.sinceMS,
 			ValueMS: v, BurnValueMS: burnV,
 			ThresholdMS: rs.rule.ThresholdMS, WindowCount: count,
-		})
+		}
+		if rs.state == StateFiring {
+			st.Exemplars = exs
+		}
+		out = append(out, st)
 	}
 	return out
 }

@@ -1,0 +1,89 @@
+package slo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEngineFireCarriesExemplars: a firing rule must name the offending
+// applications — the breaching window's exemplars ride both the history
+// transition and the live status — and drop them again once resolved.
+func TestEngineFireCarriesExemplars(t *testing.T) {
+	e := NewEngine([]Rule{mustRule(t, "alloc: p99(alloc) < 500ms over 1m")})
+
+	// A healthy crowd, then one offender blows the objective.
+	crowd := make([]core.Observation, 5)
+	for i := range crowd {
+		crowd[i] = core.Observation{
+			Component: "alloc", MS: 100,
+			App:  fmt.Sprintf("application_1499000000000_%04d", i+1),
+			AtMS: t0 + int64(i),
+		}
+	}
+	e.ObserveAt(crowd, t0)
+	if got := e.Status()[0]; got.State != "ok" || len(got.Exemplars) != 0 {
+		t.Fatalf("healthy status carries exemplars: %+v", got)
+	}
+
+	offender := "application_1499000000000_0099"
+	e.ObserveAt([]core.Observation{
+		{Component: "alloc", MS: 30_000, App: offender, AtMS: t0 + 30_000},
+	}, t0+30_000)
+
+	st := e.Status()[0]
+	if st.State != "firing" {
+		t.Fatalf("status %+v", st)
+	}
+	if len(st.Exemplars) == 0 || st.Exemplars[0].App != offender {
+		t.Fatalf("firing status exemplars %+v do not lead with the offender", st.Exemplars)
+	}
+	h := e.History()
+	if len(h) != 1 || h[0].State != "firing" {
+		t.Fatalf("history %+v", h)
+	}
+	if len(h[0].Exemplars) == 0 || h[0].Exemplars[0].App != offender {
+		t.Fatalf("fire transition exemplars %+v do not name the offender", h[0].Exemplars)
+	}
+
+	// Resolution: window drains, the resolve transition carries none.
+	e.Advance(t0 + 10*60_000)
+	h = e.History()
+	if len(h) != 2 || h[1].State != "ok" {
+		t.Fatalf("history after drain %+v", h)
+	}
+	if len(h[1].Exemplars) != 0 {
+		t.Errorf("resolve transition carries exemplars: %+v", h[1].Exemplars)
+	}
+	if st := e.Status()[0]; len(st.Exemplars) != 0 {
+		t.Errorf("ok status carries exemplars: %+v", st.Exemplars)
+	}
+}
+
+// TestEngineOnTransitionHook: the single guarded hook site fires once per
+// edge with the transition it appended to history, offenders included.
+func TestEngineOnTransitionHook(t *testing.T) {
+	e := NewEngine([]Rule{mustRule(t, "alloc: p99(alloc) < 500ms over 1m")})
+	var fired []Transition
+	e.OnTransition(func(tr Transition) { fired = append(fired, tr) })
+
+	e.ObserveAt([]core.Observation{
+		{Component: "alloc", MS: 30_000, App: "application_1499000000000_0007", AtMS: t0},
+	}, t0)
+	if len(fired) != 1 || fired[0].State != "firing" {
+		t.Fatalf("hook calls %+v", fired)
+	}
+	if len(fired[0].Exemplars) == 0 || fired[0].Exemplars[0].App != "application_1499000000000_0007" {
+		t.Fatalf("hook transition lacks the offender: %+v", fired[0].Exemplars)
+	}
+	e.Advance(t0 + 10*60_000)
+	if len(fired) != 2 || fired[1].State != "ok" {
+		t.Fatalf("hook missed the resolve edge: %+v", fired)
+	}
+	// Steady state: no edges, no calls.
+	e.Advance(t0 + 11*60_000)
+	if len(fired) != 2 {
+		t.Fatalf("hook fired without a transition: %+v", fired)
+	}
+}

@@ -273,7 +273,7 @@ func TestRingPartialBucketApproximation(t *testing.T) {
 	// The oldest overlapping bucket is included whole: a sample just
 	// outside the nominal window but inside its bucket still counts.
 	r := newRing(60_000, 0.01) // 5s buckets
-	r.add(100, t0)
+	r.add(100, t0, "")
 	if got := r.merged(t0 + 60_000 + 2_000).Count(); got != 1 {
 		t.Fatalf("sample in partial bucket dropped (count %d)", got)
 	}
@@ -285,10 +285,10 @@ func TestRingPartialBucketApproximation(t *testing.T) {
 
 func TestRingRecyclesSlots(t *testing.T) {
 	r := newRing(10_000, 0.01) // 1s buckets, 11 slots
-	r.add(1, t0)
+	r.add(1, t0, "")
 	// Far future stamp maps to the same slot index family eventually;
 	// the old epoch must be discarded, not merged.
-	r.add(2, t0+11_000)
+	r.add(2, t0+11_000, "")
 	m := r.merged(t0 + 11_000)
 	if m.Count() != 1 {
 		t.Fatalf("stale epoch leaked: count %d", m.Count())

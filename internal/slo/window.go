@@ -1,6 +1,7 @@
 package slo
 
 import (
+	"repro/internal/core"
 	"repro/internal/digest"
 )
 
@@ -41,7 +42,10 @@ func newRing(windowMS int64, alpha float64) *ring {
 	return &ring{windowMS: windowMS, widthMS: w, alpha: alpha, buckets: make([]ringBucket, n)}
 }
 
-func (r *ring) add(v float64, atMS int64) {
+// add lands one observation in its event-time bucket. app, when
+// non-empty, is offered to the bucket sketch's exemplar reservoir so
+// the merged window can name its offenders at fire time.
+func (r *ring) add(v float64, atMS int64, app string) {
 	if atMS <= 0 {
 		return
 	}
@@ -51,12 +55,17 @@ func (r *ring) add(v float64, atMS int64) {
 	if b.startMS != start {
 		if b.sk == nil {
 			b.sk = digest.New(r.alpha)
+			b.sk.TrackExemplars(core.DefaultExemplarCap)
 		} else {
-			b.sk.Reset()
+			b.sk.Reset() // keeps the exemplar capacity
 		}
 		b.startMS = start
 	}
-	b.sk.Add(v)
+	if app != "" {
+		b.sk.AddExemplar(v, app, atMS, "")
+	} else {
+		b.sk.Add(v)
+	}
 }
 
 // merged folds every bucket overlapping (nowMS-windowMS, nowMS] into one

@@ -60,6 +60,10 @@ func (o DiffOracle) Check(t testing.TB, in OracleInput) *core.Report {
 	if err != nil {
 		t.Fatalf("%s: reference JSON: %v", in.Name, err)
 	}
+	refAttr, err := ref.Breakdown().AttributionJSON()
+	if err != nil {
+		t.Fatalf("%s: reference attribution JSON: %v", in.Name, err)
+	}
 
 	// Reference: the serial stream, fed the sink's lines in file order,
 	// with a completion-hook breakdown sketch.
@@ -74,6 +78,10 @@ func (o DiffOracle) Check(t testing.TB, in OracleInput) *core.Report {
 	stJSON, err := st.Report().JSON()
 	if err != nil {
 		t.Fatalf("%s: serial stream JSON: %v", in.Name, err)
+	}
+	stAttr, err := refBD.AttributionJSON()
+	if err != nil {
+		t.Fatalf("%s: serial stream attribution JSON: %v", in.Name, err)
 	}
 
 	for _, w := range workers {
@@ -91,6 +99,13 @@ func (o DiffOracle) Check(t testing.TB, in OracleInput) *core.Report {
 		}
 		if !reflect.DeepEqual(rep.Breakdown().Rows(), ref.Breakdown().Rows()) {
 			t.Errorf("%s: MineSink(workers=%d) breakdown diverges", in.Name, w)
+		}
+		// Attribution state (exemplar reservoirs + heavy-hitter top-k)
+		// must merge to the same bytes at any worker count.
+		if attr, err := rep.Breakdown().AttributionJSON(); err != nil {
+			t.Fatalf("%s: MineSink(workers=%d) attribution JSON: %v", in.Name, w, err)
+		} else if attr != refAttr {
+			t.Errorf("%s: MineSink(workers=%d) attribution diverges from serial checker", in.Name, w)
 		}
 
 		// Parallel streaming == serial streaming, byte for byte, with a
@@ -111,6 +126,11 @@ func (o DiffOracle) Check(t testing.TB, in OracleInput) *core.Report {
 		}
 		if !reflect.DeepEqual(ss.Breakdown().Rows(), refBD.Rows()) {
 			t.Errorf("%s: ShardedStream(workers=%d) merged breakdown diverges from serial hook sketch", in.Name, w)
+		}
+		if attr, err := ss.Breakdown().AttributionJSON(); err != nil {
+			t.Fatalf("%s: ShardedStream(workers=%d) attribution JSON: %v", in.Name, w, err)
+		} else if attr != stAttr {
+			t.Errorf("%s: ShardedStream(workers=%d) attribution diverges from serial stream", in.Name, w)
 		}
 		ss.Close()
 	}
