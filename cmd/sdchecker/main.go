@@ -47,10 +47,20 @@ func main() {
 		sloFile  = flag.String("slo", "", "with -serve: SLO rule file (one `name: p99(component[, queue=Q][, node=N]) < 500ms over 5m [burn 1m]` per line)")
 		selfSLO  = flag.String("self-slo", "", "with -serve: self-SLO rule file over the pipeline's own stages (read|parse|forward|decompose|aggregate|scan); default is `pipeline-scan-p99: p99(scan) < 10000ms over 5m`")
 		debug    = flag.Bool("debug", false, "with -serve: expose net/http/pprof under /debug/pprof/ (off by default)")
+		matcher  = flag.String("matcher", "fast", "line-matching implementation: fast (byte-level) or regex (the retained reference); output is byte-identical either way")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "sdchecker: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *matcher {
+	case "fast":
+	case "regex":
+		core.UseReferenceMatcher(true) // process-wide; no restore needed
+	default:
+		fmt.Fprintf(os.Stderr, "sdchecker: -matcher %q: must be fast or regex\n", *matcher)
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -24,7 +24,19 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 )
+
+// fastSpec hands the miner fast path's self-description to the logvocab
+// analyzer, which proves each byte-level rule language-equal to the
+// regex it shadows and the dispatch table complete over vocab.json.
+func fastSpec() []analysis.FastRuleSpec {
+	var out []analysis.FastRuleSpec
+	for _, r := range core.FastPathSpec() {
+		out = append(out, analysis.FastRuleSpec(r))
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -67,7 +79,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
 		os.Exit(2)
 	}
-	unit := &analysis.Unit{Prog: prog, Analyzers: analyzers, VocabPath: *vocab}
+	unit := &analysis.Unit{Prog: prog, Analyzers: analyzers, VocabPath: *vocab, FastSpec: fastSpec()}
 	findings := unit.Run()
 	errors := analysis.Errors(findings)
 

@@ -87,8 +87,34 @@ type Unit struct {
 	// (fixtures carry their own vocab.json).
 	VocabPath string
 
+	// FastSpec, when non-empty, is the miner fast path's self-description
+	// (core.FastPathSpec converted element-wise): one entry per byte-level
+	// rule, carrying the regex the rule claims to implement. The logvocab
+	// analyzer then proves each claimed pattern equal, as a language, to
+	// the declared regex variable it shadows, and that the table covers
+	// the whole manifest. Left empty (fixtures, partial loads) the
+	// fast-path checks are skipped.
+	FastSpec []FastRuleSpec
+
 	passes   []*Pass
 	findings []Finding
+}
+
+// FastRuleSpec describes one byte-level fast-path rule for the logvocab
+// equivalence check. It mirrors core.FastRuleSpec field-for-field so the
+// driver can convert between them without core importing analysis.
+type FastRuleSpec struct {
+	// Name is the rule's hit-counter metric (vocab.json "metric"), or a
+	// helper's regex variable name for non-mining rules.
+	Name string
+
+	// RegexVar names the miner regex variable the rule replaces.
+	RegexVar string
+
+	// Pattern is the regex the byte-level matcher claims to implement,
+	// generated from the rule's segment table (not copied from parser.go
+	// — equality with the declared variable is what gets proven).
+	Pattern string
 }
 
 // Finding is one reported diagnostic, resolved to a concrete position.

@@ -6,6 +6,7 @@ import (
 	"regexp/syntax"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // This file implements the shared token automaton behind the logvocab
@@ -106,6 +107,17 @@ func CompileMinerRegex(expr string) (*Automaton, error) {
 	return compileAutomaton(`(?s:.*(?:` + expr + `).*)`)
 }
 
+// CompileSearch builds the automaton of the messages a search regex
+// fires on, like CompileMinerRegex, but keeps the wrapper's dot-all flag
+// out of expr: CompileMinerRegex's single (?s:...) group leaks (?s) into
+// the embedded expression, which is fine for intersection tests (it only
+// loosens both sides symmetrically) but wrong for containment, where one
+// side picking up strings the written regex rejects shows up as a
+// spurious violation.
+func CompileSearch(expr string) (*Automaton, error) {
+	return compileAutomaton(`(?s:.*)(?:` + expr + `)(?s:.*)`)
+}
+
 func compileAutomaton(expr string) (*Automaton, error) {
 	re, err := syntax.Parse(expr, syntax.Perl)
 	if err != nil {
@@ -168,6 +180,57 @@ func (a *Automaton) Intersects(b *Automaton) bool {
 		}
 	}
 	return false
+}
+
+// SubsetOf reports whether every string a accepts is also accepted by b
+// — the decision procedure for the fast-path equivalence check (running
+// it in both directions decides language equality). It walks the product
+// of a's NFA state sets against b's: a counterexample is any reachable
+// product state where a accepts and b does not. Unlike Intersects, the
+// b side is allowed to die (an empty b set with a still alive is exactly
+// where violations live), and the candidate runes must cover every
+// maximal interval on which all live classes behave constantly, not just
+// class bounds — see boundaryRunes. Empty-width assertions are treated
+// as epsilon on both sides (exact for the assertion-free miner
+// vocabulary; identical patterns always compare equal regardless). On
+// pathological state blowup it reports true conservatively, mirroring
+// Intersects.
+func (a *Automaton) SubsetOf(b *Automaton) bool {
+	sa := a.closure(map[uint32]bool{uint32(a.prog.Start): true})
+	sb := b.closure(map[uint32]bool{uint32(b.prog.Start): true})
+
+	type pair struct{ ka, kb string }
+	start := pair{stateKey(sa), stateKey(sb)}
+	seen := map[pair]bool{start: true}
+	type node struct {
+		sa, sb map[uint32]bool
+	}
+	queue := []node{{sa, sb}}
+
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if a.accepting(n.sa) && !b.accepting(n.sb) {
+			return false
+		}
+		if len(seen) > maxProductStates {
+			return true // give up conservatively
+		}
+		for _, r := range boundaryRunes(a.runeInsts(n.sa), b.runeInsts(n.sb)) {
+			na := a.step(n.sa, r)
+			if len(na) == 0 {
+				continue // a died: no string through here is in a's language
+			}
+			nb := b.closure(b.step(n.sb, r))
+			na = a.closure(na)
+			p := pair{stateKey(na), stateKey(nb)}
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, node{na, nb})
+			}
+		}
+	}
+	return true
 }
 
 // closure expands a state set across non-consuming instructions. Empty-
@@ -261,6 +324,55 @@ func representatives(insts ...[]*syntax.Inst) []rune {
 				}
 				if len(inst.Rune) == 1 {
 					add(inst.Rune[0])
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	out := cands[:0]
+	var last rune = -1
+	for _, r := range cands {
+		if r != last {
+			out = append(out, r)
+			last = r
+		}
+	}
+	return out
+}
+
+// boundaryRunes picks candidate runes for the containment walk. Class
+// bounds alone (what representatives uses) are enough for intersection —
+// any nonempty overlap of two classes contains a bound — but a
+// containment violation can live strictly between classes: [a-z] vs
+// [a-cx-z] is only refuted by a rune in [d,w]. The alphabet splits into
+// maximal intervals on which every live class (both sides) is constant;
+// each interval's left end is 0, some class lo, or some class hi+1, so
+// emitting b-1, b, b+1 for every bound b (with "any" expanded to
+// explicit ranges) lands at least one candidate in every interval.
+func boundaryRunes(instsA, instsB []*syntax.Inst) []rune {
+	var cands []rune
+	bound := func(lo, hi rune) {
+		for _, r := range [...]rune{lo - 1, lo, lo + 1, hi - 1, hi, hi + 1} {
+			if r >= 0 && r <= unicode.MaxRune {
+				cands = append(cands, r)
+			}
+		}
+	}
+	for _, side := range [...][]*syntax.Inst{instsA, instsB} {
+		for _, inst := range side {
+			switch inst.Op {
+			case syntax.InstRuneAny:
+				bound(0, unicode.MaxRune)
+			case syntax.InstRuneAnyNotNL:
+				bound(0, '\n'-1)
+				bound('\n'+1, unicode.MaxRune)
+			default:
+				if len(inst.Rune) == 1 {
+					bound(inst.Rune[0], inst.Rune[0])
+					continue
+				}
+				for i := 0; i+1 < len(inst.Rune); i += 2 {
+					bound(inst.Rune[i], inst.Rune[i+1])
 				}
 			}
 		}

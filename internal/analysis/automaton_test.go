@@ -132,3 +132,70 @@ func TestIntersectsRealVocabulary(t *testing.T) {
 		}
 	}
 }
+
+// TestAutomatonSubsetOf exercises the containment walk behind the
+// fast-path equivalence check (search semantics: both patterns wrapped
+// unanchored by CompileSearch).
+func TestAutomatonSubsetOf(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want bool
+	}{
+		{"identical", `Assigned container (container_\d+_\d+_\d+_\d+)`,
+			`Assigned container (container_\d+_\d+_\d+_\d+)`, true},
+		{"digits in words", `job (\d+)`, `job (\w+)`, true},
+		{"words not in digits", `job (\w+)`, `job (\d+)`, false},
+		// The violation lives strictly between class bounds ('d'..'w'):
+		// only a mid-interval candidate rune refutes it. Regression test
+		// for boundaryRunes vs the intersection-only representatives.
+		{"gap inside class", `x[a-z]y`, `x[a-cx-z]y`, false},
+		{"split class in full class", `x[a-cx-z]y`, `x[a-z]y`, true},
+		{"renamed literal", `Allocated opportunistic container`,
+			`Al1ocated opportunistic container`, false},
+		{"optional widens", `Registered with (?:the )?ResourceManager`,
+			`Registered with the ResourceManager`, false},
+		{"mandatory narrows", `Registered with the ResourceManager`,
+			`Registered with (?:the )?ResourceManager`, true},
+		{"longer run accepted by shorter", `queue (\d\d+)`, `queue (\d+)`, true},
+		{"shorter run rejected by longer", `queue (\d+)`, `queue (\d\d+)`, false},
+		{"dot-star absorbs", `Assigned container container_1_2_3_4 x on host h`,
+			`Assigned container (container_\d+_\d+_\d+_\d+) .*on host (\S+)`, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			aa, err := CompileSearch(c.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ba, err := CompileSearch(c.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := aa.SubsetOf(ba); got != c.want {
+				t.Errorf("%q ⊆ %q: got %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+// TestCompileSearchNoFlagLeak pins the reason CompileSearch exists: the
+// wrapper's (?s) must not change the embedded pattern's meaning. Under
+// CompileMinerRegex's single dot-all group, `a.b` would also accept
+// "a\nb"-containing strings and the two compilations would disagree.
+func TestCompileSearchNoFlagLeak(t *testing.T) {
+	strict, err := CompileSearch(`a.b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newline, err := CompileSearch(`a(?s:.)b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strict.SubsetOf(newline) {
+		t.Error("a.b should be contained in its dot-all widening")
+	}
+	if newline.SubsetOf(strict) {
+		t.Error("dot-all widening leaked out: a(?s:.)b compared equal to a.b")
+	}
+}

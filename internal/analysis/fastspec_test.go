@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// coreFastSpec converts the live miner's fast-path self-description for
+// injection into a Unit — the same wiring cmd/sdlint performs. Importing
+// core here is cycle-free: the miner never imports the analysis suite.
+func coreFastSpec(t *testing.T) []FastRuleSpec {
+	t.Helper()
+	var out []FastRuleSpec
+	for _, r := range core.FastPathSpec() {
+		out = append(out, FastRuleSpec(r))
+	}
+	if len(out) == 0 {
+		t.Fatal("core.FastPathSpec returned no rules")
+	}
+	return out
+}
+
+// runLogVocabWithSpec runs the logvocab analyzer over the good fixture
+// (emitter, miner, and manifest all in agreement) with an arbitrary
+// fast-path self-description, isolating checks 6-8.
+func runLogVocabWithSpec(t *testing.T, spec []FastRuleSpec) []Finding {
+	t.Helper()
+	rel := filepath.Join("testdata", "src", LogVocab.Name, "good")
+	prog, err := Load("../..", "./internal/analysis/"+filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	unit := &Unit{
+		Prog:      prog,
+		Analyzers: []*Analyzer{LogVocab},
+		VocabPath: filepath.Join(rel, "vocab.json"),
+		FastSpec:  spec,
+	}
+	return Errors(unit.Run())
+}
+
+// fixtureSpec is the correct self-description for the good fixture: one
+// rule per mined metric, one per helper, patterns language-equal to the
+// fixture's declared regexes.
+func fixtureSpec() []FastRuleSpec {
+	return []FastRuleSpec{
+		{Name: "a", RegexVar: "reA", Pattern: `accepted job (\d+)`},
+		{Name: "reHelper", RegexVar: "reHelper", Pattern: `job_\d+`},
+	}
+}
+
+func TestFastSpecChecksClean(t *testing.T) {
+	for _, f := range runLogVocabWithSpec(t, fixtureSpec()) {
+		t.Errorf("clean spec produced finding: %s", f)
+	}
+}
+
+// mutate returns fixtureSpec with one entry replaced (or dropped when
+// repl is nil).
+func mutate(name string, repl *FastRuleSpec) []FastRuleSpec {
+	var out []FastRuleSpec
+	for _, s := range fixtureSpec() {
+		if s.Name != name {
+			out = append(out, s)
+		} else if repl != nil {
+			out = append(out, *repl)
+		}
+	}
+	return out
+}
+
+func TestFastSpecChecksCatchDrift(t *testing.T) {
+	cases := []struct {
+		name string
+		spec []FastRuleSpec
+		want string // substring of the expected finding
+	}{
+		{"missing metric rule", mutate("a", nil),
+			"fast path has no rule for metric a"},
+		{"missing helper rule", mutate("reHelper", nil),
+			"helper reHelper: fast path has no rule"},
+		{"pattern too broad", mutate("a",
+			&FastRuleSpec{Name: "a", RegexVar: "reA", Pattern: `accepted job (\w+)`}),
+			"fast rule a accepts lines regex reA"},
+		{"pattern too narrow", mutate("a",
+			&FastRuleSpec{Name: "a", RegexVar: "reA", Pattern: `accepted job (\d\d+)`}),
+			"accepts lines fast rule a rejects"},
+		{"renamed literal prefix", mutate("a",
+			&FastRuleSpec{Name: "a", RegexVar: "reA", Pattern: `acepted job (\d+)`}),
+			"fast rule a"},
+		{"regex variable mismatch", mutate("a",
+			&FastRuleSpec{Name: "a", RegexVar: "reHelper", Pattern: `job_\d+`}),
+			"manifest binds metric a to reA"},
+		{"undeclared regex variable", mutate("a",
+			&FastRuleSpec{Name: "a", RegexVar: "reGone", Pattern: `accepted job (\d+)`}),
+			"regex variable reGone is not declared"},
+		{"stray rule", append(fixtureSpec(),
+			FastRuleSpec{Name: "zz", RegexVar: "reA", Pattern: `accepted job (\d+)`}),
+			"fast rule zz matches no manifest metric and no helper"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			findings := runLogVocabWithSpec(t, c.spec)
+			if len(findings) == 0 {
+				t.Fatalf("drifted spec produced no findings, want one matching %q", c.want)
+			}
+			for _, f := range findings {
+				if strings.Contains(f.Message, c.want) {
+					return
+				}
+			}
+			t.Errorf("no finding matched %q; got: %v", c.want, findings)
+		})
+	}
+}
+
+// TestCoreFastSpecShape pins the live dispatch table's surface: every
+// manifest metric and helper present, nothing stray, patterns compiling.
+// (TestSelfCheck proves the languages equal against the real tree; this
+// cheaper test keeps the shape honest even in -short runs.)
+func TestCoreFastSpecShape(t *testing.T) {
+	spec := coreFastSpec(t)
+	vocab, err := DefaultVocab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]FastRuleSpec, len(spec))
+	for _, s := range spec {
+		if _, dup := byName[s.Name]; dup {
+			t.Errorf("duplicate fast rule name %q", s.Name)
+		}
+		byName[s.Name] = s
+		if _, err := CompileSearch(s.Pattern); err != nil {
+			t.Errorf("fast rule %s: generated pattern %q does not compile: %v", s.Name, s.Pattern, err)
+		}
+	}
+	valid := map[string]bool{}
+	for _, m := range vocab.Messages {
+		if m.Positional() {
+			continue
+		}
+		s, ok := byName[m.Metric]
+		if !ok {
+			t.Errorf("message %s: no fast rule for metric %s", m.Name, m.Metric)
+			continue
+		}
+		valid[s.Name] = true
+		if s.RegexVar != m.RegexVar {
+			t.Errorf("message %s: fast rule bound to %s, manifest says %s", m.Name, s.RegexVar, m.RegexVar)
+		}
+	}
+	for _, h := range vocab.Helpers {
+		if _, ok := byName[h]; !ok {
+			t.Errorf("helper %s: no fast rule", h)
+		}
+		valid[h] = true
+	}
+	for _, s := range spec {
+		if !valid[s.Name] {
+			t.Errorf("stray fast rule %s", s.Name)
+		}
+	}
+}

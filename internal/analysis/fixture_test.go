@@ -159,7 +159,7 @@ func TestSelfCheck(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load ./...: %v", err)
 	}
-	unit := &Unit{Prog: prog, Analyzers: Analyzers()}
+	unit := &Unit{Prog: prog, Analyzers: Analyzers(), FastSpec: coreFastSpec(t)}
 	findings := unit.Run()
 	for _, f := range Errors(findings) {
 		t.Errorf("repository is not lint-clean: %s", f)

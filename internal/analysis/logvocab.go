@@ -26,6 +26,20 @@ import (
 //  5. each message's template language intersects its regex language
 //     (catches: template and regex drifting apart in a matched pair).
 //
+// When the driver supplies the byte-level matcher's self-description
+// (Unit.FastSpec, from core.FastPathSpec), three more checks prove the
+// fast path equivalent to the regex vocabulary:
+//
+//  6. every mined manifest message and every helper has a fast rule,
+//     bound to the right regex variable (catches: a metric the byte
+//     matcher silently stopped covering, OPP_ASSIGNED-style);
+//  7. each fast rule's generated pattern and its declared regex accept
+//     exactly the same language — containment proven in both directions
+//     on the NFA product (catches: the byte matcher drifting from the
+//     regex it claims to implement, e.g. a renamed literal prefix);
+//  8. no fast rule is stray: each names a manifest metric or a helper
+//     (catches: dead dispatch entries masking a rename).
+//
 // A violation names the exact message type broken.
 var LogVocab = &Analyzer{
 	Name:   logvocabName,
@@ -324,6 +338,95 @@ func logvocabFinish(unit *Unit) {
 			rexPass[rex.name].Reportf(rex.pos,
 				"regex %s (message types %s) cannot match any line the emitters produce",
 				rex.name, strings.Join(names, ", "))
+		}
+	}
+
+	// Checks 6-8: the byte-level fast path, when its self-description is
+	// supplied, must cover the manifest and implement each regex exactly.
+	if len(unit.FastSpec) > 0 {
+		logvocabFastChecks(unit, vocab, regexByName, rexPass)
+	}
+}
+
+// logvocabFastChecks proves the miner's byte-level dispatch table
+// equivalent to the regex vocabulary: complete over the manifest
+// (check 6), language-equal rule by rule (check 7), and free of stray
+// entries (check 8).
+func logvocabFastChecks(unit *Unit, vocab *Vocab, regexByName map[string]regexFact, rexPass map[string]*Pass) {
+	specByName := make(map[string]FastRuleSpec, len(unit.FastSpec))
+	for _, s := range unit.FastSpec {
+		specByName[s.Name] = s
+	}
+
+	// Check 6: every mined message's metric has a fast rule bound to the
+	// manifest's regex variable, and every helper is reimplemented.
+	valid := make(map[string]bool) // spec names accounted for (check 8)
+	for _, m := range vocab.Messages {
+		if m.Positional() {
+			continue
+		}
+		line := vocab.LineOf(m.Name)
+		s, ok := specByName[m.Metric]
+		if !ok {
+			unit.ReportAt(logvocabName, vocab.Path, line,
+				"message %s: fast path has no rule for metric %s — the byte-level matcher no longer covers the manifest",
+				m.Name, m.Metric)
+			continue
+		}
+		valid[s.Name] = true
+		if s.RegexVar != m.RegexVar {
+			unit.ReportAt(logvocabName, vocab.Path, line,
+				"message %s: fast rule %s claims to implement %s but the manifest binds metric %s to %s",
+				m.Name, s.Name, s.RegexVar, m.Metric, m.RegexVar)
+		}
+	}
+	for _, h := range vocab.Helpers {
+		s, ok := specByName[h]
+		if !ok {
+			unit.ReportAt(logvocabName, vocab.Path, 1,
+				"helper %s: fast path has no rule reimplementing it", h)
+			continue
+		}
+		valid[s.Name] = true
+		if s.RegexVar != h {
+			unit.ReportAt(logvocabName, vocab.Path, 1,
+				"helper %s: fast rule claims to implement %s instead", h, s.RegexVar)
+		}
+	}
+
+	// Check 7: each rule's generated pattern is language-equal to the
+	// regex variable it shadows, proven by containment both directions.
+	for _, s := range unit.FastSpec {
+		rex, ok := regexByName[s.RegexVar]
+		if !ok {
+			unit.ReportAt(logvocabName, vocab.Path, 1,
+				"fast rule %s: regex variable %s is not declared in the miner", s.Name, s.RegexVar)
+			continue
+		}
+		fa, errF := CompileSearch(s.Pattern)
+		ra, errR := CompileSearch(rex.pattern)
+		if errF != nil || errR != nil {
+			unit.ReportAt(logvocabName, vocab.Path, 1,
+				"fast rule %s: cannot compile automata for equivalence proof (%v, %v)", s.Name, errF, errR)
+			continue
+		}
+		if !fa.SubsetOf(ra) {
+			rexPass[rex.name].Reportf(rex.pos,
+				"fast rule %s accepts lines regex %s (%q) rejects — generated pattern %q is too broad",
+				s.Name, rex.name, rex.pattern, s.Pattern)
+		}
+		if !ra.SubsetOf(fa) {
+			rexPass[rex.name].Reportf(rex.pos,
+				"regex %s (%q) accepts lines fast rule %s rejects — generated pattern %q is too narrow",
+				rex.name, rex.pattern, s.Name, s.Pattern)
+		}
+	}
+
+	// Check 8: no stray dispatch entries.
+	for _, s := range unit.FastSpec {
+		if !valid[s.Name] {
+			unit.ReportAt(logvocabName, vocab.Path, 1,
+				"fast rule %s matches no manifest metric and no helper (dead dispatch entry, or the manifest moved on)", s.Name)
 		}
 	}
 }

@@ -1,0 +1,106 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"repro/internal/log4j"
+)
+
+// Allocation regression tests for the byte-level hot path. The central
+// claim — the reason the fast matcher exists — is that scanning a line
+// that matches no vocabulary rule costs zero heap allocations: no
+// regexp machine, no error values, no submatch slices. Excluded under
+// -race because the detector's instrumentation perturbs the counts.
+
+// TestFastPathZeroAllocNonMatching pins the zero-allocation contract at
+// every layer: the daemon-line miner, the container body matcher, and
+// the whole Stream.Feed path, on parseable-but-unmined and on garbage
+// lines alike.
+func TestFastPathZeroAllocNonMatching(t *testing.T) {
+	restore := UseReferenceMatcher(false)
+	defer restore()
+
+	line := log4j.Line{
+		TimeMS:  1499000000123,
+		Level:   log4j.Info,
+		Class:   "org.apache.hadoop.ipc.Server",
+		Message: "IPC Server handler 12 on 8030, call heartbeat from 10.0.0.7",
+	}
+	p := NewParser()
+	if got := testing.AllocsPerRun(1000, func() {
+		p.mineDaemonLineFast("hadoop/yarn-resourcemanager.log", line)
+	}); got != 0 {
+		t.Errorf("mineDaemonLineFast on a non-vocabulary line: %v allocs/op, want 0", got)
+	}
+
+	cases := map[string]string{
+		"stamped non-vocabulary": line.Format(),
+		"garbage no stamp":       "\tat org.apache.hadoop.ipc.Client$Connection.run(Client.java:891)",
+		"empty":                  "",
+	}
+	for name, raw := range cases {
+		st := NewStream()
+		st.Feed("hadoop/yarn-resourcemanager.log", raw) // warm the scratch parser
+		if got := testing.AllocsPerRun(1000, func() {
+			st.Feed("hadoop/yarn-resourcemanager.log", raw)
+		}); got != 0 {
+			t.Errorf("Stream.Feed(%s): %v allocs/op, want 0", name, got)
+		}
+	}
+
+	// Container stderr body lines after the first (FIRST_LOG already
+	// deduplicated) that hit no body rule.
+	st := NewStream()
+	src := "userlogs/application_1499000000000_0001/container_1499000000000_0001_01_000001/stderr"
+	body := log4j.Line{
+		TimeMS:  1499000000200,
+		Level:   log4j.Info,
+		Class:   "org.apache.spark.executor.Executor",
+		Message: "Finished task 3.0 in stage 1.0 (TID 7) in 212 ms",
+	}.Format()
+	st.Feed(src, body)
+	if got := testing.AllocsPerRun(1000, func() {
+		st.Feed(src, body)
+	}); got != 0 {
+		t.Errorf("Stream.Feed(container body): %v allocs/op, want 0", got)
+	}
+}
+
+// TestFastPathAllocBudgetMatching bounds the cost of lines that DO mine
+// an event. Matching lines legitimately allocate (the event is absorbed
+// into per-application state), but the budget must stay fixed and small
+// — a regression here means the hot path regrew per-line garbage.
+func TestFastPathAllocBudgetMatching(t *testing.T) {
+	restore := UseReferenceMatcher(false)
+	defer restore()
+
+	raw := log4j.Line{
+		TimeMS:  1499000000123,
+		Level:   log4j.Info,
+		Class:   "org.apache.hadoop.yarn.server.resourcemanager.rmcontainer.RMContainerImpl",
+		Message: "container_1499000000000_0001_01_000002 Container Transitioned from ALLOCATED to ACQUIRED",
+	}.Format()
+	measure := func(ref bool) float64 {
+		restore := UseReferenceMatcher(ref)
+		defer restore()
+		st := NewStream()
+		st.Feed("hadoop/yarn-resourcemanager.log", raw)
+		return testing.AllocsPerRun(500, func() {
+			st.Feed("hadoop/yarn-resourcemanager.log", raw)
+		})
+	}
+	fast, ref := measure(false), measure(true)
+	// The absorb machinery (per-app event tracking) dominates both; the
+	// matcher itself must contribute nothing on top — the fast path may
+	// never allocate more than the reference, and the absolute budget
+	// (measured 36 vs 43 at introduction) must not creep.
+	if fast > ref {
+		t.Errorf("fast matcher allocates more than the regex reference on a matching line: %v > %v allocs/op", fast, ref)
+	}
+	const budget = 40.0
+	if fast > budget {
+		t.Errorf("Stream.Feed(matching line): %v allocs/op, budget %v", fast, budget)
+	}
+}

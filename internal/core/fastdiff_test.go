@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/log4j"
+	"repro/internal/metrics"
+)
+
+// This file is the dynamic half of the fast-path equivalence proof: the
+// byte-level matcher and the retained regex reference implementation are
+// run side by side over the same input and must agree on everything
+// observable — events, warnings, error text, and every per-regex hit
+// counter. (The static half lives in sdlint's logvocab analyzer, which
+// proves each fast rule language-equal to its regex.)
+
+var diffSources = []string{
+	"hadoop/yarn-resourcemanager.log",
+	"hadoop/yarn-nodemanager-node01.log",
+	"userlogs/application_1499000000000_0001/container_1499000000000_0001_01_000001/stderr",
+}
+
+// parseUnder runs one offline parse with the chosen matcher and returns
+// every observable output.
+func parseUnder(ref bool, name string, data []byte) (evs []Event, warns []string, errStr string, hits map[string]int64) {
+	restore := UseReferenceMatcher(ref)
+	defer restore()
+	p := NewParser()
+	reg := metrics.NewRegistry()
+	p.Instrument(reg)
+	if err := p.ParseReader(name, bytes.NewReader(data)); err != nil {
+		errStr = err.Error()
+	}
+	hits = make(map[string]int64, len(regexNames)+1)
+	for _, n := range regexNames {
+		hits[n] = reg.Counter("core_parser_hits_total", "regex", n).Value()
+	}
+	hits["__lines"] = reg.Counter("core_parser_lines_total").Value()
+	return p.Events(), p.Warnings(), errStr, hits
+}
+
+// diffParsers asserts the two matchers are observationally identical on
+// one input file.
+func diffParsers(t *testing.T, name string, data []byte) {
+	t.Helper()
+	fe, fw, ferr, fh := parseUnder(false, name, data)
+	re, rw, rerr, rh := parseUnder(true, name, data)
+	if ferr != rerr {
+		t.Fatalf("%s: error diverges: fast=%q regex=%q", name, ferr, rerr)
+	}
+	if len(fe) != len(re) {
+		t.Fatalf("%s: fast mined %d events, regex %d", name, len(fe), len(re))
+	}
+	for i := range fe {
+		if !reflect.DeepEqual(fe[i], re[i]) {
+			t.Fatalf("%s: event %d diverges:\nfast:  %+v\nregex: %+v", name, i, fe[i], re[i])
+		}
+	}
+	if !reflect.DeepEqual(fw, rw) {
+		t.Fatalf("%s: warnings diverge:\nfast:  %q\nregex: %q", name, fw, rw)
+	}
+	if !reflect.DeepEqual(fh, rh) {
+		t.Fatalf("%s: hit counters diverge:\nfast:  %v\nregex: %v", name, fh, rh)
+	}
+}
+
+// diffStreams asserts the two matchers agree through the incremental
+// path (which has its own segment splitter replacing bufio.Scanner).
+func diffStreams(t *testing.T, sources []string, lines []string) {
+	t.Helper()
+	run := func(ref bool) (int, int64, string) {
+		restore := UseReferenceMatcher(ref)
+		defer restore()
+		st := NewStream()
+		for i, ln := range lines {
+			st.Feed(sources[i%len(sources)], ln)
+		}
+		return st.EventCount(), st.LastEventMS(), st.Report().Format()
+	}
+	fn, fms, frep := run(false)
+	rn, rms, rrep := run(true)
+	if fn != rn || fms != rms {
+		t.Fatalf("stream diverges: fast=(%d events, last %d) regex=(%d, %d)", fn, fms, rn, rms)
+	}
+	if frep != rrep {
+		t.Fatalf("stream report diverges:\nfast:\n%s\nregex:\n%s", frep, rrep)
+	}
+}
+
+// FuzzFastVsRegex is the differential fuzz target of the equivalence
+// proof: arbitrary bytes — and a deterministically degraded (torn,
+// truncated, skewed, garbage-injected) variant of them — go through both
+// parser implementations and both stream paths, which must agree byte
+// for byte on every output.
+func FuzzFastVsRegex(f *testing.F) {
+	seedCorpusWorkers(f)
+	f.Fuzz(func(t *testing.T, data []byte, n uint8) {
+		name := diffSources[int(n)%len(diffSources)]
+		diffParsers(t, name, data)
+
+		// The same bytes after lossy collection (cmd/gencorpus's model),
+		// seeded from the fuzzed byte for deterministic variety.
+		sink := log4j.NewSink(nil, log4j.Clock{})
+		sink.Degrade(log4j.DegradeConfig{
+			TruncateProb: 0.2,
+			TearProb:     0.2,
+			GarbageProb:  0.1,
+			SkewMaxMs:    5000,
+			Seed:         uint64(n),
+		})
+		for _, ln := range strings.Split(string(data), "\n") {
+			sink.Append(name, ln)
+		}
+		mangled := strings.Join(sink.Lines(name), "\n")
+		diffParsers(t, name, []byte(mangled))
+
+		// Line-interleaved and whole-blob stream feeds: the latter makes
+		// the fast path's segment iterator split embedded newlines.
+		diffStreams(t, diffSources, strings.Split(string(data), "\n"))
+		diffStreams(t, diffSources[int(n)%len(diffSources):], []string{string(data), mangled})
+	})
+}
+
+// TestFastVsRegexCorpus replays every checked-in corpus file — real
+// simulator output, including the model-checker traces and degraded
+// variants — through the differential harness as named subtests, so a
+// divergence points at the offending file without needing -fuzz.
+func TestFastVsRegexCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "corpus")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			for _, src := range diffSources {
+				diffParsers(t, src, data)
+			}
+			diffStreams(t, diffSources, strings.Split(string(data), "\n"))
+		})
+	}
+}

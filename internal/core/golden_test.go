@@ -50,6 +50,22 @@ func TestGolden(t *testing.T) {
 			if !bytes.Equal([]byte(got+"\n"), want) {
 				t.Errorf("%s: JSON output drifted from golden file; rerun with -update and review the diff", c.Name())
 			}
+			// The retained regex reference matcher must hit the same
+			// golden bytes as the byte-level fast path the run above used.
+			func() {
+				defer UseReferenceMatcher(true)()
+				ck := New()
+				if err := ck.AddDir(filepath.Join(root, c.Name(), "input")); err != nil {
+					t.Fatalf("AddDir (regex matcher): %v", err)
+				}
+				rgot, err := ck.Analyze().JSON()
+				if err != nil {
+					t.Fatalf("JSON (regex matcher): %v", err)
+				}
+				if !bytes.Equal([]byte(rgot+"\n"), want) {
+					t.Errorf("%s: regex reference matcher diverges from golden file", c.Name())
+				}
+			}()
 			// The parallel miner must hit the same goldens byte for byte
 			// at any worker count.
 			for _, w := range []int{2, 5} {

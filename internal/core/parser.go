@@ -9,11 +9,32 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ids"
 	"repro/internal/log4j"
 	"repro/internal/metrics"
 )
+
+// matcherRef selects the regexp reference implementation for the mining
+// hot path; the default (false) is the byte-level matcher in fastpath.go.
+// Each file scan or stream feed loads the flag once, so a concurrent
+// toggle never mixes implementations within one line — and since both
+// implementations are proven to produce identical output (sdlint
+// language equivalence, differential fuzzing, DiffOracle byte-diffs),
+// the toggle is observable only through timing and allocation behavior.
+var matcherRef atomic.Bool
+
+// UseReferenceMatcher switches the miner between the byte-level fast
+// path (false, the default) and the retained regexp implementation
+// (true), returning a func that restores the previous setting. It exists
+// for differential tests and before/after benchmarks.
+func UseReferenceMatcher(on bool) (restore func()) {
+	prev := matcherRef.Swap(on)
+	return func() { matcherRef.Store(prev) }
+}
+
+func referenceMatcher() bool { return matcherRef.Load() }
 
 // Parser mines scheduling-related events from log files. Feed it any
 // number of files (daemon logs and per-container stderr files) in any
@@ -24,6 +45,12 @@ type Parser struct {
 	files  int
 	lines  int
 	met    *parserMetrics
+
+	// cloneMined is set while mining lines sliced from a whole-file
+	// blob: the fast miner then clones each matching line so emitted
+	// events do not pin the blob. Streams feed caller-owned line
+	// strings and leave it false.
+	cloneMined bool
 }
 
 // maxDistinctWarnings bounds the warning set: corrupted inputs can
@@ -195,8 +222,17 @@ func (p *Parser) warnf(format string, args ...any) {
 // FIRST_LOG event of Table I.
 func (p *Parser) ParseReader(name string, r io.Reader) error {
 	p.files++
-	if cidStr := reContainerInPath.FindString(name); cidStr != "" {
-		cid, err := ids.ParseContainerID(cidStr)
+	if referenceMatcher() {
+		if cidStr := reContainerInPath.FindString(name); cidStr != "" {
+			cid, err := ids.ParseContainerID(cidStr)
+			if err != nil {
+				return fmt.Errorf("core: %s: %w", name, err)
+			}
+			return p.parseContainerLog(name, cid, r)
+		}
+		return p.parseDaemonLog(name, r)
+	}
+	if cid, found, err := fastFindContainerID(name); found {
 		if err != nil {
 			return fmt.Errorf("core: %s: %w", name, err)
 		}
@@ -241,19 +277,208 @@ func (p *Parser) ParseDir(dir string) error {
 // parseDaemonLog mines RM/NM logs: app state changes, container
 // transitions on both sides, launch invocations, opportunistic queueing.
 func (p *Parser) parseDaemonLog(name string, r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
+	if referenceMatcher() {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		for sc.Scan() {
+			p.lines++
+			line, err := log4j.ParseLine(sc.Text())
+			if err != nil {
+				continue // stack traces / malformed lines are skipped
+			}
+			p.countLine()
+			p.mineDaemonLineRegex(name, line)
+		}
+		return sc.Err()
+	}
+	// Fast path: read the file once and walk it with the zero-copy
+	// segment iterator — the scanner's per-line Text() copy was the last
+	// allocation left on non-matching lines. Equivalence with the scanner
+	// holds on errors too: bufio splits whatever it buffered (including a
+	// partial tail) with atEOF=true once the reader errors, which is
+	// exactly a segment walk over the bytes the copy gathered; and a
+	// segment at the 4 MiB buffer cap surfaces as the scanner's
+	// ErrTooLong before any read error, matching the buffer-full case.
+	var bw blobWriter
+	if l, ok := r.(interface{ Len() int }); ok {
+		bw.hint = l.Len() // sized reader on the chunked path: grow once
+	}
+	_, rerr := io.Copy(&bw, r)
+	// Mined strings would otherwise be slices of the whole-file blob;
+	// have the miner clone the matched line out (one copy per matching
+	// line, nothing on the others) so events never pin the file.
+	p.cloneMined = true
+	defer func() { p.cloneMined = false }()
+	it := segmentIter{raw: bw.String()}
+	for {
+		seg, ok, tooLong := it.next()
+		if tooLong {
+			return bufio.ErrTooLong
+		}
+		if !ok {
+			break
+		}
 		p.lines++
-		raw := sc.Text()
-		line, err := log4j.ParseLine(raw)
-		if err != nil {
-			continue // stack traces / malformed lines are skipped
+		line, lok := log4j.ParseLineFast(seg)
+		if !lok {
+			continue
 		}
 		p.countLine()
-		p.mineDaemonLine(name, line)
+		p.mineDaemonLineFast(name, line)
 	}
-	return sc.Err()
+	return rerr
+}
+
+// blobWriter accumulates a reader's contents as one string, taking the
+// backing string wholesale — no copy, no allocation — when the source
+// hands it over in a single WriteString (strings.Reader.WriteTo, and so
+// Sink.Reader, does exactly that under io.Copy). Any other reader
+// drains through the builder in chunks, growing once to the size hint
+// when one is known.
+type blobWriter struct {
+	direct string          // whole-string handover, if it happened
+	hint   int             // size hint, applied on first chunked write
+	b      strings.Builder // chunked fallback
+}
+
+func (w *blobWriter) spill() {
+	if w.hint > 0 {
+		w.b.Grow(w.hint)
+		w.hint = 0
+	}
+	if w.direct != "" {
+		s := w.direct
+		w.direct = ""
+		w.b.WriteString(s)
+	}
+}
+
+func (w *blobWriter) WriteString(s string) (int, error) {
+	if w.direct == "" && w.b.Len() == 0 {
+		w.direct = s
+		return len(s), nil
+	}
+	w.spill()
+	return w.b.WriteString(s)
+}
+
+func (w *blobWriter) Write(p []byte) (int, error) {
+	w.spill()
+	return w.b.Write(p)
+}
+
+func (w *blobWriter) String() string {
+	if w.direct != "" {
+		return w.direct
+	}
+	return w.b.String()
+}
+
+// mineDaemonLineFast is mineDaemonLineRegex on the byte-level rule
+// tables: same cascade order, same hit counters, same emitted events.
+func (p *Parser) mineDaemonLineFast(name string, line log4j.Line) {
+	msg := line.Message
+	if fastDaemonPrescreenOK && strings.IndexByte(msg, fastDaemonPrescreen) < 0 {
+		return // no rule's mandatory literals fit: cannot match
+	}
+	var m fastMatch
+	for ri := range fastDaemonRules {
+		r := &fastDaemonRules[ri]
+		if !r.match(msg, &m) {
+			continue
+		}
+		if p.cloneMined {
+			// Capture spans are offsets, so they survive the clone; every
+			// extracted field below then shares the clone's backing array
+			// instead of pinning the blob msg was sliced from.
+			msg = strings.Clone(msg)
+			line.Class = strings.Clone(line.Class)
+		}
+		p.hit(r.name)
+		switch ri {
+		case ruleAppSummary:
+			app, err := fastParseAppID(m.get(msg, 0))
+			if err != nil {
+				p.warnf("%s: %v", name, err)
+				return
+			}
+			p.emit(Event{Kind: AppSubmitted0, TimeMS: line.TimeMS, App: app, Source: name, Class: line.Class,
+				Raw: msg, Name: m.get(msg, 1), AppType: m.get(msg, 2), Queue: m.get(msg, 3)})
+		case ruleAppState:
+			app, err := fastParseAppID(m.get(msg, 0))
+			if err != nil {
+				p.warnf("%s: %v", name, err)
+				return
+			}
+			var kind Kind
+			switch {
+			case m.get(msg, 3) == "ATTEMPT_REGISTERED":
+				kind = AttemptRegistered
+			case m.get(msg, 2) == "SUBMITTED":
+				kind = AppSubmitted
+			case m.get(msg, 2) == "ACCEPTED":
+				kind = AppAccepted
+			case m.get(msg, 2) == "FINISHED":
+				kind = AppFinished
+			default:
+				return // other transitions are not scheduling-relevant
+			}
+			p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: app, Source: name, Class: line.Class, Raw: msg})
+		case ruleRMContainer:
+			cid, err := fastParseContainerID(m.get(msg, 0))
+			if err != nil {
+				p.warnf("%s: %v", name, err)
+				return
+			}
+			var kind Kind
+			switch m.get(msg, 2) {
+			case "ALLOCATED":
+				kind = ContAllocated
+			case "ACQUIRED":
+				kind = ContAcquired
+			case "RELEASED":
+				kind = ContReleased
+			case "KILLED":
+				kind = ContLost
+			default:
+				return
+			}
+			p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg})
+		case ruleNMContainer:
+			cid, err := fastParseContainerID(m.get(msg, 0))
+			if err != nil {
+				p.warnf("%s: %v", name, err)
+				return
+			}
+			var kind Kind
+			switch m.get(msg, 2) {
+			case "LOCALIZING":
+				kind = ContLocalizing
+			case "SCHEDULED":
+				kind = ContScheduled
+			case "RUNNING":
+				kind = ContRunning
+			case "EXITED_WITH_SUCCESS":
+				kind = ContExited
+			default:
+				return
+			}
+			p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: fastNodeFromPath(name)})
+		case ruleLaunchInvoked:
+			if cid, err := fastParseContainerID(m.get(msg, 0)); err == nil {
+				p.emit(Event{Kind: LaunchInvoked, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: fastNodeFromPath(name)})
+			}
+		case ruleOppQueued:
+			if cid, err := fastParseContainerID(m.get(msg, 0)); err == nil {
+				p.emit(Event{Kind: OppQueued, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: fastNodeFromPath(name)})
+			}
+		case ruleAssigned, ruleOppAssigned:
+			if cid, err := fastParseContainerID(m.get(msg, 0)); err == nil {
+				p.emit(Event{Kind: ContAssigned, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: msg, Node: m.get(msg, 1)})
+			}
+		}
+		return
+	}
 }
 
 // nodeFromPath derives the NodeManager host from a daemon log path, or
@@ -265,7 +490,10 @@ func nodeFromPath(name string) string {
 	return ""
 }
 
-func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
+// mineDaemonLineRegex is the retained regexp reference implementation
+// (§III-A's literal "parse the logs … using regular expression"); the
+// byte-level twin above must stay observably identical to it.
+func (p *Parser) mineDaemonLineRegex(name string, line log4j.Line) {
 	msg := line.Message
 	if m := reAppSummary.FindStringSubmatch(msg); m != nil {
 		p.hit("app_summary")
@@ -376,81 +604,135 @@ func (p *Parser) mineDaemonLine(name string, line log4j.Line) {
 	}
 }
 
-// parseContainerLog mines one container's stderr: the first parseable
-// line is FIRST_LOG; Spark driver/executor markers and the instance type
-// come from the body.
-func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+// containerScan carries one container-log scan's state. It is shared by
+// the buffered (ParseReader) path and the single-line stream feeds, and
+// by both matcher implementations. Body events append directly to
+// p.events past bodyStart; finish inserts the FIRST_LOG event in front
+// of them, reproducing the reference ordering.
+type containerScan struct {
+	bodyStart   int
+	instance    InstanceType
+	firstLine   log4j.Line
+	hasFirst    bool
+	sawFirstTsk bool
+}
 
-	var (
-		firstLine   *log4j.Line
-		instance    = InstUnknown
-		bodyEvents  []Event
-		sawFirstTsk bool
-	)
-	for sc.Scan() {
-		p.lines++
-		raw := sc.Text()
-		line, err := log4j.ParseLine(raw)
+func (p *Parser) beginContainerScan() containerScan {
+	return containerScan{bodyStart: len(p.events), instance: InstUnknown}
+}
+
+// line consumes one raw container-log line under the selected matcher.
+func (cs *containerScan) line(p *Parser, name string, cid ids.ContainerID, raw string, ref bool) {
+	var line log4j.Line
+	if ref {
+		l, err := log4j.ParseLine(raw)
 		if err != nil {
-			continue
+			return
 		}
-		p.countLine()
-		if firstLine == nil {
-			l := line
-			firstLine = &l
+		line = l
+	} else {
+		l, ok := log4j.ParseLineFast(raw)
+		if !ok {
+			return
 		}
-		// Instance classification from logging classes and message shape.
-		switch {
-		case strings.Contains(line.Class, "CoarseGrainedExecutorBackend"):
-			instance = InstSparkExecutor
-		case strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
-			if instance == InstUnknown {
-				instance = InstSparkDriver
-			}
-		case strings.Contains(line.Class, "MRAppMaster"):
-			instance = InstMRMaster
-		case strings.Contains(line.Class, "YarnChild"):
-			if strings.Contains(line.Message, "Starting MAP") {
-				instance = InstMRMap
-			} else if strings.Contains(line.Message, "Starting REDUCE") {
-				instance = InstMRReduce
-			}
+		line = l
+	}
+	p.countLine()
+	if !cs.hasFirst {
+		cs.firstLine, cs.hasFirst = line, true
+	}
+	// Instance classification from logging classes and message shape.
+	switch {
+	case strings.Contains(line.Class, "CoarseGrainedExecutorBackend"):
+		cs.instance = InstSparkExecutor
+	case strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
+		if cs.instance == InstUnknown {
+			cs.instance = InstSparkDriver
 		}
-		switch {
-		case reRegister.MatchString(line.Message) && strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
-			p.hit("register")
-			bodyEvents = append(bodyEvents, Event{Kind: DriverRegister, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
-		case reStartAllo.MatchString(line.Message):
-			p.hit("start_allo")
-			bodyEvents = append(bodyEvents, Event{Kind: StartAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
-		case reEndAllo.MatchString(line.Message):
-			p.hit("end_allo")
-			bodyEvents = append(bodyEvents, Event{Kind: EndAllo, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
-		case !sawFirstTsk && reFirstTask.MatchString(line.Message):
-			sawFirstTsk = true
-			p.hit("first_task")
-			bodyEvents = append(bodyEvents, Event{Kind: FirstTask, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+	case strings.Contains(line.Class, "MRAppMaster"):
+		cs.instance = InstMRMaster
+	case strings.Contains(line.Class, "YarnChild"):
+		if strings.Contains(line.Message, "Starting MAP") {
+			cs.instance = InstMRMap
+		} else if strings.Contains(line.Message, "Starting REDUCE") {
+			cs.instance = InstMRReduce
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	var kind Kind
+	switch {
+	case matchBody(ruleRegister, line.Message, ref) && strings.Contains(line.Class, "deploy.yarn.ApplicationMaster"):
+		p.hit("register")
+		kind = DriverRegister
+	case matchBody(ruleStartAllo, line.Message, ref):
+		p.hit("start_allo")
+		kind = StartAllo
+	case matchBody(ruleEndAllo, line.Message, ref):
+		p.hit("end_allo")
+		kind = EndAllo
+	case !cs.sawFirstTsk && matchBody(ruleFirstTask, line.Message, ref):
+		cs.sawFirstTsk = true
+		p.hit("first_task")
+		kind = FirstTask
+	default:
+		return
 	}
-	if firstLine == nil {
+	p.emit(Event{Kind: kind, TimeMS: line.TimeMS, App: cid.App, Container: cid, Source: name, Class: line.Class, Raw: line.Message})
+}
+
+func matchBody(rule int, msg string, ref bool) bool {
+	if !ref {
+		return fastBodyRules[rule].contains(msg)
+	}
+	switch rule {
+	case ruleRegister:
+		return reRegister.MatchString(msg)
+	case ruleStartAllo:
+		return reStartAllo.MatchString(msg)
+	case ruleEndAllo:
+		return reEndAllo.MatchString(msg)
+	default:
+		return reFirstTask.MatchString(msg)
+	}
+}
+
+// finish emits the FIRST_LOG event (Table I rows 9/13) in front of the
+// body events the scan appended, or the no-parseable-lines warning.
+func (cs *containerScan) finish(p *Parser, name string, cid ids.ContainerID) {
+	if !cs.hasFirst {
 		p.warnf("%s: container log has no parseable lines", name)
-		return nil
+		return
 	}
 	p.hit("first_log")
 	flKind := TaskFirstLog
-	switch instance {
+	switch cs.instance {
 	case InstSparkDriver:
 		flKind = DriverFirstLog
 	case InstSparkExecutor:
 		flKind = ExecutorFirstLog
 	}
-	p.emit(Event{Kind: flKind, TimeMS: firstLine.TimeMS, App: cid.App, Container: cid, Source: name, Class: firstLine.Class, Raw: firstLine.Message, Instance: instance})
-	p.events = append(p.events, bodyEvents...)
+	ev := Event{Kind: flKind, TimeMS: cs.firstLine.TimeMS, App: cid.App, Container: cid, Source: name, Class: cs.firstLine.Class, Raw: cs.firstLine.Message, Instance: cs.instance}
+	p.events = append(p.events, Event{})
+	copy(p.events[cs.bodyStart+1:], p.events[cs.bodyStart:len(p.events)-1])
+	p.events[cs.bodyStart] = ev
+}
+
+// parseContainerLog mines one container's stderr: the first parseable
+// line is FIRST_LOG; Spark driver/executor markers and the instance type
+// come from the body.
+func (p *Parser) parseContainerLog(name string, cid ids.ContainerID, r io.Reader) error {
+	ref := referenceMatcher()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	cs := p.beginContainerScan()
+	for sc.Scan() {
+		p.lines++
+		cs.line(p, name, cid, sc.Text(), ref)
+	}
+	if err := sc.Err(); err != nil {
+		p.events = p.events[:cs.bodyStart] // a failed scan yields no events
+		return err
+	}
+	cs.finish(p, name, cid)
 	return nil
 }
 

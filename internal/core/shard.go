@@ -82,6 +82,10 @@ type streamShard struct {
 	// has fully absorbed — the watchdog's per-shard progress signal.
 	processed atomic.Int64
 
+	// scratch is this worker's reusable fast-matcher parser (only the
+	// worker goroutine touches it); see Stream.scratch.
+	scratch *Parser
+
 	linesTotal *metrics.Counter
 	depth      *metrics.Gauge   // core_shard_queue_depth{shard=i}
 	batches    *metrics.Counter // core_shard_batches_total{shard=i}
@@ -194,17 +198,28 @@ func fnvShard(s string, n int) int {
 // regex keys off the line's first ID — so cross-shard forwarding only
 // triggers on adversarial input.
 func (ss *ShardedStream) route(source, raw string) *streamShard {
-	if cidStr := reContainerInPath.FindString(source); cidStr != "" {
-		if cid, err := ids.ParseContainerID(cidStr); err == nil {
-			return ss.shards[ss.shardOf(cid.App)]
+	if referenceMatcher() {
+		if cidStr := reContainerInPath.FindString(source); cidStr != "" {
+			if cid, err := ids.ParseContainerID(cidStr); err == nil {
+				return ss.shards[ss.shardOf(cid.App)]
+			}
 		}
+		if m := reAppInLine.FindStringSubmatch(raw); m != nil {
+			cts, err1 := strconv.ParseInt(m[1], 10, 64)
+			seq, err2 := strconv.Atoi(m[2])
+			if err1 == nil && err2 == nil {
+				return ss.shards[ss.shardOf(ids.AppID{ClusterTS: cts, Seq: seq})]
+			}
+		}
+		return ss.shards[fnvShard(source, len(ss.shards))]
 	}
-	if m := reAppInLine.FindStringSubmatch(raw); m != nil {
-		cts, err1 := strconv.ParseInt(m[1], 10, 64)
-		seq, err2 := strconv.Atoi(m[2])
-		if err1 == nil && err2 == nil {
-			return ss.shards[ss.shardOf(ids.AppID{ClusterTS: cts, Seq: seq})]
-		}
+	// The fast helpers are allocation-free, which matters here: route
+	// runs on the feeding goroutine for every line.
+	if cid, found, err := fastFindContainerID(source); found && err == nil {
+		return ss.shards[ss.shardOf(cid.App)]
+	}
+	if app, ok := fastAppInLine(raw); ok {
+		return ss.shards[ss.shardOf(app)]
 	}
 	return ss.shards[fnvShard(source, len(ss.shards))]
 }
@@ -357,7 +372,7 @@ func (sh *streamShard) runObserved(pl *obs.Pipeline, lines []shardLine, routed [
 		if sh.linesTotal != nil {
 			sh.linesTotal.Inc()
 		}
-		batch[i] = parseLineEvents(sh.ss.pmet, ln.source, ln.raw)
+		batch[i] = sh.parseLineCopy(ln.source, ln.raw)
 	}
 	mid := pl.Begin()
 	for i := range lines {
@@ -389,7 +404,49 @@ func (sh *streamShard) process(ln shardLine) {
 	if sh.linesTotal != nil {
 		sh.linesTotal.Inc()
 	}
-	sh.routeAndAbsorb(parseLineEvents(sh.ss.pmet, ln.source, ln.raw))
+	sh.routeAndAbsorb(sh.parseLineScratch(ln.source, ln.raw))
+}
+
+// parseLineScratch parses one line into the worker's reusable scratch
+// parser and returns its scratch-backed events, valid until the next
+// call (routeAndAbsorb never retains the slice: forwards copy, and
+// absorbRouted filters into a fresh slice). The regexp reference path
+// keeps the historical throwaway-parser-per-line behavior.
+func (sh *streamShard) parseLineScratch(source, raw string) []Event {
+	if referenceMatcher() {
+		return parseLineEvents(sh.ss.pmet, source, raw)
+	}
+	p := sh.scratch
+	if p == nil {
+		p = NewParser()
+		sh.scratch = p
+	}
+	p.met = sh.ss.pmet
+	p.events = p.events[:0]
+	if cid, found, err := fastFindContainerID(source); found {
+		if err != nil {
+			return nil
+		}
+		if !p.feedContainerSegments(source, cid, raw) {
+			return nil
+		}
+		return p.events
+	}
+	if !p.feedDaemonSegments(source, raw) {
+		return nil
+	}
+	return p.events
+}
+
+// parseLineCopy is parseLineScratch for batch parsing (runObserved
+// parses a whole batch before absorbing any of it): the returned events
+// survive subsequent scratch reuse.
+func (sh *streamShard) parseLineCopy(source, raw string) []Event {
+	evs := sh.parseLineScratch(source, raw)
+	if len(evs) == 0 {
+		return nil
+	}
+	return append([]Event(nil), evs...)
 }
 
 // routeAndAbsorb splits one line's events into shard-local and foreign,

@@ -44,6 +44,11 @@ type Stream struct {
 	lastMS int64
 	met    *streamMetrics
 	pmet   *parserMetrics
+	// scratch is the reusable per-feed parser for the fast matcher: its
+	// event slice is reset (not freed) each feed, which is what makes a
+	// non-matching line allocation-free. The regexp reference path keeps
+	// its historical throwaway-parser-per-line behavior.
+	scratch *Parser
 	// pl, when set, receives flight-recorder events (hook fires,
 	// evictions). The serial stream has no batch boundaries of its own, so
 	// stage timing lives with the callers that batch (dirScanner, miner).
@@ -145,19 +150,44 @@ func (s *Stream) Feed(source, rawLine string) bool {
 }
 
 func (s *Stream) feed(source, rawLine string) bool {
-	p := NewParser()
+	if referenceMatcher() {
+		p := NewParser()
+		p.met = s.pmet
+		if cidStr := reContainerInPath.FindString(source); cidStr != "" {
+			cid, err := ids.ParseContainerID(cidStr)
+			if err != nil {
+				return false
+			}
+			return s.feedContainerLine(p, source, cid, rawLine)
+		}
+		if err := p.ParseReader(source, singleLine(rawLine)); err != nil {
+			return false
+		}
+		return s.absorb(p.Events())
+	}
+	p := s.scratch
+	if p == nil {
+		p = NewParser()
+		s.scratch = p
+	}
 	p.met = s.pmet
-	if cidStr := reContainerInPath.FindString(source); cidStr != "" {
-		cid, err := ids.ParseContainerID(cidStr)
+	p.events = p.events[:0]
+	if cid, found, err := fastFindContainerID(source); found {
 		if err != nil {
 			return false
 		}
-		return s.feedContainerLine(p, source, cid, rawLine)
+		if !p.feedContainerSegments(source, cid, rawLine) {
+			return false
+		}
+		if len(p.events) == 0 {
+			return false
+		}
+		return s.absorb(s.dedupContainerEvents(cid, p.events))
 	}
-	if err := p.ParseReader(source, singleLine(rawLine)); err != nil {
+	if !p.feedDaemonSegments(source, rawLine) {
 		return false
 	}
-	return s.absorb(p.Events())
+	return s.absorb(p.events)
 }
 
 // absorbRouted ingests pre-parsed events routed to this stream by a
@@ -200,6 +230,12 @@ func (s *Stream) feedContainerLine(p *Parser, source string, cid ids.ContainerID
 	if len(evs) == 0 {
 		return false
 	}
+	return s.absorb(s.dedupContainerEvents(cid, evs))
+}
+
+// dedupContainerEvents filters one container feed's events against
+// stream state, in place.
+func (s *Stream) dedupContainerEvents(cid ids.ContainerID, evs []Event) []Event {
 	out := evs[:0]
 	for _, e := range evs {
 		switch e.Kind {
@@ -219,7 +255,7 @@ func (s *Stream) feedContainerLine(p *Parser, source string, cid ids.ContainerID
 		}
 		out = append(out, e)
 	}
-	return s.absorb(out)
+	return out
 }
 
 func (s *Stream) absorb(evs []Event) bool {

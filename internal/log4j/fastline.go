@@ -1,0 +1,146 @@
+package log4j
+
+import "strings"
+
+// The streaming miner parses every line of every log file, so ParseLine's
+// costs — time.ParseInLocation for the stamp and an fmt.Errorf allocation
+// for each unparseable line — dominate the scan. ParseLineFast is the
+// allocation-free twin: a fixed-offset byte decoder for the stamp and a
+// boolean instead of an error. It accepts exactly the lines ParseLine
+// accepts and produces an identical Line for them (property-tested in
+// fastline_test.go); callers that need the error text keep ParseLine.
+
+// ParseLineFast parses one log4j line without allocating. It returns
+// ok=false exactly when ParseLine would return an error, and the same
+// Line value when it would not.
+func ParseLineFast(s string) (Line, bool) {
+	if len(s) < 24 {
+		return Line{}, false
+	}
+	ms, ok := parseStampFast(s)
+	if !ok {
+		return Line{}, false
+	}
+	rest := s[23:]
+	i := 0
+	for i < len(rest) && rest[i] == ' ' {
+		i++
+	}
+	rest = rest[i:]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return Line{}, false
+	}
+	level := Level(rest[:sp])
+	rest = rest[sp+1:]
+	colon := strings.Index(rest, ": ")
+	if colon < 0 {
+		return Line{}, false
+	}
+	return Line{
+		TimeMS:  ms,
+		Level:   level,
+		Class:   rest[:colon],
+		Message: rest[colon+2:],
+	}, true
+}
+
+// parseStampFast decodes the 23-byte "2006-01-02 15:04:05,000" prefix of
+// s. ParseStamp's LastIndexByte comma split plus time.ParseInLocation is
+// equivalent to: fixed separators at the layout offsets, all-digit
+// fields, and the calendar ranges the time package enforces (months
+// 1-12, day valid for the month and leap year, hour <= 23, minute and
+// second <= 59 — a leap-second 60 is rejected there too). One time.Parse
+// quirk survives the fixed 19-char length: a layout space matches one or
+// more value spaces and the non-padded hour accepts a single digit, so
+// "YYYY-MM-DD  H:MM:SS" (two spaces) is also a valid shape; every other
+// combination changes the length and misplaces the comma.
+func parseStampFast(s string) (int64, bool) {
+	if s[4] != '-' || s[7] != '-' || s[10] != ' ' || s[13] != ':' || s[16] != ':' || s[19] != ',' {
+		return 0, false
+	}
+	year, ok := stampField(s, 0, 4)
+	if !ok {
+		return 0, false
+	}
+	month, ok := stampField(s, 5, 7)
+	if !ok || month < 1 || month > 12 {
+		return 0, false
+	}
+	day, ok := stampField(s, 8, 10)
+	if !ok || day < 1 || day > daysInMonth(year, month) {
+		return 0, false
+	}
+	var hour int
+	if s[11] == ' ' {
+		if s[12] < '0' || s[12] > '9' {
+			return 0, false
+		}
+		hour = int(s[12] - '0')
+	} else {
+		hour, ok = stampField(s, 11, 13)
+		if !ok || hour > 23 {
+			return 0, false
+		}
+	}
+	min, ok := stampField(s, 14, 16)
+	if !ok || min > 59 {
+		return 0, false
+	}
+	sec, ok := stampField(s, 17, 19)
+	if !ok || sec > 59 {
+		return 0, false
+	}
+	millis, ok := stampField(s, 20, 23)
+	if !ok {
+		return 0, false
+	}
+	return epochDays(year, month, day)*86400_000 +
+		int64(hour)*3600_000 + int64(min)*60_000 + int64(sec)*1000 + int64(millis), true
+}
+
+func stampField(s string, i, j int) (int, bool) {
+	n := 0
+	for ; i < j; i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+func daysInMonth(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	}
+	if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+		return 29
+	}
+	return 28
+}
+
+// epochDays counts days from 1970-01-01 to the given civil date
+// (proleptic Gregorian; the standard days-from-civil computation).
+func epochDays(year, month, day int) int64 {
+	y := year
+	if month <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 && y%400 != 0 {
+		era--
+	}
+	yoe := y - era*400
+	mp := month - 3
+	if month <= 2 {
+		mp = month + 9
+	}
+	doy := (153*mp+2)/5 + day - 1
+	doe := int64(yoe)*365 + int64(yoe/4) - int64(yoe/100) + int64(doy)
+	return int64(era)*146097 + doe - 719468
+}

@@ -1,0 +1,94 @@
+package log4j
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// diffLine asserts ParseLineFast agrees with ParseLine on s: same
+// accept/reject decision and, on accept, an identical Line.
+func diffLine(t *testing.T, s string) {
+	t.Helper()
+	want, err := ParseLine(s)
+	got, ok := ParseLineFast(s)
+	if ok != (err == nil) {
+		t.Fatalf("ParseLineFast(%q) ok=%v, ParseLine err=%v", s, ok, err)
+	}
+	if ok && got != want {
+		t.Fatalf("ParseLineFast(%q) = %+v, ParseLine = %+v", s, got, want)
+	}
+}
+
+func TestParseLineFastMatchesParseLine(t *testing.T) {
+	cases := []string{
+		"2017-06-27 10:15:30,123 INFO org.example.Class: hello",
+		"2017-06-27 10:15:30,123  INFO  org.example.Class: hello",
+		"2017-06-27 10:15:30,123 INFO noseparator",
+		"2017-06-27 10:15:30,123 INFOnospace",
+		"2017-06-27 10:15:30,123",
+		"2017-06-27 10:15:30,12a INFO C: m",
+		"2017-06-27 10:15:3a,123 INFO C: m",
+		"2017-06-27 10:15:60,123 INFO C: m", // leap second: time pkg rejects
+		"2017-06-27 10:60:30,123 INFO C: m",
+		"2017-06-27 24:15:30,123 INFO C: m",
+		"2017-06-27 00:00:00,000 INFO C: m",
+		"2017-02-29 10:15:30,123 INFO C: m", // not a leap year
+		"2016-02-29 10:15:30,123 INFO C: m", // leap year
+		"2000-02-29 10:15:30,123 INFO C: m",
+		"1900-02-28 10:15:30,123 INFO C: m",
+		"0000-01-01 00:00:00,000 INFO C: m",
+		"9999-12-31 23:59:59,999 INFO C: m",
+		"2017-13-01 10:15:30,123 INFO C: m",
+		"2017-00-01 10:15:30,123 INFO C: m",
+		"2017-06-00 10:15:30,123 INFO C: m",
+		"2017-06-31 10:15:30,123 INFO C: m",
+		"2017-06-27T10:15:30,123 INFO C: m",
+		"2017-06-27 10:15:30.123 INFO C: m",
+		"2017-06-27 10:15:30,,23 INFO C: m",
+		"2017,06-27 10:15:30,123 INFO C: m",
+		"",
+		"short",
+		"2017-06-27 10:15:30,123 ",
+		"2017-06-27 10:15:30,123 WARN a.b: ",
+		"2017-06-27 10:15:30,123 WARN : msg",
+	}
+	for _, s := range cases {
+		diffLine(t, s)
+	}
+	// Round-trip every formatted stamp across a broad sweep of instants.
+	for ms := int64(0); ms < 4_000_000_000_000; ms += 777_777_777 {
+		diffLine(t, Line{TimeMS: ms, Level: Info, Class: "a.B", Message: "m"}.Format())
+	}
+}
+
+func TestParseLineFastRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []byte("0123456789-: ,INFOabc.\n\t\xff")
+	for i := 0; i < 200_000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		diffLine(t, string(b))
+		// Mutations of a valid line hit the stamp-validation branches far
+		// more often than fully random bytes do.
+		s := []byte(fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d,%03d INFO a.B: m",
+			rng.Intn(3000), rng.Intn(15), rng.Intn(35), rng.Intn(30), rng.Intn(70), rng.Intn(70), rng.Intn(1000)))
+		s[rng.Intn(len(s))] = alphabet[rng.Intn(len(alphabet))]
+		diffLine(t, string(s))
+	}
+}
+
+func TestParseLineFastAllocs(t *testing.T) {
+	valid := "2017-06-27 10:15:30,123 INFO org.example.Class: hello world"
+	garbage := "not a log4j line at all, but long enough to pass the length gate"
+	for _, s := range []string{valid, garbage} {
+		if n := testing.AllocsPerRun(200, func() {
+			ParseLineFast(s)
+		}); n != 0 {
+			t.Errorf("ParseLineFast(%q) allocates %v per call", s, n)
+		}
+	}
+}

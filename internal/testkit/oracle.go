@@ -32,9 +32,10 @@ type OracleInput struct {
 // pipeline: for each worker count it checks that MineSink renders byte
 // for byte what the serial Checker renders, that a ShardedStream fed
 // the sink's lines renders byte for byte what a serial Stream renders
-// (with losslessly merged breakdown sketches), and — when ground truth
-// is supplied — that the mined spans are contained in the simulator's
-// recorded spans.
+// (with losslessly merged breakdown sketches), that the byte-level fast
+// matcher and the retained regex reference render byte-identical
+// reports, and — when ground truth is supplied — that the mined spans
+// are contained in the simulator's recorded spans.
 type DiffOracle struct {
 	// Workers are the parallel worker counts to diff (default 2, 3, 8).
 	Workers []int
@@ -83,6 +84,44 @@ func (o DiffOracle) Check(t testing.TB, in OracleInput) *core.Report {
 	if err != nil {
 		t.Fatalf("%s: serial stream attribution JSON: %v", in.Name, err)
 	}
+
+	// Cross-implementation diff: the whole suite above ran on the
+	// byte-level fast matcher (the default); re-running the two serial
+	// references on the retained regex implementation must reproduce the
+	// same bytes, making every oracle scenario also a matcher-equivalence
+	// scenario.
+	func() {
+		defer core.UseReferenceMatcher(true)()
+		ck := core.New()
+		if err := ck.AddSink(in.Sink); err != nil {
+			t.Fatalf("%s: AddSink (regex matcher): %v", in.Name, err)
+		}
+		got, err := ck.Analyze().JSON()
+		if err != nil {
+			t.Fatalf("%s: regex-matcher JSON: %v", in.Name, err)
+		}
+		if got != refJSON {
+			t.Errorf("%s: regex matcher diverges from fast matcher (offline checker)", in.Name)
+		}
+		st := core.NewStream()
+		bd := core.NewClusterBreakdown()
+		st.OnComplete(func(a *core.AppTrace) { bd.Observe(a) })
+		for _, f := range in.Sink.Files() {
+			for _, l := range in.Sink.Lines(f) {
+				st.Feed(f, l)
+			}
+		}
+		if got, err := st.Report().JSON(); err != nil {
+			t.Fatalf("%s: regex-matcher stream JSON: %v", in.Name, err)
+		} else if got != stJSON {
+			t.Errorf("%s: regex matcher diverges from fast matcher (stream)", in.Name)
+		}
+		if attr, err := bd.AttributionJSON(); err != nil {
+			t.Fatalf("%s: regex-matcher attribution JSON: %v", in.Name, err)
+		} else if attr != stAttr {
+			t.Errorf("%s: regex matcher diverges from fast matcher (attribution)", in.Name)
+		}
+	}()
 
 	for _, w := range workers {
 		// Parallel offline mining == serial checker, byte for byte.
