@@ -106,6 +106,14 @@ type liveServer struct {
 	maxApps int
 	done    chan struct{}
 
+	// Goroutine lifecycle: start() accounts every goroutine it launches
+	// (ingest, watchdog, HTTP acceptor) here, and close() joins them
+	// after closing done and the HTTP server, so no goroutine outlives
+	// the server — tests that start and close servers in sequence never
+	// accumulate stray acceptors or per-connection handlers.
+	wg sync.WaitGroup
+	hs *http.Server // built by start(); Close()d to stop the acceptor and live conns
+
 	// obsMu guards eng and pinned. With -workers > 1 the completion hook
 	// runs on shard worker goroutines while HTTP handlers read the
 	// engine, so the engine needs its own lock — and one the hook can
@@ -746,18 +754,32 @@ func (s *liveServer) start(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	go s.ingest()
-	go s.watchdogLoop()
-	go http.Serve(ln, s.handler())
+	s.hs = &http.Server{Handler: s.handler()}
+	s.wg.Add(3)
+	go func() { defer s.wg.Done(); s.ingest() }()
+	go func() { defer s.wg.Done(); s.watchdogLoop() }()
+	go func() {
+		defer s.wg.Done()
+		// Serve returns once close() closes the server; the
+		// ErrServerClosed it reports then is the normal shutdown path,
+		// not a failure.
+		_ = s.hs.Serve(ln)
+	}()
 	return ln, nil
 }
 
-// close stops the ingestion loop and the stream's worker goroutines.
+// close stops the ingestion loop, the HTTP server (listener and live
+// connections both), and the stream's worker goroutines, and joins
+// every goroutine start launched before returning.
 func (s *liveServer) close() {
 	close(s.done)
+	if s.hs != nil {
+		s.hs.Close()
+	}
 	s.mu.Lock()
 	s.st.Close()
 	s.mu.Unlock()
+	s.wg.Wait()
 }
 
 // serveDir is the -serve entry point: tail dir forever, serving the live

@@ -490,3 +490,37 @@ func TestServeWorkersByteIdentical(t *testing.T) {
 		t.Fatal("/aggregate diverges between -workers 1 and -workers 4")
 	}
 }
+
+// TestServeCloseStopsServing pins the close() contract: it closes the
+// listener and joins every goroutine start() launched (ingest, watchdog,
+// HTTP acceptor), so a closed server holds no port and leaks no
+// goroutine. Regression for the unaccounted `go http.Serve` flagged by
+// flow.goaccount: before the fix, close() left the acceptor serving the
+// old listener forever.
+func TestServeCloseStopsServing(t *testing.T) {
+	dir := writeScenarioLogs(t)
+	srv := newLiveServer(dir, testServeOptions(2, nil))
+	ln, err := srv.start(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status %d before close", code)
+	}
+
+	joined := make(chan struct{})
+	go func() { srv.close(); close(joined) }()
+	select {
+	case <-joined:
+	case <-time.After(10 * time.Second):
+		t.Fatal("close() did not join the server goroutines within 10s")
+	}
+
+	// Drop the client's idle keep-alive connection so the probe below
+	// dials fresh instead of reusing a socket the server already closed.
+	http.DefaultClient.CloseIdleConnections()
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting connections after close()")
+	}
+}

@@ -1,7 +1,10 @@
 // Command sdlint runs the repository's static-analysis suite: the
 // emitter↔miner log-vocabulary contract (Table I), simulation
-// determinism, lock ordering, Prometheus metric naming, and
-// completion-hook discipline. See internal/analysis.
+// determinism, lock ordering, Prometheus metric naming, completion-hook
+// discipline, and the interprocedural flow proofs — buffer ownership
+// (flow.bufown), yarn↔mc state-machine conformance (flow.smconform),
+// and goroutine lifecycle accounting (flow.goaccount). See
+// internal/analysis.
 //
 //	sdlint ./...                 # analyze the whole tree
 //	sdlint -only logvocab ./...  # one analyzer
@@ -10,7 +13,9 @@
 //
 // Exit status is 1 when any unsuppressed finding remains, 2 on driver
 // errors; //lint:allow <analyzer> <reason> suppresses a reviewed
-// finding at its line (or the line above).
+// finding at its line (or the line above). A directive that suppresses
+// nothing is reported as an unused-suppression warning (advisory: it
+// never fails the build, but CI prints it).
 package main
 
 import (
@@ -50,7 +55,7 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -82,6 +87,8 @@ func main() {
 	unit := &analysis.Unit{Prog: prog, Analyzers: analyzers, VocabPath: *vocab, FastSpec: fastSpec()}
 	findings := unit.Run()
 	errors := analysis.Errors(findings)
+	warnings := analysis.Warnings(findings)
+	timings := unit.Timings()
 
 	cwd, _ := os.Getwd()
 	rel := func(path string) string {
@@ -100,12 +107,14 @@ func main() {
 			Findings   []analysis.Finding `json:"findings"`
 			Errors     int                `json:"errors"`
 			Suppressed int                `json:"suppressed"`
+			Warnings   int                `json:"warnings"`
 			OK         bool               `json:"ok"`
 		}{
 			Packages:   len(prog.Packages),
 			Findings:   findings,
 			Errors:     len(errors),
-			Suppressed: len(findings) - len(errors),
+			Suppressed: len(findings) - len(errors) - len(warnings),
+			Warnings:   len(warnings),
 			OK:         len(errors) == 0,
 		}
 		for i := range out.Findings {
@@ -116,6 +125,11 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "sdlint: %v\n", err)
 			os.Exit(2)
+		}
+		// Timings vary run to run, so they go to stderr: stdout stays a
+		// byte-stable function of the tree for CI diffing.
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "sdlint: %-18s %6.0fms\n", a.Name, timings[a.Name].Seconds()*1000)
 		}
 		if len(errors) > 0 {
 			os.Exit(1)
@@ -128,9 +142,12 @@ func main() {
 		fmt.Println(f.String())
 	}
 
-	// benchall-style per-analyzer summary.
+	// benchall-style per-analyzer summary, with per-analyzer wall time.
 	counts := make(map[string][2]int) // analyzer -> {errors, suppressed}
 	for _, f := range findings {
+		if f.Warning {
+			continue
+		}
 		c := counts[f.Analyzer]
 		if f.Suppressed {
 			c[1]++
@@ -150,10 +167,11 @@ func main() {
 		if c[0] > 0 {
 			status = "FAIL"
 		}
-		fmt.Printf("=== %-12s %-4s  %d finding(s), %d suppressed\n", name, status, c[0], c[1])
+		fmt.Printf("=== %-18s %-4s  %d finding(s), %d suppressed  %6.0fms\n",
+			name, status, c[0], c[1], timings[name].Seconds()*1000)
 	}
-	fmt.Printf("sdlint: %d package(s), %d finding(s) (%d suppressed) in %.1fs\n",
-		len(prog.Packages), len(errors), len(findings)-len(errors), time.Since(start).Seconds())
+	fmt.Printf("sdlint: %d package(s), %d finding(s) (%d suppressed, %d warning(s)) in %.1fs\n",
+		len(prog.Packages), len(errors), len(findings)-len(errors)-len(warnings), len(warnings), time.Since(start).Seconds())
 
 	if len(errors) > 0 {
 		os.Exit(1)

@@ -29,6 +29,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one static check.
@@ -87,6 +88,10 @@ type Unit struct {
 	// (fixtures carry their own vocab.json).
 	VocabPath string
 
+	// OwnershipPath optionally overrides the embedded buffer-ownership
+	// manifest consumed by flow.bufown.
+	OwnershipPath string
+
 	// FastSpec, when non-empty, is the miner fast path's self-description
 	// (core.FastPathSpec converted element-wise): one entry per byte-level
 	// rule, carrying the regex the rule claims to implement. The logvocab
@@ -98,7 +103,12 @@ type Unit struct {
 
 	passes   []*Pass
 	findings []Finding
+	timings  map[string]time.Duration
 }
+
+// Timings returns wall time spent per analyzer (Run over every package
+// plus Finish), populated by Run.
+func (u *Unit) Timings() map[string]time.Duration { return u.timings }
 
 // FastRuleSpec describes one byte-level fast-path rule for the logvocab
 // equivalence check. It mirrors core.FastRuleSpec field-for-field so the
@@ -130,6 +140,10 @@ type Finding struct {
 	// directive; Reason carries the directive's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"suppress_reason,omitempty"`
+
+	// Warning marks advisory findings (e.g. unused-suppression) that are
+	// reported but never fail the build.
+	Warning bool `json:"warning,omitempty"`
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -137,6 +151,9 @@ func (f Finding) String() string {
 	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 	if f.Suppressed {
 		s += fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	if f.Warning {
+		s += " (warning)"
 	}
 	return s
 }
@@ -177,9 +194,13 @@ func (u *Unit) report(analyzer string, pkg *Package, pos token.Position, msg str
 }
 
 // Run executes every analyzer over every package, then the Finish hooks,
-// and returns the findings sorted by position.
+// then the suppression audit, and returns the findings sorted by
+// position (ties broken by analyzer, then message, so -json output is
+// stable across runs).
 func (u *Unit) Run() []Finding {
+	u.timings = make(map[string]time.Duration)
 	for _, a := range u.Analyzers {
+		t0 := time.Now()
 		for _, pkg := range u.Prog.Packages {
 			pass := &Pass{Analyzer: a, Pkg: pkg, unit: u}
 			u.passes = append(u.passes, pass)
@@ -187,12 +208,16 @@ func (u *Unit) Run() []Finding {
 				a.Run(pass)
 			}
 		}
+		u.timings[a.Name] += time.Since(t0)
 	}
 	for _, a := range u.Analyzers {
 		if a.Finish != nil {
+			t0 := time.Now()
 			a.Finish(u)
+			u.timings[a.Name] += time.Since(t0)
 		}
 	}
+	u.auditSuppressions()
 	sort.SliceStable(u.findings, func(i, j int) bool {
 		a, b := u.findings[i], u.findings[j]
 		if a.File != b.File {
@@ -204,34 +229,81 @@ func (u *Unit) Run() []Finding {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		return a.Message < b.Message
 	})
 	return u.findings
 }
 
-// Errors returns the unsuppressed findings of a finished run.
+// auditSuppressions reports every //lint:allow directive whose analyzer
+// ran in this unit but which suppressed nothing, as a warning: a stale
+// directive either outlived the finding it reviewed or never matched,
+// and silently pre-approves whatever appears on its line next.
+func (u *Unit) auditSuppressions() {
+	ran := make(map[string]bool)
+	for _, a := range u.Analyzers {
+		ran[a.Name] = true
+	}
+	for _, pkg := range u.Prog.Packages {
+		for file, dirs := range pkg.allows {
+			for _, d := range dirs {
+				if d.used || !ran[d.analyzer] {
+					continue
+				}
+				u.findings = append(u.findings, Finding{
+					Analyzer: "unused-suppression",
+					Package:  pkg.PkgPath,
+					File:     file,
+					Line:     d.line,
+					Message: fmt.Sprintf("//lint:allow %s suppresses nothing: no %s finding on this line or the one below; remove the stale directive",
+						d.analyzer, d.analyzer),
+					Warning: true,
+				})
+			}
+		}
+	}
+}
+
+// Errors returns the findings of a finished run that fail the build:
+// neither suppressed nor advisory warnings.
 func Errors(findings []Finding) []Finding {
 	var out []Finding
 	for _, f := range findings {
-		if !f.Suppressed {
+		if !f.Suppressed && !f.Warning {
 			out = append(out, f)
 		}
 	}
 	return out
 }
 
-// allowDirective is one parsed //lint:allow comment.
+// Warnings returns the advisory findings of a finished run.
+func Warnings(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if f.Warning {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// allowDirective is one parsed //lint:allow comment. used is set when a
+// finding consumes the directive, so the suppression audit can flag
+// directives that no longer match anything.
 type allowDirective struct {
 	line     int
 	analyzer string
 	reason   string
+	used     bool
 }
 
 // parseAllowDirectives scans a file's comments for //lint:allow
 // directives. A directive with no reason is itself a finding (reported by
 // the driver as analyzer "lint"), so the map value keeps the raw text.
-func parseAllowDirectives(fset *token.FileSet, f *ast.File) []allowDirective {
-	var out []allowDirective
+func parseAllowDirectives(fset *token.FileSet, f *ast.File) []*allowDirective {
+	var out []*allowDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
@@ -239,7 +311,7 @@ func parseAllowDirectives(fset *token.FileSet, f *ast.File) []allowDirective {
 				continue
 			}
 			name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
-			out = append(out, allowDirective{
+			out = append(out, &allowDirective{
 				line:     fset.Position(c.Pos()).Line,
 				analyzer: name,
 				reason:   strings.TrimSpace(reason),
@@ -257,6 +329,7 @@ func (p *Package) allowed(analyzer string, pos token.Position) (string, bool) {
 			continue
 		}
 		if d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
 			reason := d.reason
 			if reason == "" {
 				reason = "(no reason given)"

@@ -20,23 +20,25 @@ type want struct {
 }
 
 // collectWants parses `// want `regex“ comments from the fixture's .go
-// files and whole-line regexes from an optional want.txt sidecar
-// (expectations against non-Go files such as the vocab manifest).
+// files (recursively, for multi-package fixtures) and whole-line
+// regexes from an optional want.txt sidecar (expectations against
+// non-Go files such as the vocab manifest).
 func collectWants(t *testing.T, dir string) []*want {
 	t.Helper()
 	var wants []*want
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
+	err := filepath.WalkDir(dir, func(path string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
 		switch {
 		case strings.HasSuffix(e.Name(), ".go"):
-			f, err := os.Open(filepath.Join(dir, e.Name()))
+			f, err := os.Open(path)
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
+			defer f.Close()
 			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
 			for line := 1; sc.Scan(); line++ {
 				text := sc.Text()
 				i := strings.Index(text, "// want `")
@@ -50,11 +52,10 @@ func collectWants(t *testing.T, dir string) []*want {
 				}
 				wants = append(wants, &want{file: e.Name(), line: line, re: regexp.MustCompile(expr[:j])})
 			}
-			f.Close()
 		case e.Name() == "want.txt":
-			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			raw, err := os.ReadFile(path)
 			if err != nil {
-				t.Fatal(err)
+				return err
 			}
 			for _, l := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
 				if l = strings.TrimSpace(l); l != "" {
@@ -62,15 +63,21 @@ func collectWants(t *testing.T, dir string) []*want {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 	return wants
 }
 
-// runFixture loads one fixture package and runs one analyzer over it.
+// runFixture loads one fixture tree (the package itself plus any
+// subpackages, for paired fixtures like smconform's yarn+mc) and runs
+// one analyzer over it.
 func runFixture(t *testing.T, a *Analyzer, sub string) []Finding {
 	t.Helper()
 	rel := filepath.Join("testdata", "src", a.Name, sub)
-	prog, err := Load("../..", "./internal/analysis/"+filepath.ToSlash(rel))
+	prog, err := Load("../..", "./internal/analysis/"+filepath.ToSlash(rel)+"/...")
 	if err != nil {
 		t.Fatalf("load %s: %v", rel, err)
 	}
@@ -98,7 +105,7 @@ func TestFixtures(t *testing.T) {
 				t.Fatal("bad fixture has no want expectations")
 			}
 			for _, f := range findings {
-				if f.Suppressed {
+				if f.Suppressed || f.Warning {
 					continue
 				}
 				if !consume(wants, f) {
@@ -164,6 +171,9 @@ func TestSelfCheck(t *testing.T) {
 	for _, f := range Errors(findings) {
 		t.Errorf("repository is not lint-clean: %s", f)
 	}
+	for _, f := range Warnings(findings) {
+		t.Errorf("repository carries a stale suppression: %s", f)
+	}
 	if len(prog.Packages) < 10 {
 		t.Errorf("self-check loaded only %d packages; pattern ./... no longer covers the tree", len(prog.Packages))
 	}
@@ -187,7 +197,23 @@ func TestListAndDocs(t *testing.T) {
 	if ByName("nope") != nil {
 		t.Error("ByName(nope) should be nil")
 	}
-	if len(seen) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	if len(seen) != 8 {
+		t.Errorf("suite has %d analyzers, want 8", len(seen))
 	}
+}
+
+// TestUnusedSuppressionWarning pins the suppression audit: a
+// //lint:allow directive that matches no finding of an analyzer that ran
+// surfaces as an advisory unused-suppression warning (never an error).
+func TestUnusedSuppressionWarning(t *testing.T) {
+	findings := runFixture(t, Determinism, "good")
+	if len(Errors(findings)) != 0 {
+		t.Fatalf("warnings must not be errors: %v", Errors(findings))
+	}
+	for _, f := range Warnings(findings) {
+		if f.Analyzer == "unused-suppression" && strings.Contains(f.Message, "determinism") {
+			return
+		}
+	}
+	t.Fatal("stale //lint:allow directive in determinism/good produced no unused-suppression warning")
 }

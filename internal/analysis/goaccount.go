@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoAccount enforces leak-freedom for the pipeline's goroutines: every
+// `go` statement in a pipeline package must be tied to a recognized
+// lifecycle account, so Quiesce, the watchdog, and process shutdown can
+// always observe the goroutine. A launch is accounted when either
+//
+//   - the launching function raises a WaitGroup or pending counter
+//     before the go statement (`wg.Add(1); go ...` — the hookonce
+//     discipline, generalized to every goroutine), or
+//
+//   - the launched body itself waits on a lifecycle signal: a receive,
+//     select case, or range over a done/quit/stop/shutdown channel, a
+//     `<-ctx.Done()`, or a deferred `wg.Done()`; method launches are
+//     resolved through a cross-package declaration index, two calls
+//     deep, so `go s.loop()` is tied by the select inside loop.
+//
+// A goroutine with neither is invisible to every shutdown path — the
+// exact shape of the listener leak this analyzer found in sdchecker's
+// live server.
+var GoAccount = &Analyzer{
+	Name:   goaccountName,
+	Doc:    "require every go statement in pipeline packages to be tied to a lifecycle account (WaitGroup/pending counter before launch, or a done/stop-channel wait in the body)",
+	Run:    goaccountRun,
+	Finish: goaccountFinish,
+}
+
+var goAccountPkgs = []string{"internal/core", "internal/obs", "internal/yarn", "internal/slo", "cmd/sdchecker"}
+
+// lifecycleChan matches channel names that signal goroutine shutdown.
+func lifecycleChan(name string) bool {
+	switch strings.ToLower(name) {
+	case "done", "quit", "stop", "stopc", "stopch", "closed", "closing", "shutdown":
+		return true
+	}
+	return false
+}
+
+// goaccountFact carries one package's declaration index and go sites to
+// Finish (launch targets may be declared in another scoped package).
+type goaccountFact struct {
+	decls map[string]*goDecl // types.Func.FullName -> declaration
+	sites []goSite
+}
+
+type goDecl struct {
+	decl *ast.FuncDecl
+	info *types.Info
+}
+
+type goSite struct {
+	gs   *ast.GoStmt
+	body *ast.BlockStmt // enclosing function body (for accounting scan)
+	pass *Pass
+}
+
+func goaccountRun(pass *Pass) {
+	fact := &goaccountFact{decls: make(map[string]*goDecl)}
+	inScope := pass.Pkg.Fixture == goaccountName || matchesAny(pass.Pkg.PkgPath, goAccountPkgs)
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo().Defs[fd.Name].(*types.Func); ok {
+				fact.decls[obj.FullName()] = &goDecl{decl: fd, info: pass.TypesInfo()}
+			}
+			if !inScope {
+				continue
+			}
+			forEachFuncBody(fd.Body, func(body *ast.BlockStmt) {
+				for _, s := range flattenStmts(body) {
+					if gs, ok := s.(*ast.GoStmt); ok {
+						fact.sites = append(fact.sites, goSite{gs: gs, body: fd.Body, pass: pass})
+					}
+				}
+			})
+		}
+	}
+	pass.Result = fact
+}
+
+// flattenStmts yields every statement lexically inside body, without
+// descending into nested function literals (forEachFuncBody visits
+// those separately; the accounting scan still uses the outermost
+// declared body, where wg.Add conventionally lives).
+func flattenStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+func goaccountFinish(u *Unit) {
+	index := make(map[string]*goDecl)
+	var sites []goSite
+	for _, p := range u.Passes(goaccountName) {
+		fact, ok := p.Result.(*goaccountFact)
+		if !ok {
+			continue
+		}
+		for k, v := range fact.decls {
+			index[k] = v
+		}
+		sites = append(sites, fact.sites...)
+	}
+	for _, site := range sites {
+		if hasAccountingBefore(site.body, site.gs) {
+			continue
+		}
+		if launchTied(site.gs.Call, site.pass.TypesInfo(), index, 2) {
+			continue
+		}
+		site.pass.Reportf(site.gs.Pos(),
+			"go statement is tied to no lifecycle account: no WaitGroup/pending Add before launch, and the goroutine never waits on a done/stop channel or Done(); an unaccounted goroutine is invisible to Quiesce and shutdown")
+	}
+}
+
+// launchTied reports whether the launched body waits on a lifecycle
+// signal. Function literals are inspected directly; static callees are
+// resolved through the declaration index, recursing depth calls deep so
+// the wait may live in a helper.
+func launchTied(call *ast.CallExpr, info *types.Info, index map[string]*goDecl, depth int) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyTied(lit.Body, info, index, depth)
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	d := index[fn.FullName()]
+	if d == nil {
+		return false
+	}
+	return bodyTied(d.decl.Body, d.info, index, depth)
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// bodyTied scans one body for a lifecycle wait: `<-x.done`,
+// `<-ctx.Done()`, a select/range over a lifecycle channel, a ranged
+// channel (ended by close), or a (deferred) wg.Done() — then follows
+// same-index callees depth-1 more levels down.
+func bodyTied(body *ast.BlockStmt, info *types.Info, index map[string]*goDecl, depth int) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if lifecycleChan(trailingName(n.X)) {
+				tied = true
+			}
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+					tied = true // <-ctx.Done()
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true // terminated by close()
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && len(n.Args) == 0 {
+				switch trailingName(sel.X) {
+				case "wg", "pending", "work":
+					tied = true // wg.Done(): WaitGroup-joined
+				}
+			}
+			if depth > 1 && !tied {
+				if fn := calleeFunc(info, n); fn != nil {
+					if d := index[fn.FullName()]; d != nil && d.decl.Body != body {
+						if bodyTied(d.decl.Body, d.info, index, depth-1) {
+							tied = true
+						}
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

@@ -35,7 +35,7 @@ type Package struct {
 	// their own fixtures as in scope.
 	Fixture string
 
-	allows map[string][]allowDirective
+	allows map[string][]*allowDirective
 }
 
 // Program is a loaded set of packages sharing one FileSet.
@@ -128,7 +128,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			Name:    t.Name,
 			Dir:     t.Dir,
 			Fixture: fixtureOf(t.ImportPath),
-			allows:  make(map[string][]allowDirective),
+			allows:  make(map[string][]*allowDirective),
 		}
 		for _, gf := range t.GoFiles {
 			path := filepath.Join(t.Dir, gf)

@@ -1,0 +1,449 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SMConform keeps the model checker honest: the RMApp, RMContainer, and
+// NM-container transition relations internal/mc explores are
+// hand-declared tables, hand-mirrored from the state machines
+// internal/yarn actually implements. This analyzer extracts the
+// implemented relation directly from the yarn code — transition-line
+// emit sites, both literal formats and the appState/contState wrapper
+// methods with their literal call-site arguments — extracts the
+// declared relation from the mc tables, and fails the build on any
+// edge present in one but not the other. It also checks model hygiene:
+// no outgoing edges from declared-terminal states, no non-terminal
+// sinks, no duplicate table entries, and a non-empty extraction for
+// every machine the model declares (so extractor rot cannot silently
+// turn the proof vacuous).
+var SMConform = &Analyzer{
+	Name:   smconformName,
+	Doc:    "prove the RMApp/RMContainer/NM-container transition relations in internal/yarn and the tables internal/mc explores are the same relation",
+	Run:    smconformRun,
+	Finish: smconformFinish,
+}
+
+// The three machines, named as in mc's oracles.
+const (
+	smRMApp  = "RMApp"
+	smRMCont = "RMContainer"
+	smNMCont = "NM-container"
+)
+
+// smShape recognizes one machine's transition line in a *format string*
+// (verbs still embedded): groups 1 and 2 capture the from/to slots,
+// each either a literal state or a %s/%v verb.
+type smShape struct {
+	machine string
+	re      *regexp.Regexp
+}
+
+var smShapes = []smShape{
+	{smRMApp, regexp.MustCompile(`State change from (%[sv]|[A-Z_]+) to (%[sv]|[A-Z_]+) on event`)},
+	{smRMCont, regexp.MustCompile(`Container Transitioned from (%[sv]|[A-Z_]+) to (%[sv]|[A-Z_]+)$`)},
+	{smNMCont, regexp.MustCompile(`^Container (?:%[sv]|\S+) transitioned from (%[sv]|[A-Z_]+) to (%[sv]|[A-Z_]+)$`)},
+}
+
+// smModelVars maps mc's table variable names to (machine, role).
+var smModelVars = map[string]struct {
+	machine  string
+	terminal bool
+}{
+	"rmAppEdges":     {smRMApp, false},
+	"rmContEdges":    {smRMCont, false},
+	"nmContEdges":    {smNMCont, false},
+	"rmContTerminal": {smRMCont, true},
+	"nmContTerminal": {smNMCont, true},
+}
+
+type smEdge struct {
+	machine, from, to string
+	pos               token.Pos
+	pass              *Pass
+}
+
+func (e smEdge) key() string { return e.machine + "|" + e.from + "|" + e.to }
+
+// smWrapper is a detected transition-logging wrapper: a function whose
+// emit format carries verbs in the from/to slots bound to its own
+// parameters, so each call site contributes one edge.
+type smWrapper struct {
+	machine            string
+	fromParam, toParam int
+}
+
+type smconformFact struct {
+	role       string // "yarn" or "mc"
+	codeEdges  []smEdge
+	modelEdges []smEdge
+	terminals  []smEdge // from = state, to = "" (terminal declarations)
+	tables     []smEdge // from = table var name (edge tables only)
+}
+
+// smRole classifies a package: the implementation side, the model side,
+// or out of scope. Fixture subpackages play the role their directory
+// names (testdata/src/flow.smconform/*/yarn, .../mc).
+func smRole(pkg *Package) string {
+	if pkg.Fixture == smconformName {
+		switch {
+		case strings.HasSuffix(pkg.PkgPath, "/yarn"):
+			return "yarn"
+		case strings.HasSuffix(pkg.PkgPath, "/mc"):
+			return "mc"
+		}
+		return ""
+	}
+	if pkg.Fixture != "" {
+		return ""
+	}
+	switch {
+	case PathHasSuffix(pkg.PkgPath, "internal/yarn"):
+		return "yarn"
+	case PathHasSuffix(pkg.PkgPath, "internal/mc"):
+		return "mc"
+	}
+	return ""
+}
+
+func smconformRun(pass *Pass) {
+	role := smRole(pass.Pkg)
+	if role == "" {
+		return
+	}
+	fact := &smconformFact{role: role}
+	switch role {
+	case "yarn":
+		smExtractYarn(pass, fact)
+	case "mc":
+		smExtractModel(pass, fact)
+	}
+	pass.Result = fact
+}
+
+// verbIndex counts %s/%v verbs in format before byte offset i: the
+// argument index (after the format itself) feeding that slot.
+func verbIndex(format string, i int) int {
+	return strings.Count(format[:i], "%s") + strings.Count(format[:i], "%v")
+}
+
+// smExtractYarn pulls the implemented transition relation out of one
+// implementation package: literal transition formats contribute edges
+// directly; wrapper methods (verbs bound to parameters) contribute one
+// edge per literal call site.
+func smExtractYarn(pass *Pass, fact *smconformFact) {
+	info := pass.TypesInfo()
+	wrappers := make(map[string]smWrapper) // types.Func FullName -> wrapper
+
+	// Pass 1: emit sites. Literal from/to: an edge. Parameter-bound
+	// from/to: the enclosing function is a wrapper.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isEmitCall(info, call) || len(call.Args) == 0 {
+					return true
+				}
+				format, ok := constString(info, call.Args[0])
+				if !ok {
+					return true
+				}
+				for _, shape := range smShapes {
+					m := shape.re.FindStringSubmatchIndex(format)
+					if m == nil {
+						continue
+					}
+					from, to := format[m[2]:m[3]], format[m[4]:m[5]]
+					fromVerb, toVerb := strings.HasPrefix(from, "%"), strings.HasPrefix(to, "%")
+					switch {
+					case !fromVerb && !toVerb:
+						fact.codeEdges = append(fact.codeEdges, smEdge{shape.machine, from, to, call.Pos(), pass})
+					case fromVerb && toVerb:
+						fp := smParamIndex(info, fd, call, verbIndex(format, m[2]))
+						tp := smParamIndex(info, fd, call, verbIndex(format, m[4]))
+						if fp < 0 || tp < 0 {
+							pass.Reportf(call.Pos(),
+								"%s transition emitted with from/to that are neither literals nor parameters of %s; the transition relation cannot be extracted — route it through literal states or a wrapper", shape.machine, fd.Name.Name)
+							break
+						}
+						wrappers[funcFullName(info, fd)] = smWrapper{shape.machine, fp, tp}
+					default:
+						pass.Reportf(call.Pos(),
+							"%s transition emitted with a mixed literal/parameter from-to pair; the extractor only proves fully-literal emits or parameter-bound wrappers", shape.machine)
+					}
+					break
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: wrapper call sites. Every call must pass literal states —
+	// anything else leaves an edge the model checker cannot know about.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			w, ok := wrappers[fn.FullName()]
+			if !ok {
+				return true
+			}
+			if w.fromParam >= len(call.Args) || w.toParam >= len(call.Args) {
+				return true
+			}
+			from, okF := constString(info, call.Args[w.fromParam])
+			to, okT := constString(info, call.Args[w.toParam])
+			if !okF || !okT {
+				pass.Reportf(call.Pos(),
+					"%s transition wrapper %s called with non-literal states; the yarn↔mc conformance proof requires literal edges", w.machine, fn.Name())
+				return true
+			}
+			fact.codeEdges = append(fact.codeEdges, smEdge{w.machine, from, to, call.Pos(), pass})
+			return true
+		})
+	}
+}
+
+// smParamIndex resolves call argument argIdx (0-based after the format)
+// to an index into fd's parameters, or -1.
+func smParamIndex(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, argIdx int) int {
+	if argIdx+1 >= len(call.Args) {
+		return -1
+	}
+	id, ok := ast.Unparen(call.Args[argIdx+1]).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return -1
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+func funcFullName(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return fd.Name.Name
+}
+
+// smExtractModel pulls the declared relation out of one model package:
+// the named table variables' composite literals.
+func smExtractModel(pass *Pass, fact *smconformFact) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				mv, ok := smModelVars[vs.Names[0].Name]
+				if !ok {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					pass.Reportf(vs.Pos(), "model table %s is not a composite literal; the conformance extractor cannot read it", vs.Names[0].Name)
+					continue
+				}
+				if !mv.terminal {
+					fact.tables = append(fact.tables, smEdge{mv.machine, vs.Names[0].Name, "", vs.Pos(), pass})
+				}
+				for _, el := range lit.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := constString(info, kv.Key)
+					if !ok {
+						pass.Reportf(kv.Pos(), "model table %s has a non-literal key; the conformance extractor cannot read it", vs.Names[0].Name)
+						continue
+					}
+					if mv.terminal {
+						fact.terminals = append(fact.terminals, smEdge{mv.machine, key, "", kv.Pos(), pass})
+						continue
+					}
+					switch val := ast.Unparen(kv.Value).(type) {
+					case *ast.CompositeLit: // map[string][]string
+						for _, tel := range val.Elts {
+							if to, ok := constString(info, tel); ok {
+								fact.modelEdges = append(fact.modelEdges, smEdge{mv.machine, key, to, tel.Pos(), pass})
+							} else {
+								pass.Reportf(tel.Pos(), "model table %s has a non-literal transition target", vs.Names[0].Name)
+							}
+						}
+					default: // map[string]string
+						if to, ok := constString(info, kv.Value); ok {
+							fact.modelEdges = append(fact.modelEdges, smEdge{mv.machine, key, to, kv.Value.Pos(), pass})
+						} else {
+							pass.Reportf(kv.Value.Pos(), "model table %s has a non-literal transition target", vs.Names[0].Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func smconformFinish(u *Unit) {
+	var facts []*smconformFact
+	yarnSeen, mcSeen := false, false
+	for _, p := range u.Passes(smconformName) {
+		fact, ok := p.Result.(*smconformFact)
+		if !ok {
+			continue
+		}
+		facts = append(facts, fact)
+		switch fact.role {
+		case "yarn":
+			yarnSeen = true
+		case "mc":
+			mcSeen = true
+		}
+	}
+	// The diff is only meaningful over the whole pair; a partial load
+	// (sdlint ./internal/yarn alone) proves nothing either way.
+	if !yarnSeen || !mcSeen {
+		return
+	}
+
+	var code, model []smEdge
+	var terminals, tables []smEdge
+	for _, f := range facts {
+		code = append(code, f.codeEdges...)
+		model = append(model, f.modelEdges...)
+		terminals = append(terminals, f.terminals...)
+		tables = append(tables, f.tables...)
+	}
+
+	codeSet := make(map[string]smEdge)
+	for _, e := range code {
+		if _, dup := codeSet[e.key()]; !dup {
+			codeSet[e.key()] = e
+		}
+	}
+	modelSet := make(map[string]smEdge)
+	for _, e := range model {
+		if prev, dup := modelSet[e.key()]; dup {
+			e.pass.Reportf(e.pos, "model declares %s transition %s -> %s twice (first at %s)",
+				e.machine, e.from, e.to, e.pass.Fset().Position(prev.pos))
+			continue
+		}
+		modelSet[e.key()] = e
+	}
+	terminal := make(map[string]smEdge) // machine|state
+	machinesWithTerminals := make(map[string]bool)
+	for _, t := range terminals {
+		terminal[t.machine+"|"+t.from] = t
+		machinesWithTerminals[t.machine] = true
+	}
+
+	// Code ⊆ model: an implemented edge the model checker never explores.
+	for _, k := range sortedKeys(codeSet) {
+		e := codeSet[k]
+		if _, ok := modelSet[e.key()]; !ok {
+			e.pass.Reportf(e.pos,
+				"%s transition %s -> %s is emitted by the implementation but absent from the model tables internal/mc explores; the model checker's coverage claim is broken — add the edge to the table or remove the emit",
+				e.machine, e.from, e.to)
+		}
+	}
+	// Model ⊆ code: a declared edge nothing implements.
+	for _, k := range sortedKeys(modelSet) {
+		e := modelSet[k]
+		if _, ok := codeSet[e.key()]; !ok {
+			e.pass.Reportf(e.pos,
+				"model declares %s transition %s -> %s, but no implementation emit site produces it; the model explores behavior the system cannot exhibit — remove the edge or implement it",
+				e.machine, e.from, e.to)
+		}
+	}
+
+	// Model hygiene, per machine that declares a terminal set: terminal
+	// states must be sinks, and every sink must be terminal.
+	outgoing := make(map[string]bool) // machine|state has outgoing model edge
+	reached := make(map[string]smEdge)
+	for _, e := range modelSet {
+		outgoing[e.machine+"|"+e.from] = true
+		reached[e.machine+"|"+e.to] = e
+	}
+	for _, k := range sortedKeys(modelSet) {
+		e := modelSet[k]
+		if t, ok := terminal[e.machine+"|"+e.from]; ok {
+			e.pass.Reportf(e.pos, "model declares an outgoing %s transition from terminal state %s (declared terminal at %s)",
+				e.machine, e.from, e.pass.Fset().Position(t.pos))
+		}
+	}
+	for _, k := range sortedKeysE(reached) {
+		e := reached[k]
+		if !machinesWithTerminals[e.machine] {
+			continue // RMApp declares no terminal set: chains may stop anywhere
+		}
+		st := e.machine + "|" + e.to
+		if !outgoing[st] {
+			if _, ok := terminal[st]; !ok {
+				e.pass.Reportf(e.pos, "model state %s of %s is a sink but not declared terminal; the terminal table drifted",
+					e.to, e.machine)
+			}
+		}
+	}
+
+	// Empty-extraction honesty: a machine the model declares must yield
+	// at least one implemented edge, or the extractor (or the code) has
+	// rotted and the equality above is vacuously true.
+	codeMachines := make(map[string]bool)
+	for _, e := range codeSet {
+		codeMachines[e.machine] = true
+	}
+	modelHasEdges := make(map[string]bool)
+	for _, e := range modelSet {
+		modelHasEdges[e.machine] = true
+	}
+	for _, t := range tables {
+		if modelHasEdges[t.machine] && !codeMachines[t.machine] {
+			t.pass.Reportf(t.pos,
+				"no implemented %s transitions were extracted from the implementation packages, but the model table %s declares some; either the machine is dead code or the extractor no longer recognizes its emit shape",
+				t.machine, t.from)
+		}
+	}
+}
+
+func sortedKeys(m map[string]smEdge) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysE(m map[string]smEdge) []string { return sortedKeys(m) }

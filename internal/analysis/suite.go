@@ -8,6 +8,9 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		MetricNames,
 		HookOnce,
+		BufOwn,
+		SMConform,
+		GoAccount,
 	}
 }
 
@@ -31,4 +34,10 @@ const (
 	lockorderName   = "lockorder"
 	metricnamesName = "metricnames"
 	hookonceName    = "hookonce"
+
+	// The flow.* analyzers are built on the internal/analysis/flow
+	// dataflow engine; the prefix groups them in -list and -only.
+	bufownName    = "flow.bufown"
+	smconformName = "flow.smconform"
+	goaccountName = "flow.goaccount"
 )

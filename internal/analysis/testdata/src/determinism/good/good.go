@@ -43,3 +43,9 @@ func Count(m map[string]int) int {
 	}
 	return n
 }
+
+// Clean has no determinism finding, so the directive below suppresses
+// nothing — the suite's suppression audit must flag it as a warning.
+//
+//lint:allow determinism stale directive kept for the unused-suppression audit test
+func Clean(nowMS int64) int64 { return nowMS + 1 }

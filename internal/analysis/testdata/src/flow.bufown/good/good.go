@@ -1,0 +1,100 @@
+// Package good mirrors the zero-copy mining discipline of
+// internal/core: every retention of blobWriter-derived memory passes
+// through a sanctioned clone (strings.Clone, fmt.Sprintf) or the
+// cloneMined gate.
+package good
+
+import (
+	"fmt"
+	"strings"
+)
+
+// blobWriter mirrors internal/core's reusable scan buffer: String
+// returns a view of memory the next scan overwrites, so the ownership
+// manifest declares it a taint source.
+type blobWriter struct{ buf []byte }
+
+func (w *blobWriter) String() string { return string(w.buf) }
+
+type event struct {
+	Class string
+	Raw   string
+}
+
+type line struct {
+	Class   string
+	Message string
+}
+
+type parser struct {
+	cloneMined bool
+	events     []event
+	warns      []string
+}
+
+func parseLine(seg string) line {
+	return line{Class: seg[:1], Message: seg[1:]}
+}
+
+func (p *parser) emit(e event) { p.events = append(p.events, e) }
+
+func (p *parser) warnf(format string, args ...any) {
+	p.warns = append(p.warns, fmt.Sprintf(format, args...))
+}
+
+// mine is the sanctioned gated-clone discipline: under cloneMined, the
+// strings that will be retained are cloned before emit.
+func (p *parser) mine(ln line) {
+	msg := ln.Message
+	if p.cloneMined {
+		msg = strings.Clone(msg)
+		ln.Class = strings.Clone(ln.Class)
+	}
+	p.emit(event{Class: ln.Class, Raw: msg})
+}
+
+func (p *parser) scan(w *blobWriter) {
+	p.cloneMined = true
+	defer func() { p.cloneMined = false }()
+	raw := w.String()
+	for i := 0; i+2 < len(raw); i += 2 {
+		ln := parseLine(raw[i : i+2])
+		p.mine(ln)
+	}
+}
+
+// scanCount only derives scalars from the buffer: nothing to clone.
+func (p *parser) scanCount(w *blobWriter) int {
+	raw := w.String()
+	n := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// scanWarn retains only Sprintf output, which copies its operands.
+func (p *parser) scanWarn(w *blobWriter) {
+	raw := w.String()
+	if len(raw) == 0 {
+		p.warnf("empty blob: %s", raw)
+	}
+}
+
+// scanConvert round-trips through []byte, which copies both ways.
+func (p *parser) scanConvert(w *blobWriter) {
+	bs := []byte(w.String())
+	p.emit(event{Raw: string(bs)})
+}
+
+// scanLocal keeps buffer views in frame-local state only.
+func scanLocal(w *blobWriter) string {
+	raw := w.String()
+	var parts []string
+	for i := 0; i+1 < len(raw); i += 2 {
+		parts = append(parts, raw[i:i+2])
+	}
+	return strings.Join(parts, ",") // Join allocates a fresh string
+}

@@ -1,0 +1,98 @@
+// Package bad seeds unaccounted-goroutine mutants: launches with no
+// WaitGroup/pending accounting and no lifecycle wait in the body.
+package bad
+
+import "net"
+
+type srv struct {
+	pending int
+	done    chan struct{}
+	work    chan int
+	ln      net.Listener
+}
+
+func handle(c net.Conn) {}
+
+// mutant 1: plain fire-and-forget literal.
+func (s *srv) leakPlain() {
+	go func() { // want `tied to no lifecycle account`
+		s.pending = 1
+	}()
+}
+
+// mutant 2: the wg.Add was deleted (accounting must come BEFORE).
+func (s *srv) leakAddAfter() {
+	go func() { // want `tied to no lifecycle account`
+		<-s.work
+	}()
+	s.pending++
+}
+
+func (s *srv) spin() {
+	for {
+		select {
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}
+
+// mutant 3: method launch whose body waits only on work, never done.
+func (s *srv) leakMethod() {
+	go s.spin() // want `tied to no lifecycle account`
+}
+
+// mutant 4: external callee — no body to inspect, no accounting.
+func (s *srv) leakExternal(fn func()) {
+	go fn() // want `tied to no lifecycle account`
+}
+
+// mutant 5: the classic http.Serve shape — accepting in a loop with no
+// way to be told to stop.
+func (s *srv) leakAccept() {
+	go func() { // want `tied to no lifecycle account`
+		for {
+			c, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+}
+
+// mutant 6: ranging over a slice is not a lifecycle wait.
+func (s *srv) leakRangeSlice(items []int) {
+	go func() { // want `tied to no lifecycle account`
+		for _, v := range items {
+			_ = v
+		}
+	}()
+}
+
+// mutant 7: a done-channel wait in the LAUNCHING function does not
+// cover the launched goroutine.
+func (s *srv) leakWaitOutside() {
+	go func() { // want `tied to no lifecycle account`
+		s.pending = 2
+	}()
+	<-s.done
+}
+
+func (s *srv) deepHelper() {
+	for v := range s.work {
+		_ = v
+	}
+}
+
+func (s *srv) mid() { s.deep() }
+
+func (s *srv) deep() { s.deeper() }
+
+func (s *srv) deeper() { <-s.done }
+
+// mutant 8: the lifecycle wait is three calls deep — beyond the
+// bounded resolution, so it must be restructured or accounted.
+func (s *srv) leakTooDeep() {
+	go s.mid() // want `tied to no lifecycle account`
+}

@@ -1,0 +1,80 @@
+// Package good shows every recognized lifecycle account for a go
+// statement: WaitGroup/pending accounting before launch, and
+// done/stop-channel waits (direct, in a select, via range-over-channel,
+// through a method, or one helper deep).
+package good
+
+import "sync"
+
+type srv struct {
+	wg      sync.WaitGroup
+	pending int
+	done    chan struct{}
+	quit    chan struct{}
+	work    chan int
+}
+
+func (s *srv) startWg() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		<-s.work
+	}()
+}
+
+func (s *srv) startPending() {
+	s.pending++
+	go func() {
+		<-s.work
+	}()
+}
+
+func (s *srv) startDoneSelect() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (s *srv) startQuitRecv() {
+	go func() {
+		<-s.quit
+	}()
+}
+
+func (s *srv) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}
+
+func (s *srv) startMethod() {
+	go s.loop()
+}
+
+func (s *srv) inner() { <-s.done }
+
+func (s *srv) helper() { s.inner() }
+
+func (s *srv) startDepthTwo() {
+	go s.helper()
+}
+
+func (s *srv) startRange() {
+	go func() {
+		for v := range s.work { // ended by close(s.work)
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,37 @@
+// Package mc seeds the model-side conformance mutants: declared edges
+// nothing implements (the whole RMApp table), a duplicate entry, an
+// outgoing edge from a terminal state, and an undeclared sink.
+package mc
+
+// mutant: the yarn side emits no RMApp transitions at all, so this
+// whole table is vacuous — and every entry is a declared edge with no
+// implementation.
+var rmAppEdges = map[string]string{ // want `no implemented RMApp transitions were extracted`
+	"NEW":       "SUBMITTED", // want `model declares RMApp transition NEW -> SUBMITTED, but no implementation emit site produces it`
+	"SUBMITTED": "RUNNING",   // want `model declares RMApp transition SUBMITTED -> RUNNING, but no implementation emit site produces it`
+	"RUNNING":   "FINISHED",  // want `model declares RMApp transition RUNNING -> FINISHED, but no implementation emit site produces it`
+}
+
+var rmContEdges = map[string][]string{
+	"NEW": {
+		"ALLOCATED",
+		"ALLOCATED", // want `model declares RMContainer transition NEW -> ALLOCATED twice`
+	},
+	"ALLOCATED": {"RUNNING"},
+	"RUNNING": {
+		"COMPLETED",
+		"STALLED", // want `model state STALLED of RMContainer is a sink but not declared terminal`
+	},
+}
+
+var rmContTerminal = map[string]bool{"COMPLETED": true}
+
+var nmContEdges = map[string][]string{
+	"NEW":     {"RUNNING"},
+	"RUNNING": {"DONE"},
+	"DONE": {
+		"GONE", // want `outgoing NM-container transition from terminal state DONE`
+	},
+}
+
+var nmContTerminal = map[string]bool{"DONE": true, "GONE": true}

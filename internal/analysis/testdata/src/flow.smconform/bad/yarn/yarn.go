@@ -1,0 +1,50 @@
+// Package yarn seeds the implementation-side conformance mutants: an
+// emitted edge the model never declares, a wrapper call with
+// non-literal states, and emit shapes the extractor must refuse to
+// guess about (mixed literal/parameter, verbs bound to locals).
+package yarn
+
+type logger struct{}
+
+func (l *logger) Infof(format string, args ...any) {}
+
+type rm struct {
+	app  *logger
+	cont *logger
+}
+
+func (r *rm) contState(id, from, to string) {
+	r.cont.Infof("%s Container Transitioned from %s to %s", id, from, to)
+}
+
+func pick() string { return "RUNNING" }
+
+func (r *rm) driveCont(id, from, to string) {
+	r.contState("c_1", "NEW", "ALLOCATED")
+	r.contState("c_1", "ALLOCATED", "RUNNING")
+	r.contState("c_1", "RUNNING", "COMPLETED")
+	r.contState("c_1", "RUNNING", "STALLED")
+	// mutant: the drifted transition edge — implemented, never modeled.
+	r.contState("c_1", "ALLOCATED", "LOST") // want `RMContainer transition ALLOCATED -> LOST is emitted by the implementation but absent from the model tables`
+	// mutant: states threaded through variables leave an edge the model
+	// checker cannot know about.
+	r.contState(id, from, to) // want `wrapper contState called with non-literal states`
+}
+
+func (r *rm) driveNM(cid string) {
+	r.cont.Infof("Container %s transitioned from NEW to RUNNING", cid)
+	r.cont.Infof("Container %s transitioned from RUNNING to DONE", cid)
+	r.cont.Infof("Container %s transitioned from DONE to GONE", cid)
+}
+
+// mutant: half literal, half parameter — the extractor refuses to guess.
+func (r *rm) failApp(id, from, ev string) {
+	r.app.Infof("%s State change from %s to FAILED on event = %s", id, from, ev) // want `RMApp transition emitted with a mixed literal/parameter from-to pair`
+}
+
+// mutant: verbs bound to locals, not parameters — not a wrapper, not
+// literal, so the relation cannot be extracted.
+func (r *rm) relayApp(id string) {
+	from, to := pick(), pick()
+	r.app.Infof("%s State change from %s to %s on event = GO", id, from, to) // want `RMApp transition emitted with from/to that are neither literals nor parameters of relayApp`
+}

@@ -1,0 +1,24 @@
+// Package mc is the model side of the smconform good fixture: tables
+// declaring exactly the relation the yarn subpackage implements.
+package mc
+
+var rmAppEdges = map[string]string{
+	"NEW":       "SUBMITTED",
+	"SUBMITTED": "RUNNING",
+	"RUNNING":   "FINISHED",
+}
+
+var rmContEdges = map[string][]string{
+	"NEW":       {"ALLOCATED"},
+	"ALLOCATED": {"RUNNING"},
+	"RUNNING":   {"COMPLETED"},
+}
+
+var rmContTerminal = map[string]bool{"COMPLETED": true}
+
+var nmContEdges = map[string][]string{
+	"NEW":     {"RUNNING"},
+	"RUNNING": {"DONE"},
+}
+
+var nmContTerminal = map[string]bool{"DONE": true}

@@ -1,0 +1,43 @@
+// Package yarn is the implementation side of the smconform good
+// fixture: transition lines flow through parameter-bound wrappers
+// (appState, contState) called with literal states, plus fully-literal
+// NM-container emits — the same shapes internal/yarn uses.
+package yarn
+
+type logger struct{}
+
+func (l *logger) Infof(format string, args ...any) {}
+
+type rm struct {
+	app  *logger
+	cont *logger
+}
+
+func (r *rm) appState(id, from, to, event string) {
+	r.app.Infof("%s State change from %s to %s on event = %s", id, from, to, event)
+}
+
+func (r *rm) contState(id, from, to string) {
+	r.cont.Infof("%s Container Transitioned from %s to %s", id, from, to)
+}
+
+func (r *rm) driveApp() {
+	r.appState("app_1", "NEW", "SUBMITTED", "START")
+	r.appState("app_1", "SUBMITTED", "RUNNING", "ACCEPTED")
+	r.appState("app_1", "RUNNING", "FINISHED", "UNREGISTERED")
+}
+
+func (r *rm) driveCont() {
+	r.contState("c_1", "NEW", "ALLOCATED")
+	r.contState("c_1", "ALLOCATED", "RUNNING")
+	r.contState("c_1", "RUNNING", "COMPLETED")
+	// the same edge from a second site is fine: one relation edge
+	r.contState("c_2", "ALLOCATED", "RUNNING")
+}
+
+func (r *rm) driveNM(cid string) {
+	r.cont.Infof("Container %s transitioned from NEW to RUNNING", cid)
+	r.cont.Infof("Container %s transitioned from RUNNING to DONE", cid)
+	// node-machine lines must not be mistaken for container transitions
+	r.cont.Infof("%s Node Transitioned from RUNNING to LOST", cid)
+}
